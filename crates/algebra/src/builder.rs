@@ -1,0 +1,220 @@
+//! Fluent construction of query plans.
+//!
+//! The builder assigns stable operator ids in construction order (the table
+//! access of the first chain gets id 0). Scenario definitions capture the ids
+//! of the operators they later refer to in gold-standard explanations via
+//! [`PlanBuilder::current_id`].
+
+use nested_data::AttrPath;
+
+use crate::agg::AggFunc;
+use crate::error::AlgebraResult;
+use crate::expr::Expr;
+use crate::operator::{AggSpec, FlattenKind, JoinKind, Operator, ProjColumn, RenamePair};
+use crate::plan::{OpId, OpNode, QueryPlan};
+
+/// A fluent builder for [`QueryPlan`]s.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    node: OpNode,
+    next_id: OpId,
+}
+
+impl PlanBuilder {
+    /// Starts a plan with a table access.
+    pub fn table(name: impl Into<String>) -> Self {
+        PlanBuilder {
+            node: OpNode::new(0, Operator::TableAccess { table: name.into() }, vec![]),
+            next_id: 1,
+        }
+    }
+
+    /// The id of the most recently added operator.
+    pub fn current_id(&self) -> OpId {
+        self.node.id
+    }
+
+    fn push(mut self, op: Operator) -> Self {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.node = OpNode::new(id, op, vec![self.node]);
+        self
+    }
+
+    fn push_binary(mut self, other: PlanBuilder, op: Operator) -> Self {
+        // Shift the other side's operator ids so they do not collide.
+        let offset = self.next_id;
+        let shifted = shift_ids(other.node, offset);
+        let id = offset + other.next_id;
+        self.next_id = id + 1;
+        self.node = OpNode::new(id, op, vec![self.node, shifted]);
+        self
+    }
+
+    /// Appends a selection `σ_θ`.
+    pub fn select(self, predicate: Expr) -> Self {
+        self.push(Operator::Selection { predicate })
+    }
+
+    /// Appends a projection with explicit columns.
+    pub fn project(self, columns: Vec<ProjColumn>) -> Self {
+        self.push(Operator::Projection { columns })
+    }
+
+    /// Appends a projection onto plain attribute names.
+    pub fn project_attrs(self, names: &[&str]) -> Self {
+        let columns = names.iter().map(|n| ProjColumn::passthrough(*n)).collect();
+        self.push(Operator::Projection { columns })
+    }
+
+    /// Appends a renaming `ρ`.
+    pub fn rename(self, pairs: Vec<RenamePair>) -> Self {
+        self.push(Operator::Rename { pairs })
+    }
+
+    /// Appends an inner relation flatten `Fᴵ`.
+    pub fn inner_flatten(self, attr: impl Into<String>, alias: Option<&str>) -> Self {
+        self.push(Operator::Flatten {
+            kind: FlattenKind::Inner,
+            attr: attr.into(),
+            alias: alias.map(str::to_string),
+        })
+    }
+
+    /// Appends an outer relation flatten `Fᴼ`.
+    pub fn outer_flatten(self, attr: impl Into<String>, alias: Option<&str>) -> Self {
+        self.push(Operator::Flatten {
+            kind: FlattenKind::Outer,
+            attr: attr.into(),
+            alias: alias.map(str::to_string),
+        })
+    }
+
+    /// Appends a tuple flatten `Fᵀ`.
+    pub fn tuple_flatten(self, source: impl Into<AttrPath>, alias: Option<&str>) -> Self {
+        self.push(Operator::TupleFlatten { source: source.into(), alias: alias.map(str::to_string) })
+    }
+
+    /// Appends a tuple nesting `Nᵀ`.
+    pub fn tuple_nest(self, attrs: Vec<&str>, into: impl Into<String>) -> Self {
+        self.push(Operator::TupleNest {
+            attrs: attrs.into_iter().map(str::to_string).collect(),
+            into: into.into(),
+        })
+    }
+
+    /// Appends a relation nesting `Nᴿ`.
+    pub fn relation_nest(self, attrs: Vec<&str>, into: impl Into<String>) -> Self {
+        self.push(Operator::RelationNest {
+            attrs: attrs.into_iter().map(str::to_string).collect(),
+            into: into.into(),
+        })
+    }
+
+    /// Appends a per-tuple aggregation over a nested relation attribute.
+    pub fn nest_aggregate(
+        self,
+        func: AggFunc,
+        attr: impl Into<String>,
+        field: Option<&str>,
+        output: impl Into<String>,
+    ) -> Self {
+        self.push(Operator::NestAggregation {
+            func,
+            attr: attr.into(),
+            field: field.map(str::to_string),
+            output: output.into(),
+        })
+    }
+
+    /// Appends a grouped aggregation.
+    pub fn group_aggregate(self, group_by: Vec<&str>, aggs: Vec<AggSpec>) -> Self {
+        self.push(Operator::GroupAggregation {
+            group_by: group_by.into_iter().map(str::to_string).collect(),
+            aggs,
+        })
+    }
+
+    /// Appends a duplicate elimination `δ`.
+    pub fn dedup(self) -> Self {
+        self.push(Operator::Dedup)
+    }
+
+    /// Joins with another plan.
+    pub fn join(self, other: PlanBuilder, kind: JoinKind, predicate: Expr) -> Self {
+        self.push_binary(other, Operator::Join { kind, predicate })
+    }
+
+    /// Cartesian product with another plan.
+    pub fn cross(self, other: PlanBuilder) -> Self {
+        self.push_binary(other, Operator::CrossProduct)
+    }
+
+    /// Additive union with another plan.
+    pub fn union(self, other: PlanBuilder) -> Self {
+        self.push_binary(other, Operator::Union)
+    }
+
+    /// Bag difference with another plan.
+    pub fn difference(self, other: PlanBuilder) -> Self {
+        self.push_binary(other, Operator::Difference)
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> AlgebraResult<QueryPlan> {
+        QueryPlan::new(self.node)
+    }
+}
+
+fn shift_ids(node: OpNode, offset: OpId) -> OpNode {
+    OpNode {
+        id: node.id + offset,
+        op: node.op,
+        inputs: node.inputs.into_iter().map(|n| shift_ids(n, offset)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn linear_pipeline_ids_are_sequential() {
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap();
+        assert_eq!(plan.op_ids_top_down(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn binary_plans_get_disjoint_ids() {
+        let left = PlanBuilder::table("customer").select(Expr::lit(true));
+        let right = PlanBuilder::table("orders");
+        let plan = left
+            .join(right, JoinKind::Inner, Expr::attr_eq("c_custkey", 1i64))
+            .project_attrs(&["c_custkey"])
+            .build()
+            .unwrap();
+        let ids = plan.op_ids_top_down();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "operator ids must be unique: {ids:?}");
+        assert_eq!(plan.operator_count(), 5);
+    }
+
+    #[test]
+    fn current_id_tracks_last_operator() {
+        let builder = PlanBuilder::table("t");
+        assert_eq!(builder.current_id(), 0);
+        let builder = builder.select(Expr::lit(true));
+        assert_eq!(builder.current_id(), 1);
+        let builder = builder.dedup();
+        assert_eq!(builder.current_id(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Nested databases: named relations with their schemas.
+
+use std::collections::BTreeMap;
+
+use nested_data::{Bag, TupleType, Value};
+
+use crate::error::{AlgebraError, AlgebraResult};
+
+/// A nested database `D`: a set of named nested relations, each with its
+/// relation schema (a tuple type).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    relations: BTreeMap<String, (TupleType, Bag)>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { relations: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a relation with an explicit schema.
+    pub fn add_relation(&mut self, name: impl Into<String>, schema: TupleType, data: Bag) {
+        self.relations.insert(name.into(), (schema, data));
+    }
+
+    /// Adds a relation, inferring its schema from the first tuple.
+    ///
+    /// Panics if the bag is empty or its first element is not a tuple; use
+    /// [`Database::add_relation`] for empty relations.
+    pub fn add_relation_inferred(&mut self, name: impl Into<String>, data: Bag) {
+        let schema = data
+            .iter()
+            .next()
+            .and_then(|(v, _)| v.infer_type())
+            .and_then(|t| match t {
+                nested_data::NestedType::Tuple(t) => Some(t),
+                _ => None,
+            })
+            .expect("add_relation_inferred requires a non-empty bag of tuples");
+        self.add_relation(name, schema, data);
+    }
+
+    /// The names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// The schema of a relation.
+    pub fn schema(&self, name: &str) -> AlgebraResult<&TupleType> {
+        self.relations
+            .get(name)
+            .map(|(schema, _)| schema)
+            .ok_or_else(|| AlgebraError::UnknownTable(name.to_string()))
+    }
+
+    /// The contents of a relation.
+    pub fn relation(&self, name: &str) -> AlgebraResult<&Bag> {
+        self.relations
+            .get(name)
+            .map(|(_, data)| data)
+            .ok_or_else(|| AlgebraError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether the database contains a relation with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Total number of top-level tuples across all relations (used to report
+    /// dataset sizes in the benchmark harness).
+    pub fn total_tuples(&self) -> u64 {
+        self.relations.values().map(|(_, bag)| bag.total()).sum()
+    }
+
+    /// The *active domain* of a relation's attribute: all distinct primitive
+    /// values appearing under the given top-level attribute (descending into
+    /// nested relations). Used by the exact reparameterization enumerator,
+    /// which only needs to consider constants from the active domain
+    /// (cf. the PTIME argument in the proof of Theorem 1).
+    pub fn active_domain(&self, relation: &str, attribute: &str) -> AlgebraResult<Vec<Value>> {
+        let bag = self.relation(relation)?;
+        let mut values = Vec::new();
+        for (v, _) in bag.iter() {
+            if let Some(t) = v.as_tuple() {
+                if let Some(attr_value) = t.get(attribute) {
+                    collect_primitives(attr_value, &mut values);
+                }
+            }
+        }
+        values.sort();
+        values.dedup();
+        Ok(values)
+    }
+}
+
+fn collect_primitives(value: &Value, out: &mut Vec<Value>) {
+    match value {
+        Value::Tuple(t) => {
+            for (_, v) in t.fields() {
+                collect_primitives(v, out);
+            }
+        }
+        Value::Bag(b) => {
+            for (v, _) in b.iter() {
+                collect_primitives(v, out);
+            }
+        }
+        Value::Null => {}
+        primitive => out.push(primitive.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::NestedType;
+
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            (
+                "address2",
+                Value::bag([Value::tuple([("city", Value::str("NY")), ("year", Value::int(2018))])]),
+            ),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person, Bag::from_values([sue]));
+        db
+    }
+
+    #[test]
+    fn schema_and_relation_lookup() {
+        let db = person_db();
+        assert!(db.contains("person"));
+        assert!(!db.contains("tweets"));
+        assert_eq!(db.relation_names(), vec!["person"]);
+        assert_eq!(db.schema("person").unwrap().arity(), 2);
+        assert_eq!(db.relation("person").unwrap().total(), 1);
+        assert!(db.schema("missing").is_err());
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn inferred_schema() {
+        let mut db = Database::new();
+        let bag = Bag::from_values([Value::tuple([("x", Value::int(1))])]);
+        db.add_relation_inferred("r", bag);
+        assert_eq!(db.schema("r").unwrap().attribute_names(), vec!["x"]);
+    }
+
+    #[test]
+    fn active_domain_descends_into_nested_relations() {
+        let db = person_db();
+        let cities = db.active_domain("person", "address2").unwrap();
+        assert!(cities.contains(&Value::str("NY")));
+        assert!(cities.contains(&Value::int(2018)));
+        let names = db.active_domain("person", "name").unwrap();
+        assert_eq!(names, vec![Value::str("Sue")]);
+        assert!(db.active_domain("missing", "x").is_err());
+    }
+}

@@ -1,0 +1,606 @@
+//! Bag-semantics evaluation of NRAB plans (the `⟦Q⟧_D` column of Table 1).
+
+use nested_data::{Bag, NestedType, Tuple, TupleType, Value};
+
+use crate::agg::AggFunc;
+use crate::database::Database;
+use crate::error::{AlgebraError, AlgebraResult};
+use crate::expr::Expr;
+use crate::operator::{AggSpec, FlattenKind, JoinKind, Operator, ProjColumn};
+use crate::plan::{OpNode, QueryPlan};
+use crate::schema::output_type;
+
+/// Evaluates a plan over a database, returning the result relation.
+pub fn evaluate(plan: &QueryPlan, db: &Database) -> AlgebraResult<Bag> {
+    evaluate_node(&plan.root, db)
+}
+
+/// Evaluates a single plan node over a database.
+pub fn evaluate_node(node: &OpNode, db: &Database) -> AlgebraResult<Bag> {
+    let inputs: Vec<Bag> =
+        node.inputs.iter().map(|i| evaluate_node(i, db)).collect::<AlgebraResult<_>>()?;
+    apply_operator(node, &inputs, db)
+}
+
+/// Applies a node's operator to already-evaluated inputs.
+///
+/// Exposed separately so that the provenance crate can interleave tracing with
+/// evaluation while reusing the exact same operator semantics.
+pub fn apply_operator(node: &OpNode, inputs: &[Bag], db: &Database) -> AlgebraResult<Bag> {
+    let input = |i: usize| -> AlgebraResult<&Bag> {
+        inputs.get(i).ok_or_else(|| AlgebraError::WrongArity {
+            operator: node.op.kind_name().to_string(),
+            expected: node.op.arity(),
+            found: inputs.len(),
+        })
+    };
+    match &node.op {
+        Operator::TableAccess { table } => db.relation(table).cloned(),
+        Operator::Projection { columns } => Ok(eval_projection(input(0)?, columns)),
+        Operator::Rename { pairs } => {
+            let mapping: Vec<(String, String)> =
+                pairs.iter().map(|p| (p.from.clone(), p.to.clone())).collect();
+            Ok(input(0)?.map_values(|v| match v.as_tuple() {
+                Some(t) => Value::Tuple(t.rename(&mapping)),
+                None => v.clone(),
+            }))
+        }
+        Operator::Selection { predicate } => Ok(eval_selection(input(0)?, predicate)),
+        Operator::Join { kind, predicate } => {
+            let left_schema = output_type(&node.inputs[0], db)?;
+            let right_schema = output_type(&node.inputs[1], db)?;
+            Ok(eval_join(input(0)?, input(1)?, *kind, predicate, &left_schema, &right_schema))
+        }
+        Operator::CrossProduct => {
+            Ok(eval_join(
+                input(0)?,
+                input(1)?,
+                JoinKind::Inner,
+                &Expr::lit(true),
+                &TupleType::empty(),
+                &TupleType::empty(),
+            ))
+        }
+        Operator::TupleFlatten { source, alias } => {
+            let input_schema = output_type(&node.inputs[0], db)?;
+            eval_tuple_flatten(input(0)?, source, alias.as_deref(), &input_schema)
+        }
+        Operator::Flatten { kind, attr, alias } => {
+            let input_schema = output_type(&node.inputs[0], db)?;
+            eval_flatten(input(0)?, *kind, attr, alias.as_deref(), &input_schema)
+        }
+        Operator::TupleNest { attrs, into } => eval_tuple_nest(input(0)?, attrs, into),
+        Operator::RelationNest { attrs, into } => eval_relation_nest(input(0)?, attrs, into),
+        Operator::NestAggregation { func, attr, field, output } => {
+            eval_nest_aggregation(input(0)?, *func, attr, field.as_deref(), output)
+        }
+        Operator::GroupAggregation { group_by, aggs } => {
+            eval_group_aggregation(input(0)?, group_by, aggs)
+        }
+        Operator::Union => Ok(input(0)?.union(input(1)?)),
+        Operator::Difference => Ok(input(0)?.difference(input(1)?)),
+        Operator::Dedup => Ok(input(0)?.dedup()),
+    }
+}
+
+fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
+    Bag::from_entries(input.iter().map(|(v, m)| {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let projected = Tuple::new(
+            columns.iter().map(|c| (c.name.clone(), c.expr.eval(&tuple))).collect::<Vec<_>>(),
+        );
+        (Value::Tuple(projected), *m)
+    }))
+}
+
+fn eval_selection(input: &Bag, predicate: &Expr) -> Bag {
+    input.filter(|v| v.as_tuple().map(|t| predicate.eval_bool(t)).unwrap_or(false))
+}
+
+fn eval_join(
+    left: &Bag,
+    right: &Bag,
+    kind: JoinKind,
+    predicate: &Expr,
+    left_schema: &TupleType,
+    right_schema: &TupleType,
+) -> Bag {
+    let mut out = Bag::new();
+    let mut left_matched: Vec<bool> = vec![false; left.distinct()];
+    let mut right_matched: Vec<bool> = vec![false; right.distinct()];
+
+    for (li, (lv, lm)) in left.iter().enumerate() {
+        let lt = lv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        for (ri, (rv, rm)) in right.iter().enumerate() {
+            let rt = rv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+            let Ok(combined) = lt.concat(&rt) else { continue };
+            if predicate.eval_bool(&combined) {
+                left_matched[li] = true;
+                right_matched[ri] = true;
+                out.insert(Value::Tuple(combined), lm * rm);
+            }
+        }
+    }
+
+    if matches!(kind, JoinKind::Left | JoinKind::Full) {
+        let right_names: Vec<&str> = right_schema.attribute_names();
+        for (li, (lv, lm)) in left.iter().enumerate() {
+            if !left_matched[li] {
+                let lt = lv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+                let padded = lt.concat(&Tuple::null_padded(&right_names)).unwrap_or(lt);
+                out.insert(Value::Tuple(padded), *lm);
+            }
+        }
+    }
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        let left_names: Vec<&str> = left_schema.attribute_names();
+        for (ri, (rv, rm)) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                let rt = rv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+                let padded = Tuple::null_padded(&left_names).concat(&rt).unwrap_or(rt);
+                out.insert(Value::Tuple(padded), *rm);
+            }
+        }
+    }
+    out
+}
+
+fn eval_tuple_flatten(
+    input: &Bag,
+    source: &nested_data::AttrPath,
+    alias: Option<&str>,
+    input_schema: &TupleType,
+) -> AlgebraResult<Bag> {
+    let source_ty = input_schema.resolve_path(source).ok().cloned();
+    let mut out = Bag::new();
+    for (v, m) in input.iter() {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let extracted = Value::Tuple(tuple.clone()).get_path(source).unwrap_or(Value::Null);
+        let result = match alias {
+            Some(alias) => tuple.with_field(alias, extracted),
+            None => match extracted {
+                Value::Tuple(inner) => tuple.concat(&inner)?,
+                Value::Null => match &source_ty {
+                    Some(NestedType::Tuple(t)) => {
+                        let names: Vec<&str> = t.attribute_names();
+                        tuple.concat(&Tuple::null_padded(&names))?
+                    }
+                    _ => tuple.clone(),
+                },
+                other => {
+                    return Err(AlgebraError::InvalidParameter {
+                        operator: "Fᵀ".into(),
+                        message: format!(
+                            "tuple flatten without alias expects a tuple value at `{source}`, found {}",
+                            other.kind()
+                        ),
+                    })
+                }
+            },
+        };
+        out.insert(Value::Tuple(result), *m);
+    }
+    Ok(out)
+}
+
+fn eval_flatten(
+    input: &Bag,
+    kind: FlattenKind,
+    attr: &str,
+    alias: Option<&str>,
+    input_schema: &TupleType,
+) -> AlgebraResult<Bag> {
+    let element_ty = match input_schema.attribute(attr) {
+        Some(NestedType::Relation(t)) => Some(t.clone()),
+        _ => None,
+    };
+    let mut out = Bag::new();
+    for (v, m) in input.iter() {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let nested = tuple.get(attr).cloned().unwrap_or(Value::Null);
+        let elements: Vec<(Value, u64)> = match &nested {
+            Value::Bag(b) => b.iter().cloned().collect(),
+            _ => Vec::new(),
+        };
+        if elements.is_empty() {
+            if kind == FlattenKind::Outer {
+                let padded = match alias {
+                    Some(alias) => tuple.with_field(alias, Value::Null),
+                    None => {
+                        let names: Vec<&str> = element_ty
+                            .as_ref()
+                            .map(|t| t.attribute_names())
+                            .unwrap_or_default();
+                        tuple.concat(&Tuple::null_padded(&names))?
+                    }
+                };
+                out.insert(Value::Tuple(padded), *m);
+            }
+            continue;
+        }
+        for (element, em) in elements {
+            let combined = match alias {
+                Some(alias) => tuple.with_field(alias, element),
+                None => match element {
+                    Value::Tuple(inner) => tuple.concat(&inner)?,
+                    other => {
+                        // Elements that are not tuples (e.g. bare strings) are
+                        // exposed under the attribute's own name suffixed with
+                        // `_value` so flattening plain lists still works.
+                        tuple.with_field(format!("{attr}_value"), other)
+                    }
+                },
+            };
+            out.insert(Value::Tuple(combined), m * em);
+        }
+    }
+    Ok(out)
+}
+
+fn eval_tuple_nest(input: &Bag, attrs: &[String], into: &str) -> AlgebraResult<Bag> {
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let mut out = Bag::new();
+    for (v, m) in input.iter() {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let nested = tuple.project(&attr_refs).unwrap_or_else(|_| Tuple::empty());
+        let remaining = tuple.without(&attr_refs);
+        out.insert(Value::Tuple(remaining.with_field(into, Value::Tuple(nested))), *m);
+    }
+    Ok(out)
+}
+
+fn eval_relation_nest(input: &Bag, attrs: &[String], into: &str) -> AlgebraResult<Bag> {
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let groups = input.group_by(|v| {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        Value::Tuple(tuple.without(&attr_refs))
+    });
+    let mut out = Bag::new();
+    for (key, group) in groups {
+        let mut nested = Bag::new();
+        for (v, m) in group.iter() {
+            let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+            if let Ok(projected) = tuple.project(&attr_refs) {
+                // Mirror Spark's behaviour (relied upon by scenario D2): rows
+                // whose nested values are all null do not contribute an
+                // element to the nested collection.
+                if projected.fields().iter().any(|(_, v)| !v.is_null()) {
+                    nested.insert(Value::Tuple(projected), *m);
+                }
+            }
+        }
+        let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        out.insert(Value::Tuple(key_tuple.with_field(into, Value::Bag(nested))), 1);
+    }
+    Ok(out)
+}
+
+fn eval_nest_aggregation(
+    input: &Bag,
+    func: AggFunc,
+    attr: &str,
+    field: Option<&str>,
+    output: &str,
+) -> AlgebraResult<Bag> {
+    let mut out = Bag::new();
+    for (v, m) in input.iter() {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let nested = tuple.get(attr).cloned().unwrap_or(Value::Null);
+        let values: Vec<Value> = match &nested {
+            Value::Bag(b) => b
+                .iter_expanded()
+                .map(|element| match field {
+                    Some(f) => element
+                        .as_tuple()
+                        .and_then(|t| t.get(f).cloned())
+                        .unwrap_or(Value::Null),
+                    None => element.clone(),
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let aggregated = func.apply(values.iter());
+        let aggregated = match (&aggregated, func) {
+            // count over an empty / null collection is 0, not ⊥
+            (Value::Null, AggFunc::Count | AggFunc::CountDistinct) => Value::Int(0),
+            _ => aggregated,
+        };
+        out.insert(Value::Tuple(tuple.with_field(output, aggregated)), *m);
+    }
+    Ok(out)
+}
+
+fn eval_group_aggregation(input: &Bag, group_by: &[String], aggs: &[AggSpec]) -> AlgebraResult<Bag> {
+    let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+    let groups = input.group_by(|v| {
+        let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        Value::Tuple(tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()))
+    });
+    let mut out = Bag::new();
+    for (key, group) in groups {
+        let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+        let mut result = key_tuple;
+        for agg in aggs {
+            let values: Vec<Value> = group
+                .iter_expanded()
+                .map(|v| {
+                    let t = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+                    agg.input.eval(&t)
+                })
+                .collect();
+            result = result.with_field(agg.output.clone(), agg.func.apply(values.iter()));
+        }
+        out.insert(Value::Tuple(result), 1);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::expr::CmpOp;
+    use crate::operator::ProjColumn;
+    use nested_data::Nip;
+
+    /// The person table of Figure 1a.
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person_ty = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let peter = Value::tuple([
+            ("name", Value::str("Peter")),
+            ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+            ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+        ]);
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person_ty, Bag::from_values([peter, sue]));
+        db
+    }
+
+    fn running_example() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn running_example_produces_figure_1b() {
+        let db = person_db();
+        let result = evaluate(&running_example(), &db).unwrap();
+        // Single tuple ⟨city: LA, nList: {{⟨name: Sue⟩}}⟩.
+        assert_eq!(result.total(), 1);
+        let expected = Value::tuple([
+            ("city", Value::str("LA")),
+            ("nList", Value::bag([Value::tuple([("name", Value::str("Sue"))])])),
+        ]);
+        assert_eq!(result.mult(&expected), 1);
+        // And NY is indeed missing (the why-not question of Example 1).
+        let nip = Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        assert!(!result.iter().any(|(v, _)| nip.matches(v)));
+    }
+
+    #[test]
+    fn flatten_inner_multiplies_tuples() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        assert_eq!(result.total(), 4); // 2 addresses for each of the 2 persons
+    }
+
+    #[test]
+    fn outer_flatten_pads_empty_collections() {
+        let mut db = person_db();
+        let schema = db.schema("person").unwrap().clone();
+        let empty_person = Value::tuple([
+            ("name", Value::str("Ann")),
+            ("address1", Value::empty_bag()),
+            ("address2", Value::empty_bag()),
+        ]);
+        let mut bag = db.relation("person").unwrap().clone();
+        bag.insert(empty_person, 1);
+        db.add_relation("person", schema, bag);
+
+        let inner =
+            PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
+        let outer =
+            PlanBuilder::table("person").outer_flatten("address2", None).build().unwrap();
+        assert_eq!(evaluate(&inner, &db).unwrap().total(), 4);
+        let outer_result = evaluate(&outer, &db).unwrap();
+        assert_eq!(outer_result.total(), 5);
+        // Ann appears with null city.
+        assert!(outer_result.iter().any(|(v, _)| {
+            let t = v.as_tuple().unwrap();
+            t.get("name") == Some(&Value::str("Ann")) && t.get("city") == Some(&Value::Null)
+        }));
+    }
+
+    #[test]
+    fn joins_inner_and_outer() {
+        let mut db = Database::new();
+        let r_ty = TupleType::new([("a", NestedType::int())]).unwrap();
+        let s_ty = TupleType::new([("b", NestedType::int())]).unwrap();
+        db.add_relation(
+            "r",
+            r_ty,
+            Bag::from_values([Value::tuple([("a", Value::int(1))]), Value::tuple([("a", Value::int(2))])]),
+        );
+        db.add_relation(
+            "s",
+            s_ty,
+            Bag::from_values([Value::tuple([("b", Value::int(2))]), Value::tuple([("b", Value::int(3))])]),
+        );
+        let pred = Expr::cmp(Expr::attr("a"), CmpOp::Eq, Expr::attr("b"));
+
+        let inner = PlanBuilder::table("r")
+            .join(PlanBuilder::table("s"), JoinKind::Inner, pred.clone())
+            .build()
+            .unwrap();
+        assert_eq!(evaluate(&inner, &db).unwrap().total(), 1);
+
+        let left = PlanBuilder::table("r")
+            .join(PlanBuilder::table("s"), JoinKind::Left, pred.clone())
+            .build()
+            .unwrap();
+        let left_result = evaluate(&left, &db).unwrap();
+        assert_eq!(left_result.total(), 2);
+        assert!(left_result.iter().any(|(v, _)| v.as_tuple().unwrap().get("b") == Some(&Value::Null)));
+
+        let full = PlanBuilder::table("r")
+            .join(PlanBuilder::table("s"), JoinKind::Full, pred)
+            .build()
+            .unwrap();
+        assert_eq!(evaluate(&full, &db).unwrap().total(), 3);
+    }
+
+    #[test]
+    fn join_multiplicities_multiply() {
+        let mut db = Database::new();
+        let r_ty = TupleType::new([("a", NestedType::int())]).unwrap();
+        let s_ty = TupleType::new([("b", NestedType::int())]).unwrap();
+        db.add_relation("r", r_ty, Bag::from_entries([(Value::tuple([("a", Value::int(1))]), 2)]));
+        db.add_relation("s", s_ty, Bag::from_entries([(Value::tuple([("b", Value::int(1))]), 3)]));
+        let plan = PlanBuilder::table("r")
+            .join(
+                PlanBuilder::table("s"),
+                JoinKind::Inner,
+                Expr::cmp(Expr::attr("a"), CmpOp::Eq, Expr::attr("b")),
+            )
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        assert_eq!(result.total(), 6);
+    }
+
+    #[test]
+    fn projection_merges_duplicates() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address1", None)
+            .project_attrs(&["name"])
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        // Peter has 3 address1 entries, Sue 2.
+        assert_eq!(result.mult(&Value::tuple([("name", Value::str("Peter"))])), 3);
+        assert_eq!(result.mult(&Value::tuple([("name", Value::str("Sue"))])), 2);
+    }
+
+    #[test]
+    fn tuple_nest_and_tuple_flatten_roundtrip() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .tuple_nest(vec!["city", "year"], "addr")
+            .tuple_flatten("addr.city", Some("city_again"))
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        assert!(result.iter().all(|(v, _)| v.as_tuple().unwrap().contains("city_again")));
+    }
+
+    #[test]
+    fn nest_aggregation_counts_nested_elements() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .nest_aggregate(AggFunc::Count, "address2", None, "cnt")
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        for (v, _) in result.iter() {
+            assert_eq!(v.as_tuple().unwrap().get("cnt"), Some(&Value::int(2)));
+        }
+    }
+
+    #[test]
+    fn group_aggregation_sums_per_group() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address1", None)
+            .group_aggregate(
+                vec!["name"],
+                vec![
+                    AggSpec::new(AggFunc::Count, Expr::attr("city"), "n"),
+                    AggSpec::new(AggFunc::Max, Expr::attr("year"), "latest"),
+                ],
+            )
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        assert_eq!(result.total(), 2);
+        let peter = result
+            .iter()
+            .find(|(v, _)| v.as_tuple().unwrap().get("name") == Some(&Value::str("Peter")))
+            .unwrap();
+        assert_eq!(peter.0.as_tuple().unwrap().get("n"), Some(&Value::int(3)));
+        assert_eq!(peter.0.as_tuple().unwrap().get("latest"), Some(&Value::int(2019)));
+    }
+
+    #[test]
+    fn union_difference_dedup() {
+        let mut db = Database::new();
+        let ty = TupleType::new([("x", NestedType::int())]).unwrap();
+        let one = Value::tuple([("x", Value::int(1))]);
+        let two = Value::tuple([("x", Value::int(2))]);
+        db.add_relation("r", ty.clone(), Bag::from_values([one.clone(), one.clone(), two.clone()]));
+        db.add_relation("s", ty, Bag::from_values([one.clone()]));
+
+        let union = PlanBuilder::table("r").union(PlanBuilder::table("s")).build().unwrap();
+        assert_eq!(evaluate(&union, &db).unwrap().mult(&one), 3);
+
+        let diff = PlanBuilder::table("r").difference(PlanBuilder::table("s")).build().unwrap();
+        assert_eq!(evaluate(&diff, &db).unwrap().mult(&one), 1);
+
+        let dedup = PlanBuilder::table("r").dedup().build().unwrap();
+        assert_eq!(evaluate(&dedup, &db).unwrap().total(), 2);
+    }
+
+    #[test]
+    fn rename_changes_attribute_names() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .rename(vec![crate::operator::RenamePair::new("name", "person_name")])
+            .project_attrs(&["person_name"])
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        assert!(result
+            .iter()
+            .all(|(v, _)| v.as_tuple().unwrap().contains("person_name")));
+    }
+
+    #[test]
+    fn computed_projection_column() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .project(vec![
+                ProjColumn::passthrough("name"),
+                ProjColumn::computed("addr_count", Expr::size(Expr::attr("address1"))),
+            ])
+            .build()
+            .unwrap();
+        let result = evaluate(&plan, &db).unwrap();
+        let sue = result
+            .iter()
+            .find(|(v, _)| v.as_tuple().unwrap().get("name") == Some(&Value::str("Sue")))
+            .unwrap();
+        assert_eq!(sue.0.as_tuple().unwrap().get("addr_count"), Some(&Value::int(2)));
+    }
+}

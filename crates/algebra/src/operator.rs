@@ -1,0 +1,427 @@
+//! The NRAB operators of Table 1.
+//!
+//! Operators are *parameterized* (Table 2): the parameters — predicates,
+//! projection lists, flattened/nested attributes, join and flatten types,
+//! aggregation inputs — are what reparameterizations change, while the plan
+//! structure (which operators exist and how they are wired) stays fixed.
+
+use std::fmt;
+
+use nested_data::AttrPath;
+
+use crate::agg::AggFunc;
+use crate::expr::Expr;
+
+/// Join variants `⋈`, `⟕`, `⟖`, `⟗`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+    /// Right outer join.
+    Right,
+    /// Full outer join.
+    Full,
+}
+
+impl JoinKind {
+    /// All join kinds (the admissible "change the join type" reparameterization).
+    pub const ALL: [JoinKind; 4] = [JoinKind::Inner, JoinKind::Left, JoinKind::Right, JoinKind::Full];
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "⋈",
+            JoinKind::Left => "⟕",
+            JoinKind::Right => "⟖",
+            JoinKind::Full => "⟗",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Relation flatten variants (tuple flatten is a separate operator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlattenKind {
+    /// Inner relation flatten `F^I`: drops tuples whose flattened attribute is
+    /// empty or null.
+    Inner,
+    /// Outer relation flatten `F^O`: keeps such tuples, padding with `⊥`.
+    Outer,
+}
+
+impl fmt::Display for FlattenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenKind::Inner => write!(f, "Fᴵ"),
+            FlattenKind::Outer => write!(f, "Fᴼ"),
+        }
+    }
+}
+
+/// One output column of a projection: `name ← expr`.
+///
+/// Plain column references, renamed columns, and computed columns (the
+/// projection-restricted `map` of Theorem 1's PTIME case, e.g.
+/// `disc_price ← l_extendedprice × (1 − l_discount)`) are all expressed this
+/// way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjColumn {
+    /// Output attribute name.
+    pub name: String,
+    /// Expression computing the output value.
+    pub expr: Expr,
+}
+
+impl ProjColumn {
+    /// A pass-through column `name ← name`.
+    pub fn passthrough(name: impl Into<String>) -> Self {
+        let name = name.into();
+        ProjColumn { expr: Expr::attr(AttrPath::single(name.clone())), name }
+    }
+
+    /// A renamed column `name ← source`.
+    pub fn renamed(name: impl Into<String>, source: impl Into<AttrPath>) -> Self {
+        ProjColumn { name: name.into(), expr: Expr::Attr(source.into()) }
+    }
+
+    /// A computed column `name ← expr`.
+    pub fn computed(name: impl Into<String>, expr: Expr) -> Self {
+        ProjColumn { name: name.into(), expr }
+    }
+}
+
+impl fmt::Display for ProjColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.expr {
+            Expr::Attr(p) if p.len() == 1 && p.leaf() == Some(self.name.as_str()) => {
+                write!(f, "{}", self.name)
+            }
+            other => write!(f, "{} ← {}", self.name, other),
+        }
+    }
+}
+
+/// A renaming pair `to ← from`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RenamePair {
+    /// Existing attribute name.
+    pub from: String,
+    /// New attribute name.
+    pub to: String,
+}
+
+impl RenamePair {
+    /// Creates a renaming pair.
+    pub fn new(from: impl Into<String>, to: impl Into<String>) -> Self {
+        RenamePair { from: from.into(), to: to.into() }
+    }
+}
+
+impl fmt::Display for RenamePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ← {}", self.to, self.from)
+    }
+}
+
+/// One aggregate of a grouped aggregation: `output ← func(input)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregation function.
+    pub func: AggFunc,
+    /// The aggregated expression (usually an attribute reference).
+    pub input: Expr,
+    /// The output attribute name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Creates an aggregate specification.
+    pub fn new(func: AggFunc, input: Expr, output: impl Into<String>) -> Self {
+        AggSpec { func, input, output: output.into() }
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) → {}", self.func, self.input, self.output)
+    }
+}
+
+/// An NRAB operator (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operator {
+    /// Table access `R`.
+    TableAccess {
+        /// Name of the accessed relation.
+        table: String,
+    },
+    /// Projection `π` with optional computed columns (restricted `map`).
+    Projection {
+        /// The output columns.
+        columns: Vec<ProjColumn>,
+    },
+    /// Attribute renaming `ρ_{B₁←A₁,...}`.
+    Rename {
+        /// The renaming pairs.
+        pairs: Vec<RenamePair>,
+    },
+    /// Selection `σ_θ`.
+    Selection {
+        /// The selection predicate `θ`.
+        predicate: Expr,
+    },
+    /// Join variants `R ⋄_θ S`.
+    Join {
+        /// The join type.
+        kind: JoinKind,
+        /// The join predicate `θ`.
+        predicate: Expr,
+    },
+    /// Cartesian product `R × S`.
+    CrossProduct,
+    /// Tuple flatten `Fᵀ`: pulls the value at `source` up to the top level.
+    ///
+    /// With an `alias`, a single new attribute `alias` holding `t.source` is
+    /// appended (the form the scenario queries use, e.g.
+    /// `Fᵀ_{country ← place.country}`); without one, the tuple-valued
+    /// attribute's fields are concatenated onto the tuple as in Table 1.
+    TupleFlatten {
+        /// Path of the flattened attribute.
+        source: AttrPath,
+        /// Optional name of the new top-level attribute.
+        alias: Option<String>,
+    },
+    /// Relation flatten `Fᴵ` / `Fᴼ`: unnests a relation-valued attribute.
+    Flatten {
+        /// Inner or outer flatten.
+        kind: FlattenKind,
+        /// The (top-level) relation-valued attribute being unnested.
+        attr: String,
+        /// Optional name under which each unnested element is added; without
+        /// an alias the element tuple's fields are concatenated.
+        alias: Option<String>,
+    },
+    /// Tuple nesting `Nᵀ_{A→C}`: moves attributes `attrs` into a new
+    /// tuple-valued attribute `into`.
+    TupleNest {
+        /// The attributes being nested.
+        attrs: Vec<String>,
+        /// Name of the new tuple-valued attribute.
+        into: String,
+    },
+    /// Relation nesting `Nᴿ_{A→C}`: groups on the remaining attributes and
+    /// nests the projection on `attrs` into a new relation-valued attribute.
+    RelationNest {
+        /// The attributes being nested.
+        attrs: Vec<String>,
+        /// Name of the new relation-valued attribute.
+        into: String,
+    },
+    /// Per-tuple aggregation `γ_{f(A)→B}` over a nested-relation attribute
+    /// (Table 1's aggregation operator).
+    NestAggregation {
+        /// The aggregation function.
+        func: AggFunc,
+        /// The nested-relation attribute aggregated over.
+        attr: String,
+        /// Optional attribute *inside* the nested relation whose values are
+        /// aggregated; when `None` the element tuples themselves are counted.
+        field: Option<String>,
+        /// The output attribute.
+        output: String,
+    },
+    /// Grouped aggregation (SQL `GROUP BY`), used by the TPC-H scenarios.
+    GroupAggregation {
+        /// Group-by attributes.
+        group_by: Vec<String>,
+        /// The aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Additive union `R ∪ S`.
+    Union,
+    /// Bag difference `R − S`.
+    Difference,
+    /// Duplicate elimination `δ`.
+    Dedup,
+}
+
+impl Operator {
+    /// Number of plan inputs the operator expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operator::TableAccess { .. } => 0,
+            Operator::Join { .. } | Operator::CrossProduct | Operator::Union | Operator::Difference => 2,
+            _ => 1,
+        }
+    }
+
+    /// A short, stable name for the operator kind (used in explanations,
+    /// reports, and Table 7-style summaries).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Operator::TableAccess { .. } => "table",
+            Operator::Projection { .. } => "π",
+            Operator::Rename { .. } => "ρ",
+            Operator::Selection { .. } => "σ",
+            Operator::Join { .. } => "⋈",
+            Operator::CrossProduct => "×",
+            Operator::TupleFlatten { .. } => "Fᵀ",
+            Operator::Flatten { kind: FlattenKind::Inner, .. } => "Fᴵ",
+            Operator::Flatten { kind: FlattenKind::Outer, .. } => "Fᴼ",
+            Operator::TupleNest { .. } => "Nᵀ",
+            Operator::RelationNest { .. } => "Nᴿ",
+            Operator::NestAggregation { .. } | Operator::GroupAggregation { .. } => "γ",
+            Operator::Union => "∪",
+            Operator::Difference => "−",
+            Operator::Dedup => "δ",
+        }
+    }
+
+    /// Whether the operator has parameters that reparameterizations may change
+    /// (Table 2; union, difference, dedup, cross product, and table access are
+    /// parameter-free).
+    pub fn is_parameterized(&self) -> bool {
+        !matches!(
+            self,
+            Operator::TableAccess { .. }
+                | Operator::Union
+                | Operator::Difference
+                | Operator::Dedup
+                | Operator::CrossProduct
+        )
+    }
+
+    /// Whether this operator can *prune* tuples under its original
+    /// parameters (selection, inner/one-sided joins, inner flatten); these are
+    /// the only operators lineage-based approaches can blame (Table 3).
+    pub fn is_pruning(&self) -> bool {
+        match self {
+            Operator::Selection { .. } => true,
+            Operator::Join { kind, .. } => *kind != JoinKind::Full,
+            Operator::Flatten { kind: FlattenKind::Inner, .. } => true,
+            Operator::Difference => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operator::TableAccess { table } => write!(f, "{table}"),
+            Operator::Projection { columns } => {
+                write!(f, "π_{{")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "}}")
+            }
+            Operator::Rename { pairs } => {
+                write!(f, "ρ_{{")?;
+                for (i, p) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "}}")
+            }
+            Operator::Selection { predicate } => write!(f, "σ_{{{predicate}}}"),
+            Operator::Join { kind, predicate } => write!(f, "{kind}_{{{predicate}}}"),
+            Operator::CrossProduct => write!(f, "×"),
+            Operator::TupleFlatten { source, alias } => match alias {
+                Some(a) => write!(f, "Fᵀ_{{{a} ← {source}}}"),
+                None => write!(f, "Fᵀ_{{{source}}}"),
+            },
+            Operator::Flatten { kind, attr, alias } => match alias {
+                Some(a) => write!(f, "{kind}_{{{a} ← {attr}}}"),
+                None => write!(f, "{kind}_{{{attr}}}"),
+            },
+            Operator::TupleNest { attrs, into } => {
+                write!(f, "Nᵀ_{{{} → {into}}}", attrs.join(","))
+            }
+            Operator::RelationNest { attrs, into } => {
+                write!(f, "Nᴿ_{{{} → {into}}}", attrs.join(","))
+            }
+            Operator::NestAggregation { func, attr, field, output } => match field {
+                Some(fld) => write!(f, "γ_{{{func}({attr}.{fld}) → {output}}}"),
+                None => write!(f, "γ_{{{func}({attr}) → {output}}}"),
+            },
+            Operator::GroupAggregation { group_by, aggs } => {
+                write!(f, "γ_{{{}", group_by.join(","))?;
+                for a in aggs {
+                    write!(f, ", {a}")?;
+                }
+                write!(f, "}}")
+            }
+            Operator::Union => write!(f, "∪"),
+            Operator::Difference => write!(f, "−"),
+            Operator::Dedup => write!(f, "δ"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn arity_of_operators() {
+        assert_eq!(Operator::TableAccess { table: "person".into() }.arity(), 0);
+        assert_eq!(Operator::Selection { predicate: Expr::lit(true) }.arity(), 1);
+        assert_eq!(
+            Operator::Join { kind: JoinKind::Inner, predicate: Expr::lit(true) }.arity(),
+            2
+        );
+        assert_eq!(Operator::Union.arity(), 2);
+    }
+
+    #[test]
+    fn kind_names_match_paper_symbols() {
+        assert_eq!(Operator::Selection { predicate: Expr::lit(true) }.kind_name(), "σ");
+        assert_eq!(
+            Operator::Flatten { kind: FlattenKind::Inner, attr: "a".into(), alias: None }
+                .kind_name(),
+            "Fᴵ"
+        );
+        assert_eq!(
+            Operator::RelationNest { attrs: vec!["name".into()], into: "nList".into() }.kind_name(),
+            "Nᴿ"
+        );
+    }
+
+    #[test]
+    fn parameterization_and_pruning_flags() {
+        assert!(!Operator::Union.is_parameterized());
+        assert!(Operator::Projection { columns: vec![] }.is_parameterized());
+        assert!(Operator::Selection { predicate: Expr::lit(true) }.is_pruning());
+        assert!(!Operator::Projection { columns: vec![] }.is_pruning());
+        assert!(Operator::Join { kind: JoinKind::Inner, predicate: Expr::lit(true) }.is_pruning());
+        assert!(!Operator::Join { kind: JoinKind::Full, predicate: Expr::lit(true) }.is_pruning());
+    }
+
+    #[test]
+    fn display_forms() {
+        let sel = Operator::Selection { predicate: Expr::attr_cmp("year", CmpOp::Ge, 2019i64) };
+        assert_eq!(sel.to_string(), "σ_{year ≥ 2019}");
+        let nest = Operator::RelationNest { attrs: vec!["name".into()], into: "nList".into() };
+        assert_eq!(nest.to_string(), "Nᴿ_{name → nList}");
+        let flat = Operator::Flatten {
+            kind: FlattenKind::Inner,
+            attr: "address2".into(),
+            alias: None,
+        };
+        assert_eq!(flat.to_string(), "Fᴵ_{address2}");
+        let proj = Operator::Projection {
+            columns: vec![ProjColumn::passthrough("name"), ProjColumn::renamed("city", "addr.city")],
+        };
+        assert_eq!(proj.to_string(), "π_{name, city ← addr.city}");
+    }
+}

@@ -1,0 +1,617 @@
+//! Operator parameters, admissible parameter changes (Table 2), and
+//! reparameterizations (Definitions 6 and 7).
+//!
+//! A [`Reparameterization`] is a sequence of [`ParamChange`]s; applying it to a
+//! plan yields a new plan `Q'` with the *same structure* (same operators, same
+//! ids, same wiring) but different operator parameters. `Δ(Q, Q')` — the set of
+//! operators whose parameters differ — is exactly the set of operator ids
+//! touched by the changes, which is what explanations report (Definition 10).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nested_data::{AttrPath, TupleType, Value};
+
+use crate::error::{AlgebraError, AlgebraResult};
+use crate::expr::{CmpOp, Expr};
+use crate::operator::{FlattenKind, JoinKind, Operator, ProjColumn};
+use crate::plan::{OpId, QueryPlan};
+
+/// A canonical, comparable rendering of an operator's parameters
+/// (the paper's `param(Q, op)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorParams {
+    /// The operator id.
+    pub op: OpId,
+    /// The operator kind symbol.
+    pub kind: String,
+    /// A canonical textual rendering of the parameters.
+    pub rendering: String,
+}
+
+/// Extracts `param(Q, op)` for every operator of a plan.
+pub fn operator_params(plan: &QueryPlan) -> Vec<OperatorParams> {
+    plan.nodes_top_down()
+        .iter()
+        .map(|node| OperatorParams {
+            op: node.id,
+            kind: node.op.kind_name().to_string(),
+            rendering: node.op.to_string(),
+        })
+        .collect()
+}
+
+/// The set of operator ids whose parameters differ between two plans with the
+/// same structure (`Δ(Q, Q')` of Definition 9).
+pub fn delta(original: &QueryPlan, reparameterized: &QueryPlan) -> BTreeSet<OpId> {
+    let a = operator_params(original);
+    let b = operator_params(reparameterized);
+    a.iter()
+        .zip(b.iter())
+        .filter(|(x, y)| x.rendering != y.rendering)
+        .map(|(x, _)| x.op)
+        .collect()
+}
+
+/// One admissible parameter change (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamChange {
+    /// Replace references to attribute (path) `from` by `to` in the
+    /// parameters of operator `op` — admissible for selections, projections,
+    /// joins, flatten variants, nesting variants, and aggregations.
+    SubstituteAttribute {
+        /// Target operator.
+        op: OpId,
+        /// The attribute being replaced.
+        from: AttrPath,
+        /// The replacement attribute.
+        to: AttrPath,
+    },
+    /// Replace the constant `from` by `to` in a selection or join predicate.
+    ReplaceConstant {
+        /// Target operator.
+        op: OpId,
+        /// The constant being replaced.
+        from: Value,
+        /// The replacement constant.
+        to: Value,
+    },
+    /// Replace one comparison operator by another in a selection or join
+    /// predicate.
+    ReplaceComparison {
+        /// Target operator.
+        op: OpId,
+        /// The comparison operator being replaced.
+        from: CmpOp,
+        /// The replacement comparison operator.
+        to: CmpOp,
+    },
+    /// Change the join type of a join operator.
+    SetJoinKind {
+        /// Target operator.
+        op: OpId,
+        /// The new join type.
+        kind: JoinKind,
+    },
+    /// Change a relation flatten between inner and outer.
+    SetFlattenKind {
+        /// Target operator.
+        op: OpId,
+        /// The new flatten type.
+        kind: FlattenKind,
+    },
+    /// Replace a selection's or join's predicate wholesale while preserving
+    /// the operator. This models the *effect* of an unspecified sequence of
+    /// constant/comparison changes; the heuristic algorithm uses the "full
+    /// relaxation" (`true`) form when it marks a pruning operator as needing
+    /// *some* reparameterization.
+    ReplacePredicate {
+        /// Target operator.
+        op: OpId,
+        /// The new predicate.
+        predicate: Expr,
+    },
+    /// Replace a projection's column list (admissible substitutions of
+    /// projected attributes).
+    SetProjectionColumns {
+        /// Target operator.
+        op: OpId,
+        /// The new columns.
+        columns: Vec<ProjColumn>,
+    },
+}
+
+impl ParamChange {
+    /// The operator this change targets.
+    pub fn op(&self) -> OpId {
+        match self {
+            ParamChange::SubstituteAttribute { op, .. }
+            | ParamChange::ReplaceConstant { op, .. }
+            | ParamChange::ReplaceComparison { op, .. }
+            | ParamChange::SetJoinKind { op, .. }
+            | ParamChange::SetFlattenKind { op, .. }
+            | ParamChange::ReplacePredicate { op, .. }
+            | ParamChange::SetProjectionColumns { op, .. } => *op,
+        }
+    }
+}
+
+impl fmt::Display for ParamChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamChange::SubstituteAttribute { op, from, to } => {
+                write!(f, "op {op}: {from} → {to}")
+            }
+            ParamChange::ReplaceConstant { op, from, to } => write!(f, "op {op}: {from} → {to}"),
+            ParamChange::ReplaceComparison { op, from, to } => write!(f, "op {op}: {from} → {to}"),
+            ParamChange::SetJoinKind { op, kind } => write!(f, "op {op}: join type → {kind}"),
+            ParamChange::SetFlattenKind { op, kind } => write!(f, "op {op}: flatten type → {kind}"),
+            ParamChange::ReplacePredicate { op, predicate } => {
+                write!(f, "op {op}: predicate → {predicate}")
+            }
+            ParamChange::SetProjectionColumns { op, .. } => write!(f, "op {op}: projection columns"),
+        }
+    }
+}
+
+/// A reparameterization: a sequence of valid parameter changes (Definition 7).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Reparameterization {
+    /// The parameter changes, applied in order.
+    pub changes: Vec<ParamChange>,
+}
+
+impl Reparameterization {
+    /// The empty reparameterization (`Q' = Q`).
+    pub fn empty() -> Self {
+        Reparameterization { changes: Vec::new() }
+    }
+
+    /// A reparameterization consisting of a single change.
+    pub fn single(change: ParamChange) -> Self {
+        Reparameterization { changes: vec![change] }
+    }
+
+    /// Adds a change.
+    pub fn push(&mut self, change: ParamChange) {
+        self.changes.push(change);
+    }
+
+    /// The ids of the operators whose parameters the changes touch.
+    pub fn changed_ops(&self) -> BTreeSet<OpId> {
+        self.changes.iter().map(ParamChange::op).collect()
+    }
+
+    /// Applies the reparameterization to a plan, producing `Q'`.
+    pub fn apply(&self, plan: &QueryPlan) -> AlgebraResult<QueryPlan> {
+        let mut plan = plan.clone();
+        for change in &self.changes {
+            apply_change(&mut plan, change)?;
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for Reparameterization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.changes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn apply_change(plan: &mut QueryPlan, change: &ParamChange) -> AlgebraResult<()> {
+    let node = plan.node_mut(change.op())?;
+    let op = &mut node.op;
+    match change {
+        ParamChange::SubstituteAttribute { from, to, .. } => {
+            substitute_attribute(op, from, to);
+            Ok(())
+        }
+        ParamChange::ReplaceConstant { from, to, .. } => match op {
+            Operator::Selection { predicate } | Operator::Join { predicate, .. } => {
+                *predicate = predicate.substitute_constant(from, to);
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "constant change is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+        ParamChange::ReplaceComparison { from, to, .. } => match op {
+            Operator::Selection { predicate } | Operator::Join { predicate, .. } => {
+                *predicate = predicate.substitute_comparison(*from, *to);
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "comparison change is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+        ParamChange::SetJoinKind { kind, .. } => match op {
+            Operator::Join { kind: k, .. } => {
+                *k = *kind;
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "join type change is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+        ParamChange::SetFlattenKind { kind, .. } => match op {
+            Operator::Flatten { kind: k, .. } => {
+                *k = *kind;
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "flatten type change is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+        ParamChange::ReplacePredicate { predicate, .. } => match op {
+            Operator::Selection { predicate: p } | Operator::Join { predicate: p, .. } => {
+                *p = predicate.clone();
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "predicate replacement is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+        ParamChange::SetProjectionColumns { columns, .. } => match op {
+            Operator::Projection { columns: c } => {
+                *c = columns.clone();
+                Ok(())
+            }
+            other => Err(AlgebraError::InvalidReparameterization(format!(
+                "projection column change is not admissible for {}",
+                other.kind_name()
+            ))),
+        },
+    }
+}
+
+/// Applies an attribute substitution to an operator's parameters, covering
+/// every operator kind for which Table 2 admits attribute replacement.
+pub fn substitute_attribute(op: &mut Operator, from: &AttrPath, to: &AttrPath) {
+    let replace_name = |name: &mut String| {
+        if from.len() == 1 && name == from.head().unwrap_or_default() {
+            if let Some(new) = to.leaf() {
+                *name = new.to_string();
+            }
+        }
+    };
+    match op {
+        Operator::Selection { predicate } | Operator::Join { predicate, .. } => {
+            *predicate = predicate.substitute_attribute(from, to);
+        }
+        Operator::Projection { columns } => {
+            for column in columns {
+                column.expr = column.expr.substitute_attribute(from, to);
+            }
+        }
+        Operator::TupleFlatten { source, .. } => {
+            if let Some(replaced) = source.replace_prefix(from, to) {
+                *source = replaced;
+            }
+        }
+        Operator::Flatten { attr, .. } => replace_name(attr),
+        Operator::TupleNest { attrs, .. } | Operator::RelationNest { attrs, .. } => {
+            for attr in attrs {
+                replace_name(attr);
+            }
+        }
+        Operator::NestAggregation { attr, field, .. } => {
+            replace_name(attr);
+            if let Some(field) = field {
+                replace_name(field);
+            }
+        }
+        Operator::GroupAggregation { group_by, aggs } => {
+            for g in group_by {
+                replace_name(g);
+            }
+            for agg in aggs {
+                agg.input = agg.input.substitute_attribute(from, to);
+            }
+        }
+        Operator::Rename { pairs } => {
+            for pair in pairs {
+                replace_name(&mut pair.from);
+            }
+        }
+        Operator::TableAccess { .. }
+        | Operator::CrossProduct
+        | Operator::Union
+        | Operator::Difference
+        | Operator::Dedup => {}
+    }
+}
+
+/// Enumerates admissible parameter changes for one operator (Table 2),
+/// bounded by the input schema (for attribute swaps) and an active domain of
+/// candidate constants (for constant changes). Used by the exact MSR
+/// enumerator on small inputs; the heuristic pipeline reasons symbolically
+/// instead.
+pub fn admissible_changes(
+    op_id: OpId,
+    op: &Operator,
+    input_schema: &TupleType,
+    candidate_constants: &[Value],
+) -> Vec<ParamChange> {
+    let mut changes = Vec::new();
+    match op {
+        Operator::Selection { predicate } | Operator::Join { predicate, .. } => {
+            // (iii)/(ii) constant and comparison changes
+            for from in predicate.referenced_constants() {
+                for to in candidate_constants {
+                    if &from != to && from.kind() == to.kind() {
+                        changes.push(ParamChange::ReplaceConstant {
+                            op: op_id,
+                            from: from.clone(),
+                            to: to.clone(),
+                        });
+                    }
+                }
+            }
+            for from in predicate.comparison_operators() {
+                for to in CmpOp::ALL {
+                    if from != to {
+                        changes.push(ParamChange::ReplaceComparison { op: op_id, from, to });
+                    }
+                }
+            }
+            // (i) attribute swaps to same-typed attributes
+            for from in predicate.referenced_attributes() {
+                if let Ok(from_ty) = input_schema.resolve_path(&from) {
+                    for (name, ty) in input_schema.fields() {
+                        let to = AttrPath::single(name.clone());
+                        if to != from && ty.is_compatible_with(from_ty) {
+                            changes.push(ParamChange::SubstituteAttribute {
+                                op: op_id,
+                                from: from.clone(),
+                                to,
+                            });
+                        }
+                    }
+                }
+            }
+            if let Operator::Join { kind, .. } = op {
+                for new_kind in JoinKind::ALL {
+                    if new_kind != *kind {
+                        changes.push(ParamChange::SetJoinKind { op: op_id, kind: new_kind });
+                    }
+                }
+            }
+        }
+        Operator::Projection { columns } => {
+            for column in columns {
+                for from in column.expr.referenced_attributes() {
+                    if let Ok(from_ty) = input_schema.resolve_path(&from) {
+                        for (name, ty) in input_schema.fields() {
+                            let to = AttrPath::single(name.clone());
+                            if to != from && ty.is_compatible_with(from_ty) {
+                                changes.push(ParamChange::SubstituteAttribute {
+                                    op: op_id,
+                                    from: from.clone(),
+                                    to,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Operator::Flatten { kind, attr, .. } => {
+            if let Ok(from_ty) = input_schema.attribute_required(attr) {
+                for (name, ty) in input_schema.fields() {
+                    if name != attr && ty.is_compatible_with(from_ty) {
+                        changes.push(ParamChange::SubstituteAttribute {
+                            op: op_id,
+                            from: AttrPath::single(attr.clone()),
+                            to: AttrPath::single(name.clone()),
+                        });
+                    }
+                }
+            }
+            let other = match kind {
+                FlattenKind::Inner => FlattenKind::Outer,
+                FlattenKind::Outer => FlattenKind::Inner,
+            };
+            changes.push(ParamChange::SetFlattenKind { op: op_id, kind: other });
+        }
+        Operator::TupleFlatten { source, .. } => {
+            if let Ok(from_ty) = input_schema.resolve_path(source) {
+                for (name, ty) in input_schema.fields() {
+                    let to = AttrPath::single(name.clone());
+                    if &to != source && ty.is_compatible_with(from_ty) {
+                        changes.push(ParamChange::SubstituteAttribute {
+                            op: op_id,
+                            from: source.clone(),
+                            to,
+                        });
+                    }
+                }
+            }
+        }
+        Operator::TupleNest { attrs, .. }
+        | Operator::RelationNest { attrs, .. } => {
+            for attr in attrs {
+                if let Ok(from_ty) = input_schema.attribute_required(attr) {
+                    for (name, ty) in input_schema.fields() {
+                        if name != attr && !attrs.contains(name) && ty.is_compatible_with(from_ty) {
+                            changes.push(ParamChange::SubstituteAttribute {
+                                op: op_id,
+                                from: AttrPath::single(attr.clone()),
+                                to: AttrPath::single(name.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Operator::NestAggregation { attr, .. } => {
+            if let Ok(from_ty) = input_schema.attribute_required(attr) {
+                for (name, ty) in input_schema.fields() {
+                    if name != attr && ty.is_compatible_with(from_ty) {
+                        changes.push(ParamChange::SubstituteAttribute {
+                            op: op_id,
+                            from: AttrPath::single(attr.clone()),
+                            to: AttrPath::single(name.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        Operator::GroupAggregation { aggs, .. } => {
+            for agg in aggs {
+                for from in agg.input.referenced_attributes() {
+                    if let Ok(from_ty) = input_schema.resolve_path(&from) {
+                        for (name, ty) in input_schema.fields() {
+                            let to = AttrPath::single(name.clone());
+                            if to != from && ty.is_compatible_with(from_ty) {
+                                changes.push(ParamChange::SubstituteAttribute {
+                                    op: op_id,
+                                    from: from.clone(),
+                                    to,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Operator::Rename { .. }
+        | Operator::TableAccess { .. }
+        | Operator::CrossProduct
+        | Operator::Union
+        | Operator::Difference
+        | Operator::Dedup => {}
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use nested_data::NestedType;
+
+    fn running_example() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn applying_a_constant_change_alters_only_that_operator() {
+        let plan = running_example();
+        let rp = Reparameterization::single(ParamChange::ReplaceConstant {
+            op: 2,
+            from: Value::int(2019),
+            to: Value::int(2018),
+        });
+        let plan2 = rp.apply(&plan).unwrap();
+        let d = delta(&plan, &plan2);
+        assert_eq!(d.into_iter().collect::<Vec<_>>(), vec![2]);
+        assert!(plan2.node(2).unwrap().op.to_string().contains("2018"));
+    }
+
+    #[test]
+    fn applying_attribute_and_flatten_changes() {
+        let plan = running_example();
+        let mut rp = Reparameterization::empty();
+        rp.push(ParamChange::SubstituteAttribute {
+            op: 1,
+            from: "address2".into(),
+            to: "address1".into(),
+        });
+        rp.push(ParamChange::SetFlattenKind { op: 1, kind: FlattenKind::Outer });
+        let plan2 = rp.apply(&plan).unwrap();
+        assert_eq!(delta(&plan, &plan2).len(), 1);
+        assert_eq!(rp.changed_ops().len(), 1);
+        let rendered = plan2.node(1).unwrap().op.to_string();
+        assert!(rendered.contains("address1"));
+        assert!(rendered.contains("Fᴼ"));
+    }
+
+    #[test]
+    fn inadmissible_changes_are_rejected() {
+        let plan = running_example();
+        let rp = Reparameterization::single(ParamChange::SetJoinKind { op: 2, kind: JoinKind::Left });
+        assert!(rp.apply(&plan).is_err());
+        let rp = Reparameterization::single(ParamChange::ReplaceConstant {
+            op: 4,
+            from: Value::int(1),
+            to: Value::int(2),
+        });
+        assert!(rp.apply(&plan).is_err());
+    }
+
+    #[test]
+    fn delta_is_empty_for_identical_plans() {
+        let plan = running_example();
+        assert!(delta(&plan, &plan).is_empty());
+        assert_eq!(Reparameterization::empty().changed_ops().len(), 0);
+    }
+
+    #[test]
+    fn admissible_change_enumeration_for_selection_and_flatten() {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address.clone())),
+        ])
+        .unwrap();
+        let flattened = person.concat(&address).unwrap();
+
+        let sel = Operator::Selection { predicate: Expr::attr_cmp("year", CmpOp::Ge, 2019i64) };
+        let changes =
+            admissible_changes(2, &sel, &flattened, &[Value::int(2018), Value::int(2019)]);
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, ParamChange::ReplaceConstant { to, .. } if to == &Value::int(2018))));
+        assert!(changes.iter().any(|c| matches!(c, ParamChange::ReplaceComparison { .. })));
+
+        let flat = Operator::Flatten {
+            kind: FlattenKind::Inner,
+            attr: "address2".into(),
+            alias: None,
+        };
+        let changes = admissible_changes(1, &flat, &person, &[]);
+        assert!(changes.iter().any(|c| matches!(
+            c,
+            ParamChange::SubstituteAttribute { to, .. } if to.to_string() == "address1"
+        )));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, ParamChange::SetFlattenKind { kind: FlattenKind::Outer, .. })));
+    }
+
+    #[test]
+    fn parameter_extraction_renders_each_operator() {
+        let plan = running_example();
+        let params = operator_params(&plan);
+        assert_eq!(params.len(), 5);
+        assert!(params.iter().any(|p| p.kind == "σ" && p.rendering.contains("2019")));
+    }
+
+    #[test]
+    fn display_of_changes_and_reparameterizations() {
+        let change = ParamChange::ReplaceConstant { op: 2, from: Value::int(1), to: Value::int(2) };
+        assert!(change.to_string().contains("op 2"));
+        let rp = Reparameterization::single(change);
+        assert!(rp.to_string().starts_with('['));
+    }
+}

@@ -1,0 +1,278 @@
+//! Output-type inference: the `type(·)` column of Table 1.
+//!
+//! Given a plan node and the database schemas, [`output_type`] computes the
+//! tuple type of the node's output relation. Schema inference is used by the
+//! evaluator (to pad outer joins and outer flattens with the right attribute
+//! names), by schema-alternative pruning (the query's output schema is fixed
+//! by definition), and by schema backtracing.
+
+use nested_data::{NestedType, PrimitiveType, TupleType};
+
+use crate::database::Database;
+use crate::error::{AlgebraError, AlgebraResult};
+use crate::expr::Expr;
+use crate::operator::Operator;
+use crate::plan::{OpNode, QueryPlan};
+
+/// Infers the type of an expression evaluated against tuples of type `input`.
+pub fn expr_type(expr: &Expr, input: &TupleType) -> AlgebraResult<NestedType> {
+    Ok(match expr {
+        Expr::Attr(path) => input.resolve_path(path).cloned().unwrap_or(NestedType::str()),
+        Expr::Const(v) => v.infer_type().unwrap_or(NestedType::str()),
+        Expr::Cmp(..) | Expr::And(..) | Expr::Or(..) | Expr::Not(_) | Expr::Contains(..) | Expr::IsNull(_) => {
+            NestedType::Prim(PrimitiveType::Bool)
+        }
+        Expr::Arith(..) => NestedType::Prim(PrimitiveType::Float),
+        Expr::Size(_) => NestedType::Prim(PrimitiveType::Int),
+    })
+}
+
+/// Infers the output tuple type of a plan node.
+pub fn output_type(node: &OpNode, db: &Database) -> AlgebraResult<TupleType> {
+    let input_types: Vec<TupleType> =
+        node.inputs.iter().map(|i| output_type(i, db)).collect::<AlgebraResult<_>>()?;
+    let input = |i: usize| -> AlgebraResult<&TupleType> {
+        input_types.get(i).ok_or_else(|| AlgebraError::WrongArity {
+            operator: node.op.kind_name().to_string(),
+            expected: node.op.arity(),
+            found: node.inputs.len(),
+        })
+    };
+
+    match &node.op {
+        Operator::TableAccess { table } => db.schema(table).cloned(),
+        Operator::Projection { columns } => {
+            let input = input(0)?;
+            let mut fields = Vec::with_capacity(columns.len());
+            for column in columns {
+                fields.push((column.name.clone(), expr_type(&column.expr, input)?));
+            }
+            TupleType::new(fields).map_err(Into::into)
+        }
+        Operator::Rename { pairs } => {
+            let input = input(0)?;
+            let mapping: Vec<(String, String)> =
+                pairs.iter().map(|p| (p.from.clone(), p.to.clone())).collect();
+            input.rename(&mapping).map_err(Into::into)
+        }
+        Operator::Selection { .. } | Operator::Dedup => Ok(input(0)?.clone()),
+        Operator::Join { .. } | Operator::CrossProduct => {
+            input(0)?.concat(input(1)?).map_err(Into::into)
+        }
+        Operator::TupleFlatten { source, alias } => {
+            let input = input(0)?;
+            let source_ty = input.resolve_path(source).cloned().map_err(|e| {
+                AlgebraError::InvalidParameter {
+                    operator: "Fᵀ".into(),
+                    message: format!("cannot resolve flattened path `{source}`: {e}"),
+                }
+            })?;
+            match alias {
+                Some(alias) => input.with_attribute(alias.clone(), source_ty).map_err(Into::into),
+                None => match source_ty {
+                    NestedType::Tuple(t) => input.concat(&t).map_err(Into::into),
+                    other => Err(AlgebraError::InvalidParameter {
+                        operator: "Fᵀ".into(),
+                        message: format!(
+                            "tuple flatten without alias requires a tuple-typed attribute, `{source}` is {other}"
+                        ),
+                    }),
+                },
+            }
+        }
+        Operator::Flatten { attr, alias, .. } => {
+            let input = input(0)?;
+            let attr_ty = input.attribute_required(attr)?.clone();
+            let element = match attr_ty {
+                NestedType::Relation(t) => t,
+                other => {
+                    return Err(AlgebraError::InvalidParameter {
+                        operator: "F".into(),
+                        message: format!(
+                            "relation flatten requires a relation-typed attribute, `{attr}` is {other}"
+                        ),
+                    })
+                }
+            };
+            match alias {
+                Some(alias) => input
+                    .with_attribute(alias.clone(), NestedType::Tuple(element))
+                    .map_err(Into::into),
+                None => input.concat(&element).map_err(Into::into),
+            }
+        }
+        Operator::TupleNest { attrs, into } => {
+            let input = input(0)?;
+            let nested = project_types(input, attrs)?;
+            let remaining = input.without(&attrs.iter().map(String::as_str).collect::<Vec<_>>());
+            remaining.with_attribute(into.clone(), NestedType::Tuple(nested)).map_err(Into::into)
+        }
+        Operator::RelationNest { attrs, into } => {
+            let input = input(0)?;
+            let nested = project_types(input, attrs)?;
+            let remaining = input.without(&attrs.iter().map(String::as_str).collect::<Vec<_>>());
+            remaining
+                .with_attribute(into.clone(), NestedType::Relation(nested))
+                .map_err(Into::into)
+        }
+        Operator::NestAggregation { func, output, .. } => {
+            let input = input(0)?;
+            let out_ty = if func.always_int() {
+                NestedType::Prim(PrimitiveType::Int)
+            } else {
+                NestedType::Prim(PrimitiveType::Float)
+            };
+            input.with_attribute(output.clone(), out_ty).map_err(Into::into)
+        }
+        Operator::GroupAggregation { group_by, aggs } => {
+            let input = input(0)?;
+            let mut fields = Vec::new();
+            for name in group_by {
+                fields.push((name.clone(), input.attribute_required(name)?.clone()));
+            }
+            for agg in aggs {
+                let ty = if agg.func.always_int() {
+                    NestedType::Prim(PrimitiveType::Int)
+                } else {
+                    match expr_type(&agg.input, input)? {
+                        NestedType::Prim(p) => NestedType::Prim(p),
+                        _ => NestedType::Prim(PrimitiveType::Float),
+                    }
+                };
+                fields.push((agg.output.clone(), ty));
+            }
+            TupleType::new(fields).map_err(Into::into)
+        }
+        Operator::Union | Operator::Difference => Ok(input(0)?.clone()),
+    }
+}
+
+fn project_types(input: &TupleType, attrs: &[String]) -> AlgebraResult<TupleType> {
+    let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    input.project(&names).map_err(Into::into)
+}
+
+/// Infers the output tuple type of a whole plan.
+pub fn plan_output_type(plan: &QueryPlan, db: &Database) -> AlgebraResult<TupleType> {
+    output_type(&plan.root, db)
+}
+
+/// Validates a plan against a database: structure, table existence, and that
+/// every operator's parameters type-check against its input schema (this is
+/// what `output_type` implicitly verifies).
+pub fn validate_plan(plan: &QueryPlan, db: &Database) -> AlgebraResult<()> {
+    plan.validate_structure()?;
+    for table in plan.accessed_tables() {
+        if !db.contains(&table) {
+            return Err(AlgebraError::UnknownTable(table));
+        }
+    }
+    plan_output_type(plan, db).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::expr::CmpOp;
+    use crate::operator::ProjColumn;
+    use nested_data::{Bag, Value};
+
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        db.add_relation("person", person, Bag::new());
+        db
+    }
+
+    fn running_example() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project(vec![ProjColumn::passthrough("name"), ProjColumn::passthrough("city")])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn running_example_output_schema() {
+        let db = person_db();
+        let plan = running_example();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert_eq!(ty.attribute_names(), vec!["city", "nList"]);
+        assert!(matches!(ty.attribute("nList"), Some(NestedType::Relation(_))));
+        validate_plan(&plan, &db).unwrap();
+    }
+
+    #[test]
+    fn flatten_adds_element_attributes() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert_eq!(ty.attribute_names(), vec!["name", "address1", "address2", "city", "year"]);
+    }
+
+    #[test]
+    fn flatten_with_alias_keeps_element_nested() {
+        let db = person_db();
+        let plan =
+            PlanBuilder::table("person").inner_flatten("address2", Some("addr")).build().unwrap();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert!(matches!(ty.attribute("addr"), Some(NestedType::Tuple(_))));
+    }
+
+    #[test]
+    fn tuple_flatten_path_extraction() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .tuple_flatten("address1", Some("homeAddresses"))
+            .build()
+            .unwrap();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert!(matches!(ty.attribute("homeAddresses"), Some(NestedType::Relation(_))));
+    }
+
+    #[test]
+    fn aggregation_types() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .relation_nest(vec!["address1", "address2"], "addrs")
+            .nest_aggregate(crate::agg::AggFunc::Count, "addrs", None, "cnt")
+            .build()
+            .unwrap();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert_eq!(ty.attribute("cnt"), Some(&NestedType::int()));
+    }
+
+    #[test]
+    fn validation_catches_unknown_table_and_attribute() {
+        let db = person_db();
+        let plan = PlanBuilder::table("nobody").build().unwrap();
+        assert!(matches!(validate_plan(&plan, &db), Err(AlgebraError::UnknownTable(_))));
+
+        let plan = PlanBuilder::table("person").inner_flatten("addresses", None).build().unwrap();
+        assert!(validate_plan(&plan, &db).is_err());
+    }
+
+    #[test]
+    fn projection_with_computed_column() {
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .project(vec![
+                ProjColumn::passthrough("name"),
+                ProjColumn::computed("naddr", Expr::size(Expr::attr("address2"))),
+            ])
+            .build()
+            .unwrap();
+        let ty = plan_output_type(&plan, &db).unwrap();
+        assert_eq!(ty.attribute("naddr"), Some(&NestedType::int()));
+    }
+}

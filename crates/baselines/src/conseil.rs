@@ -1,0 +1,104 @@
+//! A Conseil-style hybrid baseline (Herschel, JDIQ 2015).
+//!
+//! Conseil keeps tracing past the first picky operator, so it can return
+//! *combinations* of operators that must all be fixed (e.g. `{σ, ⋈}` in crime
+//! scenario C1, which plain Why-Not misses). It still reasons about the
+//! original schema only and can only blame data-pruning operators; unlike the
+//! reparameterization-based approach it cannot point to projections, nesting,
+//! or aggregations, and it does not reason about side effects.
+
+use nested_data::Nip;
+use nrab_algebra::{Database, QueryPlan};
+use whynot_core::WhyNotResult;
+
+use crate::lineage::{lineage_context, picky_operators};
+use crate::BaselineExplanation;
+
+/// Computes Conseil-style explanations for a why-not question: for every
+/// compatible input tuple, the set of all operators that filter its successors
+/// along the way to the output.
+pub fn conseil_explanations(
+    plan: &QueryPlan,
+    db: &Database,
+    why_not: &Nip,
+) -> WhyNotResult<Vec<BaselineExplanation>> {
+    let context = lineage_context(plan, db, why_not)?;
+    let mut explanations: Vec<BaselineExplanation> = Vec::new();
+    for compatible in &context.compatibles {
+        let picky = picky_operators(plan, &context, *compatible, true);
+        if !picky.is_empty() && !explanations.contains(&picky) {
+            explanations.push(picky);
+        }
+    }
+    explanations.sort();
+    Ok(explanations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::{JoinKind, PlanBuilder};
+    use std::collections::BTreeSet;
+
+    /// A miniature version of crime scenario C1: a selection on persons and a
+    /// join with witnesses both stand between the compatible person and the
+    /// result. Why-Not (WN++) only reports the selection; Conseil reports the
+    /// combination.
+    #[test]
+    fn selection_plus_join_combination() {
+        let person_ty =
+            TupleType::new([("name", NestedType::str()), ("hair", NestedType::str())]).unwrap();
+        let witness_ty = TupleType::new([("witness", NestedType::str())]).unwrap();
+        let mut db = Database::new();
+        db.add_relation(
+            "person",
+            person_ty,
+            Bag::from_values([
+                Value::tuple([("name", Value::str("Roger")), ("hair", Value::str("brown"))]),
+                Value::tuple([("name", Value::str("Susan")), ("hair", Value::str("blue"))]),
+            ]),
+        );
+        db.add_relation(
+            "witness",
+            witness_ty,
+            Bag::from_values([Value::tuple([("witness", Value::str("Susan"))])]),
+        );
+        let plan = PlanBuilder::table("person")
+            .select(Expr::attr_eq("hair", "blue"))
+            .join(
+                PlanBuilder::table("witness"),
+                JoinKind::Inner,
+                Expr::cmp(Expr::attr("name"), CmpOp::Eq, Expr::attr("witness")),
+            )
+            .project_attrs(&["name"])
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([("name", Nip::val("Roger"))]);
+
+        let wnpp = crate::wnpp_explanations(&plan, &db, &why_not).unwrap();
+        let conseil = conseil_explanations(&plan, &db, &why_not).unwrap();
+        // WN++ stops at the selection.
+        assert_eq!(wnpp, vec![BTreeSet::from([1])]);
+        // Conseil sees that fixing the selection alone is not enough: Roger
+        // also has no join partner.
+        assert_eq!(conseil.len(), 1);
+        assert!(conseil[0].contains(&1));
+        assert!(conseil[0].iter().any(|op| *op != 1), "the join must also be blamed: {conseil:?}");
+    }
+
+    #[test]
+    fn single_blocking_operator_yields_singleton() {
+        let ty = TupleType::new([("x", NestedType::int())]).unwrap();
+        let mut db = Database::new();
+        db.add_relation("r", ty, Bag::from_values([Value::tuple([("x", Value::int(1))])]));
+        let plan = PlanBuilder::table("r")
+            .select(Expr::attr_cmp("x", CmpOp::Ge, 10i64))
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([("x", Nip::val(Value::int(1)))]);
+        let explanations = conseil_explanations(&plan, &db, &why_not).unwrap();
+        assert_eq!(explanations, vec![BTreeSet::from([1])]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # whynot-baselines
+//!
+//! Lineage-based why-not baselines used in the paper's evaluation (Section 6):
+//!
+//! * [`wnpp`] — **WN++**, the authors' extension of Why-Not
+//!   (Chapman & Jagadish) to big data and nested data: it identifies
+//!   *compatible* input tuples, traces their successors forward, and blames
+//!   the first *picky* operator that filters all successors of a compatible.
+//!   It never revisits compatibility, never considers schema or structure
+//!   changes, and only ever returns singleton explanations containing
+//!   tuple-filtering operators.
+//! * [`conseil`] — a Conseil-style hybrid that keeps tracing past the first
+//!   picky operator and can therefore return operator *combinations*, but
+//!   still without schema alternatives and without blaming
+//!   projection/nesting/aggregation operators.
+//!
+//! Both baselines reuse the provenance tracer restricted to the original
+//! schema alternative, which mirrors how the paper's WN++ implementation
+//! shares the tracing infrastructure of the main approach.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod conseil;
+pub mod lineage;
+pub mod wnpp;
+
+pub use conseil::conseil_explanations;
+pub use wnpp::wnpp_explanations;
+
+/// A baseline explanation: a set of operator ids.
+pub type BaselineExplanation = std::collections::BTreeSet<nrab_algebra::OpId>;

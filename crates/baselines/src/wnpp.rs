@@ -1,0 +1,107 @@
+//! WN++: the lineage-based Why-Not baseline (Chapman & Jagadish, extended to
+//! nested data as described in Section 6.2 of the paper).
+//!
+//! For every compatible input tuple, WN++ follows its successors through the
+//! query bottom-up and stops at the first *picky* operator — the operator that
+//! filters all remaining successors. Each picky operator is returned as a
+//! singleton explanation. WN++ never reconsiders compatibility, never looks
+//! past the first picky operator, and can only blame operators that prune data
+//! (selections, joins, inner flattens), which is why it misses the richer
+//! explanations of the reparameterization-based approach (Tables 7 and 8).
+
+use nested_data::Nip;
+use nrab_algebra::{Database, QueryPlan};
+use whynot_core::WhyNotResult;
+
+use crate::lineage::{lineage_context, picky_operators};
+use crate::BaselineExplanation;
+
+/// Computes WN++ explanations for a why-not question.
+pub fn wnpp_explanations(
+    plan: &QueryPlan,
+    db: &Database,
+    why_not: &Nip,
+) -> WhyNotResult<Vec<BaselineExplanation>> {
+    let context = lineage_context(plan, db, why_not)?;
+    let mut explanations: Vec<BaselineExplanation> = Vec::new();
+    for compatible in &context.compatibles {
+        let picky = picky_operators(plan, &context, *compatible, false);
+        for op in picky {
+            let singleton: BaselineExplanation = [op].into_iter().collect();
+            if !explanations.contains(&singleton) {
+                explanations.push(singleton);
+            }
+        }
+    }
+    explanations.sort();
+    Ok(explanations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::PlanBuilder;
+    use std::collections::BTreeSet;
+
+    /// Example 2 of the paper: WN++ blames the selection for the missing NY
+    /// answer of the running example.
+    #[test]
+    fn example_2_blames_the_selection() {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person_ty = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let peter = Value::tuple([
+            ("name", Value::str("Peter")),
+            ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+            ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+        ]);
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person_ty, Bag::from_values([peter, sue]));
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap();
+        let why_not =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        let explanations = wnpp_explanations(&plan, &db, &why_not).unwrap();
+        assert_eq!(explanations, vec![BTreeSet::from([2])]);
+    }
+
+    /// When no input tuple is compatible, WN++ returns no explanation at all
+    /// (this is what happens in scenarios D2, D3, T_ASD, and Q4).
+    #[test]
+    fn no_compatible_data_means_no_explanation() {
+        let ty = TupleType::new([("x", NestedType::int())]).unwrap();
+        let mut db = Database::new();
+        db.add_relation(
+            "r",
+            ty,
+            Bag::from_values([Value::tuple([("x", Value::int(1))])]),
+        );
+        let plan = PlanBuilder::table("r")
+            .select(Expr::attr_cmp("x", CmpOp::Ge, 0i64))
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([("x", Nip::val(Value::int(99)))]);
+        let explanations = wnpp_explanations(&plan, &db, &why_not).unwrap();
+        assert!(explanations.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! # whynot-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section 6) on the laptop-scale synthetic datasets:
+//!
+//! * **Figure 8** — runtime of the full approach (RP) on the DBLP scenarios
+//!   while the dataset size grows, compared to the plain query runtime.
+//! * **Figure 9** — the same for the Twitter scenarios.
+//! * **Figure 10** — plain query vs. RPnoSA vs. RP runtime on the TPC-H
+//!   scenarios, together with the number of schema alternatives.
+//! * **Figure 11** — runtime as a function of the number of schema
+//!   alternatives for D1, D4, T_ASD, T3, and Q3.
+//! * **Table 7** — number of explanations found by WN++, RPnoSA, and RP per
+//!   scenario (plus the rank of the gold explanation where one exists).
+//! * **Table 8** — the explanation sets themselves.
+//! * **Table 3** — operator types that can appear in explanations per
+//!   formalism.
+//! * **Crime comparison** (Section 6.4) — Why-Not vs. Conseil vs. RP on C1–C3.
+//!
+//! The absolute numbers differ from the paper (single host, in-memory engine,
+//! MB-scale data instead of a Spark cluster with 100s of GB); the *shapes* —
+//! linear scaling, instrumentation overhead factors, who finds which
+//! explanations — are the reproduction target (see `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use nrab_algebra::{evaluate, OpId};
+use whynot_core::WhyNotEngine;
+use whynot_scenarios::{Scenario, ScenarioOutcome};
+
+/// A single runtime measurement for one scenario at one dataset size.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Number of top-level input tuples.
+    pub input_tuples: u64,
+    /// Plain query evaluation time in milliseconds ("Spark" line of Figs. 8–10).
+    pub query_ms: f64,
+    /// RPnoSA explanation time in milliseconds.
+    pub rp_no_sa_ms: f64,
+    /// RP explanation time in milliseconds.
+    pub rp_ms: f64,
+    /// Number of schema alternatives RP considered.
+    pub schema_alternatives: usize,
+}
+
+impl RuntimeRow {
+    /// Overhead factor of the full approach over the plain query.
+    pub fn rp_overhead(&self) -> f64 {
+        if self.query_ms > 0.0 {
+            self.rp_ms / self.query_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Measures plain query evaluation, RPnoSA, and RP for one scenario.
+pub fn measure_scenario(scenario: &Scenario) -> RuntimeRow {
+    let question = scenario.question();
+    let (_, query_ms) = measure(|| evaluate(&scenario.plan, &scenario.db).expect("query evaluates"));
+    let (rp_no_sa, rp_no_sa_ms) = measure(|| {
+        WhyNotEngine::rp_no_sa()
+            .explain(&question, &scenario.alternatives)
+            .expect("RPnoSA succeeds")
+    });
+    let (rp, rp_ms) = measure(|| {
+        WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
+    });
+    drop(rp_no_sa);
+    RuntimeRow {
+        scenario: scenario.name.clone(),
+        input_tuples: scenario.db.total_tuples(),
+        query_ms,
+        rp_no_sa_ms,
+        rp_ms,
+        schema_alternatives: rp.schema_alternatives.len(),
+    }
+}
+
+/// One row of the Table 7 summary.
+#[derive(Debug, Clone)]
+pub struct Table7Row {
+    /// Scenario name and description.
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Explanation counts (WN++, RPnoSA, RP).
+    pub counts: (usize, usize, usize),
+    /// Rank of the gold explanation in the RP output, if the scenario has one.
+    pub gold_position: Option<usize>,
+    /// The paper's counts for the same scenario, for comparison.
+    pub paper_counts: (usize, usize),
+}
+
+/// Runs all three competitors over a scenario list and produces Table 7 rows.
+pub fn table7(scenarios: &[Scenario]) -> Vec<(Table7Row, ScenarioOutcome)> {
+    scenarios
+        .iter()
+        .map(|scenario| {
+            let outcome = scenario.run().expect("scenario runs");
+            let row = Table7Row {
+                scenario: scenario.name.clone(),
+                description: scenario.description.clone(),
+                counts: outcome.counts(),
+                gold_position: outcome.gold_position_rp,
+                paper_counts: (scenario.paper_wnpp.len(), scenario.paper_rp.len()),
+            };
+            (row, outcome)
+        })
+        .collect()
+}
+
+/// Renders an explanation set using a scenario's operator labels where known.
+pub fn render_ops(scenario: &Scenario, ops: &BTreeSet<OpId>) -> String {
+    let names: Vec<String> = ops
+        .iter()
+        .map(|op| {
+            scenario
+                .labels
+                .iter()
+                .find(|(_, id)| *id == op)
+                .map(|(name, _)| name.clone())
+                .unwrap_or_else(|| {
+                    scenario
+                        .plan
+                        .node(*op)
+                        .map(|n| format!("{}{}", n.op.kind_name(), op))
+                        .unwrap_or_else(|_| format!("op{op}"))
+                })
+        })
+        .collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+/// Formats a runtime table with a header.
+pub fn format_runtime_rows(title: &str, rows: &[RuntimeRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str("scenario  input_tuples  query_ms  rp_no_sa_ms  rp_ms  #SA  rp_overhead\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<9} {:>12} {:>9.2} {:>12.2} {:>7.2} {:>4} {:>11.1}x\n",
+            row.scenario,
+            row.input_tuples,
+            row.query_ms,
+            row.rp_no_sa_ms,
+            row.rp_ms,
+            row.schema_alternatives,
+            row.rp_overhead()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_scenarios::running;
+
+    #[test]
+    fn measure_running_example() {
+        let scenario = running::running_example();
+        let row = measure_scenario(&scenario);
+        assert_eq!(row.scenario, "RUN");
+        assert_eq!(row.schema_alternatives, 2);
+        assert!(row.rp_ms >= 0.0);
+        let rendered = format_runtime_rows("test", &[row]);
+        assert!(rendered.contains("RUN"));
+    }
+
+    #[test]
+    fn table7_for_the_running_example() {
+        let scenario = running::running_example();
+        let rows = table7(std::slice::from_ref(&scenario));
+        assert_eq!(rows.len(), 1);
+        let (row, outcome) = &rows[0];
+        assert_eq!(row.counts, (1, 1, 2));
+        assert_eq!(outcome.rp.len(), 2);
+        let rendered = render_ops(&scenario, &outcome.rp[0]);
+        assert!(rendered.contains('σ'));
+    }
+}

@@ -1,0 +1,308 @@
+//! Schema alternatives (Section 5.2).
+//!
+//! Attribute alternatives are *inputs* to the algorithm (the paper assumes
+//! they come from the user, schema matching, or schema-free query processors).
+//! This module turns them into concrete [`SchemaAlternative`]s: it finds the
+//! operators whose parameters reference an attribute that has alternatives,
+//! enumerates all combinations of substitutions (Figure 3), prunes
+//! combinations that produce an invalid query or alter the query's output
+//! schema, and equips every surviving alternative with the per-operator
+//! consistency NIPs obtained by re-running schema backtracing on the
+//! substituted query.
+
+use nested_data::{AttrPath, Nip};
+use nrab_algebra::params::substitute_attribute;
+use nrab_algebra::schema::{plan_output_type, validate_plan};
+use nrab_algebra::{Database, QueryPlan};
+use nrab_provenance::{OpSubstitution, SchemaAlternative};
+
+use crate::backtrace::{schema_backtrace, BacktraceResult};
+use crate::error::{WhyNotError, WhyNotResult};
+
+/// An attribute alternative: "`from` may have been meant to be `to`".
+///
+/// Both paths are interpreted against the schema of `relation` (or of the
+/// intermediate result in which the referencing operator evaluates them; the
+/// scenario definitions of Tables 4, 5, and 9 all use source-relation paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeAlternative {
+    /// The relation whose attribute has an alternative.
+    pub relation: String,
+    /// The attribute referenced by the (possibly erroneous) query.
+    pub from: AttrPath,
+    /// The alternative attribute.
+    pub to: AttrPath,
+}
+
+impl AttributeAlternative {
+    /// Creates an attribute alternative.
+    pub fn new(
+        relation: impl Into<String>,
+        from: impl Into<AttrPath>,
+        to: impl Into<AttrPath>,
+    ) -> Self {
+        AttributeAlternative { relation: relation.into(), from: from.into(), to: to.into() }
+    }
+}
+
+/// Default cap on the number of enumerated schema alternatives (the paper's
+/// scenarios use at most 12).
+pub const DEFAULT_MAX_ALTERNATIVES: usize = 64;
+
+/// Enumerates and prunes schema alternatives.
+///
+/// The returned vector always starts with the original query (index 0); when
+/// `alternatives` is empty (or the engine runs in `RPnoSA` mode) it is the
+/// only element.
+pub fn enumerate_schema_alternatives(
+    plan: &QueryPlan,
+    db: &Database,
+    why_not: &Nip,
+    original_backtrace: &BacktraceResult,
+    alternatives: &[AttributeAlternative],
+    max_alternatives: usize,
+) -> WhyNotResult<Vec<SchemaAlternative>> {
+    let mut result =
+        vec![SchemaAlternative::original(original_backtrace.consistency.clone())];
+    if alternatives.is_empty() {
+        return Ok(result);
+    }
+
+    // 1. Find, per operator and per referenced attribute, the substitution
+    //    options offered by the attribute alternatives.
+    let mut option_groups: Vec<Vec<OpSubstitution>> = Vec::new();
+    for (op, refs) in &original_backtrace.op_attribute_refs {
+        // Group options by the referenced attribute they replace.
+        let mut per_attr: Vec<(AttrPath, Vec<OpSubstitution>)> = Vec::new();
+        for reference in refs {
+            for alternative in alternatives {
+                let applies = &alternative.from == reference
+                    || alternative.from.is_prefix_of(reference);
+                if applies {
+                    let substitution =
+                        OpSubstitution::new(*op, alternative.from.clone(), alternative.to.clone());
+                    match per_attr.iter_mut().find(|(a, _)| a == &alternative.from) {
+                        Some((_, subs)) => {
+                            if !subs.contains(&substitution) {
+                                subs.push(substitution);
+                            }
+                        }
+                        None => per_attr.push((alternative.from.clone(), vec![substitution])),
+                    }
+                }
+            }
+        }
+        for (_, subs) in per_attr {
+            option_groups.push(subs);
+        }
+    }
+    if option_groups.is_empty() {
+        return Ok(result);
+    }
+
+    // 2. Enumerate the cartesian product of "keep original" / "use alternative
+    //    j" choices across all option groups (Figure 3), skipping the
+    //    all-original combination.
+    let original_output = plan_output_type(plan, db)?;
+    let mut combination_indices = vec![0usize; option_groups.len()];
+    loop {
+        // Advance to the next combination (mixed-radix counter).
+        let mut carry = true;
+        for (digit, group) in combination_indices.iter_mut().zip(&option_groups) {
+            if !carry {
+                break;
+            }
+            *digit += 1;
+            if *digit > group.len() {
+                *digit = 0;
+            } else {
+                carry = false;
+            }
+        }
+        if carry {
+            break; // wrapped around: all combinations enumerated
+        }
+        let substitutions: Vec<OpSubstitution> = combination_indices
+            .iter()
+            .zip(&option_groups)
+            .filter(|(digit, _)| **digit > 0)
+            .map(|(digit, group)| group[*digit - 1].clone())
+            .collect();
+        if substitutions.is_empty() {
+            continue;
+        }
+
+        // 3. Prune: the substituted plan must still validate and must keep the
+        //    original output schema.
+        let effective = apply_substitutions(plan, &substitutions)?;
+        if validate_plan(&effective, db).is_err() {
+            continue;
+        }
+        match plan_output_type(&effective, db) {
+            Ok(output) if output == original_output => {}
+            _ => continue,
+        }
+
+        // 4. Re-run schema backtracing on the substituted plan to obtain this
+        //    alternative's consistency NIPs.
+        let backtrace = schema_backtrace(&effective, db, why_not)?;
+        let index = result.len();
+        result.push(SchemaAlternative::new(index, substitutions, backtrace.consistency));
+        if result.len() >= max_alternatives {
+            break;
+        }
+    }
+    Ok(result)
+}
+
+/// Applies attribute substitutions to a plan, producing the "effective" plan
+/// of a schema alternative.
+pub fn apply_substitutions(
+    plan: &QueryPlan,
+    substitutions: &[OpSubstitution],
+) -> WhyNotResult<QueryPlan> {
+    let mut plan = plan.clone();
+    for substitution in substitutions {
+        let node = plan
+            .node_mut(substitution.op)
+            .map_err(|_| WhyNotError::InvalidAlternative(format!(
+                "substitution references unknown operator {}",
+                substitution.op
+            )))?;
+        substitute_attribute(&mut node.op, &substitution.from, &substitution.to);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::{Operator, PlanBuilder};
+
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        db.add_relation(
+            "person",
+            person,
+            Bag::from_values([Value::tuple([
+                ("name", Value::str("Sue")),
+                ("address1", Value::empty_bag()),
+                ("address2", Value::empty_bag()),
+            ])]),
+        );
+        db
+    }
+
+    fn running_example() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    fn why_not() -> Nip {
+        Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))])
+    }
+
+    #[test]
+    fn running_example_yields_two_alternatives() {
+        // Figure 3: flattening address1 instead of address2 is the only
+        // surviving alternative (the year swap is implied by the flatten).
+        let db = person_db();
+        let plan = running_example();
+        let bt = schema_backtrace(&plan, &db, &why_not()).unwrap();
+        let alternatives = [AttributeAlternative::new("person", "address2", "address1")];
+        let sas = enumerate_schema_alternatives(
+            &plan,
+            &db,
+            &why_not(),
+            &bt,
+            &alternatives,
+            DEFAULT_MAX_ALTERNATIVES,
+        )
+        .unwrap();
+        assert_eq!(sas.len(), 2);
+        assert!(sas[0].is_original());
+        assert_eq!(sas[1].substituted_ops().into_iter().collect::<Vec<_>>(), vec![1]);
+        // The alternative's table NIP now constrains address1.
+        let table_nip = sas[1].consistency_nip(0).unwrap().to_string();
+        assert!(table_nip.contains("address1"), "{table_nip}");
+    }
+
+    #[test]
+    fn no_alternatives_yields_only_the_original() {
+        let db = person_db();
+        let plan = running_example();
+        let bt = schema_backtrace(&plan, &db, &why_not()).unwrap();
+        let sas = enumerate_schema_alternatives(&plan, &db, &why_not(), &bt, &[], 16).unwrap();
+        assert_eq!(sas.len(), 1);
+    }
+
+    #[test]
+    fn alternatives_that_break_the_output_schema_are_pruned() {
+        // Substituting `name` (a string) for `address2` (a relation) in the
+        // flatten would not validate; substituting city by year inside the
+        // projection would change the output schema's types but not its names,
+        // so it survives only if the types still match — here they do not.
+        let db = person_db();
+        let plan = running_example();
+        let bt = schema_backtrace(&plan, &db, &why_not()).unwrap();
+        let alternatives = [AttributeAlternative::new("person", "address2", "name")];
+        let sas = enumerate_schema_alternatives(&plan, &db, &why_not(), &bt, &alternatives, 16)
+            .unwrap();
+        assert_eq!(sas.len(), 1, "invalid substitution must be pruned");
+    }
+
+    #[test]
+    fn apply_substitutions_rewrites_the_target_operator() {
+        let plan = running_example();
+        let effective = apply_substitutions(
+            &plan,
+            &[OpSubstitution::new(1, "address2", "address1")],
+        )
+        .unwrap();
+        match &effective.node(1).unwrap().op {
+            Operator::Flatten { attr, .. } => assert_eq!(attr, "address1"),
+            other => panic!("unexpected operator {other:?}"),
+        }
+        assert!(apply_substitutions(&plan, &[OpSubstitution::new(99, "a", "b")]).is_err());
+    }
+
+    #[test]
+    fn multiple_option_groups_enumerate_combinations() {
+        // Two independent alternatives on different operators yield 2×2−1 = 3
+        // substituted combinations plus the original.
+        let db = person_db();
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([("name", Nip::Any), ("city", Nip::val("NY"))]);
+        let bt = schema_backtrace(&plan, &db, &why_not).unwrap();
+        let alternatives = [
+            AttributeAlternative::new("person", "address2", "address1"),
+            AttributeAlternative::new("person", "year", "year"),
+        ];
+        // The second "alternative" is a no-op substitution (year → year) that
+        // still enumerates; combinations remain valid.
+        let sas =
+            enumerate_schema_alternatives(&plan, &db, &why_not, &bt, &alternatives, 16).unwrap();
+        assert!(sas.len() >= 2);
+        assert!(sas.len() <= 4);
+    }
+}

@@ -1,0 +1,559 @@
+//! Schema backtracing (Section 5.1).
+//!
+//! Starting from the why-not NIP over the query's output schema, backtracing
+//! walks the plan top-down and computes, for every operator, the NIP over that
+//! operator's *output* that characterizes tuples able to contribute to the
+//! missing answer. The NIPs assigned to the table-access operators are the
+//! per-input-relation NIPs `T` of the paper; the NIPs at intermediate
+//! operators are what the data-tracing step uses to *re-validate* consistency
+//! (the paper's second key technique).
+//!
+//! Backtracing is purely schema-level (data independent). Constraints on
+//! aggregate results or computed columns cannot be pushed through exactly;
+//! following the paper's heuristic spirit, a lower-bound constraint (e.g.
+//! `revenue > 0`) is translated into "the aggregated attributes must
+//! contribute non-null values", which is what rules out, for instance, blaming
+//! an inner join whose outer variant could only contribute null-padded (and
+//! hence zero-revenue) tuples (scenario Q10).
+
+use std::collections::BTreeMap;
+
+use nested_data::{AttrPath, NestedType, Nip, NipCmp, TupleType, Value};
+use nrab_algebra::expr::Expr;
+use nrab_algebra::schema::output_type;
+use nrab_algebra::{Database, OpId, OpNode, Operator, QueryPlan};
+
+use crate::error::WhyNotResult;
+
+/// The result of schema backtracing.
+#[derive(Debug, Clone)]
+pub struct BacktraceResult {
+    /// For each operator, the NIP over its output.
+    pub consistency: BTreeMap<OpId, Nip>,
+    /// For each operator, the attribute paths referenced by its parameters
+    /// (the associations `op.A → X` of the mapping `M_sbt`).
+    pub op_attribute_refs: BTreeMap<OpId, Vec<AttrPath>>,
+    /// The per-input-relation NIPs `T`: `(table access op, relation name, NIP)`.
+    pub table_nips: Vec<(OpId, String, Nip)>,
+}
+
+/// Runs schema backtracing for a plan and a why-not NIP.
+pub fn schema_backtrace(
+    plan: &QueryPlan,
+    db: &Database,
+    why_not: &Nip,
+) -> WhyNotResult<BacktraceResult> {
+    let mut consistency = BTreeMap::new();
+    let mut op_attribute_refs = BTreeMap::new();
+    let mut table_nips = Vec::new();
+    consistency.insert(plan.root.id, why_not.clone());
+    walk(&plan.root, db, &mut consistency, &mut op_attribute_refs, &mut table_nips)?;
+    Ok(BacktraceResult { consistency, op_attribute_refs, table_nips })
+}
+
+fn walk(
+    node: &OpNode,
+    db: &Database,
+    consistency: &mut BTreeMap<OpId, Nip>,
+    op_attribute_refs: &mut BTreeMap<OpId, Vec<AttrPath>>,
+    table_nips: &mut Vec<(OpId, String, Nip)>,
+) -> WhyNotResult<()> {
+    let out_nip = consistency.get(&node.id).cloned().unwrap_or(Nip::Any);
+    op_attribute_refs.insert(node.id, operator_attribute_refs(&node.op));
+    if let Operator::TableAccess { table } = &node.op {
+        table_nips.push((node.id, table.clone(), out_nip));
+        return Ok(());
+    }
+    let child_nips = backward_nips(node, &out_nip, db)?;
+    for (child, nip) in node.inputs.iter().zip(child_nips) {
+        consistency.insert(child.id, nip);
+        walk(child, db, consistency, op_attribute_refs, table_nips)?;
+    }
+    Ok(())
+}
+
+/// The attribute paths referenced by an operator's parameters.
+pub fn operator_attribute_refs(op: &Operator) -> Vec<AttrPath> {
+    match op {
+        Operator::Selection { predicate } | Operator::Join { predicate, .. } => {
+            predicate.referenced_attributes()
+        }
+        Operator::Projection { columns } => {
+            columns.iter().flat_map(|c| c.expr.referenced_attributes()).collect()
+        }
+        Operator::Rename { pairs } => {
+            pairs.iter().map(|p| AttrPath::single(p.from.clone())).collect()
+        }
+        Operator::TupleFlatten { source, .. } => vec![source.clone()],
+        Operator::Flatten { attr, .. } => vec![AttrPath::single(attr.clone())],
+        Operator::TupleNest { attrs, .. } | Operator::RelationNest { attrs, .. } => {
+            attrs.iter().map(|a| AttrPath::single(a.clone())).collect()
+        }
+        Operator::NestAggregation { attr, field, .. } => {
+            let mut refs = vec![AttrPath::single(attr.clone())];
+            if let Some(field) = field {
+                refs.push(AttrPath::new([attr.clone(), field.clone()]));
+            }
+            refs
+        }
+        Operator::GroupAggregation { group_by, aggs } => {
+            let mut refs: Vec<AttrPath> =
+                group_by.iter().map(|g| AttrPath::single(g.clone())).collect();
+            refs.extend(aggs.iter().flat_map(|a| a.input.referenced_attributes()));
+            refs
+        }
+        Operator::TableAccess { .. }
+        | Operator::CrossProduct
+        | Operator::Union
+        | Operator::Difference
+        | Operator::Dedup => Vec::new(),
+    }
+}
+
+/// The constrained fields of a tuple NIP (empty for unconstrained NIPs).
+fn constrained_fields(nip: &Nip) -> Vec<(String, Nip)> {
+    match nip {
+        Nip::Tuple(fields) => fields
+            .iter()
+            .filter(|(_, n)| !n.is_unconstrained())
+            .map(|(name, n)| (name.clone(), n.clone()))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Whether a leaf constraint requires the value to actually *contribute*
+/// (exact non-null / non-zero values and lower bounds); only such constraints
+/// are translated into non-null requirements on aggregation or computed-column
+/// inputs.
+fn requires_contribution(nip: &Nip) -> bool {
+    match nip {
+        Nip::Pred(NipCmp::Gt | NipCmp::Ge, _) => true,
+        Nip::Pred(NipCmp::Ne, v) => v.is_null() || v.as_float() == Some(0.0),
+        Nip::Value(v) => !v.is_null() && v.as_float() != Some(0.0),
+        _ => false,
+    }
+}
+
+/// A not-null leaf constraint.
+fn not_null() -> Nip {
+    Nip::Pred(NipCmp::Ne, Value::Null)
+}
+
+/// Constrains `nip` at `path`, leaving it unchanged when the path cannot be
+/// resolved against `schema` (which can happen for pruned-but-unvalidatable
+/// schema alternatives or computed columns).
+fn constrain_or_keep(nip: Nip, path: &AttrPath, leaf: Nip, schema: &TupleType) -> Nip {
+    match nip.constrain(path, leaf, schema) {
+        Ok(updated) => updated,
+        Err(_) => nip,
+    }
+}
+
+/// Computes the NIPs of a node's inputs from the NIP of its output.
+pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResult<Vec<Nip>> {
+    let child_schemas: Vec<TupleType> = node
+        .inputs
+        .iter()
+        .map(|c| output_type(c, db))
+        .collect::<Result<_, _>>()?;
+    let unconstrained =
+        || child_schemas.iter().map(Nip::any_for_tuple_type).collect::<Vec<_>>();
+    if out_nip.is_unconstrained() {
+        return Ok(unconstrained());
+    }
+    let fields = constrained_fields(out_nip);
+
+    let result: Vec<Nip> = match &node.op {
+        Operator::TableAccess { .. } => Vec::new(),
+        Operator::Selection { .. } | Operator::Dedup => vec![out_nip.clone()],
+        Operator::Union => vec![out_nip.clone(), out_nip.clone()],
+        Operator::Difference => vec![out_nip.clone(), Nip::any_for_tuple_type(&child_schemas[1])],
+        Operator::Projection { columns } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                let Some(column) = columns.iter().find(|c| &c.name == name) else { continue };
+                match &column.expr {
+                    Expr::Attr(path) => {
+                        nip = constrain_or_keep(nip.clone(), path, constraint.clone(), schema);
+                    }
+                    expr => {
+                        if requires_contribution(constraint) {
+                            for path in expr.referenced_attributes() {
+                                nip = constrain_or_keep(nip.clone(), &path, not_null(), schema);
+                            }
+                        }
+                    }
+                }
+            }
+            vec![nip]
+        }
+        Operator::Rename { pairs } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                let source = pairs
+                    .iter()
+                    .find(|p| &p.to == name)
+                    .map(|p| p.from.clone())
+                    .unwrap_or_else(|| name.clone());
+                nip = constrain_or_keep(nip.clone(), &AttrPath::single(source), constraint.clone(), schema);
+            }
+            vec![nip]
+        }
+        Operator::Join { .. } | Operator::CrossProduct => {
+            let left_schema = &child_schemas[0];
+            let right_schema = &child_schemas[1];
+            let mut left = Nip::any_for_tuple_type(left_schema);
+            let mut right = Nip::any_for_tuple_type(right_schema);
+            for (name, constraint) in &fields {
+                let path = AttrPath::single(name.clone());
+                if left_schema.contains(name) {
+                    left = constrain_or_keep(left.clone(), &path, constraint.clone(), left_schema);
+                } else if right_schema.contains(name) {
+                    right = constrain_or_keep(right.clone(), &path, constraint.clone(), right_schema);
+                }
+            }
+            // Transfer leaf constraints across equi-join conditions so that
+            // e.g. `c_custkey = 61402` also constrains `o_custkey` on the
+            // other side (needed to identify compatible data below the join).
+            if let Operator::Join { predicate, .. } = &node.op {
+                for (a, b) in equi_pairs(predicate) {
+                    transfer_constraint(&fields, &a, &b, left_schema, right_schema, &mut left, &mut right)?;
+                    transfer_constraint(&fields, &b, &a, left_schema, right_schema, &mut left, &mut right)?;
+                }
+            }
+            vec![left, right]
+        }
+        Operator::TupleFlatten { source, alias } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                if alias.as_deref() == Some(name.as_str()) {
+                    nip = constrain_or_keep(nip.clone(), source, constraint.clone(), schema);
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                } else if schema.resolve_path(&source.child(name.clone())).is_ok() {
+                    nip = constrain_or_keep(nip.clone(), &source.child(name.clone()), constraint.clone(), schema);
+                }
+            }
+            vec![nip]
+        }
+        Operator::Flatten { attr, alias, .. } => {
+            let schema = &child_schemas[0];
+            let element_type = match schema.attribute(attr) {
+                Some(NestedType::Relation(t)) => t.clone(),
+                _ => TupleType::empty(),
+            };
+            let mut nip = Nip::any_for_tuple_type(schema);
+            let mut element_constraints: Vec<(String, Nip)> = Vec::new();
+            for (name, constraint) in &fields {
+                if alias.as_deref() == Some(name.as_str()) {
+                    // The whole element is constrained.
+                    nip = nip.with_field(attr.clone(), Nip::bag_containing(constraint.clone()));
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                } else if element_type.contains(name) {
+                    element_constraints.push((name.clone(), constraint.clone()));
+                }
+            }
+            if !element_constraints.is_empty() {
+                let mut element = Nip::any_for_tuple_type(&element_type);
+                for (name, constraint) in element_constraints {
+                    element = element.with_field(name, constraint);
+                }
+                nip = nip.with_field(attr.clone(), Nip::bag_containing(element));
+            }
+            vec![nip]
+        }
+        Operator::TupleNest { attrs, into } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                if name == into {
+                    for (inner_name, inner) in constrained_fields(constraint) {
+                        if attrs.contains(&inner_name) {
+                            nip = nip.constrain(
+                                &AttrPath::single(inner_name),
+                                inner.clone(),
+                                schema,
+                            )?;
+                        }
+                    }
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                }
+            }
+            vec![nip]
+        }
+        Operator::RelationNest { attrs, into } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                if name == into {
+                    // "The nested collection must contain at least one element
+                    // matching e" ⇒ at least one input tuple of the group must
+                    // match e on the nested attributes.
+                    if let Nip::Bag(entries) = constraint {
+                        if let Some(entry) = entries.iter().find(|e| !matches!(e, Nip::Star)) {
+                            for (inner_name, inner) in constrained_fields(entry) {
+                                if attrs.contains(&inner_name) {
+                                    nip = nip.constrain(
+                                        &AttrPath::single(inner_name),
+                                        inner.clone(),
+                                        schema,
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                }
+            }
+            vec![nip]
+        }
+        Operator::NestAggregation { attr, field, output, .. } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                if name == output {
+                    if requires_contribution(constraint) {
+                        let element = match field {
+                            Some(f) => Nip::Tuple(vec![(f.clone(), not_null())]),
+                            None => Nip::Any,
+                        };
+                        nip = nip.with_field(attr.clone(), Nip::bag_containing(element));
+                    }
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                }
+            }
+            vec![nip]
+        }
+        Operator::GroupAggregation { aggs, .. } => {
+            let schema = &child_schemas[0];
+            let mut nip = Nip::any_for_tuple_type(schema);
+            for (name, constraint) in &fields {
+                if let Some(agg) = aggs.iter().find(|a| &a.output == name) {
+                    if requires_contribution(constraint) {
+                        for path in agg.input.referenced_attributes() {
+                            nip = constrain_or_keep(nip.clone(), &path, not_null(), schema);
+                        }
+                    }
+                } else if schema.contains(name) {
+                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                }
+            }
+            vec![nip]
+        }
+    };
+    Ok(result)
+}
+
+/// Equality pairs `(a, b)` of attribute references in a conjunctive predicate.
+fn equi_pairs(predicate: &Expr) -> Vec<(AttrPath, AttrPath)> {
+    let mut pairs = Vec::new();
+    collect_equi_pairs(predicate, &mut pairs);
+    pairs
+}
+
+fn collect_equi_pairs(predicate: &Expr, pairs: &mut Vec<(AttrPath, AttrPath)>) {
+    match predicate {
+        Expr::And(a, b) => {
+            collect_equi_pairs(a, pairs);
+            collect_equi_pairs(b, pairs);
+        }
+        Expr::Cmp(a, nrab_algebra::CmpOp::Eq, b) => {
+            if let (Expr::Attr(pa), Expr::Attr(pb)) = (a.as_ref(), b.as_ref()) {
+                pairs.push((pa.clone(), pb.clone()));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// If the output constrains attribute `from` with a leaf constraint, also
+/// constrain attribute `to` (on whichever join side declares it).
+#[allow(clippy::too_many_arguments)]
+fn transfer_constraint(
+    fields: &[(String, Nip)],
+    from: &AttrPath,
+    to: &AttrPath,
+    left_schema: &TupleType,
+    right_schema: &TupleType,
+    left: &mut Nip,
+    right: &mut Nip,
+) -> WhyNotResult<()> {
+    let Some(from_leaf) = from.leaf() else { return Ok(()) };
+    let Some((_, constraint)) = fields.iter().find(|(name, _)| name == from_leaf) else {
+        return Ok(());
+    };
+    if !matches!(constraint, Nip::Value(_) | Nip::Pred(..)) {
+        return Ok(());
+    }
+    if left_schema.resolve_path(to).is_ok() {
+        *left = constrain_or_keep(left.clone(), to, constraint.clone(), left_schema);
+    } else if right_schema.resolve_path(to).is_ok() {
+        *right = constrain_or_keep(right.clone(), to, constraint.clone(), right_schema);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, Value};
+    use nrab_algebra::expr::CmpOp;
+    use nrab_algebra::{AggFunc, AggSpec, JoinKind, PlanBuilder};
+
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let mut db = Database::new();
+        db.add_relation("person", person, Bag::new());
+        db
+    }
+
+    fn running_example() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    fn why_not_ny() -> Nip {
+        Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))])
+    }
+
+    #[test]
+    fn running_example_backtrace_reproduces_example_11() {
+        let db = person_db();
+        let plan = running_example();
+        let result = schema_backtrace(&plan, &db, &why_not_ny()).unwrap();
+
+        // Root (op 4) keeps the why-not NIP.
+        assert_eq!(result.consistency[&4], why_not_ny());
+        // Below the nesting (ops 3, 2, 1): city = NY, name unconstrained.
+        for op in [3u32, 2, 1] {
+            let nip = &result.consistency[&op];
+            assert!(nip.to_string().contains("city: \"NY\""), "op {op}: {nip}");
+        }
+        // Table access (op 0): the pushed-down NIP of Example 11, with the
+        // city constraint nested inside address2.
+        let (op, table, nip) = &result.table_nips[0];
+        assert_eq!(*op, 0);
+        assert_eq!(table, "person");
+        let rendered = nip.to_string();
+        assert!(rendered.contains("address2"), "{rendered}");
+        assert!(rendered.contains("NY"), "{rendered}");
+        // It matches Sue's tuple but not Peter's (Figure 4's consistent flags).
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let peter = Value::tuple([
+            ("name", Value::str("Peter")),
+            ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+            ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+        ]);
+        assert!(nip.matches(&sue));
+        assert!(!nip.matches(&peter));
+    }
+
+    #[test]
+    fn attribute_refs_are_collected_per_operator() {
+        let db = person_db();
+        let plan = running_example();
+        let result = schema_backtrace(&plan, &db, &why_not_ny()).unwrap();
+        assert_eq!(result.op_attribute_refs[&1], vec![AttrPath::single("address2")]);
+        assert_eq!(result.op_attribute_refs[&2], vec![AttrPath::single("year")]);
+        assert!(result.op_attribute_refs[&0].is_empty());
+    }
+
+    #[test]
+    fn join_backtrace_transfers_equi_constraints() {
+        let mut db = Database::new();
+        let customer =
+            TupleType::new([("c_custkey", NestedType::int()), ("c_name", NestedType::str())])
+                .unwrap();
+        let orders =
+            TupleType::new([("o_custkey", NestedType::int()), ("o_total", NestedType::float())])
+                .unwrap();
+        db.add_relation("customer", customer, Bag::new());
+        db.add_relation("orders", orders, Bag::new());
+        let plan = PlanBuilder::table("customer")
+            .join(
+                PlanBuilder::table("orders"),
+                JoinKind::Inner,
+                Expr::cmp(Expr::attr("c_custkey"), CmpOp::Eq, Expr::attr("o_custkey")),
+            )
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([("c_custkey", Nip::val(Value::int(42))), ("o_total", Nip::Any)]);
+        let result = schema_backtrace(&plan, &db, &why_not).unwrap();
+        let customer_nip = &result.table_nips.iter().find(|(_, t, _)| t == "customer").unwrap().2;
+        let orders_nip = &result.table_nips.iter().find(|(_, t, _)| t == "orders").unwrap().2;
+        assert!(customer_nip.to_string().contains("42"), "{customer_nip}");
+        assert!(orders_nip.to_string().contains("42"), "{orders_nip}");
+    }
+
+    #[test]
+    fn aggregation_backtrace_requires_contributing_inputs() {
+        let mut db = Database::new();
+        let lineitem = TupleType::new([
+            ("l_orderkey", NestedType::int()),
+            ("l_extendedprice", NestedType::float()),
+        ])
+        .unwrap();
+        db.add_relation("lineitem", lineitem, Bag::new());
+        let plan = PlanBuilder::table("lineitem")
+            .group_aggregate(
+                vec!["l_orderkey"],
+                vec![AggSpec::new(AggFunc::Sum, Expr::attr("l_extendedprice"), "revenue")],
+            )
+            .build()
+            .unwrap();
+        let why_not = Nip::tuple([
+            ("l_orderkey", Nip::val(Value::int(7))),
+            ("revenue", Nip::pred(NipCmp::Gt, 0i64)),
+        ]);
+        let result = schema_backtrace(&plan, &db, &why_not).unwrap();
+        let table_nip = &result.table_nips[0].2;
+        // The group key is pushed down, and the aggregated attribute must be non-null.
+        assert!(table_nip.matches(&Value::tuple([
+            ("l_orderkey", Value::int(7)),
+            ("l_extendedprice", Value::float(10.0)),
+        ])));
+        assert!(!table_nip.matches(&Value::tuple([
+            ("l_orderkey", Value::int(7)),
+            ("l_extendedprice", Value::Null),
+        ])));
+        assert!(!table_nip.matches(&Value::tuple([
+            ("l_orderkey", Value::int(8)),
+            ("l_extendedprice", Value::float(10.0)),
+        ])));
+    }
+
+    #[test]
+    fn unconstrained_why_not_yields_unconstrained_inputs() {
+        let db = person_db();
+        let plan = running_example();
+        let result = schema_backtrace(&plan, &db, &Nip::Any).unwrap();
+        assert!(result.table_nips[0].2.is_unconstrained());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the explanation engine.
+
+use std::fmt;
+
+use nested_data::DataError;
+use nrab_algebra::AlgebraError;
+
+/// Errors raised while computing why-not explanations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhyNotError {
+    /// The why-not question is invalid (e.g. the NIP does not conform to the
+    /// query's output schema, or it matches an existing result tuple).
+    InvalidQuestion(String),
+    /// An attribute alternative is invalid (unknown relation or attribute,
+    /// incompatible types).
+    InvalidAlternative(String),
+    /// Error from the algebra layer (plan validation, evaluation, tracing).
+    Algebra(AlgebraError),
+    /// Error from the data model.
+    Data(DataError),
+}
+
+impl fmt::Display for WhyNotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhyNotError::InvalidQuestion(msg) => write!(f, "invalid why-not question: {msg}"),
+            WhyNotError::InvalidAlternative(msg) => {
+                write!(f, "invalid attribute alternative: {msg}")
+            }
+            WhyNotError::Algebra(e) => write!(f, "{e}"),
+            WhyNotError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WhyNotError {}
+
+impl From<AlgebraError> for WhyNotError {
+    fn from(e: AlgebraError) -> Self {
+        WhyNotError::Algebra(e)
+    }
+}
+
+impl From<DataError> for WhyNotError {
+    fn from(e: DataError) -> Self {
+        WhyNotError::Data(e)
+    }
+}
+
+/// Result alias for the explanation engine.
+pub type WhyNotResult<T> = Result<T, WhyNotError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = WhyNotError::InvalidQuestion("no placeholder".into());
+        assert!(e.to_string().contains("why-not"));
+        let e: WhyNotError = AlgebraError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: WhyNotError = DataError::Invalid("boom".into()).into();
+        assert_eq!(e.to_string(), "boom");
+    }
+}

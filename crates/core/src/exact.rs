@@ -1,0 +1,231 @@
+//! Exact explanations for small inputs (Section 4, Theorem 1's PTIME case).
+//!
+//! The exact algorithm enumerates reparameterizations over the restricted
+//! space the paper's PTIME argument uses — attribute swaps, constant changes
+//! drawn from the active domain, comparison-operator changes, and join/flatten
+//! type changes — evaluates each candidate query, and keeps the successful
+//! ones. Minimal successful reparameterizations (Definition 9) are selected
+//! using the tree-edit-distance side-effect metric, and their operator sets
+//! are the exact explanations (Definition 10).
+//!
+//! The search is exponential in the number of simultaneously changed operators
+//! and is therefore only intended for small instances (the running example,
+//! the crime scenarios, unit tests); the heuristic engine of
+//! [`crate::explain`] is the scalable path.
+
+use std::collections::BTreeSet;
+
+use nested_data::{tree_distance, Bag, Value};
+use nrab_algebra::params::{admissible_changes, ParamChange, Reparameterization};
+use nrab_algebra::schema::output_type;
+use nested_data::TupleType;
+use nrab_algebra::{evaluate, OpId, Operator};
+
+use crate::error::WhyNotResult;
+use crate::question::WhyNotQuestion;
+
+/// Configuration of the exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Maximum number of operators changed simultaneously.
+    pub max_changed_operators: usize,
+    /// Maximum number of candidate reparameterizations evaluated (safety cap).
+    pub max_candidates: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig { max_changed_operators: 2, max_candidates: 200_000 }
+    }
+}
+
+/// A successful reparameterization found by the exact search.
+#[derive(Debug, Clone)]
+pub struct ExactSr {
+    /// The reparameterization itself.
+    pub reparameterization: Reparameterization,
+    /// The operators it changes (`Δ(Q, Q')`).
+    pub operators: BTreeSet<OpId>,
+    /// Tree edit distance between the original and the reparameterized result.
+    pub side_effect_distance: u64,
+}
+
+/// The result of the exact search.
+#[derive(Debug, Clone, Default)]
+pub struct ExactAnswer {
+    /// All successful reparameterizations found.
+    pub successful: Vec<ExactSr>,
+    /// The minimal ones according to Definition 9.
+    pub minimal: Vec<ExactSr>,
+}
+
+impl ExactAnswer {
+    /// The distinct operator sets of the minimal successful
+    /// reparameterizations — the exact explanations `E(Φ)`.
+    pub fn explanations(&self) -> Vec<BTreeSet<OpId>> {
+        let mut sets: Vec<BTreeSet<OpId>> = Vec::new();
+        for sr in &self.minimal {
+            if !sets.contains(&sr.operators) {
+                sets.push(sr.operators.clone());
+            }
+        }
+        sets
+    }
+}
+
+/// Runs the exact search for a why-not question.
+pub fn exact_explanations(
+    question: &WhyNotQuestion,
+    config: ExactConfig,
+) -> WhyNotResult<ExactAnswer> {
+    let original_result = question.validate()?;
+    let plan = &question.plan;
+    let db = &question.db;
+
+    // Candidate constants: the active domain of every accessed relation plus
+    // the constants already appearing in the query.
+    let mut candidates: Vec<Value> = Vec::new();
+    for table in plan.accessed_tables() {
+        if let Ok(schema) = db.schema(&table) {
+            for (attr, _) in schema.fields() {
+                if let Ok(mut adom) = db.active_domain(&table, attr) {
+                    candidates.append(&mut adom);
+                }
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    // Per-operator admissible changes.
+    let mut per_op: Vec<(OpId, Vec<ParamChange>)> = Vec::new();
+    for node in plan.nodes_top_down() {
+        if matches!(node.op, Operator::TableAccess { .. }) {
+            continue;
+        }
+        let input_schema: TupleType = match node.inputs.len() {
+            0 => TupleType::empty(),
+            1 => output_type(&node.inputs[0], db)?,
+            _ => {
+                let left = output_type(&node.inputs[0], db)?;
+                let right = output_type(&node.inputs[1], db)?;
+                left.concat(&right).unwrap_or(left)
+            }
+        };
+        let changes = admissible_changes(node.id, &node.op, &input_schema, &candidates);
+        if !changes.is_empty() {
+            per_op.push((node.id, changes));
+        }
+    }
+
+    let mut evaluated = 0usize;
+    let mut successful: Vec<ExactSr> = Vec::new();
+
+    // Enumerate combinations of at most `max_changed_operators` operators,
+    // one admissible change per chosen operator.
+    let op_indices: Vec<usize> = (0..per_op.len()).collect();
+    for subset in subsets_up_to(&op_indices, config.max_changed_operators) {
+        if subset.is_empty() {
+            continue;
+        }
+        let mut change_indices = vec![0usize; subset.len()];
+        loop {
+            if evaluated >= config.max_candidates {
+                break;
+            }
+            let mut rp = Reparameterization::empty();
+            for (slot, &op_idx) in subset.iter().enumerate() {
+                rp.push(per_op[op_idx].1[change_indices[slot]].clone());
+            }
+            evaluated += 1;
+            if let Ok(candidate_plan) = rp.apply(plan) {
+                if let Ok(result) = evaluate(&candidate_plan, db) {
+                    if result.iter().any(|(v, _)| question.why_not.matches(v)) {
+                        let distance = result_distance(&original_result, &result);
+                        successful.push(ExactSr {
+                            operators: rp.changed_ops(),
+                            reparameterization: rp,
+                            side_effect_distance: distance,
+                        });
+                    }
+                }
+            }
+            // Advance the per-slot change indices (mixed-radix counter).
+            let mut carry = true;
+            for (slot, index) in change_indices.iter_mut().enumerate() {
+                if !carry {
+                    break;
+                }
+                *index += 1;
+                if *index < per_op[subset[slot]].1.len() {
+                    carry = false;
+                } else {
+                    *index = 0;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        if evaluated >= config.max_candidates {
+            break;
+        }
+    }
+
+    let minimal = minimal_srs(&successful);
+    Ok(ExactAnswer { successful, minimal })
+}
+
+/// Distance between two query results (bags of nested tuples), using the
+/// unordered tree edit distance over their tree views (Definition 9's `d`).
+fn result_distance(a: &Bag, b: &Bag) -> u64 {
+    tree_distance(&Value::Bag(a.clone()), &Value::Bag(b.clone()))
+}
+
+/// Selects the minimal successful reparameterizations under Definition 9.
+fn minimal_srs(successful: &[ExactSr]) -> Vec<ExactSr> {
+    successful
+        .iter()
+        .filter(|sr| {
+            !successful.iter().any(|other| {
+                let strictly_preferred = (other.operators.is_subset(&sr.operators)
+                    && other.side_effect_distance <= sr.side_effect_distance)
+                    && (other.operators.len() < sr.operators.len()
+                        || other.side_effect_distance < sr.side_effect_distance);
+                strictly_preferred
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// All subsets of `items` with at most `k` elements (including the empty set).
+fn subsets_up_to(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for &item in items {
+        let mut extended = Vec::new();
+        for subset in &out {
+            if subset.len() < k {
+                let mut next = subset.clone();
+                next.push(item);
+                extended.push(next);
+            }
+        }
+        out.extend(extended);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_enumeration() {
+        let subsets = subsets_up_to(&[0, 1, 2], 2);
+        assert!(subsets.contains(&vec![]));
+        assert!(subsets.contains(&vec![0, 2]));
+        assert!(!subsets.iter().any(|s| s.len() > 2));
+        assert_eq!(subsets.len(), 1 + 3 + 3);
+    }
+}

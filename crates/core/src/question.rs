@@ -1,0 +1,131 @@
+//! Why-not questions (Definition 5).
+
+use nested_data::Nip;
+use nrab_algebra::{evaluate, Database, QueryPlan};
+
+use crate::error::{WhyNotError, WhyNotResult};
+
+/// A why-not question `Φ = ⟨Q, D, t⟩`: a query, a database, and a why-not
+/// tuple `t` given as a NIP over the query's output schema.
+#[derive(Debug, Clone)]
+pub struct WhyNotQuestion {
+    /// The (possibly erroneous) query.
+    pub plan: QueryPlan,
+    /// The input database.
+    pub db: Database,
+    /// The missing answer of interest.
+    pub why_not: Nip,
+}
+
+impl WhyNotQuestion {
+    /// Creates a why-not question without validating it.
+    pub fn new(plan: QueryPlan, db: Database, why_not: Nip) -> Self {
+        WhyNotQuestion { plan, db, why_not }
+    }
+
+    /// Validates the question:
+    ///
+    /// * the NIP is structurally valid (Definition 3),
+    /// * the NIP conforms to the query's output schema,
+    /// * no tuple of `⟦Q⟧_D` matches the NIP (otherwise the "missing" answer
+    ///   is not actually missing — Definition 5 requires this).
+    ///
+    /// Returns the original query result so callers can reuse it.
+    pub fn validate(&self) -> WhyNotResult<nested_data::Bag> {
+        self.why_not.validate()?;
+        let output_schema = nrab_algebra::schema::plan_output_type(&self.plan, &self.db)?;
+        if !self.why_not.conforms_to(&nested_data::NestedType::Tuple(output_schema.clone()))
+            && !matches!(self.why_not, Nip::Any)
+        {
+            return Err(WhyNotError::InvalidQuestion(format!(
+                "the why-not tuple {} does not conform to the output schema {}",
+                self.why_not, output_schema
+            )));
+        }
+        let result = evaluate(&self.plan, &self.db)?;
+        if let Some((matching, _)) = result.iter().find(|(v, _)| self.why_not.matches(v)) {
+            return Err(WhyNotError::InvalidQuestion(format!(
+                "the query result already contains a matching tuple: {matching}"
+            )));
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::PlanBuilder;
+
+    fn db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person = TupleType::new([
+            ("name", NestedType::str()),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            (
+                "address2",
+                Value::bag([
+                    Value::tuple([("city", Value::str("LA")), ("year", Value::int(2019))]),
+                    Value::tuple([("city", Value::str("NY")), ("year", Value::int(2018))]),
+                ]),
+            ),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person, Bag::from_values([sue]));
+        db
+    }
+
+    fn plan() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_question_for_missing_city() {
+        let q = WhyNotQuestion::new(
+            plan(),
+            db(),
+            Nip::tuple([("name", Nip::Any), ("city", Nip::val("NY"))]),
+        );
+        let result = q.validate().unwrap();
+        assert_eq!(result.total(), 1);
+    }
+
+    #[test]
+    fn question_matching_an_existing_tuple_is_rejected() {
+        let q = WhyNotQuestion::new(
+            plan(),
+            db(),
+            Nip::tuple([("name", Nip::Any), ("city", Nip::val("LA"))]),
+        );
+        let err = q.validate().unwrap_err();
+        assert!(matches!(err, WhyNotError::InvalidQuestion(_)));
+    }
+
+    #[test]
+    fn question_with_wrong_schema_is_rejected() {
+        let q = WhyNotQuestion::new(
+            plan(),
+            db(),
+            Nip::tuple([("nonexistent", Nip::val(1i64))]),
+        );
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn structurally_invalid_nip_is_rejected() {
+        let q = WhyNotQuestion::new(plan(), db(), Nip::tuple([("city", Nip::Star)]));
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Ordering and pruning of explanations (Definition 9).
+//!
+//! An SR `Q'` precedes `Q''` when it changes a subset of the operators *and*
+//! has no larger distance to the original result. Because the heuristic only
+//! has loose side-effect bounds, pruning is conservative: a candidate is only
+//! discarded when another candidate changes a strict subset of its operators
+//! and is *guaranteed* (upper bound ≤ lower bound) not to cause more side
+//! effects. The surviving candidates are returned in the order the paper uses
+//! to present explanations: fewer operators first, then smaller side-effect
+//! bounds.
+
+use std::collections::BTreeSet;
+
+use nrab_algebra::OpId;
+
+use crate::msr::CandidateSr;
+use crate::side_effects::SideEffectBounds;
+
+/// A ranked candidate: operators, schema alternative, and side-effect bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedCandidate {
+    /// The candidate reparameterization.
+    pub candidate: CandidateSr,
+    /// Its side-effect bounds.
+    pub bounds: SideEffectBounds,
+}
+
+/// Whether candidate `a` dominates candidate `b` under Definition 9
+/// (using the loose bounds conservatively): `a`'s operators are a strict
+/// subset of `b`'s and `a` is guaranteed to cause no more side effects.
+pub fn dominates(a: &RankedCandidate, b: &RankedCandidate) -> bool {
+    is_strict_subset(&a.candidate.ops, &b.candidate.ops) && a.bounds.upper <= b.bounds.lower
+}
+
+fn is_strict_subset(a: &BTreeSet<OpId>, b: &BTreeSet<OpId>) -> bool {
+    a.len() < b.len() && a.iter().all(|op| b.contains(op))
+}
+
+/// Prunes dominated candidates and sorts the rest.
+pub fn order_and_prune(mut candidates: Vec<RankedCandidate>) -> Vec<RankedCandidate> {
+    let snapshot = candidates.clone();
+    candidates.retain(|c| !snapshot.iter().any(|other| other != c && dominates(other, c)));
+    candidates.sort_by(|a, b| {
+        a.candidate
+            .ops
+            .len()
+            .cmp(&b.candidate.ops.len())
+            .then(a.bounds.upper.cmp(&b.bounds.upper))
+            .then(a.bounds.lower.cmp(&b.bounds.lower))
+            .then(a.candidate.sa.cmp(&b.candidate.sa))
+            .then(a.candidate.ops.cmp(&b.candidate.ops))
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(ops: &[OpId], sa: usize, lower: u64, upper: u64) -> RankedCandidate {
+        RankedCandidate {
+            candidate: CandidateSr { sa, ops: ops.iter().copied().collect() },
+            bounds: SideEffectBounds { lower, upper },
+        }
+    }
+
+    #[test]
+    fn strict_subset_with_guaranteed_fewer_side_effects_dominates() {
+        let small = ranked(&[2], 0, 0, 0);
+        let large = ranked(&[1, 2], 1, 1, 5);
+        assert!(dominates(&small, &large));
+        assert!(!dominates(&large, &small));
+        let pruned = order_and_prune(vec![small.clone(), large]);
+        assert_eq!(pruned, vec![small]);
+    }
+
+    #[test]
+    fn overlapping_bounds_prevent_pruning_as_in_example_10() {
+        // {σ} ⊂ {F, σ} but σ's upper bound exceeds {F, σ}'s lower bound, so
+        // both are kept (they are incomparable, like SRσ and SR_Fσ).
+        let sigma = ranked(&[2], 0, 0, 3);
+        let f_sigma = ranked(&[1, 2], 1, 0, 1);
+        assert!(!dominates(&sigma, &f_sigma));
+        let ordered = order_and_prune(vec![f_sigma.clone(), sigma.clone()]);
+        assert_eq!(ordered.len(), 2);
+        // Fewer operators first.
+        assert_eq!(ordered[0], sigma);
+        assert_eq!(ordered[1], f_sigma);
+    }
+
+    #[test]
+    fn ordering_breaks_ties_by_upper_bound_then_alternative() {
+        let a = ranked(&[1], 0, 0, 5);
+        let b = ranked(&[2], 0, 0, 2);
+        let c = ranked(&[3], 1, 0, 2);
+        let ordered = order_and_prune(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(ordered, vec![b, c, a]);
+    }
+
+    #[test]
+    fn identical_sets_are_not_self_dominated() {
+        let a = ranked(&[1, 2], 0, 0, 0);
+        let ordered = order_and_prune(vec![a.clone(), a.clone()]);
+        assert_eq!(ordered.len(), 2);
+    }
+}

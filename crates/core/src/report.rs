@@ -1,0 +1,101 @@
+//! Human-readable reports of why-not answers.
+
+use nrab_algebra::QueryPlan;
+
+use crate::explain::WhyNotAnswer;
+
+/// Renders a why-not answer as a numbered, human-readable report.
+pub fn render_answer(answer: &WhyNotAnswer, plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query with {} operators, original result size {}\n",
+        plan.operator_count(),
+        answer.original_result_size
+    ));
+    out.push_str(&format!(
+        "{} schema alternative(s) considered, {} explanation(s) found\n",
+        answer.schema_alternatives.len(),
+        answer.explanations.len()
+    ));
+    if answer.explanations.is_empty() {
+        out.push_str("no explanation found: the missing answer cannot be produced by the\n");
+        out.push_str("reparameterizations captured by the heuristic tracing\n");
+        return out;
+    }
+    for (i, explanation) in answer.explanations.iter().enumerate() {
+        out.push_str(&format!(
+            "#{rank}: change {count} operator(s) {ops:?}  (schema alternative S{sa}, side effects {se})\n",
+            rank = i + 1,
+            count = explanation.operators.len(),
+            ops = explanation.operators.iter().collect::<Vec<_>>(),
+            sa = explanation.schema_alternative + 1,
+            se = explanation.side_effects,
+        ));
+        for label in &explanation.operator_labels {
+            out.push_str(&format!("    {label}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternatives::AttributeAlternative;
+    use crate::explain::WhyNotEngine;
+    use crate::question::WhyNotQuestion;
+    use nested_data::{Bag, NestedType, Nip, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::{Database, PlanBuilder};
+
+    #[test]
+    fn report_lists_ranked_explanations() {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person_ty = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person_ty, Bag::from_values([sue]));
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap();
+        let why_not =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        let question = WhyNotQuestion::new(plan.clone(), db, why_not);
+        let answer = WhyNotEngine::rp()
+            .explain(&question, &[AttributeAlternative::new("person", "address2", "address1")])
+            .unwrap();
+        let report = render_answer(&answer, &plan);
+        assert!(report.contains("#1"));
+        assert!(report.contains("σ"));
+        assert!(report.contains("schema alternative"));
+    }
+
+    #[test]
+    fn report_handles_empty_answers() {
+        let answer = WhyNotAnswer {
+            explanations: vec![],
+            schema_alternatives: vec![],
+            original_result_size: 0,
+        };
+        let plan = PlanBuilder::table("t").build().unwrap();
+        let report = render_answer(&answer, &plan);
+        assert!(report.contains("no explanation"));
+    }
+}

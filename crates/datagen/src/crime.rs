@@ -1,0 +1,131 @@
+//! The crime micro-benchmark of Table 6 (scenarios C1–C3).
+//!
+//! Four relations: persons `P(pname, hair, clothes)`, witnesses
+//! `W(wname, sector, witness)`, sightings `S(sname, shair, sclothes)`, and
+//! crimes `C(csector, ctype)`. The planted facts follow the discussion in
+//! Section 6.4:
+//!
+//! * C1 asks why *Roger* is missing: Roger exists but without blue hair, and
+//!   even a Roger with blue hair would lack a witness join partner — the
+//!   combined explanation `{σ, ⋈}` that Why-Not misses.
+//! * C2 asks why *Conedera* is missing: the witness named Susan reported from
+//!   a sector below the σ₃ threshold.
+//! * C3 asks why *Ashishbakshi* is not listed with description "snow": the
+//!   description is stored in `clothes`, not `hair`.
+
+use nested_data::{Bag, NestedType, TupleType, Value};
+use nrab_algebra::Database;
+
+fn person(name: &str, hair: &str, clothes: &str) -> Value {
+    Value::tuple([
+        ("pname", Value::str(name)),
+        ("hair", Value::str(hair)),
+        ("clothes", Value::str(clothes)),
+    ])
+}
+
+fn witness(wname: &str, sector: i64, saw: &str) -> Value {
+    Value::tuple([
+        ("wname", Value::str(wname)),
+        ("sector", Value::int(sector)),
+        ("witness", Value::str(saw)),
+    ])
+}
+
+fn sighting(name: &str, hair: &str, clothes: &str) -> Value {
+    Value::tuple([
+        ("sname", Value::str(name)),
+        ("shair", Value::str(hair)),
+        ("sclothes", Value::str(clothes)),
+    ])
+}
+
+fn crime(sector: i64, ctype: &str) -> Value {
+    Value::tuple([("csector", Value::int(sector)), ("ctype", Value::str(ctype))])
+}
+
+/// Builds the crime database.
+pub fn crime_database() -> Database {
+    let persons = Bag::from_values([
+        person("Roger", "brown", "jeans"),
+        person("Susan", "blue", "coat"),
+        person("Conedera", "black", "suit"),
+        person("Ashishbakshi", "black", "snow"),
+        person("Maria", "blue", "dress"),
+    ]);
+    let witnesses = Bag::from_values([
+        witness("Susan", 95, "Maria"),
+        witness("Ashishbakshi", 40, "Conedera"),
+        witness("Peter", 80, "Susan"),
+        witness("Maria", 80, "Ashishbakshi"),
+    ]);
+    let sightings = Bag::from_values([
+        sighting("Maria", "blue", "dress"),
+        sighting("Susan", "blue", "coat"),
+        sighting("Ashishbakshi", "black", "snow"),
+        sighting("Conedera", "black", "suit"),
+    ]);
+    let crimes = Bag::from_values([
+        crime(95, "theft"),
+        crime(40, "fraud"),
+        crime(80, "burglary"),
+    ]);
+
+    let mut db = Database::new();
+    db.add_relation(
+        "persons",
+        TupleType::new([
+            ("pname", NestedType::str()),
+            ("hair", NestedType::str()),
+            ("clothes", NestedType::str()),
+        ])
+        .unwrap(),
+        persons,
+    );
+    db.add_relation(
+        "witnesses",
+        TupleType::new([
+            ("wname", NestedType::str()),
+            ("sector", NestedType::int()),
+            ("witness", NestedType::str()),
+        ])
+        .unwrap(),
+        witnesses,
+    );
+    db.add_relation(
+        "sightings",
+        TupleType::new([
+            ("sname", NestedType::str()),
+            ("shair", NestedType::str()),
+            ("sclothes", NestedType::str()),
+        ])
+        .unwrap(),
+        sightings,
+    );
+    db.add_relation(
+        "crimes",
+        TupleType::new([("csector", NestedType::int()), ("ctype", NestedType::str())]).unwrap(),
+        crimes,
+    );
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crime_relations_are_populated() {
+        let db = crime_database();
+        assert_eq!(db.relation("persons").unwrap().total(), 5);
+        assert_eq!(db.relation("witnesses").unwrap().total(), 4);
+        assert_eq!(db.relation("sightings").unwrap().total(), 4);
+        assert_eq!(db.relation("crimes").unwrap().total(), 3);
+        // Roger exists but not with blue hair (C1).
+        let hairs = db.active_domain("persons", "hair").unwrap();
+        assert!(hairs.contains(&Value::str("brown")));
+        // Ashishbakshi's "snow" description is in clothes, not hair (C3).
+        let person_clothes = db.active_domain("persons", "clothes").unwrap();
+        assert!(person_clothes.contains(&Value::str("snow")));
+    }
+}

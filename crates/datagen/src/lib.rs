@@ -1,0 +1,39 @@
+//! # nested-datagen
+//!
+//! Seeded synthetic nested datasets standing in for the paper's evaluation
+//! data (Section 6.2). The original evaluation used 100–500 GB of DBLP and
+//! Twitter JSON plus nested TPC-H at scale factor 10 on a 50-executor Spark
+//! cluster; this crate generates laptop-scale datasets with the *structural
+//! properties the scenarios rely on*:
+//!
+//! * DBLP: `title.bibtex` is null for the vast majority of records, homepage
+//!   URLs live in the `note` attribute rather than `url`, proceedings carry
+//!   the conference acronym in `booktitle` while `title` holds the written-out
+//!   name, and the ACM-published papers of the planted author carry "ACM" in
+//!   `series` rather than `publisher`.
+//! * Twitter: media URLs live in `entities.urls` rather than `entities.media`,
+//!   the planted fan's tweets carry the country in `user.location` rather than
+//!   `place.country`, and the planted "famous" tweet is a retweet rather than
+//!   a quote.
+//! * TPC-H: orders nest their lineitems (`o_lineitems`), with a flat variant
+//!   for the Q1F–Q13F scenarios, and the planted customer/order rows make the
+//!   injected query errors observable.
+//! * Crime: the four-relation police database of Table 6.
+//!
+//! Every generator is deterministic (seeded `StdRng`) and has a scale knob so
+//! the benchmark harness can sweep dataset sizes (Figures 8–10).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crime;
+pub mod dblp;
+pub mod person;
+pub mod tpch;
+pub mod twitter;
+
+pub use crime::crime_database;
+pub use dblp::{dblp_database, DblpConfig};
+pub use person::person_database;
+pub use tpch::{tpch_flat_database, tpch_nested_database, TpchConfig};
+pub use twitter::{twitter_database, TwitterConfig};

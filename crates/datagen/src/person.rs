@@ -1,0 +1,62 @@
+//! The running-example person table (Figure 1a).
+
+use nested_data::{Bag, NestedType, TupleType, Value};
+use nrab_algebra::Database;
+
+/// The address tuple type `⟨city: str, year: int⟩`.
+pub fn address_type() -> TupleType {
+    TupleType::new([("city", NestedType::str()), ("year", NestedType::int())])
+        .expect("static schema")
+}
+
+/// The person tuple type of Example 3.
+pub fn person_type() -> TupleType {
+    TupleType::new([
+        ("name", NestedType::str()),
+        ("address1", NestedType::Relation(address_type())),
+        ("address2", NestedType::Relation(address_type())),
+    ])
+    .expect("static schema")
+}
+
+fn addr(city: &str, year: i64) -> Value {
+    Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+}
+
+/// Builds the person database of Figure 1a (Peter and Sue).
+pub fn person_database() -> Database {
+    let peter = Value::tuple([
+        ("name", Value::str("Peter")),
+        ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+        ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+    ]);
+    let sue = Value::tuple([
+        ("name", Value::str("Sue")),
+        ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+    ]);
+    let mut db = Database::new();
+    db.add_relation("person", person_type(), Bag::from_values([peter, sue]));
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1a_contents() {
+        let db = person_database();
+        let bag = db.relation("person").unwrap();
+        assert_eq!(bag.total(), 2);
+        let schema = db.schema("person").unwrap();
+        assert!(schema.contains("address1"));
+        assert!(schema.contains("address2"));
+        // Sue has an NY address in address2 with year 2018 (the compatible tuple).
+        let sue = bag
+            .iter()
+            .find(|(v, _)| v.as_tuple().unwrap().get("name") == Some(&Value::str("Sue")))
+            .unwrap();
+        assert!(sue.0.contains_at_path(&"address2.city".into(), &Value::str("NY")));
+    }
+}

@@ -1,0 +1,316 @@
+//! Bags (multisets) of nested values.
+//!
+//! A [`Bag`] stores distinct values together with their multiplicities in a
+//! canonical (sorted) order, which makes bag equality, hashing, and ordering
+//! well-defined and deterministic. Bags are used both as nested relation
+//! *values* (attributes of relation type) and as the top-level relations of a
+//! database.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// A bag `{{ v₁ⁿ¹, v₂ⁿ², ... }}` of nested values with multiplicities.
+#[derive(Debug, Clone, Default)]
+pub struct Bag {
+    /// Distinct values with positive multiplicities, kept sorted by value.
+    entries: Vec<(Value, u64)>,
+}
+
+impl Bag {
+    /// The empty bag `{{}}`.
+    pub fn new() -> Self {
+        Bag { entries: Vec::new() }
+    }
+
+    /// Builds a bag from an iterator of values (each contributing multiplicity 1).
+    pub fn from_values<I>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let mut bag = Bag::new();
+        for v in values {
+            bag.insert(v, 1);
+        }
+        bag
+    }
+
+    /// Builds a bag from `(value, multiplicity)` pairs.
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Value, u64)>,
+    {
+        let mut bag = Bag::new();
+        for (v, m) in entries {
+            bag.insert(v, m);
+        }
+        bag
+    }
+
+    /// Inserts `mult` copies of `value`. Inserting zero copies is a no-op.
+    pub fn insert(&mut self, value: Value, mult: u64) {
+        if mult == 0 {
+            return;
+        }
+        match self.entries.binary_search_by(|(v, _)| v.cmp(&value)) {
+            Ok(idx) => self.entries[idx].1 += mult,
+            Err(idx) => self.entries.insert(idx, (value, mult)),
+        }
+    }
+
+    /// The multiplicity of `value` in the bag (`mult(R, t)`); zero if absent.
+    pub fn mult(&self, value: &Value) -> u64 {
+        match self.entries.binary_search_by(|(v, _)| v.cmp(value)) {
+            Ok(idx) => self.entries[idx].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether the bag contains at least one copy of `value`.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.mult(value) > 0
+    }
+
+    /// Total number of elements counting multiplicities (`|R|`).
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, m)| m).sum()
+    }
+
+    /// Number of *distinct* values.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(value, multiplicity)` entries in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Value, u64)> {
+        self.entries.iter()
+    }
+
+    /// Iterates over values, repeating each according to its multiplicity.
+    pub fn iter_expanded(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().flat_map(|(v, m)| std::iter::repeat_n(v, *m as usize))
+    }
+
+    /// Consumes the bag and returns its entries.
+    pub fn into_entries(self) -> Vec<(Value, u64)> {
+        self.entries
+    }
+
+    /// Additive union `R ∪ S` (multiplicities add).
+    pub fn union(&self, other: &Bag) -> Bag {
+        let mut result = self.clone();
+        for (v, m) in other.iter() {
+            result.insert(v.clone(), *m);
+        }
+        result
+    }
+
+    /// Bag difference `R − S` (multiplicities subtract, floored at zero).
+    pub fn difference(&self, other: &Bag) -> Bag {
+        let mut result = Bag::new();
+        for (v, m) in self.iter() {
+            let other_m = other.mult(v);
+            if *m > other_m {
+                result.insert(v.clone(), m - other_m);
+            }
+        }
+        result
+    }
+
+    /// Duplicate elimination `δ(R)`: every distinct value with multiplicity 1.
+    pub fn dedup(&self) -> Bag {
+        Bag { entries: self.entries.iter().map(|(v, _)| (v.clone(), 1)).collect() }
+    }
+
+    /// Maps every distinct value through `f`, preserving multiplicities.
+    pub fn map_values<F>(&self, mut f: F) -> Bag
+    where
+        F: FnMut(&Value) -> Value,
+    {
+        Bag::from_entries(self.entries.iter().map(|(v, m)| (f(v), *m)))
+    }
+
+    /// Retains only entries whose value satisfies the predicate.
+    pub fn filter<F>(&self, mut pred: F) -> Bag
+    where
+        F: FnMut(&Value) -> bool,
+    {
+        Bag {
+            entries: self.entries.iter().filter(|(v, _)| pred(v)).cloned().collect(),
+        }
+    }
+
+    /// Groups the bag's elements by a key extracted from each value.
+    ///
+    /// Returns `(key, bag of values with that key)` pairs in canonical key
+    /// order. Used by relation nesting and grouped aggregation.
+    pub fn group_by<F>(&self, mut key: F) -> Vec<(Value, Bag)>
+    where
+        F: FnMut(&Value) -> Value,
+    {
+        let mut groups: Vec<(Value, Bag)> = Vec::new();
+        for (v, m) in self.iter() {
+            let k = key(v);
+            match groups.binary_search_by(|(gk, _)| gk.cmp(&k)) {
+                Ok(idx) => groups[idx].1.insert(v.clone(), *m),
+                Err(idx) => {
+                    let mut bag = Bag::new();
+                    bag.insert(v.clone(), *m);
+                    groups.insert(idx, (k, bag));
+                }
+            }
+        }
+        groups
+    }
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Bag {}
+
+impl PartialOrd for Bag {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bag {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.entries.cmp(&other.entries)
+    }
+}
+
+impl Hash for Bag {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for (v, m) in &self.entries {
+            v.hash(state);
+            m.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{{")?;
+        let mut first = true;
+        for (v, m) in &self.entries {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if *m == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{m}")?;
+            }
+        }
+        write!(f, "}}}}")
+    }
+}
+
+impl FromIterator<Value> for Bag {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Bag::from_values(iter)
+    }
+}
+
+impl IntoIterator for Bag {
+    type Item = (Value, u64);
+    type IntoIter = std::vec::IntoIter<(Value, u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, n: i64) -> Value {
+        Value::tuple([("name", Value::str(name)), ("n", Value::int(n))])
+    }
+
+    #[test]
+    fn insert_aggregates_multiplicities() {
+        let mut bag = Bag::new();
+        bag.insert(Value::int(1), 2);
+        bag.insert(Value::int(1), 3);
+        bag.insert(Value::int(2), 1);
+        bag.insert(Value::int(3), 0);
+        assert_eq!(bag.mult(&Value::int(1)), 5);
+        assert_eq!(bag.mult(&Value::int(2)), 1);
+        assert_eq!(bag.mult(&Value::int(3)), 0);
+        assert_eq!(bag.total(), 6);
+        assert_eq!(bag.distinct(), 2);
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = Bag::from_values([Value::int(1), Value::int(2), Value::int(1)]);
+        let b = Bag::from_values([Value::int(2), Value::int(1), Value::int(1)]);
+        assert_eq!(a, b);
+        let c = Bag::from_values([Value::int(1), Value::int(2)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn union_difference_dedup() {
+        let a = Bag::from_entries([(Value::int(1), 2), (Value::int(2), 1)]);
+        let b = Bag::from_entries([(Value::int(1), 1), (Value::int(3), 4)]);
+        let u = a.union(&b);
+        assert_eq!(u.mult(&Value::int(1)), 3);
+        assert_eq!(u.mult(&Value::int(3)), 4);
+        let d = a.difference(&b);
+        assert_eq!(d.mult(&Value::int(1)), 1);
+        assert_eq!(d.mult(&Value::int(2)), 1);
+        assert_eq!(d.mult(&Value::int(3)), 0);
+        let dd = u.dedup();
+        assert_eq!(dd.total(), 3);
+        assert!(dd.iter().all(|(_, m)| *m == 1));
+    }
+
+    #[test]
+    fn expanded_iteration_respects_multiplicities() {
+        let bag = Bag::from_entries([(Value::int(7), 3)]);
+        assert_eq!(bag.iter_expanded().count(), 3);
+    }
+
+    #[test]
+    fn group_by_key() {
+        let bag = Bag::from_values([t("Sue", 1), t("Sue", 2), t("Peter", 3)]);
+        let groups = bag.group_by(|v| v.as_tuple().unwrap().get("name").unwrap().clone());
+        assert_eq!(groups.len(), 2);
+        let (sue_key, sue_group) =
+            groups.iter().find(|(k, _)| k == &Value::str("Sue")).unwrap();
+        assert_eq!(sue_key, &Value::str("Sue"));
+        assert_eq!(sue_group.total(), 2);
+    }
+
+    #[test]
+    fn filter_and_map() {
+        let bag = Bag::from_values([Value::int(1), Value::int(2), Value::int(3)]);
+        let evens = bag.filter(|v| v.as_int().unwrap() % 2 == 0);
+        assert_eq!(evens.total(), 1);
+        let doubled = bag.map_values(|v| Value::int(v.as_int().unwrap() * 2));
+        assert_eq!(doubled.mult(&Value::int(6)), 1);
+    }
+
+    #[test]
+    fn display_shows_multiplicities() {
+        let bag = Bag::from_entries([(Value::int(1), 2)]);
+        assert_eq!(bag.to_string(), "{{1^2}}");
+        assert_eq!(Bag::new().to_string(), "{{}}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by the nested data model.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating nested values, types,
+/// paths, and NIPs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was not found in a tuple or tuple type.
+    UnknownAttribute {
+        /// The attribute that was looked up.
+        attribute: String,
+        /// The attributes that are actually available.
+        available: Vec<String>,
+    },
+    /// A path navigated into a value of an unexpected shape
+    /// (e.g. asking for a field of a primitive).
+    PathMismatch {
+        /// The offending path (rendered).
+        path: String,
+        /// A description of what was found instead.
+        found: String,
+    },
+    /// A value did not conform to the expected nested type.
+    TypeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// Human-readable description of the actual value or type.
+        found: String,
+    },
+    /// A NIP was structurally invalid (e.g. `*` outside of a bag, or two `*`
+    /// placeholders in the same bag, violating Definition 3).
+    InvalidNip(String),
+    /// Two tuples could not be concatenated because attribute names collide.
+    DuplicateAttribute(String),
+    /// Generic invariant violation with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute { attribute, available } => write!(
+                f,
+                "unknown attribute `{attribute}` (available: {})",
+                available.join(", ")
+            ),
+            DataError::PathMismatch { path, found } => {
+                write!(f, "path `{path}` does not match value shape: {found}")
+            }
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::InvalidNip(msg) => write!(f, "invalid NIP: {msg}"),
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute `{name}` when concatenating tuples")
+            }
+            DataError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Result alias used throughout the crate.
+pub type DataResult<T> = Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let err = DataError::UnknownAttribute {
+            attribute: "city".into(),
+            available: vec!["name".into(), "year".into()],
+        };
+        let rendered = err.to_string();
+        assert!(rendered.contains("city"));
+        assert!(rendered.contains("name, year"));
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let err = DataError::TypeMismatch { expected: "int".into(), found: "str".into() };
+        assert_eq!(err.to_string(), "type mismatch: expected int, found str");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(DataError::Invalid("boom".into()));
+        assert_eq!(err.to_string(), "boom");
+    }
+}

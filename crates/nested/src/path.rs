@@ -1,0 +1,189 @@
+//! Attribute paths.
+//!
+//! An [`AttrPath`] is a dotted sequence of attribute names such as
+//! `address2.city` or `entities.media.url`. Paths navigate through tuple
+//! attributes and *into* the element tuples of nested relations. They are the
+//! vocabulary in which schema backtracing records source attributes and in
+//! which users specify attribute alternatives (Section 5.2).
+
+use std::fmt;
+
+/// A dotted attribute path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrPath {
+    segments: Vec<String>,
+}
+
+impl AttrPath {
+    /// Builds a path from individual segments.
+    pub fn new<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AttrPath { segments: segments.into_iter().map(Into::into).collect() }
+    }
+
+    /// Parses a dotted path such as `"address2.city"`.
+    pub fn parse(path: &str) -> Self {
+        AttrPath {
+            segments: path
+                .split('.')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// A single-segment path.
+    pub fn single(name: impl Into<String>) -> Self {
+        AttrPath { segments: vec![name.into()] }
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The first segment, if any.
+    pub fn head(&self) -> Option<&str> {
+        self.segments.first().map(String::as_str)
+    }
+
+    /// The last segment, if any (the attribute ultimately referenced).
+    pub fn leaf(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+
+    /// The path with the first segment removed.
+    pub fn tail(&self) -> AttrPath {
+        AttrPath { segments: self.segments.iter().skip(1).cloned().collect() }
+    }
+
+    /// The path with the last segment removed (its "parent").
+    pub fn parent(&self) -> AttrPath {
+        let mut segments = self.segments.clone();
+        segments.pop();
+        AttrPath { segments }
+    }
+
+    /// Appends a segment, returning a new path.
+    pub fn child(&self, name: impl Into<String>) -> AttrPath {
+        let mut segments = self.segments.clone();
+        segments.push(name.into());
+        AttrPath { segments }
+    }
+
+    /// Concatenates two paths.
+    pub fn join(&self, other: &AttrPath) -> AttrPath {
+        let mut segments = self.segments.clone();
+        segments.extend(other.segments.iter().cloned());
+        AttrPath { segments }
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &AttrPath) -> bool {
+        if self.segments.len() > other.segments.len() {
+            return false;
+        }
+        self.segments.iter().zip(other.segments.iter()).all(|(a, b)| a == b)
+    }
+
+    /// If `prefix` is a prefix of `self`, returns the remainder of the path.
+    pub fn strip_prefix(&self, prefix: &AttrPath) -> Option<AttrPath> {
+        if prefix.is_prefix_of(self) {
+            Some(AttrPath { segments: self.segments[prefix.len()..].to_vec() })
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the prefix `old` by `new`, if `old` is a prefix of `self`.
+    ///
+    /// Used when a schema alternative substitutes one source attribute for
+    /// another (e.g. replacing `address2` by `address1` turns
+    /// `address2.year` into `address1.year`).
+    pub fn replace_prefix(&self, old: &AttrPath, new: &AttrPath) -> Option<AttrPath> {
+        self.strip_prefix(old).map(|rest| new.join(&rest))
+    }
+}
+
+impl fmt::Display for AttrPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.segments.join("."))
+    }
+}
+
+impl From<&str> for AttrPath {
+    fn from(s: &str) -> Self {
+        AttrPath::parse(s)
+    }
+}
+
+impl From<String> for AttrPath {
+    fn from(s: String) -> Self {
+        AttrPath::parse(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = AttrPath::parse("address2.city");
+        assert_eq!(p.segments(), &["address2".to_string(), "city".to_string()]);
+        assert_eq!(p.to_string(), "address2.city");
+        assert_eq!(AttrPath::parse("").len(), 0);
+    }
+
+    #[test]
+    fn head_tail_leaf_parent() {
+        let p = AttrPath::parse("a.b.c");
+        assert_eq!(p.head(), Some("a"));
+        assert_eq!(p.leaf(), Some("c"));
+        assert_eq!(p.tail().to_string(), "b.c");
+        assert_eq!(p.parent().to_string(), "a.b");
+        assert_eq!(p.child("d").to_string(), "a.b.c.d");
+    }
+
+    #[test]
+    fn prefix_operations() {
+        let p = AttrPath::parse("address2.city");
+        let prefix = AttrPath::single("address2");
+        assert!(prefix.is_prefix_of(&p));
+        assert!(!p.is_prefix_of(&prefix));
+        assert_eq!(p.strip_prefix(&prefix).unwrap().to_string(), "city");
+        assert_eq!(
+            p.replace_prefix(&prefix, &AttrPath::single("address1")).unwrap().to_string(),
+            "address1.city"
+        );
+        assert!(p.replace_prefix(&AttrPath::single("name"), &prefix).is_none());
+    }
+
+    #[test]
+    fn join_paths() {
+        let a = AttrPath::parse("entities.media");
+        let b = AttrPath::parse("url");
+        assert_eq!(a.join(&b).to_string(), "entities.media.url");
+    }
+
+    #[test]
+    fn conversions() {
+        let p: AttrPath = "user.name".into();
+        assert_eq!(p.len(), 2);
+        let p: AttrPath = String::from("x").into();
+        assert_eq!(p.leaf(), Some("x"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Tuple values with named, ordered fields.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{DataError, DataResult};
+use crate::types::TupleType;
+use crate::value::Value;
+
+/// A tuple value `⟨A₁ : v₁, ..., Aₙ : vₙ⟩`.
+///
+/// Field order is preserved (it determines the display order and the default
+/// output schema), but equality, ordering, and hashing are *name-based*: two
+/// tuples with the same name→value mapping are equal regardless of field
+/// order, which is what the algebra's bag semantics require.
+#[derive(Debug, Clone, Default)]
+pub struct Tuple {
+    fields: Vec<(String, Value)>,
+}
+
+impl Tuple {
+    /// Builds a tuple from `(name, value)` pairs.
+    pub fn new<I, S>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Tuple { fields: fields.into_iter().map(|(n, v)| (n.into(), v)).collect() }
+    }
+
+    /// The empty tuple `⟨⟩`.
+    pub fn empty() -> Self {
+        Tuple { fields: Vec::new() }
+    }
+
+    /// The `(name, value)` pairs in field order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The attribute names in field order.
+    pub fn attribute_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a field by name, erroring if absent.
+    pub fn get_required(&self, name: &str) -> DataResult<&Value> {
+        self.get(name).ok_or_else(|| DataError::UnknownAttribute {
+            attribute: name.to_string(),
+            available: self.fields.iter().map(|(n, _)| n.clone()).collect(),
+        })
+    }
+
+    /// Whether the tuple contains a field called `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Projects the tuple onto the given attributes (the paper's `t.L`),
+    /// preserving the requested order.
+    pub fn project(&self, names: &[&str]) -> DataResult<Tuple> {
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            fields.push(((*name).to_string(), self.get_required(name)?.clone()));
+        }
+        Ok(Tuple { fields })
+    }
+
+    /// Concatenates two tuples (the paper's `t ◦ t'`). Field names must be
+    /// disjoint.
+    pub fn concat(&self, other: &Tuple) -> DataResult<Tuple> {
+        let mut fields = self.fields.clone();
+        for (name, value) in &other.fields {
+            if self.contains(name) {
+                return Err(DataError::DuplicateAttribute(name.clone()));
+            }
+            fields.push((name.clone(), value.clone()));
+        }
+        Ok(Tuple { fields })
+    }
+
+    /// Returns a copy with the listed attributes removed.
+    pub fn without(&self, names: &[&str]) -> Tuple {
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .filter(|(n, _)| !names.contains(&n.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Returns a copy with an additional field appended (replacing any
+    /// existing field of the same name).
+    pub fn with_field(&self, name: impl Into<String>, value: Value) -> Tuple {
+        let name = name.into();
+        let mut fields: Vec<(String, Value)> =
+            self.fields.iter().filter(|(n, _)| *n != name).cloned().collect();
+        fields.push((name, value));
+        Tuple { fields }
+    }
+
+    /// Renames fields according to `(old, new)` pairs; unmentioned fields keep
+    /// their names.
+    pub fn rename(&self, mapping: &[(String, String)]) -> Tuple {
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .map(|(name, value)| {
+                    let new_name = mapping
+                        .iter()
+                        .find(|(old, _)| old == name)
+                        .map(|(_, new)| new.clone())
+                        .unwrap_or_else(|| name.clone());
+                    (new_name, value.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// A tuple with the same attribute names whose values are all `⊥`
+    /// (used to pad outer joins and outer flattens).
+    pub fn null_padded(names: &[&str]) -> Tuple {
+        Tuple { fields: names.iter().map(|n| ((*n).to_string(), Value::Null)).collect() }
+    }
+
+    /// Whether every field of this tuple conforms to the corresponding
+    /// attribute of `ty` (attribute order is ignored; missing attributes fail).
+    pub fn conforms_to(&self, ty: &TupleType) -> bool {
+        if self.arity() != ty.arity() {
+            return false;
+        }
+        self.fields.iter().all(|(name, value)| {
+            ty.attribute(name).map(|t| value.conforms_to(t)).unwrap_or(false)
+        })
+    }
+
+    /// Canonicalized `(name, value)` pairs sorted by name; basis for
+    /// order-insensitive equality, ordering, and hashing.
+    fn canonical(&self) -> Vec<(&String, &Value)> {
+        let mut fields: Vec<(&String, &Value)> =
+            self.fields.iter().map(|(n, v)| (n, v)).collect();
+        fields.sort_by(|a, b| a.0.cmp(b.0));
+        fields
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.canonical().cmp(&other.canonical())
+    }
+}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for (name, value) in self.canonical() {
+            name.hash(state);
+            value.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {value}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(city: &str, year: i64) -> Tuple {
+        Tuple::new([("city", Value::str(city)), ("year", Value::int(year))])
+    }
+
+    #[test]
+    fn field_access() {
+        let t = addr("NY", 2010);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get("city"), Some(&Value::str("NY")));
+        assert!(t.get("zip").is_none());
+        assert!(t.get_required("zip").is_err());
+        assert_eq!(t.attribute_names(), vec!["city", "year"]);
+    }
+
+    #[test]
+    fn equality_ignores_field_order() {
+        let a = Tuple::new([("x", Value::int(1)), ("y", Value::int(2))]);
+        let b = Tuple::new([("y", Value::int(2)), ("x", Value::int(1))]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |t: &Tuple| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn project_concat_without() {
+        let t = addr("LA", 2019);
+        let p = t.project(&["city"]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert!(t.project(&["nope"]).is_err());
+
+        let extra = Tuple::new([("name", Value::str("Sue"))]);
+        let joined = t.concat(&extra).unwrap();
+        assert_eq!(joined.arity(), 3);
+        assert!(joined.concat(&extra).is_err());
+
+        let smaller = joined.without(&["year", "city"]);
+        assert_eq!(smaller.attribute_names(), vec!["name"]);
+    }
+
+    #[test]
+    fn rename_and_with_field() {
+        let t = addr("LA", 2019);
+        let r = t.rename(&[("city".into(), "town".into())]);
+        assert!(r.contains("town"));
+        let w = t.with_field("city", Value::str("SF"));
+        assert_eq!(w.get("city"), Some(&Value::str("SF")));
+        assert_eq!(w.arity(), 2);
+        let x = t.with_field("zip", Value::int(90001));
+        assert_eq!(x.arity(), 3);
+    }
+
+    #[test]
+    fn null_padding_and_conformance() {
+        let padded = Tuple::null_padded(&["city", "year"]);
+        assert!(padded.get("city").unwrap().is_null());
+        let ty = TupleType::new([
+            ("city", crate::types::NestedType::str()),
+            ("year", crate::types::NestedType::int()),
+        ])
+        .unwrap();
+        assert!(padded.conforms_to(&ty));
+        assert!(addr("NY", 2010).conforms_to(&ty));
+        assert!(!Tuple::new([("city", Value::str("NY"))]).conforms_to(&ty));
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut ts = vec![addr("NY", 2018), addr("LA", 2019), addr("LA", 2010)];
+        ts.sort();
+        assert_eq!(ts[0].get("city"), Some(&Value::str("LA")));
+        assert_eq!(ts[0].get("year"), Some(&Value::int(2010)));
+    }
+}

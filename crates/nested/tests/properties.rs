@@ -1,0 +1,102 @@
+//! Property-based tests for the nested data model: bag algebra laws, NIP
+//! matching invariants, and tree-edit-distance metric properties.
+
+use nested_data::{tree_distance, Bag, Nip, Value};
+use proptest::prelude::*;
+
+/// A strategy for small primitive values.
+fn primitive() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        "[a-c]{0,3}".prop_map(Value::str),
+    ]
+}
+
+/// A strategy for flat tuples over a fixed small schema.
+fn flat_tuple() -> impl Strategy<Value = Value> {
+    (primitive(), primitive()).prop_map(|(a, b)| Value::tuple([("a", a), ("b", b)]))
+}
+
+/// A strategy for small bags of flat tuples.
+fn small_bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec(flat_tuple(), 0..6).prop_map(Bag::from_values)
+}
+
+proptest! {
+    /// Bag union is commutative and its totals add up.
+    #[test]
+    fn bag_union_commutative(a in small_bag(), b in small_bag()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).total(), a.total() + b.total());
+    }
+
+    /// Bag difference never yields negative multiplicities and is bounded by
+    /// the left operand.
+    #[test]
+    fn bag_difference_bounded(a in small_bag(), b in small_bag()) {
+        let d = a.difference(&b);
+        prop_assert!(d.total() <= a.total());
+        for (v, m) in d.iter() {
+            prop_assert!(*m <= a.mult(v));
+        }
+        // a = (a − b) ∪ (a ∩ b) in terms of totals.
+        let kept: u64 = a.iter().map(|(v, m)| (*m).min(b.mult(v))).sum();
+        prop_assert_eq!(d.total() + kept, a.total());
+    }
+
+    /// Deduplication keeps exactly the distinct values with multiplicity one.
+    #[test]
+    fn dedup_is_idempotent(a in small_bag()) {
+        let d = a.dedup();
+        prop_assert_eq!(d.total() as usize, a.distinct());
+        prop_assert_eq!(d.dedup(), d);
+    }
+
+    /// Bag equality is insensitive to insertion order.
+    #[test]
+    fn bag_equality_order_insensitive(values in prop::collection::vec(flat_tuple(), 0..6)) {
+        let forward = Bag::from_values(values.clone());
+        let mut reversed_values = values;
+        reversed_values.reverse();
+        let reversed = Bag::from_values(reversed_values);
+        prop_assert_eq!(forward, reversed);
+    }
+
+    /// The unconstrained NIP (all `?`) matches every tuple, and an exact-value
+    /// NIP matches exactly that value.
+    #[test]
+    fn nip_matching_extremes(t in flat_tuple(), other in flat_tuple()) {
+        let any = Nip::tuple([("a", Nip::Any), ("b", Nip::Any)]);
+        prop_assert!(any.matches(&t));
+        let exact = Nip::Value(t.clone());
+        prop_assert!(exact.matches(&t));
+        prop_assert_eq!(exact.matches(&other), t == other);
+    }
+
+    /// `{{ e, * }}` (bag-containing) matches iff some element matches `e`,
+    /// and matching implies compatibility.
+    #[test]
+    fn bag_containing_matches_iff_element_matches(bag in small_bag(), needle in flat_tuple()) {
+        let nip = Nip::bag_containing(Nip::Value(needle.clone()));
+        let value = Value::Bag(bag.clone());
+        let expected = bag.iter().any(|(v, _)| v == &needle);
+        prop_assert_eq!(nip.matches(&value), expected);
+        if nip.matches(&value) {
+            prop_assert!(nip.compatible(&value));
+        }
+    }
+
+    /// The tree distance is a pseudo-metric on the values we generate:
+    /// identity, symmetry, and the triangle inequality hold.
+    #[test]
+    fn tree_distance_is_a_metric(a in flat_tuple(), b in flat_tuple(), c in flat_tuple()) {
+        prop_assert_eq!(tree_distance(&a, &a), 0);
+        prop_assert_eq!(tree_distance(&a, &b), tree_distance(&b, &a));
+        prop_assert!(tree_distance(&a, &c) <= tree_distance(&a, &b) + tree_distance(&b, &c));
+        if a == b {
+            prop_assert_eq!(tree_distance(&a, &b), 0);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Schema alternatives as consumed by the tracer.
+//!
+//! A schema alternative (Section 5.2) substitutes zero or more attributes in
+//! operator parameters with alternative attributes of matching type. For the
+//! tracer, an alternative is described by
+//!
+//! * the attribute substitutions to apply per operator, and
+//! * for every operator, a NIP over that operator's *output* that
+//!   characterizes tuples still able to contribute to the missing answer under
+//!   this alternative (the pushed-down why-not constraints produced by schema
+//!   backtracing).
+//!
+//! Alternative index 0 is, by convention, the original query (no
+//! substitutions), which the paper denotes `S₁`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nested_data::{AttrPath, Nip};
+use nrab_algebra::params::substitute_attribute;
+use nrab_algebra::{OpId, OpNode, Operator};
+
+/// One attribute substitution at one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSubstitution {
+    /// The operator whose parameters are rewritten.
+    pub op: OpId,
+    /// The attribute (path) referenced by the original query.
+    pub from: AttrPath,
+    /// The alternative attribute (path) used instead.
+    pub to: AttrPath,
+}
+
+impl OpSubstitution {
+    /// Creates a substitution.
+    pub fn new(op: OpId, from: impl Into<AttrPath>, to: impl Into<AttrPath>) -> Self {
+        OpSubstitution { op, from: from.into(), to: to.into() }
+    }
+}
+
+impl fmt::Display for OpSubstitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {}: {} → {}", self.op, self.from, self.to)
+    }
+}
+
+/// A schema alternative: substitutions plus per-operator consistency NIPs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaAlternative {
+    /// Index of the alternative (0 = original query).
+    pub index: usize,
+    /// Attribute substitutions applied under this alternative.
+    pub substitutions: Vec<OpSubstitution>,
+    /// For every operator, the NIP (over its output tuples) that re-validates
+    /// whether a tuple can still contribute to the missing answer.
+    pub consistency: BTreeMap<OpId, Nip>,
+}
+
+impl SchemaAlternative {
+    /// The original-query alternative (no substitutions).
+    pub fn original(consistency: BTreeMap<OpId, Nip>) -> Self {
+        SchemaAlternative { index: 0, substitutions: Vec::new(), consistency }
+    }
+
+    /// Creates an alternative with the given index, substitutions, and NIPs.
+    pub fn new(
+        index: usize,
+        substitutions: Vec<OpSubstitution>,
+        consistency: BTreeMap<OpId, Nip>,
+    ) -> Self {
+        SchemaAlternative { index, substitutions, consistency }
+    }
+
+    /// Whether this is the original query (no substitutions).
+    pub fn is_original(&self) -> bool {
+        self.substitutions.is_empty()
+    }
+
+    /// The operators whose parameters this alternative rewrites — the "SR
+    /// prefix" with which `approximateMSRs` seeds its search for this
+    /// alternative.
+    pub fn substituted_ops(&self) -> BTreeSet<OpId> {
+        self.substitutions.iter().map(|s| s.op).collect()
+    }
+
+    /// The consistency NIP for an operator's output, if any.
+    pub fn consistency_nip(&self, op: OpId) -> Option<&Nip> {
+        self.consistency.get(&op)
+    }
+
+    /// Returns the operator of `node` with this alternative's substitutions
+    /// applied (the "effective" operator evaluated during tracing).
+    pub fn effective_operator(&self, node: &OpNode) -> Operator {
+        let mut op = node.op.clone();
+        for substitution in &self.substitutions {
+            if substitution.op == node.id {
+                substitute_attribute(&mut op, &substitution.from, &substitution.to);
+            }
+        }
+        op
+    }
+}
+
+impl fmt::Display for SchemaAlternative {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.substitutions.is_empty() {
+            write!(f, "S{} (original)", self.index + 1)
+        } else {
+            write!(f, "S{} (", self.index + 1)?;
+            for (i, s) in self.substitutions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::{FlattenKind, PlanBuilder};
+
+    fn plan() -> nrab_algebra::QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn original_alternative_has_no_substitutions() {
+        let sa = SchemaAlternative::original(BTreeMap::new());
+        assert!(sa.is_original());
+        assert!(sa.substituted_ops().is_empty());
+        assert!(sa.consistency_nip(0).is_none());
+        assert_eq!(sa.to_string(), "S1 (original)");
+    }
+
+    #[test]
+    fn effective_operator_applies_substitution_only_at_target_op() {
+        let plan = plan();
+        let sa = SchemaAlternative::new(
+            1,
+            vec![OpSubstitution::new(1, "address2", "address1")],
+            BTreeMap::new(),
+        );
+        assert_eq!(sa.substituted_ops().into_iter().collect::<Vec<_>>(), vec![1]);
+
+        let flatten = plan.node(1).unwrap();
+        let effective = sa.effective_operator(flatten);
+        match effective {
+            Operator::Flatten { attr, kind, .. } => {
+                assert_eq!(attr, "address1");
+                assert_eq!(kind, FlattenKind::Inner);
+            }
+            other => panic!("unexpected operator {other:?}"),
+        }
+
+        // Other operators are untouched.
+        let select = plan.node(2).unwrap();
+        assert_eq!(sa.effective_operator(select), select.op);
+        assert!(sa.to_string().contains("address1"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Annotated tuples, per-operator traces, and whole-plan trace results.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nested_data::Tuple;
+use nrab_algebra::OpId;
+
+/// The per-schema-alternative annotations of one traced tuple at one operator
+/// (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SaFlags {
+    /// Does the tuple exist under this schema alternative?
+    pub valid: bool,
+    /// Can the tuple (re-validated against the pushed-down why-not
+    /// constraints) still contribute to the missing answer?
+    pub consistent: bool,
+    /// Would the operator keep/produce this tuple under its *original*
+    /// parameters (modulo the attribute changes of the alternative)?
+    pub retained: bool,
+}
+
+impl SaFlags {
+    /// Flags for a tuple that does not exist under the alternative (padding).
+    pub fn absent() -> Self {
+        SaFlags { valid: false, consistent: false, retained: false }
+    }
+
+    /// Whether all annotations are set (the "all annotations being set to 1"
+    /// test of Algorithm 4, lines 13 and 18).
+    pub fn all_ones(&self) -> bool {
+        self.valid && self.consistent && self.retained
+    }
+
+    /// Whether the tuple witnesses the need to reparameterize the operator
+    /// (Algorithm 4, line 8): it exists, it can still contribute to the
+    /// missing answer, but the original operator loses it.
+    pub fn needs_reparameterization(&self) -> bool {
+        self.valid && self.consistent && !self.retained
+    }
+}
+
+/// One tuple of an operator's traced (generalized) output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedTuple {
+    /// Fresh identifier, unique across the whole trace.
+    pub id: u64,
+    /// The tuple's data under each schema alternative (`None` = the tuple does
+    /// not exist under that alternative and is only present as padding).
+    pub variants: Vec<Option<Tuple>>,
+    /// The annotations under each schema alternative.
+    pub flags: Vec<SaFlags>,
+    /// Identifiers of the traced input tuples this tuple was derived from,
+    /// per schema alternative (lineage can differ between alternatives, e.g.
+    /// the members of a nested group).
+    pub inputs: Vec<Vec<u64>>,
+}
+
+impl TracedTuple {
+    /// The tuple's data under alternative `sa`, if it exists there.
+    pub fn variant(&self, sa: usize) -> Option<&Tuple> {
+        self.variants.get(sa).and_then(Option::as_ref)
+    }
+
+    /// The flags under alternative `sa` (absent flags if out of range).
+    pub fn flags(&self, sa: usize) -> SaFlags {
+        self.flags.get(sa).copied().unwrap_or_else(SaFlags::absent)
+    }
+
+    /// The lineage (input tuple ids) under alternative `sa`.
+    pub fn input_ids(&self, sa: usize) -> &[u64] {
+        self.inputs.get(sa).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The union of the lineage over all alternatives.
+    pub fn all_input_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.inputs.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// The traced (generalized) output of one operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpTrace {
+    /// The operator id.
+    pub op: OpId,
+    /// The operator's kind symbol (for reports).
+    pub kind: String,
+    /// The traced tuples.
+    pub tuples: Vec<TracedTuple>,
+}
+
+impl OpTrace {
+    /// Whether any tuple needs a reparameterization of this operator under
+    /// alternative `sa` *and* contributes to a consistent output tuple
+    /// (`contributing` is the id set computed by
+    /// [`TraceResult::contributing_ids`]).
+    pub fn has_reparameterization_witness(
+        &self,
+        sa: usize,
+        contributing: &BTreeSet<u64>,
+    ) -> bool {
+        self.tuples
+            .iter()
+            .any(|t| t.flags(sa).needs_reparameterization() && contributing.contains(&t.id))
+    }
+
+    /// Whether any tuple has all annotations set under alternative `sa`
+    /// (optionally restricted to tuples contributing to a consistent output).
+    pub fn has_all_ones_witness(&self, sa: usize, contributing: Option<&BTreeSet<u64>>) -> bool {
+        self.tuples.iter().any(|t| {
+            t.flags(sa).all_ones()
+                && contributing.map(|c| c.contains(&t.id)).unwrap_or(true)
+        })
+    }
+
+    /// Number of traced tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The traced output of every operator of a plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceResult {
+    /// Per-operator traces.
+    pub traces: BTreeMap<OpId, OpTrace>,
+    /// The root operator (the query output).
+    pub root: OpId,
+    /// Operator ids in pre-order (root first) — the order in which
+    /// `approximateMSRs` walks the plan.
+    pub pre_order: Vec<OpId>,
+    /// Number of schema alternatives traced.
+    pub num_sas: usize,
+}
+
+impl TraceResult {
+    /// The trace of one operator.
+    pub fn trace(&self, op: OpId) -> Option<&OpTrace> {
+        self.traces.get(&op)
+    }
+
+    /// The trace of the root operator (the generalized query output).
+    pub fn root_trace(&self) -> &OpTrace {
+        &self.traces[&self.root]
+    }
+
+    /// Whether the query result under alternative `sa` contains a tuple that
+    /// is valid and consistent — i.e. whether *some* reparameterization
+    /// captured by the tracing can produce the missing answer under `sa`.
+    pub fn has_consistent_output(&self, sa: usize) -> bool {
+        self.root_trace().tuples.iter().any(|t| {
+            let f = t.flags(sa);
+            f.valid && f.consistent
+        })
+    }
+
+    /// The identifiers of all traced tuples (at any operator) that lie in the
+    /// lineage of a valid and consistent *output* tuple under alternative
+    /// `sa`. This is the "in the lineage of a consistent output tuple" test of
+    /// Algorithm 4, line 8.
+    pub fn contributing_ids(&self, sa: usize) -> BTreeSet<u64> {
+        let mut contributing = BTreeSet::new();
+        for (position, op_id) in self.pre_order.iter().enumerate() {
+            let Some(trace) = self.traces.get(op_id) else { continue };
+            for tuple in &trace.tuples {
+                let selected = if position == 0 {
+                    let f = tuple.flags(sa);
+                    f.valid && f.consistent
+                } else {
+                    contributing.contains(&tuple.id)
+                };
+                if selected {
+                    contributing.insert(tuple.id);
+                    contributing.extend(tuple.input_ids(sa).iter().copied());
+                }
+            }
+        }
+        contributing
+    }
+
+    /// Counts, for the root trace under alternative `sa`, the number of valid
+    /// tuples and the number of valid-and-retained tuples. Used for the loose
+    /// side-effect bounds of Section 5.4.
+    pub fn root_counts(&self, sa: usize) -> RootCounts {
+        let mut counts = RootCounts::default();
+        for tuple in &self.root_trace().tuples {
+            let f = tuple.flags(sa);
+            if f.valid {
+                counts.valid += 1;
+                if f.retained {
+                    counts.valid_retained += 1;
+                }
+                if f.consistent {
+                    counts.valid_consistent += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Tuple counts over the root trace used by the side-effect bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RootCounts {
+    /// Valid top-level tuples under the alternative.
+    pub valid: u64,
+    /// Valid tuples also retained by the root operator.
+    pub valid_retained: u64,
+    /// Valid tuples that are consistent with the why-not question.
+    pub valid_consistent: u64,
+}
+
+impl fmt::Display for SaFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "v={} c={} r={}",
+            self.valid as u8, self.consistent as u8, self.retained as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::Value;
+
+    fn tuple(id: u64, flags: Vec<SaFlags>, input_ids: Vec<u64>) -> TracedTuple {
+        let variants: Vec<Option<Tuple>> = flags
+            .iter()
+            .map(|f| {
+                if f.valid {
+                    Some(Tuple::new([("x", Value::int(id as i64))]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let inputs = vec![input_ids; flags.len()];
+        TracedTuple { id, variants, flags, inputs }
+    }
+
+    fn flags(valid: bool, consistent: bool, retained: bool) -> SaFlags {
+        SaFlags { valid, consistent, retained }
+    }
+
+    #[test]
+    fn flag_predicates() {
+        assert!(flags(true, true, true).all_ones());
+        assert!(!flags(true, true, false).all_ones());
+        assert!(flags(true, true, false).needs_reparameterization());
+        assert!(!flags(false, true, false).needs_reparameterization());
+        assert_eq!(SaFlags::absent().to_string(), "v=0 c=0 r=0");
+    }
+
+    #[test]
+    fn contributing_ids_follow_lineage_from_consistent_outputs() {
+        // Plan: op 2 (root) <- op 1 <- op 0, one SA.
+        let mut traces = BTreeMap::new();
+        traces.insert(
+            0,
+            OpTrace {
+                op: 0,
+                kind: "table".into(),
+                tuples: vec![
+                    tuple(1, vec![flags(true, true, true)], vec![]),
+                    tuple(2, vec![flags(true, false, true)], vec![]),
+                ],
+            },
+        );
+        traces.insert(
+            1,
+            OpTrace {
+                op: 1,
+                kind: "σ".into(),
+                tuples: vec![
+                    tuple(3, vec![flags(true, true, false)], vec![1]),
+                    tuple(4, vec![flags(true, false, true)], vec![2]),
+                ],
+            },
+        );
+        traces.insert(
+            2,
+            OpTrace {
+                op: 2,
+                kind: "Nᴿ".into(),
+                tuples: vec![
+                    tuple(5, vec![flags(true, true, true)], vec![3]),
+                    tuple(6, vec![flags(true, false, true)], vec![4]),
+                ],
+            },
+        );
+        let result = TraceResult { traces, root: 2, pre_order: vec![2, 1, 0], num_sas: 1 };
+
+        assert!(result.has_consistent_output(0));
+        let contributing = result.contributing_ids(0);
+        assert_eq!(contributing, BTreeSet::from([5, 3, 1]));
+
+        // The selection (op 1) has a reparameterization witness (tuple 3).
+        assert!(result.trace(1).unwrap().has_reparameterization_witness(0, &contributing));
+        // The root does not (its consistent tuple is retained).
+        assert!(!result.trace(2).unwrap().has_reparameterization_witness(0, &contributing));
+        // All-ones witness exists at the root and at op 0.
+        assert!(result.trace(2).unwrap().has_all_ones_witness(0, Some(&contributing)));
+        assert!(result.trace(0).unwrap().has_all_ones_witness(0, Some(&contributing)));
+
+        let counts = result.root_counts(0);
+        assert_eq!(counts.valid, 2);
+        assert_eq!(counts.valid_retained, 2);
+        assert_eq!(counts.valid_consistent, 1);
+    }
+
+    #[test]
+    fn variant_and_flag_accessors_handle_out_of_range() {
+        let t = tuple(7, vec![flags(true, true, true)], vec![3]);
+        assert!(t.variant(0).is_some());
+        assert!(t.variant(5).is_none());
+        assert_eq!(t.flags(5), SaFlags::absent());
+        assert_eq!(t.input_ids(0), &[3]);
+        assert!(t.input_ids(9).is_empty());
+        assert_eq!(t.all_input_ids(), vec![3]);
+        let trace = OpTrace { op: 0, kind: "σ".into(), tuples: vec![t] };
+        assert_eq!(trace.len(), 1);
+        assert!(!trace.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # nrab-provenance
+//!
+//! Annotated data tracing for NRAB plans under *schema alternatives* — the
+//! implementation of Step 3 (Section 5.3) of the paper's heuristic algorithm.
+//!
+//! The tracer evaluates a plan in a *generalized* form that keeps data a
+//! reparameterized operator could produce (selections keep all tuples, inner
+//! flattens become outer flattens, joins become full outer joins) and, for
+//! every intermediate tuple and every schema alternative, records the
+//! annotations of Section 5.3:
+//!
+//! * `id` — a fresh identifier per traced tuple, linked to the identifiers of
+//!   the input tuples it was derived from (lineage),
+//! * `valid` — whether the tuple exists under the schema alternative,
+//! * `consistent` — whether the tuple (re-validated!) can still contribute to
+//!   the missing answer, checked against the schema alternative's pushed-down
+//!   NIP for this point of the plan,
+//! * `retained` — whether the operator would keep/produce the tuple under its
+//!   *original* parameters.
+//!
+//! The explanation engine (`whynot-core`) reads these annotations in its
+//! `approximateMSRs` step (Algorithm 4).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alternative;
+pub mod annotate;
+pub mod trace;
+
+pub use alternative::{OpSubstitution, SchemaAlternative};
+pub use annotate::{OpTrace, SaFlags, TraceResult, TracedTuple};
+pub use trace::trace_plan;

@@ -1,0 +1,1095 @@
+//! The tracing evaluator: generalized operator evaluation with per-schema-
+//! alternative annotations (Section 5.3).
+//!
+//! For every plan operator, the tracer computes an [`OpTrace`] whose tuples
+//! carry, per schema alternative, the data variant and the `valid` /
+//! `consistent` / `retained` flags. Operators are *generalized* so that data a
+//! reparameterization could keep also flows upward:
+//!
+//! * selections annotate instead of filtering,
+//! * relation flattens behave like outer flattens,
+//! * joins behave like full outer joins,
+//! * difference annotates instead of removing.
+//!
+//! All schema alternatives are traced in a single pass over the data (the
+//! merge step of Algorithm 3 / Figure 7), which is what makes additional
+//! alternatives cheaper than additional query executions (Figure 11).
+
+use std::collections::BTreeMap;
+
+use nested_data::{AttrPath, Bag, NestedType, Nip, Tuple, TupleType, Value};
+use nrab_algebra::eval::apply_operator;
+use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::schema::output_type;
+use nrab_algebra::{
+    AlgebraError, AlgebraResult, Database, FlattenKind, JoinKind, OpId, OpNode, Operator, QueryPlan,
+};
+
+use crate::alternative::SchemaAlternative;
+use crate::annotate::{OpTrace, SaFlags, TraceResult, TracedTuple};
+
+/// Traces a plan over a database under the given schema alternatives.
+///
+/// Alternative 0 should be the original query (no substitutions); at least one
+/// alternative must be provided.
+pub fn trace_plan(
+    plan: &QueryPlan,
+    db: &Database,
+    sas: &[SchemaAlternative],
+) -> AlgebraResult<TraceResult> {
+    if sas.is_empty() {
+        return Err(AlgebraError::Eval("at least one schema alternative is required".into()));
+    }
+    let mut tracer = Tracer { db, sas, next_id: 1, traces: BTreeMap::new() };
+    tracer.trace_node(&plan.root)?;
+    Ok(TraceResult {
+        traces: tracer.traces,
+        root: plan.root.id,
+        pre_order: plan.op_ids_top_down(),
+        num_sas: sas.len(),
+    })
+}
+
+struct Tracer<'a> {
+    db: &'a Database,
+    sas: &'a [SchemaAlternative],
+    next_id: u64,
+    traces: BTreeMap<OpId, OpTrace>,
+}
+
+impl<'a> Tracer<'a> {
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn n_sas(&self) -> usize {
+        self.sas.len()
+    }
+
+    /// Builds the flags of a variant at operator `op`: validity is inherited
+    /// from the input, consistency is re-validated against the alternative's
+    /// pushed-down NIP for this operator, and `retained` is provided by the
+    /// operator-specific tracing procedure.
+    fn make_flags(
+        &self,
+        op: OpId,
+        sa: usize,
+        variant: Option<&Tuple>,
+        input_valid: bool,
+        retained: bool,
+    ) -> SaFlags {
+        match variant {
+            Some(tuple) if input_valid => {
+                let consistent = match self.sas[sa].consistency_nip(op) {
+                    Some(nip) => nip_matches_tuple(nip, tuple),
+                    None => true,
+                };
+                SaFlags { valid: true, consistent, retained }
+            }
+            _ => SaFlags::absent(),
+        }
+    }
+
+    /// The effective (SA-substituted) operator of a node, wrapped in a node
+    /// that preserves the original children so schema inference still works.
+    fn effective_node(&self, node: &OpNode, sa: usize) -> OpNode {
+        OpNode::new(node.id, self.sas[sa].effective_operator(node), node.inputs.clone())
+    }
+
+    fn take_trace(&mut self, op: OpId) -> OpTrace {
+        self.traces.remove(&op).expect("child trace must have been computed")
+    }
+
+    fn put_trace(&mut self, trace: OpTrace) {
+        self.traces.insert(trace.op, trace);
+    }
+
+    fn trace_node(&mut self, node: &OpNode) -> AlgebraResult<()> {
+        for input in &node.inputs {
+            self.trace_node(input)?;
+        }
+        let trace = match &node.op {
+            Operator::TableAccess { table } => self.trace_table_access(node, table)?,
+            Operator::Selection { .. } => self.trace_selection(node)?,
+            Operator::Flatten { .. } => self.trace_flatten(node)?,
+            Operator::Join { .. } => self.trace_join(node)?,
+            Operator::CrossProduct => self.trace_join(node)?,
+            Operator::RelationNest { .. } => self.trace_relation_nest(node)?,
+            Operator::GroupAggregation { .. } => self.trace_group_aggregation(node)?,
+            Operator::Union => self.trace_union(node)?,
+            Operator::Difference => self.trace_difference(node)?,
+            // Projection, renaming, tuple flatten, tuple nesting, per-tuple
+            // aggregation, and dedup are structural 1:1 operators.
+            _ => self.trace_structural(node)?,
+        };
+        self.put_trace(trace);
+        Ok(())
+    }
+
+    fn trace_table_access(&mut self, node: &OpNode, table: &str) -> AlgebraResult<OpTrace> {
+        let bag = self.db.relation(table)?.clone();
+        let mut tuples = Vec::with_capacity(bag.distinct());
+        for (value, _mult) in bag.iter() {
+            let tuple = value.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+            let id = self.fresh_id();
+            let variants = vec![Some(tuple.clone()); self.n_sas()];
+            let flags = (0..self.n_sas())
+                .map(|sa| self.make_flags(node.id, sa, Some(&tuple), true, true))
+                .collect();
+            tuples.push(TracedTuple { id, variants, flags, inputs: vec![Vec::new(); self.n_sas()] });
+        }
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Structural 1:1 operators: apply the effective operator to each variant
+    /// individually; `retained` is always true (these operators never prune).
+    fn trace_structural(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let child = &node.inputs[0];
+        let child_trace = self.take_trace(child.id);
+        let effective: Vec<OpNode> =
+            (0..self.n_sas()).map(|sa| self.effective_node(node, sa)).collect();
+
+        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
+        for input in &child_trace.tuples {
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(self.n_sas());
+            let mut flags = Vec::with_capacity(self.n_sas());
+            for sa in 0..self.n_sas() {
+                let input_flags = input.flags(sa);
+                let transformed = match input.variant(sa) {
+                    Some(tuple) if input_flags.valid => {
+                        apply_to_single(&effective[sa], tuple, self.db)?
+                    }
+                    _ => None,
+                };
+                flags.push(self.make_flags(node.id, sa, transformed.as_ref(), input_flags.valid, true));
+                variants.push(transformed);
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+        }
+        self.put_trace(child_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Selection: annotate instead of filter. `retained` records whether the
+    /// original (SA-substituted) predicate holds.
+    fn trace_selection(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let child = &node.inputs[0];
+        let child_trace = self.take_trace(child.id);
+        let predicates: Vec<Expr> = (0..self.n_sas())
+            .map(|sa| match self.sas[sa].effective_operator(node) {
+                Operator::Selection { predicate } => predicate,
+                _ => Expr::lit(true),
+            })
+            .collect();
+
+        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
+        for input in &child_trace.tuples {
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(self.n_sas());
+            let mut flags = Vec::with_capacity(self.n_sas());
+            for sa in 0..self.n_sas() {
+                let input_flags = input.flags(sa);
+                let variant = input.variant(sa).cloned();
+                let retained = variant
+                    .as_ref()
+                    .map(|t| input_flags.valid && predicates[sa].eval_bool(t))
+                    .unwrap_or(false);
+                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input_flags.valid, retained));
+                variants.push(variant);
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+        }
+        self.put_trace(child_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Relation flatten, generalized to an outer flatten.
+    fn trace_flatten(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let child = &node.inputs[0];
+        let child_schema = output_type(child, self.db)?;
+        let child_trace = self.take_trace(child.id);
+
+        let (original_kind, alias) = match &node.op {
+            Operator::Flatten { kind, alias, .. } => (*kind, alias.clone()),
+            _ => unreachable!("trace_flatten called on non-flatten"),
+        };
+        // Per SA: the attribute actually flattened.
+        let attrs: Vec<String> = (0..self.n_sas())
+            .map(|sa| match self.sas[sa].effective_operator(node) {
+                Operator::Flatten { attr, .. } => attr,
+                _ => unreachable!(),
+            })
+            .collect();
+
+        let mut tuples = Vec::new();
+        for input in &child_trace.tuples {
+            // Per SA, the list of (tuple, retained) the outer flatten produces.
+            let mut per_sa: Vec<Vec<(Tuple, bool)>> = Vec::with_capacity(self.n_sas());
+            for sa in 0..self.n_sas() {
+                let input_flags = input.flags(sa);
+                let outputs = match input.variant(sa) {
+                    Some(tuple) if input_flags.valid => flatten_one(
+                        tuple,
+                        &attrs[sa],
+                        alias.as_deref(),
+                        original_kind,
+                        &child_schema,
+                    )?,
+                    _ => Vec::new(),
+                };
+                per_sa.push(outputs);
+            }
+            let width = per_sa.iter().map(Vec::len).max().unwrap_or(0);
+            for k in 0..width {
+                let id = self.fresh_id();
+                let mut variants = Vec::with_capacity(self.n_sas());
+                let mut flags = Vec::with_capacity(self.n_sas());
+                for (sa, outputs) in per_sa.iter().enumerate() {
+                    match outputs.get(k) {
+                        Some((tuple, retained)) => {
+                            flags.push(self.make_flags(node.id, sa, Some(tuple), true, *retained));
+                            variants.push(Some(tuple.clone()));
+                        }
+                        None => {
+                            flags.push(SaFlags::absent());
+                            variants.push(None);
+                        }
+                    }
+                }
+                tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+            }
+        }
+        self.put_trace(child_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Joins (and cross products), generalized to full outer joins.
+    fn trace_join(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let left_node = &node.inputs[0];
+        let right_node = &node.inputs[1];
+        let left_schema = output_type(left_node, self.db)?;
+        let right_schema = output_type(right_node, self.db)?;
+        let left_trace = self.take_trace(left_node.id);
+        let right_trace = self.take_trace(right_node.id);
+
+        let original_kind = match &node.op {
+            Operator::Join { kind, .. } => *kind,
+            Operator::CrossProduct => JoinKind::Inner,
+            _ => unreachable!("trace_join called on non-join"),
+        };
+        let predicates: Vec<Expr> = (0..self.n_sas())
+            .map(|sa| match self.sas[sa].effective_operator(node) {
+                Operator::Join { predicate, .. } => predicate,
+                Operator::CrossProduct => Expr::lit(true),
+                _ => Expr::lit(true),
+            })
+            .collect();
+
+        // Per SA: matched pairs plus matched-flags per side.
+        #[derive(Default)]
+        struct SaJoin {
+            pairs: Vec<(usize, usize)>,
+            left_matched: Vec<bool>,
+            right_matched: Vec<bool>,
+        }
+        let mut per_sa: Vec<SaJoin> = Vec::with_capacity(self.n_sas());
+        for (sa, predicate) in predicates.iter().enumerate() {
+            let mut state = SaJoin {
+                pairs: Vec::new(),
+                left_matched: vec![false; left_trace.tuples.len()],
+                right_matched: vec![false; right_trace.tuples.len()],
+            };
+            // Hash-based pre-bucketing for equi-join conjuncts.
+            let equi = equi_join_keys(predicate, &left_schema, &right_schema);
+            let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> = equi.as_ref().map(|(_, rk)| {
+                let mut buckets: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                for (ri, rt) in right_trace.tuples.iter().enumerate() {
+                    if let Some(tuple) = rt.variant(sa) {
+                        if rt.flags(sa).valid {
+                            buckets.entry(key_of(tuple, rk)).or_default().push(ri);
+                        }
+                    }
+                }
+                buckets
+            });
+            for (li, lt) in left_trace.tuples.iter().enumerate() {
+                let Some(ltuple) = lt.variant(sa) else { continue };
+                if !lt.flags(sa).valid {
+                    continue;
+                }
+                let candidates: Vec<usize> = match (&equi, &right_buckets) {
+                    (Some((lk, _)), Some(buckets)) => {
+                        buckets.get(&key_of(ltuple, lk)).cloned().unwrap_or_default()
+                    }
+                    _ => (0..right_trace.tuples.len()).collect(),
+                };
+                for ri in candidates {
+                    let rt = &right_trace.tuples[ri];
+                    let Some(rtuple) = rt.variant(sa) else { continue };
+                    if !rt.flags(sa).valid {
+                        continue;
+                    }
+                    let Ok(combined) = ltuple.concat(rtuple) else { continue };
+                    if predicate.eval_bool(&combined) {
+                        state.pairs.push((li, ri));
+                        state.left_matched[li] = true;
+                        state.right_matched[ri] = true;
+                    }
+                }
+            }
+            per_sa.push(state);
+        }
+
+        // Merge across SAs, keyed by (left id, right id) with None for padding.
+        #[derive(Default, Clone)]
+        struct Slot {
+            per_sa: Vec<Option<(Tuple, bool)>>,
+        }
+        let mut slots: BTreeMap<(Option<u64>, Option<u64>), Slot> = BTreeMap::new();
+        let n = self.n_sas();
+        fn slot_for<'s>(
+            slots: &'s mut BTreeMap<(Option<u64>, Option<u64>), Slot>,
+            key: (Option<u64>, Option<u64>),
+            n: usize,
+        ) -> &'s mut Slot {
+            slots.entry(key).or_insert_with(|| Slot { per_sa: vec![None; n] })
+        }
+        let left_names: Vec<&str> = left_schema.attribute_names();
+        let right_names: Vec<&str> = right_schema.attribute_names();
+        for (sa, state) in per_sa.iter().enumerate() {
+            for (li, ri) in &state.pairs {
+                let lt = &left_trace.tuples[*li];
+                let rt = &right_trace.tuples[*ri];
+                let combined = lt.variant(sa).unwrap().concat(rt.variant(sa).unwrap())?;
+                let slot = slot_for(&mut slots, (Some(lt.id), Some(rt.id)), n);
+                slot.per_sa[sa] = Some((combined, true));
+            }
+            for (li, lt) in left_trace.tuples.iter().enumerate() {
+                if lt.flags(sa).valid && !state.left_matched[li] {
+                    let padded =
+                        lt.variant(sa).unwrap().concat(&Tuple::null_padded(&right_names))?;
+                    let retained = matches!(original_kind, JoinKind::Left | JoinKind::Full);
+                    let slot = slot_for(&mut slots, (Some(lt.id), None), n);
+                    slot.per_sa[sa] = Some((padded, retained));
+                }
+            }
+            for (ri, rt) in right_trace.tuples.iter().enumerate() {
+                if rt.flags(sa).valid && !state.right_matched[ri] {
+                    let padded =
+                        Tuple::null_padded(&left_names).concat(rt.variant(sa).unwrap())?;
+                    let retained = matches!(original_kind, JoinKind::Right | JoinKind::Full);
+                    let slot = slot_for(&mut slots, (None, Some(rt.id)), n);
+                    slot.per_sa[sa] = Some((padded, retained));
+                }
+            }
+        }
+
+        let mut tuples = Vec::with_capacity(slots.len());
+        for ((lid, rid), slot) in slots {
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
+            let mut inputs = Vec::with_capacity(n);
+            let pair_ids: Vec<u64> = [lid, rid].into_iter().flatten().collect();
+            for sa in 0..n {
+                match &slot.per_sa[sa] {
+                    Some((tuple, retained)) => {
+                        flags.push(self.make_flags(node.id, sa, Some(tuple), true, *retained));
+                        variants.push(Some(tuple.clone()));
+                        inputs.push(pair_ids.clone());
+                    }
+                    None => {
+                        flags.push(SaFlags::absent());
+                        variants.push(None);
+                        inputs.push(Vec::new());
+                    }
+                }
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs });
+        }
+        self.put_trace(left_trace);
+        self.put_trace(right_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Relation nesting: group valid tuples per SA and merge group keys across
+    /// SAs with an outer-join-like combination (Figure 7, step 4).
+    fn trace_relation_nest(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let child = &node.inputs[0];
+        let child_trace = self.take_trace(child.id);
+        let mut groups: BTreeMap<Value, GroupSlot> = BTreeMap::new();
+        let n = self.n_sas();
+
+        for sa in 0..n {
+            let (attrs, into) = match self.sas[sa].effective_operator(node) {
+                Operator::RelationNest { attrs, into } => (attrs, into),
+                _ => unreachable!("trace_relation_nest called on non-nest"),
+            };
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            for input in &child_trace.tuples {
+                let Some(tuple) = input.variant(sa) else { continue };
+                if !input.flags(sa).valid {
+                    continue;
+                }
+                let key = Value::Tuple(tuple.without(&attr_refs));
+                let slot = groups.entry(key).or_insert_with(|| GroupSlot {
+                    per_sa: vec![None; n],
+                    member_ids: vec![Vec::new(); n],
+                });
+                let entry = slot.per_sa[sa].get_or_insert_with(|| (Bag::new(), into.clone()));
+                if let Ok(projected) = tuple.project(&attr_refs) {
+                    if projected.fields().iter().any(|(_, v)| !v.is_null()) {
+                        entry.0.insert(Value::Tuple(projected), 1);
+                    }
+                }
+                if !slot.member_ids[sa].contains(&input.id) {
+                    slot.member_ids[sa].push(input.id);
+                }
+            }
+        }
+
+        let mut tuples = Vec::with_capacity(groups.len());
+        for (key, slot) in groups {
+            let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
+            for sa in 0..n {
+                match &slot.per_sa[sa] {
+                    Some((bag, into)) => {
+                        let tuple = key_tuple.with_field(into.clone(), Value::Bag(bag.clone()));
+                        flags.push(self.make_flags(node.id, sa, Some(&tuple), true, true));
+                        variants.push(Some(tuple));
+                    }
+                    None => {
+                        flags.push(SaFlags::absent());
+                        variants.push(None);
+                    }
+                }
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: slot.member_ids });
+        }
+        self.put_trace(child_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    /// Grouped aggregation: like relation nesting, but each group contributes
+    /// aggregate values. Consistency is checked against the aggregates
+    /// computed from all valid tuples and, as a fallback, from the tuples the
+    /// immediately preceding operator retained (cf. the discussion of
+    /// aggregation tracing limitations in Section 5.5).
+    fn trace_group_aggregation(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let child = &node.inputs[0];
+        let child_trace = self.take_trace(child.id);
+        let n = self.n_sas();
+        let mut groups: BTreeMap<Value, AggGroupSlot> = BTreeMap::new();
+
+        for sa in 0..n {
+            let (group_by, aggs) = match self.sas[sa].effective_operator(node) {
+                Operator::GroupAggregation { group_by, aggs } => (group_by, aggs),
+                _ => unreachable!("trace_group_aggregation called on non-aggregation"),
+            };
+            let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            for input in &child_trace.tuples {
+                let Some(tuple) = input.variant(sa) else { continue };
+                if !input.flags(sa).valid {
+                    continue;
+                }
+                let key =
+                    Value::Tuple(tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()));
+                let slot = groups.entry(key).or_insert_with(|| AggGroupSlot {
+                    per_sa: (0..n).map(|_| None).collect(),
+                    member_ids: vec![Vec::new(); n],
+                });
+                let entry = slot.per_sa[sa].get_or_insert_with(|| AggGroupSa {
+                    aggs: aggs.clone(),
+                    all_members: Vec::new(),
+                    retained_members: Vec::new(),
+                });
+                entry.all_members.push(tuple.clone());
+                if input.flags(sa).retained {
+                    entry.retained_members.push(tuple.clone());
+                }
+                if !slot.member_ids[sa].contains(&input.id) {
+                    slot.member_ids[sa].push(input.id);
+                }
+            }
+        }
+
+        let mut tuples = Vec::with_capacity(groups.len());
+        for (key, slot) in groups {
+            let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
+            for sa in 0..n {
+                match &slot.per_sa[sa] {
+                    Some(group) => {
+                        let relaxed = aggregate_tuple(&key_tuple, &group.aggs, &group.all_members);
+                        let retained_only =
+                            aggregate_tuple(&key_tuple, &group.aggs, &group.retained_members);
+                        // The original query would produce the group from the
+                        // retained members only; the group survives if any
+                        // member was retained.
+                        let retained = !group.retained_members.is_empty();
+                        let consistent = match self.sas[sa].consistency_nip(node.id) {
+                            Some(nip) => {
+                                // Upper-bound constraints on aggregate outputs
+                                // (e.g. `revenue < c`) can always be met by a
+                                // more restrictive choice of contributing
+                                // tuples, which the tracing does not enumerate
+                                // (Section 5.5); they are treated as satisfiable.
+                                let agg_outputs: Vec<String> =
+                                    group.aggs.iter().map(|a| a.output.clone()).collect();
+                                let relaxed_nip = relax_aggregate_upper_bounds(nip, &agg_outputs);
+                                nip_matches_tuple(&relaxed_nip, &relaxed)
+                                    || nip_matches_tuple(&relaxed_nip, &retained_only)
+                            }
+                            None => true,
+                        };
+                        flags.push(SaFlags { valid: true, consistent, retained });
+                        variants.push(Some(relaxed));
+                    }
+                    None => {
+                        flags.push(SaFlags::absent());
+                        variants.push(None);
+                    }
+                }
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: slot.member_ids });
+        }
+        self.put_trace(child_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    fn trace_union(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let left_trace = self.take_trace(node.inputs[0].id);
+        let right_trace = self.take_trace(node.inputs[1].id);
+        let mut tuples = Vec::with_capacity(left_trace.tuples.len() + right_trace.tuples.len());
+        for input in left_trace.tuples.iter().chain(right_trace.tuples.iter()) {
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(self.n_sas());
+            let mut flags = Vec::with_capacity(self.n_sas());
+            for sa in 0..self.n_sas() {
+                let variant = input.variant(sa).cloned();
+                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input.flags(sa).valid, true));
+                variants.push(variant);
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+        }
+        self.put_trace(left_trace);
+        self.put_trace(right_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+
+    fn trace_difference(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
+        let left_trace = self.take_trace(node.inputs[0].id);
+        let right_trace = self.take_trace(node.inputs[1].id);
+        let mut tuples = Vec::with_capacity(left_trace.tuples.len());
+        for input in &left_trace.tuples {
+            let id = self.fresh_id();
+            let mut variants = Vec::with_capacity(self.n_sas());
+            let mut flags = Vec::with_capacity(self.n_sas());
+            for sa in 0..self.n_sas() {
+                let variant = input.variant(sa).cloned();
+                let subtracted = variant.as_ref().map(|t| {
+                    right_trace.tuples.iter().any(|r| {
+                        r.flags(sa).valid && r.variant(sa).map(|rt| rt == t).unwrap_or(false)
+                    })
+                });
+                let retained = matches!(subtracted, Some(false));
+                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input.flags(sa).valid, retained));
+                variants.push(variant);
+            }
+            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+        }
+        self.put_trace(left_trace);
+        self.put_trace(right_trace);
+        Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
+    }
+}
+
+struct GroupSlot {
+    per_sa: Vec<Option<(Bag, String)>>,
+    member_ids: Vec<Vec<u64>>,
+}
+
+struct AggGroupSa {
+    aggs: Vec<nrab_algebra::AggSpec>,
+    all_members: Vec<Tuple>,
+    retained_members: Vec<Tuple>,
+}
+
+struct AggGroupSlot {
+    per_sa: Vec<Option<AggGroupSa>>,
+    member_ids: Vec<Vec<u64>>,
+}
+
+/// Replaces upper-bound leaf constraints (`<`, `≤`) on aggregate output
+/// attributes by `?`, since dropping contributing tuples can always lower an
+/// aggregate of non-negative inputs.
+fn relax_aggregate_upper_bounds(nip: &Nip, agg_outputs: &[String]) -> Nip {
+    match nip {
+        Nip::Tuple(fields) => Nip::Tuple(
+            fields
+                .iter()
+                .map(|(name, field)| {
+                    let relaxed = if agg_outputs.contains(name) {
+                        match field {
+                            Nip::Pred(nested_data::NipCmp::Lt | nested_data::NipCmp::Le, _) => {
+                                Nip::Any
+                            }
+                            other => other.clone(),
+                        }
+                    } else {
+                        field.clone()
+                    };
+                    (name.clone(), relaxed)
+                })
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn aggregate_tuple(key: &Tuple, aggs: &[nrab_algebra::AggSpec], members: &[Tuple]) -> Tuple {
+    let mut result = key.clone();
+    for agg in aggs {
+        let values: Vec<Value> = members.iter().map(|t| agg.input.eval(t)).collect();
+        let mut value = agg.func.apply(values.iter());
+        if value.is_null() && agg.func.always_int() {
+            value = Value::Int(0);
+        }
+        result = result.with_field(agg.output.clone(), value);
+    }
+    result
+}
+
+/// Applies a 1:1 structural operator to a single tuple by evaluating it over a
+/// singleton bag, reusing the evaluator's semantics.
+fn apply_to_single(node: &OpNode, tuple: &Tuple, db: &Database) -> AlgebraResult<Option<Tuple>> {
+    let singleton = Bag::from_values([Value::Tuple(tuple.clone())]);
+    let inputs = vec![singleton];
+    match apply_operator(node, &inputs, db) {
+        Ok(result) => Ok(result
+            .iter()
+            .next()
+            .and_then(|(v, _)| v.as_tuple().cloned())),
+        // A structural operator can fail under an alternative (e.g. a
+        // substituted attribute is absent); the tuple then simply does not
+        // exist under that alternative.
+        Err(_) => Ok(None),
+    }
+}
+
+/// The outputs of an (outer-generalized) relation flatten for one input tuple:
+/// `(output tuple, retained by the original flatten kind)`.
+fn flatten_one(
+    tuple: &Tuple,
+    attr: &str,
+    alias: Option<&str>,
+    original_kind: FlattenKind,
+    child_schema: &TupleType,
+) -> AlgebraResult<Vec<(Tuple, bool)>> {
+    let nested = tuple.get(attr).cloned().unwrap_or(Value::Null);
+    let elements: Vec<(Value, u64)> = match &nested {
+        Value::Bag(b) => b.iter().cloned().collect(),
+        _ => Vec::new(),
+    };
+    if elements.is_empty() {
+        // Outer-flatten padding; the original inner flatten would drop it.
+        let padded = match alias {
+            Some(alias) => tuple.with_field(alias, Value::Null),
+            None => {
+                let names: Vec<&str> = match child_schema.attribute(attr) {
+                    Some(NestedType::Relation(t)) => t.attribute_names(),
+                    _ => Vec::new(),
+                };
+                tuple.concat(&Tuple::null_padded(&names))?
+            }
+        };
+        return Ok(vec![(padded, original_kind == FlattenKind::Outer)]);
+    }
+    let mut out = Vec::with_capacity(elements.len());
+    for (element, _mult) in elements {
+        let combined = match alias {
+            Some(alias) => tuple.with_field(alias, element),
+            None => match element {
+                Value::Tuple(inner) => tuple.concat(&inner)?,
+                other => tuple.with_field(format!("{attr}_value"), other),
+            },
+        };
+        out.push((combined, true));
+    }
+    Ok(out)
+}
+
+/// Extracts equi-join key paths `(left keys, right keys)` from a conjunctive
+/// predicate, attributing each side of an equality to the input whose schema
+/// contains it. Returns `None` if the predicate has no usable equality.
+fn equi_join_keys(
+    predicate: &Expr,
+    left: &TupleType,
+    right: &TupleType,
+) -> Option<(Vec<AttrPath>, Vec<AttrPath>)> {
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    collect_equi_keys(predicate, left, right, &mut left_keys, &mut right_keys);
+    if left_keys.is_empty() {
+        None
+    } else {
+        Some((left_keys, right_keys))
+    }
+}
+
+fn collect_equi_keys(
+    predicate: &Expr,
+    left: &TupleType,
+    right: &TupleType,
+    left_keys: &mut Vec<AttrPath>,
+    right_keys: &mut Vec<AttrPath>,
+) {
+    match predicate {
+        Expr::And(a, b) => {
+            collect_equi_keys(a, left, right, left_keys, right_keys);
+            collect_equi_keys(b, left, right, left_keys, right_keys);
+        }
+        Expr::Cmp(a, CmpOp::Eq, b) => {
+            if let (Expr::Attr(pa), Expr::Attr(pb)) = (a.as_ref(), b.as_ref()) {
+                let a_left = left.resolve_path(pa).is_ok();
+                let b_left = left.resolve_path(pb).is_ok();
+                let a_right = right.resolve_path(pa).is_ok();
+                let b_right = right.resolve_path(pb).is_ok();
+                if a_left && b_right && !a_right {
+                    left_keys.push(pa.clone());
+                    right_keys.push(pb.clone());
+                } else if b_left && a_right && !b_right {
+                    left_keys.push(pb.clone());
+                    right_keys.push(pa.clone());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn key_of(tuple: &Tuple, keys: &[AttrPath]) -> Vec<Value> {
+    keys.iter()
+        .map(|k| Value::Tuple(tuple.clone()).get_path(k).unwrap_or(Value::Null))
+        .collect()
+}
+
+/// Matches a NIP against a tuple without cloning it into a `Value`.
+fn nip_matches_tuple(nip: &Nip, tuple: &Tuple) -> bool {
+    match nip {
+        Nip::Tuple(fields) => fields.iter().all(|(name, field_nip)| match tuple.get(name) {
+            Some(v) => field_nip.matches(v),
+            None => false,
+        }),
+        Nip::Any => true,
+        other => other.matches(&Value::Tuple(tuple.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternative::OpSubstitution;
+    use nested_data::NipCmp;
+    use nrab_algebra::PlanBuilder;
+
+    /// The person table of Figure 1a.
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person_ty = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let peter = Value::tuple([
+            ("name", Value::str("Peter")),
+            ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+            ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+        ]);
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person_ty, Bag::from_values([peter, sue]));
+        db
+    }
+
+    fn running_example_plan() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    /// Consistency NIPs of the running example (what schema backtracing
+    /// produces): city = NY at every level where `city` exists, and the
+    /// pushed-down address constraint at the table access.
+    fn consistency_for(address_attr: &str) -> BTreeMap<OpId, Nip> {
+        let city_ny = Nip::tuple([("city", Nip::val("NY"))]);
+        let table_nip = Nip::tuple([(
+            address_attr,
+            Nip::bag([Nip::tuple([("city", Nip::val("NY")), ("year", Nip::Any)]), Nip::Star]),
+        )]);
+        BTreeMap::from([
+            (0, table_nip),
+            (1, city_ny.clone()),
+            (2, city_ny.clone()),
+            (3, city_ny.clone()),
+            (4, Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))])),
+        ])
+    }
+
+    fn example_sas() -> Vec<SchemaAlternative> {
+        vec![
+            SchemaAlternative::original(consistency_for("address2")),
+            SchemaAlternative::new(
+                1,
+                vec![OpSubstitution::new(1, "address2", "address1")],
+                consistency_for("address1"),
+            ),
+        ]
+    }
+
+    fn trace_example() -> TraceResult {
+        trace_plan(&running_example_plan(), &person_db(), &example_sas()).unwrap()
+    }
+
+    #[test]
+    fn table_access_consistency_mirrors_figure_4() {
+        let result = trace_example();
+        let table = result.trace(0).unwrap();
+        assert_eq!(table.len(), 2);
+        // Peter: no NY in address2 (SA1: inconsistent), NY 2010 in address1 (SA2: consistent).
+        let peter = table
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).unwrap().get("name") == Some(&Value::str("Peter")))
+            .unwrap();
+        assert!(!peter.flags(0).consistent);
+        assert!(peter.flags(1).consistent);
+        // Sue: NY in both address relations.
+        let sue = table
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).unwrap().get("name") == Some(&Value::str("Sue")))
+            .unwrap();
+        assert!(sue.flags(0).consistent);
+        assert!(sue.flags(1).consistent);
+    }
+
+    #[test]
+    fn flatten_trace_mirrors_figure_5() {
+        let result = trace_example();
+        let flatten = result.trace(1).unwrap();
+        // Peter contributes max(3, 2) merged rows, Sue max(2, 2): 5 rows total.
+        assert_eq!(flatten.len(), 5);
+        // Exactly one row is consistent under S1 (Sue's NY 2018 address2 entry).
+        let consistent_s1: Vec<_> =
+            flatten.tuples.iter().filter(|t| t.flags(0).consistent).collect();
+        assert_eq!(consistent_s1.len(), 1);
+        assert_eq!(consistent_s1[0].variant(0).unwrap().get("name"), Some(&Value::str("Sue")));
+        // Under S1 only 4 rows are valid (Peter's address2 has 2 entries).
+        assert_eq!(flatten.tuples.iter().filter(|t| t.flags(0).valid).count(), 4);
+        assert_eq!(flatten.tuples.iter().filter(|t| t.flags(1).valid).count(), 5);
+        // No padding rows: every valid row is retained by the inner flatten.
+        assert!(flatten.tuples.iter().all(|t| !t.flags(0).valid || t.flags(0).retained));
+    }
+
+    #[test]
+    fn selection_trace_mirrors_figure_6() {
+        let result = trace_example();
+        let selection = result.trace(2).unwrap();
+        // The consistent S1 tuple (Sue, NY, 2018) is not retained by year ≥ 2019.
+        let witness = selection
+            .tuples
+            .iter()
+            .find(|t| t.flags(0).consistent && t.flags(0).valid)
+            .unwrap();
+        assert!(!witness.flags(0).retained);
+        // Some valid tuple *is* retained (Sue's LA 2019).
+        assert!(selection.tuples.iter().any(|t| t.flags(0).valid && t.flags(0).retained));
+    }
+
+    #[test]
+    fn nesting_trace_mirrors_figure_7() {
+        let result = trace_example();
+        let nest = result.root_trace();
+        // Groups across both SAs: NY, LA, SF (S1) and NY, LA, LV (S2) → 4 city groups.
+        assert_eq!(nest.len(), 4);
+        let ny = nest
+            .tuples
+            .iter()
+            .find(|t| {
+                t.variant(0)
+                    .or(t.variant(1))
+                    .map(|v| v.get("city") == Some(&Value::str("NY")))
+                    .unwrap_or(false)
+            })
+            .unwrap();
+        assert!(ny.flags(0).valid && ny.flags(0).consistent);
+        assert!(ny.flags(1).valid && ny.flags(1).consistent);
+        // The LV group only exists under S2 (it comes from address1).
+        let lv = nest
+            .tuples
+            .iter()
+            .find(|t| {
+                t.variant(1).map(|v| v.get("city") == Some(&Value::str("LV"))).unwrap_or(false)
+            })
+            .unwrap();
+        assert!(!lv.flags(0).valid);
+        assert!(lv.flags(1).valid);
+        assert!(result.has_consistent_output(0));
+        assert!(result.has_consistent_output(1));
+    }
+
+    #[test]
+    fn contributing_ids_reach_back_to_sue() {
+        let result = trace_example();
+        let contributing = result.contributing_ids(0);
+        let table = result.trace(0).unwrap();
+        let sue = table
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).unwrap().get("name") == Some(&Value::str("Sue")))
+            .unwrap();
+        let peter = table
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).unwrap().get("name") == Some(&Value::str("Peter")))
+            .unwrap();
+        assert!(contributing.contains(&sue.id));
+        // Peter's tuple cannot contribute to the NY answer under S1...
+        assert!(!contributing.contains(&peter.id));
+        // ...but it can under S2 (address1 holds NY 2010).
+        assert!(result.contributing_ids(1).contains(&peter.id));
+    }
+
+    #[test]
+    fn selection_has_reparameterization_witness_under_both_sas() {
+        let result = trace_example();
+        let selection = result.trace(2).unwrap();
+        for sa in 0..2 {
+            let contributing = result.contributing_ids(sa);
+            assert!(
+                selection.has_reparameterization_witness(sa, &contributing),
+                "selection must be a candidate under SA {sa}"
+            );
+        }
+        // The flatten has no reparameterization witness (all its consistent
+        // tuples are retained).
+        let flatten = result.trace(1).unwrap();
+        for sa in 0..2 {
+            let contributing = result.contributing_ids(sa);
+            assert!(!flatten.has_reparameterization_witness(sa, &contributing));
+        }
+    }
+
+    #[test]
+    fn join_tracing_pads_unmatched_tuples() {
+        let mut db = Database::new();
+        let r_ty = TupleType::new([("a", NestedType::int())]).unwrap();
+        let s_ty = TupleType::new([("b", NestedType::int()), ("payload", NestedType::str())])
+            .unwrap();
+        db.add_relation(
+            "r",
+            r_ty,
+            Bag::from_values([
+                Value::tuple([("a", Value::int(1))]),
+                Value::tuple([("a", Value::int(7))]),
+            ]),
+        );
+        db.add_relation(
+            "s",
+            s_ty,
+            Bag::from_values([
+                Value::tuple([("b", Value::int(1)), ("payload", Value::str("x"))]),
+                Value::tuple([("b", Value::int(2)), ("payload", Value::str("y"))]),
+            ]),
+        );
+        let plan = PlanBuilder::table("r")
+            .join(
+                PlanBuilder::table("s"),
+                JoinKind::Inner,
+                Expr::cmp(Expr::attr("a"), CmpOp::Eq, Expr::attr("b")),
+            )
+            .build()
+            .unwrap();
+        // Why-not: a = 7 joined with anything.
+        let consistency = BTreeMap::from([(plan.root.id, Nip::tuple([("a", Nip::val(7i64))]))]);
+        let sas = vec![SchemaAlternative::original(consistency)];
+        let result = trace_plan(&plan, &db, &sas).unwrap();
+        let join = result.root_trace();
+        // 1 matched pair + 1 unmatched left + 1 unmatched right.
+        assert_eq!(join.len(), 3);
+        let padded = join
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).map(|v| v.get("a") == Some(&Value::int(7))).unwrap_or(false))
+            .unwrap();
+        assert!(padded.flags(0).valid);
+        assert!(padded.flags(0).consistent);
+        assert!(!padded.flags(0).retained, "inner join does not retain the padded tuple");
+        let contributing = result.contributing_ids(0);
+        assert!(join.has_reparameterization_witness(0, &contributing));
+    }
+
+    #[test]
+    fn group_aggregation_tracing_checks_relaxed_and_retained_values() {
+        let db = person_db();
+        // count addresses per person after a selection that keeps only year ≥ 2019.
+        let plan = PlanBuilder::table("person")
+            .inner_flatten("address1", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .group_aggregate(
+                vec!["name"],
+                vec![nrab_algebra::AggSpec::new(
+                    nrab_algebra::AggFunc::Count,
+                    Expr::attr("city"),
+                    "cnt",
+                )],
+            )
+            .build()
+            .unwrap();
+        // Why not: Peter with cnt ≥ 2? (Original result: Peter has exactly 1.)
+        let consistency = BTreeMap::from([(
+            plan.root.id,
+            Nip::tuple([("name", Nip::val("Peter")), ("cnt", Nip::pred(NipCmp::Ge, 2i64))]),
+        )]);
+        let sas = vec![SchemaAlternative::original(consistency)];
+        let result = trace_plan(&plan, &db, &sas).unwrap();
+        let root = result.root_trace();
+        let peter = root
+            .tuples
+            .iter()
+            .find(|t| t.variant(0).unwrap().get("name") == Some(&Value::str("Peter")))
+            .unwrap();
+        // Relaxed count (3 addresses) satisfies cnt ≥ 2, so the group is consistent.
+        assert!(peter.flags(0).consistent);
+        assert!(peter.flags(0).retained, "the group also exists in the original result");
+    }
+
+    #[test]
+    fn tracing_requires_at_least_one_alternative() {
+        let db = person_db();
+        let plan = running_example_plan();
+        assert!(trace_plan(&plan, &db, &[]).is_err());
+    }
+}

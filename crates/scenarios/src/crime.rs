@@ -1,0 +1,180 @@
+//! Crime scenarios C1–C3 (Table 6), used to compare against Why-Not and
+//! Conseil in Section 6.4.
+
+use std::collections::BTreeMap;
+
+use nested_data::Nip;
+use nested_datagen::crime_database;
+use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::{JoinKind, PlanBuilder, ProjColumn};
+use whynot_core::AttributeAlternative;
+
+use crate::Scenario;
+
+/// All crime scenarios.
+pub fn all_crime() -> Vec<Scenario> {
+    vec![c1(), c2(), c3()]
+}
+
+/// C1: suspects with blue hair whose sighting was reported by a witness in the
+/// crime's sector. Why is Roger missing? Both the hair selection and the
+/// witness join stand in the way.
+pub fn c1() -> Scenario {
+    let persons = PlanBuilder::table("persons").select(Expr::attr_eq("hair", "blue"));
+    let sigma1 = persons.current_id();
+    let sightings = PlanBuilder::table("sightings");
+    let builder = sightings.join(
+        persons,
+        JoinKind::Inner,
+        Expr::and(
+            Expr::cmp(Expr::attr("shair"), CmpOp::Eq, Expr::attr("hair")),
+            Expr::cmp(Expr::attr("sclothes"), CmpOp::Eq, Expr::attr("clothes")),
+        ),
+    );
+    let builder = PlanBuilder::table("witnesses").join(
+        builder,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("witness"), CmpOp::Eq, Expr::attr("pname")),
+    );
+    let builder = PlanBuilder::table("crimes")
+        .join(
+            builder,
+            JoinKind::Inner,
+            Expr::cmp(Expr::attr("csector"), CmpOp::Eq, Expr::attr("sector")),
+        )
+        .project_attrs(&["pname", "ctype"]);
+    let plan = builder.build().expect("C1 plan");
+    // Recover the ids of the hair selection and the witness join after merging.
+    let sigma1 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("hair = \"blue\""))
+        .map(|n| n.id)
+        .unwrap_or(sigma1);
+    let join2 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("witness ="))
+        .map(|n| n.id)
+        .expect("witness join");
+
+    Scenario {
+        name: "C1".into(),
+        description: "Crime C1: blue-haired suspects reported by a witness in the crime sector"
+            .into(),
+        db: crime_database(),
+        plan,
+        why_not: Nip::tuple([("pname", Nip::val("Roger")), ("ctype", Nip::Any)]),
+        alternatives: vec![AttributeAlternative::new("persons", "hair", "clothes")],
+        labels: BTreeMap::from([("σ1".to_string(), sigma1), ("⋈2".to_string(), join2)]),
+        paper_rp: vec![vec!["σ1".into(), "⋈2".into()]],
+        paper_wnpp: vec![vec!["σ1".into()]],
+        gold: None,
+    }
+}
+
+/// C2: persons matching a sighting reported by the witness Susan from a
+/// high-numbered sector. Why is Conedera missing?
+pub fn c2() -> Scenario {
+    let witnesses = PlanBuilder::table("witnesses")
+        .select(Expr::attr_cmp("sector", CmpOp::Gt, 90i64));
+    let sigma3 = witnesses.current_id();
+    let witnesses = witnesses.select(Expr::attr_eq("wname", "Susan"));
+    let sigma4 = witnesses.current_id();
+    let builder = PlanBuilder::table("crimes").join(
+        witnesses,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("csector"), CmpOp::Eq, Expr::attr("sector")),
+    );
+    let builder = PlanBuilder::table("sightings").join(
+        builder,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("sname"), CmpOp::Eq, Expr::attr("witness")),
+    );
+    let builder = PlanBuilder::table("persons")
+        .join(
+            builder,
+            JoinKind::Inner,
+            Expr::and(
+                Expr::cmp(Expr::attr("hair"), CmpOp::Eq, Expr::attr("shair")),
+                Expr::cmp(Expr::attr("clothes"), CmpOp::Eq, Expr::attr("sclothes")),
+            ),
+        )
+        .project_attrs(&["pname"]);
+    let plan = builder.build().expect("C2 plan");
+    let sigma3 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("sector >"))
+        .map(|n| n.id)
+        .unwrap_or(sigma3);
+    let sigma4 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("wname ="))
+        .map(|n| n.id)
+        .unwrap_or(sigma4);
+
+    Scenario {
+        name: "C2".into(),
+        description: "Crime C2: persons matching a sighting reported by Susan from sector > 90"
+            .into(),
+        db: crime_database(),
+        plan,
+        why_not: Nip::tuple([("pname", Nip::val("Conedera"))]),
+        alternatives: vec![],
+        labels: BTreeMap::from([("σ3".to_string(), sigma3), ("σ4".to_string(), sigma4)]),
+        paper_rp: vec![vec!["σ4".into()], vec!["σ3".into(), "σ4".into()]],
+        paper_wnpp: vec![vec!["σ4".into()]],
+        gold: None,
+    }
+}
+
+/// C3: sighted persons with their description — the description should come
+/// from `clothes`, not `hair`. Why is Ashishbakshi not listed with "snow"?
+pub fn c3() -> Scenario {
+    let builder = PlanBuilder::table("witnesses").join(
+        PlanBuilder::table("crimes"),
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("sector"), CmpOp::Eq, Expr::attr("csector")),
+    );
+    let builder = PlanBuilder::table("sightings").join(
+        builder,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("sname"), CmpOp::Eq, Expr::attr("witness")),
+    );
+    let join5 = builder.current_id();
+    let builder = builder.project(vec![
+        ProjColumn::renamed("name", "sname"),
+        ProjColumn::renamed("desc", "shair"),
+    ]);
+    let pi6 = builder.current_id();
+    let plan = builder.build().expect("C3 plan");
+
+    Scenario {
+        name: "C3".into(),
+        description: "Crime C3: sighted persons with their description".into(),
+        db: crime_database(),
+        plan,
+        why_not: Nip::tuple([("name", Nip::val("Ashishbakshi")), ("desc", Nip::val("snow"))]),
+        alternatives: vec![AttributeAlternative::new("sightings", "shair", "sclothes")],
+        labels: BTreeMap::from([("⋈5".to_string(), join5), ("π6".to_string(), pi6)]),
+        paper_rp: vec![vec!["π6".into()]],
+        paper_wnpp: vec![vec!["⋈5".into()]],
+        gold: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crime_scenarios_build_and_validate() {
+        for scenario in all_crime() {
+            scenario.question().validate().unwrap_or_else(|e| {
+                panic!("scenario {} has an invalid question: {e}", scenario.name)
+            });
+        }
+    }
+}

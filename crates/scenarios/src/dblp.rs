@@ -1,0 +1,256 @@
+//! DBLP scenarios D1–D5 (Tables 4 and 10).
+
+use std::collections::BTreeMap;
+
+use nested_data::{Nip, NipCmp};
+use nested_datagen::dblp::{dblp_database, planted, DblpConfig};
+use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::{AggFunc, Database, JoinKind, PlanBuilder, ProjColumn};
+use whynot_core::AttributeAlternative;
+
+use crate::Scenario;
+
+fn database(scale: usize) -> Database {
+    dblp_database(DblpConfig { scale, seed: 7 })
+}
+
+/// All DBLP scenarios at the given scale.
+pub fn all_dblp(scale: usize) -> Vec<Scenario> {
+    vec![d1(scale), d2(scale), d3(scale), d4(scale), d5(scale)]
+}
+
+/// D1: all authors and titles of papers published in SIGMOD proceedings.
+/// The selection compares the *written-out* proceedings title against the
+/// acronym, and the projection picked `title` instead of `booktitle`.
+pub fn d1(scale: usize) -> Scenario {
+    // Left: inproceedings with authors, own title, and crossref key.
+    let left = PlanBuilder::table("inproceedings")
+        .inner_flatten("crossref", None)
+        .inner_flatten("author", None)
+        .tuple_flatten("title.text", Some("ititle"))
+        .project_attrs(&["name", "ititle", "ref_key"]);
+    // Right: proceedings projected to key and (erroneously) title.
+    let right = PlanBuilder::table("proceedings").project(vec![
+        ProjColumn::passthrough("key"),
+        ProjColumn::renamed("ptitle", "title"),
+    ]);
+    let pi1 = right.current_id();
+    let builder = left.join(
+        right,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("ref_key"), CmpOp::Eq, Expr::attr("key")),
+    );
+    let builder = builder.select(Expr::attr_eq("ptitle", planted::D1_BOOKTITLE));
+    let sigma2 = builder.current_id();
+    let builder = builder.project_attrs(&["name", "ititle", "ptitle"]);
+    let plan = builder.build().expect("D1 plan");
+    // The right-hand projection's id shifted when the two chains were merged:
+    // recover it from the built plan (it is the only projection over `proceedings`).
+    let pi1 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| {
+            matches!(&n.op, nrab_algebra::Operator::Projection { columns }
+                if columns.iter().any(|c| c.name == "ptitle"))
+        })
+        .map(|n| n.id)
+        .unwrap_or(pi1);
+
+    Scenario {
+        name: "D1".into(),
+        description: "All authors and titles of papers published at SIGMOD".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("name", Nip::Any),
+            ("ititle", Nip::val(planted::D1_PAPER)),
+            ("ptitle", Nip::Any),
+        ]),
+        alternatives: vec![AttributeAlternative::new("proceedings", "title", "booktitle")],
+        labels: BTreeMap::from([("π1".to_string(), pi1), ("σ2".to_string(), sigma2)]),
+        paper_rp: vec![vec!["σ2".into()], vec!["π1".into()]],
+        paper_wnpp: vec![vec!["σ2".into()]],
+        gold: None,
+    }
+}
+
+/// D2: number of articles for authors who do not have "Dey" in their name.
+/// The tuple flatten picked `title.bibtex` (null for almost every record), so
+/// the planted author's article count collapses to zero.
+pub fn d2(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("authored").inner_flatten("author", None);
+    let builder = builder.tuple_flatten("title.bibtex", Some("paper_title"));
+    let ft3 = builder.current_id();
+    let builder = builder
+        .project_attrs(&["name", "paper_title"])
+        .select(Expr::not(Expr::contains(Expr::attr("name"), Expr::lit("Dey"))));
+    let sigma = builder.current_id();
+    let builder = builder.relation_nest(vec!["paper_title"], "ctitle");
+    let nest = builder.current_id();
+    let builder = builder.nest_aggregate(AggFunc::Count, "ctitle", None, "cnt");
+    let gamma = builder.current_id();
+    let plan = builder.build().expect("D2 plan");
+
+    Scenario {
+        name: "D2".into(),
+        description: "Number of articles for authors without \"Dey\" in their name".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("name", Nip::val(planted::D2_AUTHOR)),
+            ("ctitle", Nip::Any),
+            ("cnt", Nip::pred(NipCmp::Ge, 5i64)),
+        ]),
+        alternatives: vec![AttributeAlternative::new("authored", "title.bibtex", "title.text")],
+        labels: BTreeMap::from([
+            ("F3".to_string(), ft3),
+            ("σ".to_string(), sigma),
+            ("N".to_string(), nest),
+            ("γ".to_string(), gamma),
+        ]),
+        paper_rp: vec![vec!["F3".into()]],
+        paper_wnpp: vec![],
+        gold: None,
+    }
+}
+
+/// D3: all author-paper pairs per booktitle and year; the query nests the
+/// `author` attribute although the expected person only appears as `editor`.
+pub fn d3(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("records").tuple_nest(vec!["author", "title"], "authorPaper");
+    let nt4 = builder.current_id();
+    let builder = builder
+        .project_attrs(&["booktitle", "year", "authorPaper"])
+        .relation_nest(vec!["authorPaper"], "aplist");
+    let plan = builder.build().expect("D3 plan");
+
+    Scenario {
+        name: "D3".into(),
+        description: "All author-paper pairs per booktitle and year".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("booktitle", Nip::val(planted::D3_BOOKTITLE)),
+            ("year", Nip::val(nested_data::Value::int(planted::D3_YEAR))),
+            (
+                "aplist",
+                Nip::bag([
+                    Nip::tuple([(
+                        "authorPaper",
+                        Nip::tuple([("author", Nip::val(planted::D3_EDITOR)), ("title", Nip::Any)]),
+                    )]),
+                    Nip::Star,
+                ]),
+            ),
+        ]),
+        alternatives: vec![AttributeAlternative::new("records", "author", "editor")],
+        labels: BTreeMap::from([("N4".to_string(), nt4)]),
+        paper_rp: vec![vec!["N4".into()]],
+        paper_wnpp: vec![],
+        gold: None,
+    }
+}
+
+/// D4: collection of papers per author who published through ACM after 2010.
+/// The flatten picked `publisher` instead of `series` and the year selection
+/// filters on 2015 instead of 2010.
+pub fn d4(scale: usize) -> Scenario {
+    // Right: proceedings with the publisher value pulled up.
+    let right = PlanBuilder::table("proceedings").tuple_flatten("publisher.value", Some("ppublisher"));
+    let ft5_local = right.current_id();
+    let right = right.project_attrs(&["key", "year", "ppublisher"]);
+    // Left: inproceedings with crossref and author flattened.
+    let left = PlanBuilder::table("inproceedings")
+        .inner_flatten("crossref", None)
+        .inner_flatten("author", None)
+        .tuple_flatten("title.text", Some("ititle"))
+        .project_attrs(&["ref_key", "name", "ititle"]);
+    let builder = left.join(
+        right,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("ref_key"), CmpOp::Eq, Expr::attr("key")),
+    );
+    let builder = builder.select(Expr::attr_eq("ppublisher", "ACM"));
+    let sigma6 = builder.current_id();
+    let builder = builder.select(Expr::attr_eq("year", 2015i64));
+    let sigma7 = builder.current_id();
+    let builder = builder
+        .project_attrs(&["name", "ititle"])
+        .relation_nest(vec!["ititle"], "tlist")
+        .nest_aggregate(AggFunc::Count, "tlist", None, "cnt");
+    let plan = builder.build().expect("D4 plan");
+    let ft5 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| matches!(&n.op, nrab_algebra::Operator::TupleFlatten { alias: Some(a), .. } if a == "ppublisher"))
+        .map(|n| n.id)
+        .unwrap_or(ft5_local);
+
+    Scenario {
+        name: "D4".into(),
+        description: "Papers per author published through ACM after 2010".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("name", Nip::val(planted::D4_AUTHOR)),
+            ("tlist", Nip::Any),
+            ("cnt", Nip::pred(NipCmp::Ge, 1i64)),
+        ]),
+        alternatives: vec![AttributeAlternative::new("proceedings", "publisher", "series")],
+        labels: BTreeMap::from([
+            ("F5".to_string(), ft5),
+            ("σ6".to_string(), sigma6),
+            ("σ7".to_string(), sigma7),
+        ]),
+        paper_rp: vec![
+            vec!["σ6".into()],
+            vec!["σ6".into(), "σ7".into()],
+            vec!["F5".into(), "σ7".into()],
+            vec!["F5".into(), "σ6".into(), "σ7".into()],
+        ],
+        paper_wnpp: vec![vec!["σ6".into()]],
+        gold: None,
+    }
+}
+
+/// D5: list of homepage URLs per author; the URLs are stored in `note` and the
+/// planted author's `url` collection is empty.
+pub fn d5(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("homepages").project_attrs(&["author", "url"]);
+    let pi8 = builder.current_id();
+    let builder = builder.inner_flatten("author", None);
+    let builder = builder.inner_flatten("url", Some("the_url"));
+    let fi9 = builder.current_id();
+    let builder = builder
+        .tuple_flatten("the_url.value", Some("homepage"))
+        .project_attrs(&["name", "homepage"])
+        .relation_nest(vec!["homepage"], "lurl");
+    let plan = builder.build().expect("D5 plan");
+
+    Scenario {
+        name: "D5".into(),
+        description: "List of homepage URLs for each author".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([("name", Nip::val(planted::D5_AUTHOR)), ("lurl", Nip::Any)]),
+        alternatives: vec![AttributeAlternative::new("homepages", "url", "note")],
+        labels: BTreeMap::from([("π8".to_string(), pi8), ("F9".to_string(), fi9)]),
+        paper_rp: vec![vec!["F9".into()], vec!["π8".into()]],
+        paper_wnpp: vec![vec!["F9".into()]],
+        gold: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dblp_scenarios_build_and_validate() {
+        for scenario in all_dblp(40) {
+            scenario.question().validate().unwrap_or_else(|e| {
+                panic!("scenario {} has an invalid question: {e}", scenario.name)
+            });
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! # whynot-scenarios
+//!
+//! The paper's evaluation scenarios (Section 6.2, Tables 4–6, 9, and 10):
+//! DBLP D1–D5, Twitter T1–T4 and T_ASD, nested TPC-H Q1/Q3/Q4/Q6/Q10/Q13 with
+//! their flat variants, and the crime micro-benchmark C1–C3 — each bundled
+//! with its database, query plan, why-not question, attribute alternatives,
+//! the expected explanations of Table 8, and (where the paper defines one) the
+//! gold-standard explanation.
+//!
+//! [`Scenario::run`] executes the three competitors compared in the paper —
+//! the lineage-based baseline WN++, the reparameterization approach without
+//! schema alternatives (RPnoSA), and the full approach (RP) — and reports
+//! their explanation sets, which is exactly the information summarized in
+//! Tables 7 and 8.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nested_data::Nip;
+use nrab_algebra::{Database, OpId, QueryPlan};
+use whynot_baselines::wnpp_explanations;
+use whynot_core::{AttributeAlternative, WhyNotEngine, WhyNotQuestion, WhyNotResult};
+
+pub mod crime;
+pub mod dblp;
+pub mod running;
+pub mod tpch;
+pub mod twitter;
+
+/// A named evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short name (D1, T3, Q10, C2, ...).
+    pub name: String,
+    /// One-line description (mirrors Table 7).
+    pub description: String,
+    /// The input database.
+    pub db: Database,
+    /// The (possibly erroneous) query.
+    pub plan: QueryPlan,
+    /// The why-not question's NIP.
+    pub why_not: Nip,
+    /// Attribute alternatives provided to the RP engine.
+    pub alternatives: Vec<AttributeAlternative>,
+    /// Human-readable labels for the operators referenced in the paper
+    /// (e.g. "σ27" → operator id), used by tests and the benchmark harness.
+    pub labels: BTreeMap<String, OpId>,
+    /// The explanations the paper reports for the full approach (Table 8),
+    /// expressed via the labels above.
+    pub paper_rp: Vec<Vec<String>>,
+    /// The explanations the paper reports for WN++ (Table 8).
+    pub paper_wnpp: Vec<Vec<String>>,
+    /// The gold-standard explanation (the operators whose parameters were
+    /// deliberately modified), if the scenario has one.
+    pub gold: Option<Vec<String>>,
+}
+
+impl Scenario {
+    /// The why-not question of this scenario.
+    pub fn question(&self) -> WhyNotQuestion {
+        WhyNotQuestion::new(self.plan.clone(), self.db.clone(), self.why_not.clone())
+    }
+
+    /// Resolves a list of operator labels to operator ids.
+    pub fn resolve(&self, labels: &[String]) -> BTreeSet<OpId> {
+        labels.iter().filter_map(|l| self.labels.get(l).copied()).collect()
+    }
+
+    /// The gold-standard operators, if any.
+    pub fn gold_ops(&self) -> Option<BTreeSet<OpId>> {
+        self.gold.as_ref().map(|labels| self.resolve(labels))
+    }
+
+    /// Runs WN++, RPnoSA, and RP on this scenario.
+    pub fn run(&self) -> WhyNotResult<ScenarioOutcome> {
+        let question = self.question();
+        let wnpp = wnpp_explanations(&self.plan, &self.db, &self.why_not)?;
+        let rp_no_sa = WhyNotEngine::rp_no_sa().explain(&question, &self.alternatives)?;
+        let rp = WhyNotEngine::rp().explain(&question, &self.alternatives)?;
+        let gold = self.gold_ops();
+        let gold_position_rp = gold.as_ref().and_then(|g| {
+            rp.explanations.iter().position(|e| &e.operators == g).map(|p| p + 1)
+        });
+        Ok(ScenarioOutcome {
+            name: self.name.clone(),
+            wnpp,
+            rp_no_sa: rp_no_sa.operator_sets(),
+            rp: rp.operator_sets(),
+            rp_schema_alternatives: rp.schema_alternatives.len(),
+            gold_position_rp,
+        })
+    }
+}
+
+/// The outcome of running the three competitors on a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Explanations of the lineage-based baseline.
+    pub wnpp: Vec<BTreeSet<OpId>>,
+    /// Explanations of the reparameterization approach without schema alternatives.
+    pub rp_no_sa: Vec<BTreeSet<OpId>>,
+    /// Explanations of the full approach.
+    pub rp: Vec<BTreeSet<OpId>>,
+    /// Number of schema alternatives the full approach considered.
+    pub rp_schema_alternatives: usize,
+    /// 1-based rank of the gold-standard explanation in the RP output, if any.
+    pub gold_position_rp: Option<usize>,
+}
+
+impl ScenarioOutcome {
+    /// The three explanation counts reported in Table 7.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.wnpp.len(), self.rp_no_sa.len(), self.rp.len())
+    }
+}
+
+/// All scenarios at their default (laptop) scale: running example, D1–D5,
+/// T1–T4, T_ASD, Q1–Q13 (nested and flat), C1–C3.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut scenarios = vec![running::running_example()];
+    scenarios.extend(dblp::all_dblp(dblp_scale()));
+    scenarios.extend(twitter::all_twitter(twitter_scale()));
+    scenarios.extend(tpch::all_tpch(tpch_scale()));
+    scenarios.extend(crime::all_crime());
+    scenarios
+}
+
+/// Default DBLP scale for scenario construction.
+pub fn dblp_scale() -> usize {
+    120
+}
+
+/// Default Twitter scale for scenario construction.
+pub fn twitter_scale() -> usize {
+    150
+}
+
+/// Default TPC-H scale (number of customers) for scenario construction.
+pub fn tpch_scale() -> usize {
+    60
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_have_valid_questions() {
+        for scenario in all_scenarios() {
+            let question = scenario.question();
+            assert!(
+                question.validate().is_ok(),
+                "scenario {} has an invalid why-not question",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_scenarios_resolve_their_gold_labels() {
+        for scenario in all_scenarios() {
+            if let Some(gold) = &scenario.gold {
+                let resolved = scenario.resolve(gold);
+                assert_eq!(
+                    resolved.len(),
+                    gold.len(),
+                    "scenario {} has unresolved gold labels {gold:?}",
+                    scenario.name
+                );
+            }
+            for explanation in &scenario.paper_rp {
+                assert_eq!(
+                    scenario.resolve(explanation).len(),
+                    explanation.len(),
+                    "scenario {} has unresolved labels in {explanation:?}",
+                    scenario.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Nested TPC-H scenarios Q1, Q3, Q4, Q6, Q10, Q13 (Table 9) and their flat
+//! variants Q1F–Q13F.
+//!
+//! Each scenario injects the parameter errors the paper describes (shown in
+//! blue in Table 9); the unmodified query serves as the gold standard, so the
+//! gold explanation is exactly the set of modified operators.
+
+use std::collections::BTreeMap;
+
+use nested_data::{Nip, NipCmp, Value};
+use nested_datagen::tpch::{planted, tpch_flat_database, tpch_nested_database, TpchConfig};
+use nrab_algebra::expr::{ArithOp, CmpOp, Expr};
+use nrab_algebra::{evaluate, AggFunc, AggSpec, Database, JoinKind, PlanBuilder, ProjColumn};
+use whynot_core::AttributeAlternative;
+
+use crate::Scenario;
+
+fn database(scale: usize, flat: bool) -> Database {
+    let config = TpchConfig { customers: scale, seed: 42 };
+    if flat {
+        tpch_flat_database(config)
+    } else {
+        tpch_nested_database(config)
+    }
+}
+
+/// The attribute-alternative sets the paper defines for TPC-H (Section 6.2).
+fn tpch_alternatives(table: &str) -> Vec<AttributeAlternative> {
+    vec![
+        AttributeAlternative::new(table, "l_discount", "l_tax"),
+        AttributeAlternative::new(table, "l_tax", "l_discount"),
+        AttributeAlternative::new(table, "l_shipdate", "l_commitdate"),
+        AttributeAlternative::new(table, "l_commitdate", "l_shipdate"),
+        AttributeAlternative::new(table, "o_shippriority", "o_orderpriority"),
+        AttributeAlternative::new(table, "o_orderpriority", "o_shippriority"),
+    ]
+}
+
+/// Starts a lineitem-level plan: the flattened nested orders, or the flat
+/// pre-joined relation.
+fn lineitems(flat: bool) -> (PlanBuilder, Option<u32>) {
+    if flat {
+        (PlanBuilder::table("flatlineitem"), None)
+    } else {
+        let builder = PlanBuilder::table("nestedOrders").inner_flatten("o_lineitems", None);
+        let flatten = builder.current_id();
+        (builder, Some(flatten))
+    }
+}
+
+/// All TPC-H scenarios (nested and flat) at the given scale.
+pub fn all_tpch(scale: usize) -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+    for flat in [false, true] {
+        scenarios.push(q1(scale, flat));
+        scenarios.push(q3(scale, flat));
+        scenarios.push(q4(scale, flat));
+        scenarios.push(q6(scale, flat));
+        scenarios.push(q10(scale, flat));
+        scenarios.push(q13(scale, flat));
+    }
+    scenarios
+}
+
+fn name(base: &str, flat: bool) -> String {
+    if flat {
+        format!("{base}F")
+    } else {
+        base.to_string()
+    }
+}
+
+/// Q1: sum over the lineitems shipped before 1998-09-02 — but the aggregation
+/// erroneously sums `l_tax` instead of `l_discount`.
+pub fn q1(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let (builder, _) = lineitems(flat);
+    let builder = builder.select(Expr::attr_cmp("l_shipdate", CmpOp::Le, "1998-09-02"));
+    let sigma24 = builder.current_id();
+    let builder = builder.group_aggregate(
+        vec![],
+        vec![AggSpec::new(AggFunc::Sum, Expr::attr("l_tax"), "avgDisc")],
+    );
+    let gamma23 = builder.current_id();
+    let plan = builder.build().expect("Q1 plan");
+    // Ask for an accumulated discount larger than what the erroneous query returns.
+    let current = evaluate(&plan, &db)
+        .ok()
+        .and_then(|bag| {
+            bag.iter().next().and_then(|(v, _)| {
+                v.as_tuple().and_then(|t| t.get("avgDisc").and_then(Value::as_float))
+            })
+        })
+        .unwrap_or(0.0);
+
+    Scenario {
+        name: name("Q1", flat),
+        description: "TPC-H query 1 with one modified aggregation".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([("avgDisc", Nip::pred(NipCmp::Gt, Value::Float(current)))]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([
+            ("σ24".to_string(), sigma24),
+            ("γ23".to_string(), gamma23),
+        ]),
+        paper_rp: vec![
+            vec!["σ24".into()],
+            vec!["γ23".into()],
+            vec!["γ23".into(), "σ24".into()],
+        ],
+        paper_wnpp: vec![vec!["σ24".into()]],
+        gold: Some(vec!["γ23".into()]),
+    }
+}
+
+/// Q3: unshipped orders — the market segment constant and the commit-date
+/// constant were both modified.
+pub fn q3(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let (orders, _) = lineitems(flat);
+    let builder = PlanBuilder::table("customer").join(
+        orders,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("c_custkey"), CmpOp::Eq, Expr::attr("o_custkey")),
+    );
+    let builder = builder.select(Expr::attr_cmp("l_commitdate", CmpOp::Gt, "1995-03-25"));
+    let sigma27 = builder.current_id();
+    let builder = builder.select(Expr::attr_cmp("o_orderdate", CmpOp::Lt, "1995-03-15"));
+    let builder = builder.select(Expr::attr_eq("c_mktsegment", "HOUSEHOLD"));
+    let sigma26 = builder.current_id();
+    let builder = builder.project(vec![
+        ProjColumn::passthrough("o_orderkey"),
+        ProjColumn::passthrough("o_orderdate"),
+        ProjColumn::passthrough("o_shippriority"),
+        ProjColumn::computed(
+            "disc_price",
+            Expr::arith(
+                Expr::attr("l_extendedprice"),
+                ArithOp::Mul,
+                Expr::arith(Expr::lit(1.0), ArithOp::Sub, Expr::attr("l_discount")),
+            ),
+        ),
+    ]);
+    let builder = builder.group_aggregate(
+        vec!["o_orderkey", "o_orderdate", "o_shippriority"],
+        vec![AggSpec::new(AggFunc::Sum, Expr::attr("disc_price"), "revenue")],
+    );
+    let gamma25 = builder.current_id();
+    let plan = builder.build().expect("Q3 plan");
+
+    Scenario {
+        name: name("Q3", flat),
+        description: "TPC-H query 3 with two modified selections".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([
+            ("o_orderkey", Nip::val(Value::int(planted::Q3_ORDERKEY))),
+            ("o_orderdate", Nip::Any),
+            ("o_shippriority", Nip::Any),
+            ("revenue", Nip::Any),
+        ]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([
+            ("σ26".to_string(), sigma26),
+            ("σ27".to_string(), sigma27),
+            ("γ25".to_string(), gamma25),
+        ]),
+        paper_rp: vec![
+            vec!["σ26".into(), "σ27".into()],
+            vec!["σ26".into(), "σ27".into(), "γ25".into()],
+        ],
+        paper_wnpp: vec![vec!["σ27".into()]],
+        gold: Some(vec!["σ26".into(), "σ27".into()]),
+    }
+}
+
+/// Q4: order counts per priority — the query groups on the ship priority
+/// instead of the order priority and filters ship dates instead of commit
+/// dates.
+pub fn q4(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let (builder, _) = lineitems(flat);
+    let builder = builder.select(Expr::cmp(
+        Expr::attr("l_shipdate"),
+        CmpOp::Lt,
+        Expr::attr("l_receiptdate"),
+    ));
+    let sigma28 = builder.current_id();
+    let builder = builder.select(Expr::and(
+        Expr::attr_cmp("o_orderdate", CmpOp::Ge, "1993-07-01"),
+        Expr::attr_cmp("o_orderdate", CmpOp::Le, "1993-09-30"),
+    ));
+    let sigma29 = builder.current_id();
+    let builder = builder.group_aggregate(
+        vec!["o_shippriority"],
+        vec![AggSpec::new(AggFunc::Count, Expr::attr("o_orderkey"), "order_count")],
+    );
+    let gamma30 = builder.current_id();
+    let plan = builder.build().expect("Q4 plan");
+
+    Scenario {
+        name: name("Q4", flat),
+        description: "TPC-H query 4 with a modified selection and aggregation".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([
+            ("o_shippriority", Nip::val("3-MEDIUM")),
+            ("order_count", Nip::pred(NipCmp::Lt, 11_000i64)),
+        ]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([
+            ("σ28".to_string(), sigma28),
+            ("σ29".to_string(), sigma29),
+            ("γ30".to_string(), gamma30),
+        ]),
+        paper_rp: vec![
+            vec!["γ30".into()],
+            vec!["γ30".into(), "σ29".into()],
+            vec!["γ30".into(), "σ28".into()],
+            vec!["γ30".into(), "σ29".into(), "σ28".into()],
+        ],
+        paper_wnpp: vec![],
+        gold: Some(vec!["γ30".into(), "σ28".into()]),
+    }
+}
+
+/// Q6: forecast revenue — the discount band selection erroneously filters on
+/// `l_tax`.
+pub fn q6(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let (builder, _) = lineitems(flat);
+    let builder = builder.select(Expr::attr_cmp("l_quantity", CmpOp::Lt, 24i64));
+    let sigma34 = builder.current_id();
+    let builder = builder.select(Expr::and(
+        Expr::attr_cmp("l_tax", CmpOp::Ge, 0.05),
+        Expr::attr_cmp("l_tax", CmpOp::Le, 0.07),
+    ));
+    let sigma33 = builder.current_id();
+    let builder = builder.select(Expr::and(
+        Expr::attr_cmp("l_shipdate", CmpOp::Ge, "1994-01-01"),
+        Expr::attr_cmp("l_shipdate", CmpOp::Le, "1994-12-31"),
+    ));
+    let sigma32 = builder.current_id();
+    let builder = builder.project(vec![ProjColumn::computed(
+        "disc_price",
+        Expr::arith(Expr::attr("l_extendedprice"), ArithOp::Mul, Expr::attr("l_discount")),
+    )]);
+    let pi31 = builder.current_id();
+    let builder = builder.group_aggregate(
+        vec![],
+        vec![AggSpec::new(AggFunc::Sum, Expr::attr("disc_price"), "revenue")],
+    );
+    let plan = builder.build().expect("Q6 plan");
+    let current = evaluate(&plan, &db)
+        .ok()
+        .and_then(|bag| {
+            bag.iter().next().and_then(|(v, _)| {
+                v.as_tuple().and_then(|t| t.get("revenue").and_then(Value::as_float))
+            })
+        })
+        .unwrap_or(0.0);
+
+    Scenario {
+        name: name("Q6", flat),
+        description: "TPC-H query 6 with one modified selection".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([("revenue", Nip::pred(NipCmp::Lt, Value::Float(current * 0.5)))]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([
+            ("σ32".to_string(), sigma32),
+            ("σ33".to_string(), sigma33),
+            ("σ34".to_string(), sigma34),
+            ("π31".to_string(), pi31),
+        ]),
+        paper_rp: vec![
+            vec!["σ32".into()],
+            vec!["σ33".into()],
+            vec!["σ34".into()],
+            vec!["σ32".into(), "σ33".into()],
+            vec!["σ32".into(), "σ34".into()],
+            vec!["σ33".into(), "σ34".into()],
+            vec!["π31".into(), "σ33".into()],
+            vec!["σ32".into(), "σ33".into(), "σ34".into()],
+            vec!["π31".into(), "σ32".into(), "σ33".into()],
+            vec!["π31".into(), "σ33".into(), "σ34".into()],
+            vec!["π31".into(), "σ32".into(), "σ33".into(), "σ34".into()],
+        ],
+        paper_wnpp: vec![vec!["σ32".into()]],
+        gold: Some(vec!["σ33".into()]),
+    }
+}
+
+/// Q10: returned items and lost revenue — the return-flag constant, the order
+/// date range, and the discount attribute in the revenue computation were all
+/// modified.
+pub fn q10(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let (flat_ord, _) = lineitems(flat);
+    let flat_ord = flat_ord.select(Expr::and(
+        Expr::attr_cmp("o_orderdate", CmpOp::Ge, "1997-10-01"),
+        Expr::attr_cmp("o_orderdate", CmpOp::Le, "1997-12-31"),
+    ));
+    let sigma36_local = flat_ord.current_id();
+    let flat_ord = flat_ord.select(Expr::attr_eq("l_returnflag", "A"));
+    let sigma35_local = flat_ord.current_id();
+
+    let builder = PlanBuilder::table("customer").join(
+        flat_ord,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("c_custkey"), CmpOp::Eq, Expr::attr("o_custkey")),
+    );
+    let join38 = builder.current_id();
+    let builder = builder.join(
+        PlanBuilder::table("nation"),
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("c_nationkey"), CmpOp::Eq, Expr::attr("n_nationkey")),
+    );
+    let builder = builder.project(vec![
+        ProjColumn::passthrough("c_custkey"),
+        ProjColumn::passthrough("c_name"),
+        ProjColumn::passthrough("c_acctbal"),
+        ProjColumn::passthrough("c_phone"),
+        ProjColumn::passthrough("n_name"),
+        ProjColumn::passthrough("c_address"),
+        ProjColumn::passthrough("c_comment"),
+        ProjColumn::computed(
+            "disc_price",
+            Expr::arith(
+                Expr::attr("l_extendedprice"),
+                ArithOp::Mul,
+                Expr::arith(Expr::lit(1.0), ArithOp::Sub, Expr::attr("l_tax")),
+            ),
+        ),
+    ]);
+    let pi37 = builder.current_id();
+    let builder = builder.group_aggregate(
+        vec!["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        vec![AggSpec::new(AggFunc::Sum, Expr::attr("disc_price"), "revenue")],
+    );
+    let plan = builder.build().expect("Q10 plan");
+    // The selection ids were shifted when the chains merged; recover them.
+    let sigma35 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("l_returnflag"))
+        .map(|n| n.id)
+        .unwrap_or(sigma35_local);
+    let sigma36 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| n.op.to_string().contains("o_orderdate"))
+        .map(|n| n.id)
+        .unwrap_or(sigma36_local);
+
+    Scenario {
+        name: name("Q10", flat),
+        description: "TPC-H query 10 with two modified selections and a modified projection".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([
+            ("c_custkey", Nip::val(Value::int(planted::Q10_CUSTKEY))),
+            ("c_name", Nip::Any),
+            ("c_acctbal", Nip::Any),
+            ("c_phone", Nip::Any),
+            ("n_name", Nip::Any),
+            ("c_address", Nip::Any),
+            ("c_comment", Nip::Any),
+            ("revenue", Nip::pred(NipCmp::Gt, 0i64)),
+        ]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([
+            ("σ35".to_string(), sigma35),
+            ("σ36".to_string(), sigma36),
+            ("π37".to_string(), pi37),
+            ("⋈38".to_string(), join38),
+        ]),
+        paper_rp: vec![
+            vec!["σ35".into()],
+            vec!["σ35".into(), "σ36".into()],
+            vec!["σ35".into(), "π37".into()],
+            vec!["σ35".into(), "σ36".into(), "π37".into()],
+        ],
+        paper_wnpp: vec![vec!["⋈38".into()]],
+        gold: Some(vec!["σ35".into(), "σ36".into(), "π37".into()]),
+    }
+}
+
+/// Q13: distribution of customers by order count — the query uses an inner
+/// join instead of a left outer join and therefore misses customers without
+/// orders.
+pub fn q13(scale: usize, flat: bool) -> Scenario {
+    let db = database(scale, flat);
+    let orders = if flat {
+        PlanBuilder::table("flatlineitem")
+    } else {
+        PlanBuilder::table("nestedOrders")
+    };
+    let builder = PlanBuilder::table("customer").join(
+        orders,
+        JoinKind::Inner,
+        Expr::cmp(Expr::attr("c_custkey"), CmpOp::Eq, Expr::attr("o_custkey")),
+    );
+    let join39 = builder.current_id();
+    let builder = builder.select(Expr::and(
+        Expr::not(Expr::contains(Expr::attr("o_comment"), Expr::lit("special"))),
+        Expr::not(Expr::contains(Expr::attr("o_comment"), Expr::lit("requests"))),
+    ));
+    let builder = builder.group_aggregate(
+        vec!["c_custkey"],
+        vec![AggSpec::new(AggFunc::Count, Expr::attr("o_orderkey"), "c_count")],
+    );
+    let builder = builder.group_aggregate(
+        vec!["c_count"],
+        vec![AggSpec::new(AggFunc::Count, Expr::attr("c_custkey"), "custdist")],
+    );
+    let plan = builder.build().expect("Q13 plan");
+
+    Scenario {
+        name: name("Q13", flat),
+        description: "TPC-H query 13 with one modified join".into(),
+        db,
+        plan,
+        why_not: Nip::tuple([("c_count", Nip::val(Value::int(0))), ("custdist", Nip::Any)]),
+        alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
+        labels: BTreeMap::from([("⋈39".to_string(), join39)]),
+        paper_rp: vec![vec!["⋈39".into()]],
+        paper_wnpp: vec![vec!["⋈39".into()]],
+        gold: Some(vec!["⋈39".into()]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_scenarios_build_and_validate() {
+        for scenario in all_tpch(20) {
+            scenario.question().validate().unwrap_or_else(|e| {
+                panic!("scenario {} has an invalid question: {e}", scenario.name)
+            });
+        }
+    }
+}

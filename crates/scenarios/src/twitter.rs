@@ -1,0 +1,250 @@
+//! Twitter scenarios T1–T4 and T_ASD (Tables 5 and 10).
+
+use std::collections::BTreeMap;
+
+use nested_data::{Nip, NipCmp};
+use nested_datagen::twitter::{planted, twitter_database, TwitterConfig};
+use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::{AggFunc, Database, JoinKind, PlanBuilder};
+use whynot_core::AttributeAlternative;
+
+use crate::Scenario;
+
+fn database(scale: usize) -> Database {
+    twitter_database(TwitterConfig { scale, seed: 11 })
+}
+
+/// All Twitter scenarios at the given scale.
+pub fn all_twitter(scale: usize) -> Vec<Scenario> {
+    vec![t1(scale), t2(scale), t3(scale), t4(scale), t_asd(scale)]
+}
+
+/// T1: tweets providing media URLs about a basketball player. The media URL of
+/// the missing tweet sits in `entities.urls`, and the text filter looks for
+/// the wrong player.
+pub fn t1(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("tweets").tuple_flatten("entities.media", Some("media"));
+    let ft10 = builder.current_id();
+    let builder = builder.project_attrs(&["text", "id", "media"]);
+    let builder = builder.inner_flatten("media", Some("the_media"));
+    let fi11 = builder.current_id();
+    let builder = builder.select(Expr::contains(Expr::attr("text"), Expr::lit("Michael Jordan")));
+    let sigma12 = builder.current_id();
+    let builder = builder.tuple_flatten("the_media.url", Some("media_url"))
+        .project_attrs(&["text", "id", "media_url"]);
+    let plan = builder.build().expect("T1 plan");
+
+    Scenario {
+        name: "T1".into(),
+        description: "Tweets providing media URLs about a basketball player".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("text", Nip::val(planted::T1_TEXT)),
+            ("id", Nip::Any),
+            ("media_url", Nip::Any),
+        ]),
+        alternatives: vec![AttributeAlternative::new("tweets", "entities.media", "entities.urls")],
+        labels: BTreeMap::from([
+            ("F10".to_string(), ft10),
+            ("F11".to_string(), fi11),
+            ("σ12".to_string(), sigma12),
+        ]),
+        paper_rp: vec![
+            vec!["F11".into(), "σ12".into()],
+            vec!["F10".into(), "σ12".into()],
+        ],
+        paper_wnpp: vec![vec!["F11".into()]],
+        gold: None,
+    }
+}
+
+/// T2: all users who tweeted about BTS in the US; the known fan's country is
+/// only recorded in `user.location`.
+pub fn t2(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("tweets").tuple_flatten("place.country", Some("country"));
+    let ft13 = builder.current_id();
+    let builder = builder
+        .tuple_flatten("user.location", Some("uLoc"))
+        .tuple_flatten("user.name", Some("uName"))
+        .tuple_flatten("user.followers_count", Some("fCnt"))
+        .project_attrs(&["text", "country", "uLoc", "uName", "fCnt"]);
+    let builder = builder.select(Expr::contains(Expr::attr("text"), Expr::lit("BTS")));
+    let sigma14 = builder.current_id();
+    let builder = builder.select(Expr::attr_eq("country", "United States"));
+    let sigma15 = builder.current_id();
+    let plan = builder.build().expect("T2 plan");
+
+    Scenario {
+        name: "T2".into(),
+        description: "All users who tweeted about BTS in the US".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("text", Nip::Any),
+            ("country", Nip::Any),
+            ("uLoc", Nip::Any),
+            ("uName", Nip::val(planted::T2_USER)),
+            ("fCnt", Nip::Any),
+        ]),
+        alternatives: vec![AttributeAlternative::new("tweets", "place.country", "user.location")],
+        labels: BTreeMap::from([
+            ("F13".to_string(), ft13),
+            ("σ14".to_string(), sigma14),
+            ("σ15".to_string(), sigma15),
+        ]),
+        paper_rp: vec![
+            vec!["σ15".into()],
+            vec!["F13".into()],
+            vec!["σ14".into(), "σ15".into()],
+            vec!["F13".into(), "σ14".into(), "σ15".into()],
+        ],
+        paper_wnpp: vec![vec!["σ15".into()]],
+        gold: None,
+    }
+}
+
+/// T3: hashtags and media for users mentioned in other tweets; the media URLs
+/// again sit in `entities.urls`.
+pub fn t3(scale: usize) -> Scenario {
+    // Left: the mentioned users' own tweets.
+    let left = PlanBuilder::table("tweets")
+        .tuple_flatten("user.name", Some("uName"))
+        .tuple_flatten("user.id", Some("uid"))
+        .project_attrs(&["uName", "uid"]);
+    // Right: tweets mentioning users, with hashtags and media flattened.
+    let right = PlanBuilder::table("tweets").tuple_flatten("entities.media", Some("media"));
+    let ft16_local = right.current_id();
+    let right = right.inner_flatten("media", Some("the_media"));
+    let fi17_local = right.current_id();
+    let right = right
+        .tuple_flatten("entities.hashtags", Some("ht"))
+        .tuple_flatten("entities.mentioned_user", Some("musers"))
+        .inner_flatten("musers", Some("muser"))
+        .tuple_flatten("muser.id", Some("mid"))
+        .tuple_flatten("the_media.url", Some("media_url"))
+        .project_attrs(&["mid", "ht", "media_url"]);
+    let builder = left
+        .join(right, JoinKind::Inner, Expr::cmp(Expr::attr("uid"), CmpOp::Eq, Expr::attr("mid")))
+        .project_attrs(&["uName", "ht", "media_url"]);
+    let plan = builder.build().expect("T3 plan");
+    let ft16 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| matches!(&n.op, nrab_algebra::Operator::TupleFlatten { alias: Some(a), .. } if a == "media"))
+        .map(|n| n.id)
+        .unwrap_or(ft16_local);
+    let fi17 = plan
+        .nodes_top_down()
+        .iter()
+        .find(|n| matches!(&n.op, nrab_algebra::Operator::Flatten { alias: Some(a), .. } if a == "the_media"))
+        .map(|n| n.id)
+        .unwrap_or(fi17_local);
+
+    Scenario {
+        name: "T3".into(),
+        description: "Hashtags and media for users mentioned in other tweets".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("uName", Nip::val(planted::T3_USER)),
+            ("ht", Nip::Any),
+            ("media_url", Nip::Any),
+        ]),
+        alternatives: vec![AttributeAlternative::new("tweets", "entities.media", "entities.urls")],
+        labels: BTreeMap::from([("F16".to_string(), ft16), ("F17".to_string(), fi17)]),
+        paper_rp: vec![vec!["F17".into()], vec!["F16".into()]],
+        paper_wnpp: vec![vec!["F17".into()]],
+        gold: None,
+    }
+}
+
+/// T4: nested list of countries per hashtag for UEFA tweets; the country of the
+/// planted tweet is only in `user.location`, so its count is zero.
+pub fn t4(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("tweets").tuple_flatten("place.country", Some("country"));
+    let ft18 = builder.current_id();
+    let builder = builder
+        .tuple_flatten("entities.hashtags", Some("ht"))
+        .inner_flatten("ht", Some("fht"))
+        .tuple_flatten("fht.text", Some("htText"))
+        .select(Expr::contains(Expr::attr("text"), Expr::lit("Uefa")));
+    let sigma19 = builder.current_id();
+    let builder = builder
+        .project_attrs(&["country", "htText"])
+        .relation_nest(vec!["country"], "lcountry")
+        .nest_aggregate(AggFunc::Count, "lcountry", None, "cnt")
+        .select(Expr::attr_cmp("cnt", CmpOp::Gt, 0i64));
+    let sigma20 = builder.current_id();
+    let plan = builder.build().expect("T4 plan");
+
+    Scenario {
+        name: "T4".into(),
+        description: "Nested list of countries per hashtag for UEFA tweets".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("htText", Nip::val(planted::T4_HASHTAG)),
+            ("lcountry", Nip::Any),
+            ("cnt", Nip::pred(NipCmp::Gt, 0i64)),
+        ]),
+        alternatives: vec![AttributeAlternative::new("tweets", "place.country", "user.location")],
+        labels: BTreeMap::from([
+            ("F18".to_string(), ft18),
+            ("σ19".to_string(), sigma19),
+            ("σ20".to_string(), sigma20),
+        ]),
+        paper_rp: vec![
+            vec!["F18".into()],
+            vec!["σ19".into(), "σ20".into()],
+            vec!["F18".into(), "σ19".into(), "σ20".into()],
+        ],
+        paper_wnpp: vec![vec!["σ19".into()]],
+        gold: None,
+    }
+}
+
+/// T_ASD: the adaptive-schema-database example — extract retweeted tweets, but
+/// the query flattens the *quoted* status and filters on the quote count.
+pub fn t_asd(scale: usize) -> Scenario {
+    let builder = PlanBuilder::table("tweets").tuple_flatten("quoted_status", Some("status"));
+    let ft21 = builder.current_id();
+    let builder = builder
+        .tuple_flatten("status.text", Some("status_text"))
+        .tuple_flatten("status.count", Some("status_count"))
+        .select(Expr::attr_cmp("status_count", CmpOp::Gt, 0i64));
+    let sigma22 = builder.current_id();
+    let builder = builder.project_attrs(&["id", "status_text", "status_count"]);
+    let plan = builder.build().expect("T_ASD plan");
+
+    Scenario {
+        name: "TASD".into(),
+        description: "ASD example: flatten, filter, project quoted tweets (2 modifications)".into(),
+        db: database(scale),
+        plan,
+        why_not: Nip::tuple([
+            ("id", Nip::Any),
+            ("status_text", Nip::val(planted::TASD_TEXT)),
+            ("status_count", Nip::Any),
+        ]),
+        alternatives: vec![AttributeAlternative::new("tweets", "quoted_status", "retweet_status")],
+        labels: BTreeMap::from([("F21".to_string(), ft21), ("σ22".to_string(), sigma22)]),
+        paper_rp: vec![vec!["F21".into()], vec!["F21".into(), "σ22".into()]],
+        paper_wnpp: vec![],
+        gold: Some(vec!["F21".into(), "σ22".into()]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twitter_scenarios_build_and_validate() {
+        for scenario in all_twitter(40) {
+            scenario.question().validate().unwrap_or_else(|e| {
+                panic!("scenario {} has an invalid question: {e}", scenario.name)
+            });
+        }
+    }
+}

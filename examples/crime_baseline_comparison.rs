@@ -1,0 +1,22 @@
+//! The crime micro-benchmark (Table 6): Why-Not vs. Conseil vs. the
+//! reparameterization-based approach, as discussed in Section 6.4.
+
+use whynot_nested::baselines::{conseil_explanations, wnpp_explanations};
+use whynot_nested::core::WhyNotEngine;
+use whynot_nested::scenarios::crime;
+
+fn main() {
+    for scenario in crime::all_crime() {
+        println!("== {} — {}", scenario.name, scenario.description);
+        let whynot = wnpp_explanations(&scenario.plan, &scenario.db, &scenario.why_not)
+            .expect("Why-Not runs");
+        let conseil = conseil_explanations(&scenario.plan, &scenario.db, &scenario.why_not)
+            .expect("Conseil runs");
+        let rp = WhyNotEngine::rp()
+            .explain(&scenario.question(), &scenario.alternatives)
+            .expect("RP runs");
+        println!("  Why-Not : {whynot:?}");
+        println!("  Conseil : {conseil:?}");
+        println!("  RP      : {:?}", rp.operator_sets());
+    }
+}

@@ -1,0 +1,30 @@
+//! Gold-standard check on TPC-H: the scenario queries contain deliberately
+//! modified operators (Table 9); the explanation engine should point at them.
+
+use whynot_nested::core::WhyNotEngine;
+use whynot_nested::scenarios::tpch;
+
+fn main() {
+    for scenario in [tpch::q3(60, false), tpch::q13(60, false), tpch::q10(60, false)] {
+        let answer = WhyNotEngine::rp()
+            .explain(&scenario.question(), &scenario.alternatives)
+            .expect("explanation");
+        let gold = scenario.gold_ops().expect("TPC-H scenarios have a gold standard");
+        let rank = answer
+            .explanations
+            .iter()
+            .position(|e| e.operators == gold)
+            .map(|p| (p + 1).to_string())
+            .unwrap_or_else(|| "not found".into());
+        println!(
+            "{}: {} explanations, gold standard {:?} at rank {}",
+            scenario.name,
+            answer.explanations.len(),
+            scenario.gold,
+            rank
+        );
+        for (i, explanation) in answer.explanations.iter().enumerate() {
+            println!("  #{} {:?}", i + 1, explanation.operator_labels);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # whynot-nested
+//!
+//! Umbrella crate for the Rust reproduction of *"To Not Miss the Forest for the
+//! Trees — A Holistic Approach for Explaining Missing Answers over Nested Data"*
+//! (SIGMOD 2021).
+//!
+//! This crate re-exports the workspace members so that examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`data`] — nested relational data model (types, values, bags, NIPs, tree edit distance)
+//! * [`algebra`] — the nested relational algebra for bags (NRAB) and its evaluator
+//! * [`provenance`] — annotated data tracing under schema alternatives
+//! * [`core`] — the why-not explanation engine (schema backtracing, schema
+//!   alternatives, approximate and exact MSRs)
+//! * [`baselines`] — lineage-based baselines (WN++, Conseil-style)
+//! * [`datagen`] — seeded synthetic datasets
+//! * [`scenarios`] — the paper's evaluation scenarios with gold standards
+
+pub use nested_data as data;
+pub use nrab_algebra as algebra;
+pub use nrab_provenance as provenance;
+pub use whynot_baselines as baselines;
+pub use whynot_core as core;
+pub use nested_datagen as datagen;
+pub use whynot_scenarios as scenarios;

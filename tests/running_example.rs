@@ -1,0 +1,54 @@
+//! End-to-end integration test: the running example across all layers,
+//! including cross-validation of the heuristic against the exact algorithm.
+
+use std::collections::BTreeSet;
+
+use whynot_nested::core::exact::{exact_explanations, ExactConfig};
+use whynot_nested::core::{AttributeAlternative, WhyNotEngine, WhyNotQuestion};
+use whynot_nested::data::Nip;
+use whynot_nested::algebra::expr::{CmpOp, Expr};
+use whynot_nested::algebra::PlanBuilder;
+use whynot_nested::datagen::person_database;
+
+fn question() -> WhyNotQuestion {
+    let plan = PlanBuilder::table("person")
+        .inner_flatten("address2", None)
+        .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+        .project_attrs(&["name", "city"])
+        .relation_nest(vec!["name"], "nList")
+        .build()
+        .unwrap();
+    let why_not =
+        Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+    WhyNotQuestion::new(plan, person_database(), why_not)
+}
+
+#[test]
+fn heuristic_explanations_match_example_19() {
+    let question = question();
+    let answer = WhyNotEngine::rp()
+        .explain(&question, &[AttributeAlternative::new("person", "address2", "address1")])
+        .unwrap();
+    let sets = answer.operator_sets();
+    assert_eq!(sets, vec![BTreeSet::from([2]), BTreeSet::from([1, 2])]);
+}
+
+#[test]
+fn heuristic_explanations_are_confirmed_by_the_exact_search() {
+    let question = question();
+    let exact = exact_explanations(
+        &question,
+        ExactConfig { max_changed_operators: 2, max_candidates: 100_000 },
+    )
+    .unwrap();
+    // Every reparameterization found by the exact search produces the missing
+    // answer; the heuristic's first explanation (the selection) must be among
+    // the exact explanations.
+    assert!(!exact.successful.is_empty());
+    assert!(exact.explanations().iter().any(|ops| ops == &BTreeSet::from([2])));
+    // Every exact SR that changes only the selection has the selection in its
+    // operator set (sanity of Δ bookkeeping).
+    for sr in &exact.successful {
+        assert!(!sr.operators.is_empty());
+    }
+}

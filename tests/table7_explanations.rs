@@ -1,0 +1,82 @@
+//! Integration test over the scenario suite: key rows of Tables 7 and 8.
+
+use whynot_nested::scenarios::{crime, dblp, running, tpch, twitter};
+
+#[test]
+fn running_example_row() {
+    let outcome = running::running_example().run().unwrap();
+    assert_eq!(outcome.counts(), (1, 1, 2));
+}
+
+#[test]
+fn dblp_rows_match_the_paper_shape() {
+    // D2: only the full approach (schema alternatives) finds an explanation.
+    let outcome = dblp::d2(60).run().unwrap();
+    assert_eq!(outcome.wnpp.len(), 0);
+    assert_eq!(outcome.rp_no_sa.len(), 0);
+    assert_eq!(outcome.rp.len(), 1);
+
+    // D5: the full approach finds the projection in addition to the flatten.
+    let outcome = dblp::d5(60).run().unwrap();
+    assert!(outcome.rp.len() > outcome.rp_no_sa.len());
+}
+
+#[test]
+fn twitter_rows_match_the_paper_shape() {
+    // T_ASD: only schema alternatives reveal the flatten on the wrong status.
+    let scenario = twitter::t_asd(80);
+    let outcome = scenario.run().unwrap();
+    assert_eq!(outcome.wnpp.len(), 0);
+    assert_eq!(outcome.rp_no_sa.len(), 0);
+    assert!(!outcome.rp.is_empty());
+    let flatten = scenario.resolve(&["F21".to_string()]);
+    assert!(outcome.rp.iter().any(|ops| ops == &flatten));
+
+    // T1: WN++'s single explanation is incomplete (flatten only); RP adds the selection.
+    let scenario = twitter::t1(80);
+    let outcome = scenario.run().unwrap();
+    assert_eq!(outcome.wnpp, vec![scenario.resolve(&["F11".to_string()])]);
+    assert!(outcome
+        .rp
+        .iter()
+        .any(|ops| ops == &scenario.resolve(&["F11".to_string(), "σ12".to_string()])));
+}
+
+#[test]
+fn tpch_gold_standards_are_found() {
+    // Q13: the inner join is the gold standard and the only explanation.
+    let outcome = tpch::q13(25, false).run().unwrap();
+    assert_eq!(outcome.counts(), (1, 1, 1));
+    assert_eq!(outcome.gold_position_rp, Some(1));
+
+    // Q3: both modified selections are blamed together, ranked first.
+    let outcome = tpch::q3(25, false).run().unwrap();
+    assert_eq!(outcome.gold_position_rp, Some(1));
+
+    // Q10: the full gold standard (two selections + projection) is found, and
+    // the join the baseline blames is *not* part of any RP explanation.
+    let scenario = tpch::q10(25, false);
+    let outcome = scenario.run().unwrap();
+    assert!(outcome.gold_position_rp.is_some());
+    let join = scenario.resolve(&["⋈38".to_string()]);
+    assert!(outcome.rp.iter().all(|ops| !ops.is_superset(&join)));
+}
+
+#[test]
+fn flat_and_nested_tpch_scenarios_agree() {
+    // The explanations on flat data mirror those on nested data (Section 6.4).
+    let nested = tpch::q13(25, false).run().unwrap();
+    let flat = tpch::q13(25, true).run().unwrap();
+    assert_eq!(nested.counts(), flat.counts());
+}
+
+#[test]
+fn crime_comparison_matches_section_6_4() {
+    // C1: the reparameterization approach returns a combined explanation that
+    // includes both the selection and a join, which plain Why-Not misses.
+    let scenario = crime::c1();
+    let outcome = scenario.run().unwrap();
+    let sigma = scenario.resolve(&["σ1".to_string()]);
+    assert!(outcome.wnpp.iter().any(|ops| ops == &sigma));
+    assert!(outcome.rp.iter().any(|ops| ops.len() > 1 && ops.is_superset(&sigma)));
+}
