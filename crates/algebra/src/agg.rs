@@ -95,18 +95,12 @@ impl AggFunc {
                     Value::Float(sum / count as f64)
                 }
             }
-            AggFunc::Min => values
-                .into_iter()
-                .filter(|v| !v.is_null())
-                .min()
-                .cloned()
-                .unwrap_or(Value::Null),
-            AggFunc::Max => values
-                .into_iter()
-                .filter(|v| !v.is_null())
-                .max()
-                .cloned()
-                .unwrap_or(Value::Null),
+            AggFunc::Min => {
+                values.into_iter().filter(|v| !v.is_null()).min().cloned().unwrap_or(Value::Null)
+            }
+            AggFunc::Max => {
+                values.into_iter().filter(|v| !v.is_null()).max().cloned().unwrap_or(Value::Null)
+            }
         }
     }
 
@@ -151,7 +145,7 @@ mod tests {
     fn sum_and_avg() {
         let vs = values();
         assert_eq!(AggFunc::Sum.apply(vs.iter()), Value::Float(9.5));
-        let ints = vec![Value::int(2), Value::int(3)];
+        let ints = [Value::int(2), Value::int(3)];
         assert_eq!(AggFunc::Sum.apply(ints.iter()), Value::Int(5));
         let avg = AggFunc::Avg.apply(vs.iter()).as_float().unwrap();
         assert!((avg - 9.5 / 4.0).abs() < 1e-9);
@@ -164,7 +158,7 @@ mod tests {
         let vs = values();
         assert_eq!(AggFunc::Min.apply(vs.iter()), Value::int(1));
         assert_eq!(AggFunc::Max.apply(vs.iter()), Value::int(3));
-        let strings = vec![Value::str("b"), Value::str("a")];
+        let strings = [Value::str("b"), Value::str("a")];
         assert_eq!(AggFunc::Min.apply(strings.iter()), Value::str("a"));
         assert_eq!(AggFunc::Max.apply([].iter()), Value::Null);
     }

@@ -92,7 +92,10 @@ impl PlanBuilder {
 
     /// Appends a tuple flatten `Fᵀ`.
     pub fn tuple_flatten(self, source: impl Into<AttrPath>, alias: Option<&str>) -> Self {
-        self.push(Operator::TupleFlatten { source: source.into(), alias: alias.map(str::to_string) })
+        self.push(Operator::TupleFlatten {
+            source: source.into(),
+            alias: alias.map(str::to_string),
+        })
     }
 
     /// Appends a tuple nesting `Nᵀ`.

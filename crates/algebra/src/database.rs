@@ -128,7 +128,10 @@ mod tests {
             ("name", Value::str("Sue")),
             (
                 "address2",
-                Value::bag([Value::tuple([("city", Value::str("NY")), ("year", Value::int(2018))])]),
+                Value::bag([Value::tuple([
+                    ("city", Value::str("NY")),
+                    ("year", Value::int(2018)),
+                ])]),
             ),
         ]);
         let mut db = Database::new();

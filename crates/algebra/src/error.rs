@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(AlgebraError::UnknownTable("person".into()).to_string(), "unknown table `person`");
+        assert_eq!(
+            AlgebraError::UnknownTable("person".into()).to_string(),
+            "unknown table `person`"
+        );
         let e = AlgebraError::WrongArity { operator: "join".into(), expected: 2, found: 1 };
         assert!(e.to_string().contains("expects 2"));
         let data: AlgebraError = DataError::Invalid("x".into()).into();

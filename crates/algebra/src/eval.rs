@@ -51,16 +51,14 @@ pub fn apply_operator(node: &OpNode, inputs: &[Bag], db: &Database) -> AlgebraRe
             let right_schema = output_type(&node.inputs[1], db)?;
             Ok(eval_join(input(0)?, input(1)?, *kind, predicate, &left_schema, &right_schema))
         }
-        Operator::CrossProduct => {
-            Ok(eval_join(
-                input(0)?,
-                input(1)?,
-                JoinKind::Inner,
-                &Expr::lit(true),
-                &TupleType::empty(),
-                &TupleType::empty(),
-            ))
-        }
+        Operator::CrossProduct => Ok(eval_join(
+            input(0)?,
+            input(1)?,
+            JoinKind::Inner,
+            &Expr::lit(true),
+            &TupleType::empty(),
+            &TupleType::empty(),
+        )),
         Operator::TupleFlatten { source, alias } => {
             let input_schema = output_type(&node.inputs[0], db)?;
             eval_tuple_flatten(input(0)?, source, alias.as_deref(), &input_schema)
@@ -171,9 +169,9 @@ fn eval_tuple_flatten(
                     return Err(AlgebraError::InvalidParameter {
                         operator: "Fᵀ".into(),
                         message: format!(
-                            "tuple flatten without alias expects a tuple value at `{source}`, found {}",
-                            other.kind()
-                        ),
+                        "tuple flatten without alias expects a tuple value at `{source}`, found {}",
+                        other.kind()
+                    ),
                     })
                 }
             },
@@ -207,10 +205,8 @@ fn eval_flatten(
                 let padded = match alias {
                     Some(alias) => tuple.with_field(alias, Value::Null),
                     None => {
-                        let names: Vec<&str> = element_ty
-                            .as_ref()
-                            .map(|t| t.attribute_names())
-                            .unwrap_or_default();
+                        let names: Vec<&str> =
+                            element_ty.as_ref().map(|t| t.attribute_names()).unwrap_or_default();
                         tuple.concat(&Tuple::null_padded(&names))?
                     }
                 };
@@ -290,10 +286,9 @@ fn eval_nest_aggregation(
             Value::Bag(b) => b
                 .iter_expanded()
                 .map(|element| match field {
-                    Some(f) => element
-                        .as_tuple()
-                        .and_then(|t| t.get(f).cloned())
-                        .unwrap_or(Value::Null),
+                    Some(f) => {
+                        element.as_tuple().and_then(|t| t.get(f).cloned()).unwrap_or(Value::Null)
+                    }
                     None => element.clone(),
                 })
                 .collect(),
@@ -310,7 +305,11 @@ fn eval_nest_aggregation(
     Ok(out)
 }
 
-fn eval_group_aggregation(input: &Bag, group_by: &[String], aggs: &[AggSpec]) -> AlgebraResult<Bag> {
+fn eval_group_aggregation(
+    input: &Bag,
+    group_by: &[String],
+    aggs: &[AggSpec],
+) -> AlgebraResult<Bag> {
     let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
     let groups = input.group_by(|v| {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
@@ -393,7 +392,8 @@ mod tests {
         ]);
         assert_eq!(result.mult(&expected), 1);
         // And NY is indeed missing (the why-not question of Example 1).
-        let nip = Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        let nip =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
         assert!(!result.iter().any(|(v, _)| nip.matches(v)));
     }
 
@@ -418,10 +418,8 @@ mod tests {
         bag.insert(empty_person, 1);
         db.add_relation("person", schema, bag);
 
-        let inner =
-            PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
-        let outer =
-            PlanBuilder::table("person").outer_flatten("address2", None).build().unwrap();
+        let inner = PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
+        let outer = PlanBuilder::table("person").outer_flatten("address2", None).build().unwrap();
         assert_eq!(evaluate(&inner, &db).unwrap().total(), 4);
         let outer_result = evaluate(&outer, &db).unwrap();
         assert_eq!(outer_result.total(), 5);
@@ -440,12 +438,18 @@ mod tests {
         db.add_relation(
             "r",
             r_ty,
-            Bag::from_values([Value::tuple([("a", Value::int(1))]), Value::tuple([("a", Value::int(2))])]),
+            Bag::from_values([
+                Value::tuple([("a", Value::int(1))]),
+                Value::tuple([("a", Value::int(2))]),
+            ]),
         );
         db.add_relation(
             "s",
             s_ty,
-            Bag::from_values([Value::tuple([("b", Value::int(2))]), Value::tuple([("b", Value::int(3))])]),
+            Bag::from_values([
+                Value::tuple([("b", Value::int(2))]),
+                Value::tuple([("b", Value::int(3))]),
+            ]),
         );
         let pred = Expr::cmp(Expr::attr("a"), CmpOp::Eq, Expr::attr("b"));
 
@@ -461,7 +465,9 @@ mod tests {
             .unwrap();
         let left_result = evaluate(&left, &db).unwrap();
         assert_eq!(left_result.total(), 2);
-        assert!(left_result.iter().any(|(v, _)| v.as_tuple().unwrap().get("b") == Some(&Value::Null)));
+        assert!(left_result
+            .iter()
+            .any(|(v, _)| v.as_tuple().unwrap().get("b") == Some(&Value::Null)));
 
         let full = PlanBuilder::table("r")
             .join(PlanBuilder::table("s"), JoinKind::Full, pred)
@@ -581,9 +587,7 @@ mod tests {
             .build()
             .unwrap();
         let result = evaluate(&plan, &db).unwrap();
-        assert!(result
-            .iter()
-            .all(|(v, _)| v.as_tuple().unwrap().contains("person_name")));
+        assert!(result.iter().all(|(v, _)| v.as_tuple().unwrap().contains("person_name")));
     }
 
     #[test]

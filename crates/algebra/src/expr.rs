@@ -203,9 +203,7 @@ impl Expr {
     /// Evaluates the expression against a tuple, producing a value.
     pub fn eval(&self, tuple: &Tuple) -> Value {
         match self {
-            Expr::Attr(path) => {
-                Value::Tuple(tuple.clone()).get_path(path).unwrap_or(Value::Null)
-            }
+            Expr::Attr(path) => Value::Tuple(tuple.clone()).get_path(path).unwrap_or(Value::Null),
             Expr::Const(v) => v.clone(),
             Expr::Cmp(l, op, r) => Value::Bool(op.apply(&l.eval(tuple), &r.eval(tuple))),
             Expr::And(l, r) => Value::Bool(l.eval_bool(tuple) && r.eval_bool(tuple)),
@@ -269,7 +267,11 @@ impl Expr {
         match self {
             Expr::Attr(path) => out.push(path.clone()),
             Expr::Const(_) => {}
-            Expr::Cmp(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(l, _, r) | Expr::Contains(l, r) => {
+            Expr::Cmp(l, _, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Arith(l, _, r)
+            | Expr::Contains(l, r) => {
                 l.collect_attributes(out);
                 r.collect_attributes(out);
             }
@@ -289,7 +291,11 @@ impl Expr {
         match self {
             Expr::Attr(_) => {}
             Expr::Const(v) => out.push(v.clone()),
-            Expr::Cmp(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(l, _, r) | Expr::Contains(l, r) => {
+            Expr::Cmp(l, _, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Arith(l, _, r)
+            | Expr::Contains(l, r) => {
                 l.collect_constants(out);
                 r.collect_constants(out);
             }
@@ -516,10 +522,7 @@ mod tests {
         );
         let v = disc_price.eval(&t).as_float().unwrap();
         assert!((v - 94.0).abs() < 1e-9);
-        assert_eq!(
-            Expr::arith(Expr::lit(1.0), ArithOp::Div, Expr::lit(0.0)).eval(&t),
-            Value::Null
-        );
+        assert_eq!(Expr::arith(Expr::lit(1.0), ArithOp::Div, Expr::lit(0.0)).eval(&t), Value::Null);
     }
 
     #[test]
@@ -538,10 +541,7 @@ mod tests {
         let attrs = e.referenced_attributes();
         assert_eq!(attrs.len(), 2);
         let swapped = e.substitute_attribute(&"address2".into(), &"address1".into());
-        assert!(swapped
-            .referenced_attributes()
-            .iter()
-            .any(|p| p.to_string() == "address1.year"));
+        assert!(swapped.referenced_attributes().iter().any(|p| p.to_string() == "address1.year"));
         let consts = e.referenced_constants();
         assert!(consts.contains(&Value::int(2019)));
 

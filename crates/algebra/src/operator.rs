@@ -27,7 +27,8 @@ pub enum JoinKind {
 
 impl JoinKind {
     /// All join kinds (the admissible "change the join type" reparameterization).
-    pub const ALL: [JoinKind; 4] = [JoinKind::Inner, JoinKind::Left, JoinKind::Right, JoinKind::Full];
+    pub const ALL: [JoinKind; 4] =
+        [JoinKind::Inner, JoinKind::Left, JoinKind::Right, JoinKind::Full];
 }
 
 impl fmt::Display for JoinKind {
@@ -253,7 +254,10 @@ impl Operator {
     pub fn arity(&self) -> usize {
         match self {
             Operator::TableAccess { .. } => 0,
-            Operator::Join { .. } | Operator::CrossProduct | Operator::Union | Operator::Difference => 2,
+            Operator::Join { .. }
+            | Operator::CrossProduct
+            | Operator::Union
+            | Operator::Difference => 2,
             _ => 1,
         }
     }
@@ -376,10 +380,7 @@ mod tests {
     fn arity_of_operators() {
         assert_eq!(Operator::TableAccess { table: "person".into() }.arity(), 0);
         assert_eq!(Operator::Selection { predicate: Expr::lit(true) }.arity(), 1);
-        assert_eq!(
-            Operator::Join { kind: JoinKind::Inner, predicate: Expr::lit(true) }.arity(),
-            2
-        );
+        assert_eq!(Operator::Join { kind: JoinKind::Inner, predicate: Expr::lit(true) }.arity(), 2);
         assert_eq!(Operator::Union.arity(), 2);
     }
 
@@ -413,14 +414,14 @@ mod tests {
         assert_eq!(sel.to_string(), "σ_{year ≥ 2019}");
         let nest = Operator::RelationNest { attrs: vec!["name".into()], into: "nList".into() };
         assert_eq!(nest.to_string(), "Nᴿ_{name → nList}");
-        let flat = Operator::Flatten {
-            kind: FlattenKind::Inner,
-            attr: "address2".into(),
-            alias: None,
-        };
+        let flat =
+            Operator::Flatten { kind: FlattenKind::Inner, attr: "address2".into(), alias: None };
         assert_eq!(flat.to_string(), "Fᴵ_{address2}");
         let proj = Operator::Projection {
-            columns: vec![ProjColumn::passthrough("name"), ProjColumn::renamed("city", "addr.city")],
+            columns: vec![
+                ProjColumn::passthrough("name"),
+                ProjColumn::renamed("city", "addr.city"),
+            ],
         };
         assert_eq!(proj.to_string(), "π_{name, city ← addr.city}");
     }

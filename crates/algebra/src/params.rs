@@ -46,11 +46,7 @@ pub fn operator_params(plan: &QueryPlan) -> Vec<OperatorParams> {
 pub fn delta(original: &QueryPlan, reparameterized: &QueryPlan) -> BTreeSet<OpId> {
     let a = operator_params(original);
     let b = operator_params(reparameterized);
-    a.iter()
-        .zip(b.iter())
-        .filter(|(x, y)| x.rendering != y.rendering)
-        .map(|(x, _)| x.op)
-        .collect()
+    a.iter().zip(b.iter()).filter(|(x, y)| x.rendering != y.rendering).map(|(x, _)| x.op).collect()
 }
 
 /// One admissible parameter change (Table 2).
@@ -149,7 +145,9 @@ impl fmt::Display for ParamChange {
             ParamChange::ReplacePredicate { op, predicate } => {
                 write!(f, "op {op}: predicate → {predicate}")
             }
-            ParamChange::SetProjectionColumns { op, .. } => write!(f, "op {op}: projection columns"),
+            ParamChange::SetProjectionColumns { op, .. } => {
+                write!(f, "op {op}: projection columns")
+            }
         }
     }
 }
@@ -439,8 +437,7 @@ pub fn admissible_changes(
                 }
             }
         }
-        Operator::TupleNest { attrs, .. }
-        | Operator::RelationNest { attrs, .. } => {
+        Operator::TupleNest { attrs, .. } | Operator::RelationNest { attrs, .. } => {
             for attr in attrs {
                 if let Ok(from_ty) = input_schema.attribute_required(attr) {
                     for (name, ty) in input_schema.fields() {
@@ -547,7 +544,8 @@ mod tests {
     #[test]
     fn inadmissible_changes_are_rejected() {
         let plan = running_example();
-        let rp = Reparameterization::single(ParamChange::SetJoinKind { op: 2, kind: JoinKind::Left });
+        let rp =
+            Reparameterization::single(ParamChange::SetJoinKind { op: 2, kind: JoinKind::Left });
         assert!(rp.apply(&plan).is_err());
         let rp = Reparameterization::single(ParamChange::ReplaceConstant {
             op: 4,
@@ -579,16 +577,13 @@ mod tests {
         let sel = Operator::Selection { predicate: Expr::attr_cmp("year", CmpOp::Ge, 2019i64) };
         let changes =
             admissible_changes(2, &sel, &flattened, &[Value::int(2018), Value::int(2019)]);
-        assert!(changes
-            .iter()
-            .any(|c| matches!(c, ParamChange::ReplaceConstant { to, .. } if to == &Value::int(2018))));
+        assert!(changes.iter().any(
+            |c| matches!(c, ParamChange::ReplaceConstant { to, .. } if to == &Value::int(2018))
+        ));
         assert!(changes.iter().any(|c| matches!(c, ParamChange::ReplaceComparison { .. })));
 
-        let flat = Operator::Flatten {
-            kind: FlattenKind::Inner,
-            attr: "address2".into(),
-            alias: None,
-        };
+        let flat =
+            Operator::Flatten { kind: FlattenKind::Inner, attr: "address2".into(), alias: None };
         let changes = admissible_changes(1, &flat, &person, &[]);
         assert!(changes.iter().any(|c| matches!(
             c,

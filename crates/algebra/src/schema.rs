@@ -19,9 +19,12 @@ pub fn expr_type(expr: &Expr, input: &TupleType) -> AlgebraResult<NestedType> {
     Ok(match expr {
         Expr::Attr(path) => input.resolve_path(path).cloned().unwrap_or(NestedType::str()),
         Expr::Const(v) => v.infer_type().unwrap_or(NestedType::str()),
-        Expr::Cmp(..) | Expr::And(..) | Expr::Or(..) | Expr::Not(_) | Expr::Contains(..) | Expr::IsNull(_) => {
-            NestedType::Prim(PrimitiveType::Bool)
-        }
+        Expr::Cmp(..)
+        | Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Not(_)
+        | Expr::Contains(..)
+        | Expr::IsNull(_) => NestedType::Prim(PrimitiveType::Bool),
         Expr::Arith(..) => NestedType::Prim(PrimitiveType::Float),
         Expr::Size(_) => NestedType::Prim(PrimitiveType::Int),
     })
@@ -89,8 +92,8 @@ pub fn output_type(node: &OpNode, db: &Database) -> AlgebraResult<TupleType> {
                     return Err(AlgebraError::InvalidParameter {
                         operator: "F".into(),
                         message: format!(
-                            "relation flatten requires a relation-typed attribute, `{attr}` is {other}"
-                        ),
+                        "relation flatten requires a relation-typed attribute, `{attr}` is {other}"
+                    ),
                     })
                 }
             };
@@ -111,9 +114,7 @@ pub fn output_type(node: &OpNode, db: &Database) -> AlgebraResult<TupleType> {
             let input = input(0)?;
             let nested = project_types(input, attrs)?;
             let remaining = input.without(&attrs.iter().map(String::as_str).collect::<Vec<_>>());
-            remaining
-                .with_attribute(into.clone(), NestedType::Relation(nested))
-                .map_err(Into::into)
+            remaining.with_attribute(into.clone(), NestedType::Relation(nested)).map_err(Into::into)
         }
         Operator::NestAggregation { func, output, .. } => {
             let input = input(0)?;
@@ -176,7 +177,7 @@ mod tests {
     use crate::builder::PlanBuilder;
     use crate::expr::CmpOp;
     use crate::operator::ProjColumn;
-    use nested_data::{Bag, Value};
+    use nested_data::Bag;
 
     fn person_db() -> Database {
         let address =

@@ -1,46 +1,52 @@
-//! Property-based tests for the NRAB evaluator: algebraic invariants that
+//! Property-style tests for the NRAB evaluator: algebraic invariants that
 //! must hold for every generated database.
+//!
+//! Inputs are generated with the workspace's deterministic PRNG instead of
+//! `proptest` (hermetic builds have no external crates).
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::expr::{CmpOp, Expr};
 use nrab_algebra::{evaluate, Database, JoinKind, PlanBuilder};
-use proptest::prelude::*;
+use whynot_rng::{Rng, SeedableRng, StdRng};
+
+const CASES: usize = 60;
 
 fn person_schema() -> TupleType {
     let address =
         TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
-    TupleType::new([
-        ("name", NestedType::str()),
-        ("addresses", NestedType::Relation(address)),
-    ])
-    .unwrap()
+    TupleType::new([("name", NestedType::str()), ("addresses", NestedType::Relation(address))])
+        .unwrap()
 }
 
-fn address() -> impl Strategy<Value = Value> {
-    ("[A-C]{2}", 2000i64..2025).prop_map(|(city, year)| {
-        Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
-    })
+fn address(rng: &mut StdRng) -> Value {
+    let city: String = (0..2).map(|_| *rng.choose(&['A', 'B', 'C'])).collect();
+    Value::tuple([("city", Value::str(city)), ("year", Value::int(rng.gen_range(2000i64..2025)))])
 }
 
-fn person() -> impl Strategy<Value = Value> {
-    ("[a-e]{1,4}", prop::collection::vec(address(), 0..4)).prop_map(|(name, addresses)| {
-        Value::tuple([("name", Value::str(name)), ("addresses", Value::bag(addresses))])
-    })
+fn person(rng: &mut StdRng) -> Value {
+    let name_len = rng.gen_range(1..=4usize);
+    let name: String = (0..name_len).map(|_| *rng.choose(&['a', 'b', 'c', 'd', 'e'])).collect();
+    let n_addr = rng.gen_range(0..4usize);
+    let addresses: Vec<Value> = (0..n_addr).map(|_| address(rng)).collect();
+    Value::tuple([("name", Value::str(name)), ("addresses", Value::bag(addresses))])
 }
 
-fn database() -> impl Strategy<Value = Database> {
-    prop::collection::vec(person(), 0..8).prop_map(|people| {
-        let mut db = Database::new();
-        db.add_relation("person", person_schema(), Bag::from_values(people));
-        db
-    })
+fn database(rng: &mut StdRng) -> Database {
+    let n = rng.gen_range(0..8usize);
+    let people: Vec<Value> = (0..n).map(|_| person(rng)).collect();
+    let mut db = Database::new();
+    db.add_relation("person", person_schema(), Bag::from_values(people));
+    db
 }
 
-proptest! {
-    /// Selection returns a sub-bag of its input; a tautological selection is
-    /// the identity and a contradictory one is empty.
-    #[test]
-    fn selection_is_a_filter(db in database(), year in 2000i64..2025) {
+/// Selection returns a sub-bag of its input; a tautological selection is
+/// the identity and a contradictory one is empty.
+#[test]
+fn selection_is_a_filter() {
+    let mut rng = StdRng::seed_from_u64(0x7365_6c65);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
+        let year = rng.gen_range(2000i64..2025);
         let base = PlanBuilder::table("person").inner_flatten("addresses", None);
         let all = evaluate(&base.clone().build().unwrap(), &db).unwrap();
         let selected = evaluate(
@@ -48,33 +54,40 @@ proptest! {
             &db,
         )
         .unwrap();
-        prop_assert!(selected.total() <= all.total());
+        assert!(selected.total() <= all.total());
         for (v, m) in selected.iter() {
-            prop_assert!(*m <= all.mult(v));
+            assert!(*m <= all.mult(v));
         }
-        let everything = evaluate(&base.clone().select(Expr::lit(true)).build().unwrap(), &db).unwrap();
-        prop_assert_eq!(everything, all);
+        let everything =
+            evaluate(&base.clone().select(Expr::lit(true)).build().unwrap(), &db).unwrap();
+        assert_eq!(everything, all);
         let nothing = evaluate(&base.select(Expr::lit(false)).build().unwrap(), &db).unwrap();
-        prop_assert!(nothing.is_empty());
+        assert!(nothing.is_empty());
     }
+}
 
-    /// Projection preserves the total number of tuples (bag semantics sum
-    /// multiplicities of collapsing tuples).
-    #[test]
-    fn projection_preserves_cardinality(db in database()) {
+/// Projection preserves the total number of tuples (bag semantics sum
+/// multiplicities of collapsing tuples).
+#[test]
+fn projection_preserves_cardinality() {
+    let mut rng = StdRng::seed_from_u64(0x7072_6f6a);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let input = evaluate(&PlanBuilder::table("person").build().unwrap(), &db).unwrap();
-        let projected = evaluate(
-            &PlanBuilder::table("person").project_attrs(&["name"]).build().unwrap(),
-            &db,
-        )
-        .unwrap();
-        prop_assert_eq!(projected.total(), input.total());
+        let projected =
+            evaluate(&PlanBuilder::table("person").project_attrs(&["name"]).build().unwrap(), &db)
+                .unwrap();
+        assert_eq!(projected.total(), input.total());
     }
+}
 
-    /// Outer flatten dominates inner flatten: it returns every inner-flatten
-    /// tuple plus one padded tuple per input with an empty nested collection.
-    #[test]
-    fn outer_flatten_dominates_inner(db in database()) {
+/// Outer flatten dominates inner flatten: it returns every inner-flatten
+/// tuple plus one padded tuple per input with an empty nested collection.
+#[test]
+fn outer_flatten_dominates_inner() {
+    let mut rng = StdRng::seed_from_u64(0x666c_6174);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let inner = evaluate(
             &PlanBuilder::table("person").inner_flatten("addresses", None).build().unwrap(),
             &db,
@@ -85,9 +98,9 @@ proptest! {
             &db,
         )
         .unwrap();
-        prop_assert!(outer.total() >= inner.total());
+        assert!(outer.total() >= inner.total());
         for (v, m) in inner.iter() {
-            prop_assert!(outer.mult(v) >= *m);
+            assert!(outer.mult(v) >= *m);
         }
         let empty_persons = evaluate(&PlanBuilder::table("person").build().unwrap(), &db)
             .unwrap()
@@ -98,13 +111,17 @@ proptest! {
                     .unwrap_or(true)
             })
             .count() as u64;
-        prop_assert_eq!(outer.total(), inner.total() + empty_persons);
+        assert_eq!(outer.total(), inner.total() + empty_persons);
     }
+}
 
-    /// Flatten followed by relation nesting on the same attributes returns one
-    /// tuple per distinct remaining value (grouping invariant).
-    #[test]
-    fn nest_after_flatten_groups_by_name(db in database()) {
+/// Flatten followed by relation nesting on the same attributes returns one
+/// tuple per distinct remaining value (grouping invariant).
+#[test]
+fn nest_after_flatten_groups_by_name() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_7374);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let nested = evaluate(
             &PlanBuilder::table("person")
                 .inner_flatten("addresses", None)
@@ -125,14 +142,18 @@ proptest! {
             &db,
         )
         .unwrap();
-        prop_assert_eq!(nested.total(), flat_names.total());
+        assert_eq!(nested.total(), flat_names.total());
     }
+}
 
-    /// A self equi-join on a key attribute returns at least the "diagonal"
-    /// (every tuple joins with itself), and the left outer join never returns
-    /// fewer tuples than the inner join.
-    #[test]
-    fn join_variants_are_ordered(db in database()) {
+/// A self equi-join on a key attribute returns at least the "diagonal"
+/// (every tuple joins with itself), and the left outer join never returns
+/// fewer tuples than the inner join.
+#[test]
+fn join_variants_are_ordered() {
+    let mut rng = StdRng::seed_from_u64(0x6a6f_696e);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let left = PlanBuilder::table("person").project_attrs(&["name"]);
         let right = PlanBuilder::table("person")
             .project(vec![nrab_algebra::ProjColumn::renamed("rname", "name")]);
@@ -142,34 +163,29 @@ proptest! {
             &db,
         )
         .unwrap();
-        let outer = evaluate(
-            &left.clone().join(right, JoinKind::Left, pred).build().unwrap(),
-            &db,
-        )
-        .unwrap();
+        let outer = evaluate(&left.clone().join(right, JoinKind::Left, pred).build().unwrap(), &db)
+            .unwrap();
         let input = evaluate(&left.build().unwrap(), &db).unwrap();
-        prop_assert!(inner.total() >= input.distinct() as u64 * 0); // inner join defined
-        prop_assert!(outer.total() >= inner.total());
+        assert!(outer.total() >= inner.total());
         // Every input tuple survives a left outer self-join in some form.
-        prop_assert!(outer.total() >= input.distinct() as u64);
+        assert!(outer.total() >= input.distinct() as u64);
     }
+}
 
-    /// Union totals add and difference-with-self is empty.
-    #[test]
-    fn union_and_difference_laws(db in database()) {
+/// Union totals add and difference-with-self is empty.
+#[test]
+fn union_and_difference_laws() {
+    let mut rng = StdRng::seed_from_u64(0x756e_696f);
+    for _ in 0..CASES {
+        let db = database(&mut rng);
         let table = PlanBuilder::table("person");
-        let doubled = evaluate(
-            &table.clone().union(PlanBuilder::table("person")).build().unwrap(),
-            &db,
-        )
-        .unwrap();
+        let doubled =
+            evaluate(&table.clone().union(PlanBuilder::table("person")).build().unwrap(), &db)
+                .unwrap();
         let single = evaluate(&table.clone().build().unwrap(), &db).unwrap();
-        prop_assert_eq!(doubled.total(), single.total() * 2);
-        let empty = evaluate(
-            &table.difference(PlanBuilder::table("person")).build().unwrap(),
-            &db,
-        )
-        .unwrap();
-        prop_assert!(empty.is_empty());
+        assert_eq!(doubled.total(), single.total() * 2);
+        let empty = evaluate(&table.difference(PlanBuilder::table("person")).build().unwrap(), &db)
+            .unwrap();
+        assert!(empty.is_empty());
     }
 }

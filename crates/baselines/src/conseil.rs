@@ -93,10 +93,8 @@ mod tests {
         let ty = TupleType::new([("x", NestedType::int())]).unwrap();
         let mut db = Database::new();
         db.add_relation("r", ty, Bag::from_values([Value::tuple([("x", Value::int(1))])]));
-        let plan = PlanBuilder::table("r")
-            .select(Expr::attr_cmp("x", CmpOp::Ge, 10i64))
-            .build()
-            .unwrap();
+        let plan =
+            PlanBuilder::table("r").select(Expr::attr_cmp("x", CmpOp::Ge, 10i64)).build().unwrap();
         let why_not = Nip::tuple([("x", Nip::val(Value::int(1)))]);
         let explanations = conseil_explanations(&plan, &db, &why_not).unwrap();
         assert_eq!(explanations, vec![BTreeSet::from([1])]);

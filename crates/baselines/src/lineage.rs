@@ -110,11 +110,8 @@ pub fn picky_operators(
         let carrying: Vec<&nrab_provenance::TracedTuple> =
             derived.iter().copied().filter(|t| t.flags(0).consistent).collect();
         let successors = if carrying.is_empty() { derived } else { carrying };
-        let surviving: BTreeSet<u64> = successors
-            .iter()
-            .filter(|t| t.flags(0).retained)
-            .map(|t| t.id)
-            .collect();
+        let surviving: BTreeSet<u64> =
+            successors.iter().filter(|t| t.flags(0).retained).map(|t| t.id).collect();
         if surviving.is_empty() {
             // All successors are filtered: the operator is picky, but only
             // operators that actually prune data can be blamed by
@@ -158,10 +155,7 @@ mod tests {
                 ]),
             ),
         ]);
-        let peter = Value::tuple([
-            ("name", Value::str("Peter")),
-            ("address2", Value::bag([])),
-        ]);
+        let peter = Value::tuple([("name", Value::str("Peter")), ("address2", Value::bag([]))]);
         let mut db = Database::new();
         db.add_relation("person", person_ty, Bag::from_values([sue, peter]));
         db

@@ -91,15 +91,9 @@ mod tests {
     fn no_compatible_data_means_no_explanation() {
         let ty = TupleType::new([("x", NestedType::int())]).unwrap();
         let mut db = Database::new();
-        db.add_relation(
-            "r",
-            ty,
-            Bag::from_values([Value::tuple([("x", Value::int(1))])]),
-        );
-        let plan = PlanBuilder::table("r")
-            .select(Expr::attr_cmp("x", CmpOp::Ge, 0i64))
-            .build()
-            .unwrap();
+        db.add_relation("r", ty, Bag::from_values([Value::tuple([("x", Value::int(1))])]));
+        let plan =
+            PlanBuilder::table("r").select(Expr::attr_cmp("x", CmpOp::Ge, 0i64)).build().unwrap();
         let why_not = Nip::tuple([("x", Nip::val(Value::int(99)))]);
         let explanations = wnpp_explanations(&plan, &db, &why_not).unwrap();
         assert!(explanations.is_empty());

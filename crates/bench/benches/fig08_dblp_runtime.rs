@@ -1,32 +1,18 @@
 //! Figure 8: instrumented (RP) runtime on the DBLP scenarios as the dataset grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whynot_bench::microbench::BenchGroup;
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::dblp;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig08_dblp_runtime");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(600));
+fn main() {
+    let mut group = BenchGroup::new("fig08_dblp_runtime");
     for scale in [40usize, 80, 120] {
         for scenario in dblp::all_dblp(scale) {
-            group.bench_with_input(
-                BenchmarkId::new(scenario.name.clone(), scale),
-                &scenario,
-                |b, scenario| {
-                    let question = scenario.question();
-                    b.iter(|| {
-                        WhyNotEngine::rp()
-                            .explain(&question, &scenario.alternatives)
-                            .expect("RP succeeds")
-                    })
-                },
-            );
+            let question = scenario.question();
+            group.bench(format!("{}/{scale}", scenario.name), || {
+                WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,36 +1,26 @@
 //! Figure 10: plain query vs. RPnoSA vs. RP on the nested TPC-H scenarios.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nrab_algebra::evaluate;
+use whynot_bench::microbench::BenchGroup;
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::tpch;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_tpch_runtime");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(600));
+fn main() {
+    let mut group = BenchGroup::new("fig10_tpch_runtime");
     let scale = 30;
     for scenario in tpch::all_tpch(scale).into_iter().filter(|s| !s.name.ends_with('F')) {
         let question = scenario.question();
-        group.bench_function(BenchmarkId::new("query", &scenario.name), |b| {
-            b.iter(|| evaluate(&scenario.plan, &scenario.db).expect("query evaluates"))
+        group.bench(format!("query/{}", scenario.name), || {
+            evaluate(&scenario.plan, &scenario.db).expect("query evaluates")
         });
-        group.bench_function(BenchmarkId::new("rp_no_sa", &scenario.name), |b| {
-            b.iter(|| {
-                WhyNotEngine::rp_no_sa()
-                    .explain(&question, &scenario.alternatives)
-                    .expect("RPnoSA succeeds")
-            })
+        group.bench(format!("rp_no_sa/{}", scenario.name), || {
+            WhyNotEngine::rp_no_sa()
+                .explain(&question, &scenario.alternatives)
+                .expect("RPnoSA succeeds")
         });
-        group.bench_function(BenchmarkId::new("rp", &scenario.name), |b| {
-            b.iter(|| {
-                WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
-            })
+        group.bench(format!("rp/{}", scenario.name), || {
+            WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

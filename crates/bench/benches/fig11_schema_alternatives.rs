@@ -1,41 +1,22 @@
 //! Figure 11: runtime as a function of the number of schema alternatives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whynot_bench::microbench::BenchGroup;
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::{dblp, tpch, twitter};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_schema_alternatives");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(600));
-    let scenarios = vec![
-        dblp::d1(60),
-        dblp::d4(60),
-        twitter::t_asd(80),
-        twitter::t3(80),
-        tpch::q3(30, false),
-    ];
+fn main() {
+    let mut group = BenchGroup::new("fig11_schema_alternatives");
+    let scenarios =
+        vec![dblp::d1(60), dblp::d4(60), twitter::t_asd(80), twitter::t3(80), tpch::q3(30, false)];
     for scenario in scenarios {
         for k in 0..=scenario.alternatives.len().min(3) {
             let mut limited = scenario.clone();
             limited.alternatives = scenario.alternatives[..k].to_vec();
             let question = limited.question();
-            group.bench_with_input(
-                BenchmarkId::new(limited.name.clone(), k),
-                &limited,
-                |b, limited| {
-                    b.iter(|| {
-                        WhyNotEngine::rp()
-                            .explain(&question, &limited.alternatives)
-                            .expect("RP succeeds")
-                    })
-                },
-            );
+            group.bench(format!("{}/{k}", limited.name), || {
+                WhyNotEngine::rp().explain(&question, &limited.alternatives).expect("RP succeeds")
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

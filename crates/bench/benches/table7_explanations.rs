@@ -1,26 +1,16 @@
 //! Tables 7/8: end-to-end explanation computation (all three competitors) per scenario.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whynot_bench::microbench::BenchGroup;
 use whynot_scenarios::{crime, dblp, running, twitter};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table7_explanations");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(200));
-    group.measurement_time(std::time::Duration::from_millis(600));
+fn main() {
+    let mut group = BenchGroup::new("table7_explanations");
     let mut scenarios = vec![running::running_example()];
     scenarios.extend(dblp::all_dblp(40));
     scenarios.extend(twitter::all_twitter(60));
     scenarios.extend(crime::all_crime());
     for scenario in scenarios {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scenario.name.clone()),
-            &scenario,
-            |b, scenario| b.iter(|| scenario.run().expect("scenario runs")),
-        );
+        group.bench(scenario.name.clone(), || scenario.run().expect("scenario runs"));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

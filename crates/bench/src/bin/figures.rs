@@ -104,9 +104,8 @@ fn figure11() -> String {
             limited.alternatives = scenario.alternatives[..k].to_vec();
             let question = limited.question();
             let start = std::time::Instant::now();
-            let answer = WhyNotEngine::rp()
-                .explain(&question, &limited.alternatives)
-                .expect("RP succeeds");
+            let answer =
+                WhyNotEngine::rp().explain(&question, &limited.alternatives).expect("RP succeeds");
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             out.push_str(&format!(
                 "{:<9} {:>4} {:>8.2}\n",

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod microbench;
+
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -69,7 +71,8 @@ fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Measures plain query evaluation, RPnoSA, and RP for one scenario.
 pub fn measure_scenario(scenario: &Scenario) -> RuntimeRow {
     let question = scenario.question();
-    let (_, query_ms) = measure(|| evaluate(&scenario.plan, &scenario.db).expect("query evaluates"));
+    let (_, query_ms) =
+        measure(|| evaluate(&scenario.plan, &scenario.db).expect("query evaluates"));
     let (rp_no_sa, rp_no_sa_ms) = measure(|| {
         WhyNotEngine::rp_no_sa()
             .explain(&question, &scenario.alternatives)

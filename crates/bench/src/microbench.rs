@@ -1,0 +1,52 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace is built in hermetic environments without network access, so
+//! the figure benchmarks cannot use `criterion`. This module provides the
+//! small subset the harness needs: named groups, per-case warm-up and
+//! sampling, and a compact mean/min/max report on stdout. Invoke through
+//! `cargo bench` (the bench targets set `harness = false`).
+
+use std::time::Instant;
+
+/// Number of measured samples per case (override with `WHYNOT_BENCH_SAMPLES`).
+fn sample_count() -> usize {
+    std::env::var("WHYNOT_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}
+
+/// A named group of benchmark cases.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group and prints its header.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("== {name} ==");
+        println!("{:<40} {:>10} {:>10} {:>10}", "case", "mean_ms", "min_ms", "max_ms");
+        BenchGroup { name, samples: sample_count() }
+    }
+
+    /// Measures one case: one warm-up call, then `samples` timed calls.
+    pub fn bench<T>(&mut self, case: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        let case = case.as_ref();
+        let _warmup = f();
+        let mut times_ms = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let value = f();
+            times_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            drop(value);
+        }
+        let mean = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+        let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times_ms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!("{case:<40} {mean:>10.3} {min:>10.3} {max:>10.3}");
+    }
+
+    /// Prints the group footer.
+    pub fn finish(self) {
+        println!("== end {} ==\n", self.name);
+    }
+}

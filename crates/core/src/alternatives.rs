@@ -62,8 +62,7 @@ pub fn enumerate_schema_alternatives(
     alternatives: &[AttributeAlternative],
     max_alternatives: usize,
 ) -> WhyNotResult<Vec<SchemaAlternative>> {
-    let mut result =
-        vec![SchemaAlternative::original(original_backtrace.consistency.clone())];
+    let mut result = vec![SchemaAlternative::original(original_backtrace.consistency.clone())];
     if alternatives.is_empty() {
         return Ok(result);
     }
@@ -76,8 +75,8 @@ pub fn enumerate_schema_alternatives(
         let mut per_attr: Vec<(AttrPath, Vec<OpSubstitution>)> = Vec::new();
         for reference in refs {
             for alternative in alternatives {
-                let applies = &alternative.from == reference
-                    || alternative.from.is_prefix_of(reference);
+                let applies =
+                    &alternative.from == reference || alternative.from.is_prefix_of(reference);
                 if applies {
                     let substitution =
                         OpSubstitution::new(*op, alternative.from.clone(), alternative.to.clone());
@@ -163,12 +162,12 @@ pub fn apply_substitutions(
 ) -> WhyNotResult<QueryPlan> {
     let mut plan = plan.clone();
     for substitution in substitutions {
-        let node = plan
-            .node_mut(substitution.op)
-            .map_err(|_| WhyNotError::InvalidAlternative(format!(
+        let node = plan.node_mut(substitution.op).map_err(|_| {
+            WhyNotError::InvalidAlternative(format!(
                 "substitution references unknown operator {}",
                 substitution.op
-            )))?;
+            ))
+        })?;
         substitute_attribute(&mut node.op, &substitution.from, &substitution.to);
     }
     Ok(plan)
@@ -261,19 +260,16 @@ mod tests {
         let plan = running_example();
         let bt = schema_backtrace(&plan, &db, &why_not()).unwrap();
         let alternatives = [AttributeAlternative::new("person", "address2", "name")];
-        let sas = enumerate_schema_alternatives(&plan, &db, &why_not(), &bt, &alternatives, 16)
-            .unwrap();
+        let sas =
+            enumerate_schema_alternatives(&plan, &db, &why_not(), &bt, &alternatives, 16).unwrap();
         assert_eq!(sas.len(), 1, "invalid substitution must be pruned");
     }
 
     #[test]
     fn apply_substitutions_rewrites_the_target_operator() {
         let plan = running_example();
-        let effective = apply_substitutions(
-            &plan,
-            &[OpSubstitution::new(1, "address2", "address1")],
-        )
-        .unwrap();
+        let effective =
+            apply_substitutions(&plan, &[OpSubstitution::new(1, "address2", "address1")]).unwrap();
         match &effective.node(1).unwrap().op {
             Operator::Flatten { attr, .. } => assert_eq!(attr, "address1"),
             other => panic!("unexpected operator {other:?}"),

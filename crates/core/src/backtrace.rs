@@ -152,13 +152,9 @@ fn constrain_or_keep(nip: Nip, path: &AttrPath, leaf: Nip, schema: &TupleType) -
 
 /// Computes the NIPs of a node's inputs from the NIP of its output.
 pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResult<Vec<Nip>> {
-    let child_schemas: Vec<TupleType> = node
-        .inputs
-        .iter()
-        .map(|c| output_type(c, db))
-        .collect::<Result<_, _>>()?;
-    let unconstrained =
-        || child_schemas.iter().map(Nip::any_for_tuple_type).collect::<Vec<_>>();
+    let child_schemas: Vec<TupleType> =
+        node.inputs.iter().map(|c| output_type(c, db)).collect::<Result<_, _>>()?;
+    let unconstrained = || child_schemas.iter().map(Nip::any_for_tuple_type).collect::<Vec<_>>();
     if out_nip.is_unconstrained() {
         return Ok(unconstrained());
     }
@@ -198,7 +194,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                     .find(|p| &p.to == name)
                     .map(|p| p.from.clone())
                     .unwrap_or_else(|| name.clone());
-                nip = constrain_or_keep(nip.clone(), &AttrPath::single(source), constraint.clone(), schema);
+                nip = constrain_or_keep(
+                    nip.clone(),
+                    &AttrPath::single(source),
+                    constraint.clone(),
+                    schema,
+                );
             }
             vec![nip]
         }
@@ -212,7 +213,8 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                 if left_schema.contains(name) {
                     left = constrain_or_keep(left.clone(), &path, constraint.clone(), left_schema);
                 } else if right_schema.contains(name) {
-                    right = constrain_or_keep(right.clone(), &path, constraint.clone(), right_schema);
+                    right =
+                        constrain_or_keep(right.clone(), &path, constraint.clone(), right_schema);
                 }
             }
             // Transfer leaf constraints across equi-join conditions so that
@@ -220,8 +222,24 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             // other side (needed to identify compatible data below the join).
             if let Operator::Join { predicate, .. } = &node.op {
                 for (a, b) in equi_pairs(predicate) {
-                    transfer_constraint(&fields, &a, &b, left_schema, right_schema, &mut left, &mut right)?;
-                    transfer_constraint(&fields, &b, &a, left_schema, right_schema, &mut left, &mut right)?;
+                    transfer_constraint(
+                        &fields,
+                        &a,
+                        &b,
+                        left_schema,
+                        right_schema,
+                        &mut left,
+                        &mut right,
+                    )?;
+                    transfer_constraint(
+                        &fields,
+                        &b,
+                        &a,
+                        left_schema,
+                        right_schema,
+                        &mut left,
+                        &mut right,
+                    )?;
                 }
             }
             vec![left, right]
@@ -233,9 +251,19 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                 if alias.as_deref() == Some(name.as_str()) {
                     nip = constrain_or_keep(nip.clone(), source, constraint.clone(), schema);
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 } else if schema.resolve_path(&source.child(name.clone())).is_ok() {
-                    nip = constrain_or_keep(nip.clone(), &source.child(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &source.child(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 }
             }
             vec![nip]
@@ -253,7 +281,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                     // The whole element is constrained.
                     nip = nip.with_field(attr.clone(), Nip::bag_containing(constraint.clone()));
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 } else if element_type.contains(name) {
                     element_constraints.push((name.clone(), constraint.clone()));
                 }
@@ -282,7 +315,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                         }
                     }
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 }
             }
             vec![nip]
@@ -309,7 +347,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                         }
                     }
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 }
             }
             vec![nip]
@@ -327,7 +370,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                         nip = nip.with_field(attr.clone(), Nip::bag_containing(element));
                     }
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 }
             }
             vec![nip]
@@ -343,7 +391,12 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                         }
                     }
                 } else if schema.contains(name) {
-                    nip = constrain_or_keep(nip.clone(), &AttrPath::single(name.clone()), constraint.clone(), schema);
+                    nip = constrain_or_keep(
+                        nip.clone(),
+                        &AttrPath::single(name.clone()),
+                        constraint.clone(),
+                        schema,
+                    );
                 }
             }
             vec![nip]

@@ -15,10 +15,10 @@
 
 use std::collections::BTreeSet;
 
+use nested_data::TupleType;
 use nested_data::{tree_distance, Bag, Value};
 use nrab_algebra::params::{admissible_changes, ParamChange, Reparameterization};
 use nrab_algebra::schema::output_type;
-use nested_data::TupleType;
 use nrab_algebra::{evaluate, OpId, Operator};
 
 use crate::error::WhyNotResult;
@@ -188,11 +188,10 @@ fn minimal_srs(successful: &[ExactSr]) -> Vec<ExactSr> {
         .iter()
         .filter(|sr| {
             !successful.iter().any(|other| {
-                let strictly_preferred = (other.operators.is_subset(&sr.operators)
+                (other.operators.is_subset(&sr.operators)
                     && other.side_effect_distance <= sr.side_effect_distance)
                     && (other.operators.len() < sr.operators.len()
-                        || other.side_effect_distance < sr.side_effect_distance);
-                strictly_preferred
+                        || other.side_effect_distance < sr.side_effect_distance)
             })
         })
         .cloned()

@@ -1,10 +1,13 @@
 //! The why-not explanation engine (Algorithm 1).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use nested_data::Nip;
-use nrab_algebra::{evaluate, OpId, QueryPlan};
-use nrab_provenance::{trace_plan, SchemaAlternative};
+use nrab_algebra::{evaluate, AlgebraResult, Database, OpId, QueryPlan};
+use nrab_provenance::{
+    annotate_consistency, trace_plan_generalized, GeneralizedTrace, SchemaAlternative,
+};
 
 use crate::alternatives::{
     enumerate_schema_alternatives, AttributeAlternative, DEFAULT_MAX_ALTERNATIVES,
@@ -85,6 +88,41 @@ impl WhyNotAnswer {
     }
 }
 
+/// Source of generalized (question-independent) traces — the seam where
+/// callers plug in trace reuse.
+///
+/// The engine asks its provider for the generalized trace of `(plan, db,
+/// sas)` and then specializes it to the question at hand with the cheap
+/// consistency annotation. The default provider ([`DirectTracer`]) recomputes
+/// the trace every time; `whynot-service` installs a cache keyed by plan,
+/// database, and the substitution signature of the alternatives, so batched
+/// and repeated questions skip the expensive generalized evaluation.
+pub trait TraceProvider {
+    /// Returns the generalized trace of `plan` over `db` under the
+    /// substitutions of `sas`.
+    fn generalized_trace(
+        &mut self,
+        plan: &QueryPlan,
+        db: &Database,
+        sas: &[SchemaAlternative],
+    ) -> AlgebraResult<Arc<GeneralizedTrace>>;
+}
+
+/// The default trace provider: always recomputes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectTracer;
+
+impl TraceProvider for DirectTracer {
+    fn generalized_trace(
+        &mut self,
+        plan: &QueryPlan,
+        db: &Database,
+        sas: &[SchemaAlternative],
+    ) -> AlgebraResult<Arc<GeneralizedTrace>> {
+        trace_plan_generalized(plan, db, sas).map(Arc::new)
+    }
+}
+
 /// The why-not explanation engine.
 #[derive(Debug, Clone, Default)]
 pub struct WhyNotEngine {
@@ -128,6 +166,24 @@ impl WhyNotEngine {
         attribute_alternatives: &[AttributeAlternative],
         original_result_size: u64,
     ) -> WhyNotResult<WhyNotAnswer> {
+        self.explain_with_tracer(
+            question,
+            attribute_alternatives,
+            original_result_size,
+            &mut DirectTracer,
+        )
+    }
+
+    /// Like [`WhyNotEngine::explain_unchecked`], but obtains the generalized
+    /// trace from the given [`TraceProvider`] instead of recomputing it — the
+    /// entry point used by callers that cache traces across questions.
+    pub fn explain_with_tracer(
+        &self,
+        question: &WhyNotQuestion,
+        attribute_alternatives: &[AttributeAlternative],
+        original_result_size: u64,
+        tracer: &mut dyn TraceProvider,
+    ) -> WhyNotResult<WhyNotAnswer> {
         let plan = &question.plan;
         let db = &question.db;
 
@@ -135,11 +191,8 @@ impl WhyNotEngine {
         let backtrace = schema_backtrace(plan, db, &question.why_not)?;
 
         // Step 2: schema alternatives.
-        let alternatives = if self.config.use_schema_alternatives {
-            attribute_alternatives
-        } else {
-            &[]
-        };
+        let alternatives =
+            if self.config.use_schema_alternatives { attribute_alternatives } else { &[] };
         let sas = enumerate_schema_alternatives(
             plan,
             db,
@@ -149,8 +202,10 @@ impl WhyNotEngine {
             self.config.max_schema_alternatives,
         )?;
 
-        // Step 3: data tracing.
-        let trace = trace_plan(plan, db, &sas)?;
+        // Step 3: data tracing — the generalized (question-independent) part
+        // comes from the provider, the consistency annotation is per-question.
+        let base = tracer.generalized_trace(plan, db, &sas)?;
+        let trace = annotate_consistency(&base, plan, &sas);
 
         // Step 4: approximate MSRs, side-effect bounds, ranking.
         let candidates = approximate_msrs(plan, &trace, &sas);
@@ -169,10 +224,7 @@ impl WhyNotEngine {
             .collect();
         let ranked = order_and_prune(ranked);
 
-        let explanations = ranked
-            .into_iter()
-            .map(|r| build_explanation(plan, r))
-            .collect();
+        let explanations = ranked.into_iter().map(|r| build_explanation(plan, r)).collect();
         Ok(WhyNotAnswer { explanations, schema_alternatives: sas, original_result_size })
     }
 

@@ -37,6 +37,8 @@ pub mod side_effects;
 
 pub use alternatives::AttributeAlternative;
 pub use error::{WhyNotError, WhyNotResult};
-pub use explain::{EngineConfig, Explanation, WhyNotAnswer, WhyNotEngine};
+pub use explain::{
+    DirectTracer, EngineConfig, Explanation, TraceProvider, WhyNotAnswer, WhyNotEngine,
+};
 pub use question::WhyNotQuestion;
 pub use side_effects::SideEffectBounds;

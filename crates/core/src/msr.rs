@@ -247,7 +247,10 @@ mod tests {
         let plan = running_example();
         let why_not = Nip::tuple([
             ("city", Nip::val("LA")),
-            ("nList", Nip::bag([Nip::val(Value::tuple([("name", Value::str("Peter"))])), Nip::Star])),
+            (
+                "nList",
+                Nip::bag([Nip::val(Value::tuple([("name", Value::str("Peter"))])), Nip::Star]),
+            ),
         ]);
         let bt = crate::backtrace::schema_backtrace(&plan, &db, &why_not).unwrap();
         let effective = crate::alternatives::apply_substitutions(

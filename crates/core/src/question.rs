@@ -1,5 +1,7 @@
 //! Why-not questions (Definition 5).
 
+use std::sync::Arc;
+
 use nested_data::Nip;
 use nrab_algebra::{evaluate, Database, QueryPlan};
 
@@ -7,20 +9,28 @@ use crate::error::{WhyNotError, WhyNotResult};
 
 /// A why-not question `Φ = ⟨Q, D, t⟩`: a query, a database, and a why-not
 /// tuple `t` given as a NIP over the query's output schema.
+///
+/// Plan and database are held behind [`Arc`] so that serving layers can pose
+/// many questions against one registered database without deep-copying it;
+/// `WhyNotQuestion::new` still accepts owned values.
 #[derive(Debug, Clone)]
 pub struct WhyNotQuestion {
     /// The (possibly erroneous) query.
-    pub plan: QueryPlan,
+    pub plan: Arc<QueryPlan>,
     /// The input database.
-    pub db: Database,
+    pub db: Arc<Database>,
     /// The missing answer of interest.
     pub why_not: Nip,
 }
 
 impl WhyNotQuestion {
     /// Creates a why-not question without validating it.
-    pub fn new(plan: QueryPlan, db: Database, why_not: Nip) -> Self {
-        WhyNotQuestion { plan, db, why_not }
+    pub fn new(
+        plan: impl Into<Arc<QueryPlan>>,
+        db: impl Into<Arc<Database>>,
+        why_not: Nip,
+    ) -> Self {
+        WhyNotQuestion { plan: plan.into(), db: db.into(), why_not }
     }
 
     /// Validates the question:
@@ -115,11 +125,7 @@ mod tests {
 
     #[test]
     fn question_with_wrong_schema_is_rejected() {
-        let q = WhyNotQuestion::new(
-            plan(),
-            db(),
-            Nip::tuple([("nonexistent", Nip::val(1i64))]),
-        );
+        let q = WhyNotQuestion::new(plan(), db(), Nip::tuple([("nonexistent", Nip::val(1i64))]));
         assert!(q.validate().is_err());
     }
 

@@ -96,8 +96,8 @@ pub fn side_effect_bounds(
             .iter()
             .filter(|t| t.flags(sa).valid)
             .filter(|t| {
-                let unchanged_original = fully_retained_original.contains(&t.id)
-                    && t.variant(sa) == t.variant(0);
+                let unchanged_original =
+                    fully_retained_original.contains(&t.id) && t.variant(sa) == t.variant(0);
                 !unchanged_original
             })
             .count() as u64
@@ -176,8 +176,13 @@ mod tests {
         db
     }
 
-    fn setup() -> (nrab_algebra::QueryPlan, Database, Vec<nrab_provenance::SchemaAlternative>, TraceResult, u64)
-    {
+    fn setup() -> (
+        nrab_algebra::QueryPlan,
+        Database,
+        Vec<nrab_provenance::SchemaAlternative>,
+        TraceResult,
+        u64,
+    ) {
         let db = person_db();
         let plan = PlanBuilder::table("person")
             .inner_flatten("address2", None)

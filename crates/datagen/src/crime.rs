@@ -65,11 +65,7 @@ pub fn crime_database() -> Database {
         sighting("Ashishbakshi", "black", "snow"),
         sighting("Conedera", "black", "suit"),
     ]);
-    let crimes = Bag::from_values([
-        crime(95, "theft"),
-        crime(40, "fraud"),
-        crime(80, "burglary"),
-    ]);
+    let crimes = Bag::from_values([crime(95, "theft"), crime(40, "fraud"), crime(80, "burglary")]);
 
     let mut db = Database::new();
     db.add_relation(

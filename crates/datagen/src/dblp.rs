@@ -15,8 +15,7 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whynot_rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of the DBLP generator.
 #[derive(Debug, Clone, Copy)]
@@ -156,14 +155,8 @@ pub fn dblp_database(config: DblpConfig) -> Database {
             NestedType::tuple_of([("text", NestedType::str()), ("bibtex", NestedType::str())])
                 .unwrap(),
         ),
-        (
-            "author",
-            NestedType::relation_of([("name", NestedType::str())]).unwrap(),
-        ),
-        (
-            "crossref",
-            NestedType::relation_of([("ref_key", NestedType::str())]).unwrap(),
-        ),
+        ("author", NestedType::relation_of([("name", NestedType::str())]).unwrap()),
+        ("crossref", NestedType::relation_of([("ref_key", NestedType::str())]).unwrap()),
         ("year", NestedType::int()),
     ])
     .unwrap();
@@ -289,7 +282,13 @@ pub fn dblp_database(config: DblpConfig) -> Database {
         homepages.insert(
             Value::tuple([
                 ("author", name_bag(&[filler_authors[i % filler_authors.len()]])),
-                ("url", Value::bag([Value::tuple([("value", Value::str(format!("https://example.org/{i}")))])])),
+                (
+                    "url",
+                    Value::bag([Value::tuple([(
+                        "value",
+                        Value::str(format!("https://example.org/{i}")),
+                    )])]),
+                ),
                 ("note", Value::bag([])),
             ]),
             1,

@@ -7,8 +7,7 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whynot_rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of the TPC-H generator.
 #[derive(Debug, Clone, Copy)]
@@ -118,7 +117,7 @@ fn random_lineitem(rng: &mut StdRng, orderkey: i64) -> LineitemSpec {
         shipdate: format!("{year}-{month:02}-{day:02}"),
         commitdate: format!("{year}-{month:02}-{:02}", (day % 27) + 1),
         receiptdate: format!("{year}-{:02}-{day:02}", (month % 12) + 1),
-        returnflag: ["A", "N", "R"][rng.gen_range(0..3)].to_string(),
+        returnflag: ["A", "N", "R"][rng.gen_range(0..3usize)].to_string(),
     }
     .tweak(orderkey)
 }
@@ -140,58 +139,64 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
     let mut orders = Bag::new();
     let mut next_orderkey: i64 = 1;
 
-    let mut make_customer = |rng: &mut StdRng,
-                             custkey: i64,
-                             segment: &str,
-                             orders_bag: &mut Bag,
-                             next_orderkey: &mut i64,
-                             order_specs: Option<Vec<(String, Vec<LineitemSpec>)>>| {
-        let nationkey = custkey % nations.len() as i64;
-        customers.insert(
-            Value::tuple([
-                ("c_custkey", Value::int(custkey)),
-                ("c_name", Value::str(format!("Customer#{custkey:09}"))),
-                ("c_acctbal", Value::float(rng.gen_range(-999.0..9999.0))),
-                ("c_phone", Value::str(format!("13-{custkey:07}"))),
-                ("c_address", Value::str(format!("{custkey} Main Street"))),
-                ("c_comment", Value::str("regular account")),
-                ("c_mktsegment", Value::str(segment)),
-                ("c_nationkey", Value::int(nationkey)),
-            ]),
-            1,
-        );
-        let specs = order_specs.unwrap_or_else(|| {
-            (0..rng.gen_range(1..=3))
-                .map(|_| {
-                    let year = 1993 + rng.gen_range(0..5);
-                    let date = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
-                    let items = (0..rng.gen_range(1..=4)).map(|_| random_lineitem(rng, 0)).collect();
-                    (date, items)
-                })
-                .collect()
-        });
-        for (orderdate, items) in specs {
-            let orderkey = *next_orderkey;
-            *next_orderkey += 1;
-            let lineitems: Vec<Value> =
-                items.iter().map(|spec| lineitem_value(orderkey, spec)).collect();
-            orders_bag.insert(
+    let mut make_customer =
+        |rng: &mut StdRng,
+         custkey: i64,
+         segment: &str,
+         orders_bag: &mut Bag,
+         next_orderkey: &mut i64,
+         order_specs: Option<Vec<(String, Vec<LineitemSpec>)>>| {
+            let nationkey = custkey % nations.len() as i64;
+            customers.insert(
                 Value::tuple([
-                    ("o_orderkey", Value::int(orderkey)),
-                    ("o_custkey", Value::int(custkey)),
-                    ("o_orderdate", Value::str(orderdate)),
-                    ("o_shippriority", Value::str("0")),
-                    (
-                        "o_orderpriority",
-                        Value::str(priorities[rng.gen_range(0..priorities.len())]),
-                    ),
-                    ("o_comment", Value::str("standard order")),
-                    ("o_lineitems", Value::bag(lineitems)),
+                    ("c_custkey", Value::int(custkey)),
+                    ("c_name", Value::str(format!("Customer#{custkey:09}"))),
+                    ("c_acctbal", Value::float(rng.gen_range(-999.0..9999.0))),
+                    ("c_phone", Value::str(format!("13-{custkey:07}"))),
+                    ("c_address", Value::str(format!("{custkey} Main Street"))),
+                    ("c_comment", Value::str("regular account")),
+                    ("c_mktsegment", Value::str(segment)),
+                    ("c_nationkey", Value::int(nationkey)),
                 ]),
                 1,
             );
-        }
-    };
+            let specs = order_specs.unwrap_or_else(|| {
+                (0..rng.gen_range(1..=3))
+                    .map(|_| {
+                        let year = 1993 + rng.gen_range(0..5);
+                        let date = format!(
+                            "{year}-{:02}-{:02}",
+                            rng.gen_range(1..=12),
+                            rng.gen_range(1..=28)
+                        );
+                        let items =
+                            (0..rng.gen_range(1..=4)).map(|_| random_lineitem(rng, 0)).collect();
+                        (date, items)
+                    })
+                    .collect()
+            });
+            for (orderdate, items) in specs {
+                let orderkey = *next_orderkey;
+                *next_orderkey += 1;
+                let lineitems: Vec<Value> =
+                    items.iter().map(|spec| lineitem_value(orderkey, spec)).collect();
+                orders_bag.insert(
+                    Value::tuple([
+                        ("o_orderkey", Value::int(orderkey)),
+                        ("o_custkey", Value::int(custkey)),
+                        ("o_orderdate", Value::str(orderdate)),
+                        ("o_shippriority", Value::str("0")),
+                        (
+                            "o_orderpriority",
+                            Value::str(priorities[rng.gen_range(0..priorities.len())]),
+                        ),
+                        ("o_comment", Value::str("standard order")),
+                        ("o_lineitems", Value::bag(lineitems)),
+                    ]),
+                    1,
+                );
+            }
+        };
 
     for i in 0..config.customers {
         let custkey = 1000 + i as i64;
@@ -203,7 +208,7 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
     // actually BUILDING, with lineitems whose commitdate is *before* the
     // (mistyped) constant of σ27 and whose orderdate is before 1995-03-15.
     {
-        let items = vec![
+        let items = [
             LineitemSpec {
                 price: 30_000.0,
                 discount: 0.05,
@@ -275,7 +280,7 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
         );
         let orderkey = next_orderkey;
         next_orderkey += 1;
-        let items = vec![
+        let items = [
             LineitemSpec {
                 price: 20_000.0,
                 discount: 0.07,

@@ -2,8 +2,7 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whynot_rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of the Twitter generator.
 #[derive(Debug, Clone, Copy)]
@@ -58,10 +57,7 @@ pub fn tweet_type() -> TupleType {
             ])
             .unwrap(),
         ),
-        (
-            "place",
-            NestedType::tuple_of([("country", NestedType::str())]).unwrap(),
-        ),
+        ("place", NestedType::tuple_of([("country", NestedType::str())]).unwrap()),
         (
             "user",
             NestedType::tuple_of([
@@ -122,8 +118,14 @@ fn tweet(
         (
             "entities",
             Value::tuple([
-                ("hashtags", Value::bag(hashtags.iter().map(|h| Value::tuple([("text", Value::str(*h))])))),
-                ("media", Value::bag(media.iter().map(|m| Value::tuple([("url", Value::str(*m))])))),
+                (
+                    "hashtags",
+                    Value::bag(hashtags.iter().map(|h| Value::tuple([("text", Value::str(*h))]))),
+                ),
+                (
+                    "media",
+                    Value::bag(media.iter().map(|m| Value::tuple([("url", Value::str(*m))]))),
+                ),
                 ("urls", Value::bag(urls.iter().map(|u| Value::tuple([("url", Value::str(*u))])))),
                 (
                     "mentioned_user",
@@ -133,13 +135,7 @@ fn tweet(
                 ),
             ]),
         ),
-        (
-            "place",
-            Value::tuple([(
-                "country",
-                country.map(Value::str).unwrap_or(Value::Null),
-            )]),
-        ),
+        ("place", Value::tuple([("country", country.map(Value::str).unwrap_or(Value::Null))])),
         (
             "user",
             Value::tuple([
@@ -336,18 +332,8 @@ mod tests {
             .map(|(v, _)| v)
             .find(|v| v.get_path(&"text".into()).unwrap() == Value::str(planted::T1_TEXT))
             .unwrap();
-        assert!(lebron
-            .get_path(&"entities.media".into())
-            .unwrap()
-            .as_bag()
-            .unwrap()
-            .is_empty());
-        assert!(!lebron
-            .get_path(&"entities.urls".into())
-            .unwrap()
-            .as_bag()
-            .unwrap()
-            .is_empty());
+        assert!(lebron.get_path(&"entities.media".into()).unwrap().as_bag().unwrap().is_empty());
+        assert!(!lebron.get_path(&"entities.urls".into()).unwrap().as_bag().unwrap().is_empty());
         // T2: the fan's place.country is null but user.location is the US.
         let fan = tweets
             .iter()
@@ -355,10 +341,7 @@ mod tests {
             .find(|v| v.get_path(&"user.name".into()).unwrap() == Value::str(planted::T2_USER))
             .unwrap();
         assert!(fan.get_path(&"place.country".into()).unwrap().is_null());
-        assert_eq!(
-            fan.get_path(&"user.location".into()).unwrap(),
-            Value::str("United States")
-        );
+        assert_eq!(fan.get_path(&"user.location".into()).unwrap(), Value::str("United States"));
         // T_ASD: the famous tweet is a retweet, not a quote.
         let famous = tweets
             .iter()

@@ -142,9 +142,7 @@ impl Bag {
     where
         F: FnMut(&Value) -> bool,
     {
-        Bag {
-            entries: self.entries.iter().filter(|(v, _)| pred(v)).cloned().collect(),
-        }
+        Bag { entries: self.entries.iter().filter(|(v, _)| pred(v)).cloned().collect() }
     }
 
     /// Groups the bag's elements by a key extracted from each value.
@@ -292,8 +290,7 @@ mod tests {
         let bag = Bag::from_values([t("Sue", 1), t("Sue", 2), t("Peter", 3)]);
         let groups = bag.group_by(|v| v.as_tuple().unwrap().get("name").unwrap().clone());
         assert_eq!(groups.len(), 2);
-        let (sue_key, sue_group) =
-            groups.iter().find(|(k, _)| k == &Value::str("Sue")).unwrap();
+        let (sue_key, sue_group) = groups.iter().find(|(k, _)| k == &Value::str("Sue")).unwrap();
         assert_eq!(sue_key, &Value::str("Sue"));
         assert_eq!(sue_group.total(), 2);
     }

@@ -40,11 +40,9 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::UnknownAttribute { attribute, available } => write!(
-                f,
-                "unknown attribute `{attribute}` (available: {})",
-                available.join(", ")
-            ),
+            DataError::UnknownAttribute { attribute, available } => {
+                write!(f, "unknown attribute `{attribute}` (available: {})", available.join(", "))
+            }
             DataError::PathMismatch { path, found } => {
                 write!(f, "path `{path}` does not match value shape: {found}")
             }

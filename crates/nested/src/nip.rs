@@ -156,7 +156,9 @@ impl Nip {
                 if inside_bag {
                     Ok(())
                 } else {
-                    Err(DataError::InvalidNip("`*` may only appear inside a nested relation".into()))
+                    Err(DataError::InvalidNip(
+                        "`*` may only appear inside a nested relation".into(),
+                    ))
                 }
             }
             Nip::Any | Nip::Value(_) | Nip::Pred(..) => Ok(()),
@@ -348,9 +350,9 @@ impl Nip {
             (Nip::Star, _) => false,
             (Nip::Value(v), _) => v.conforms_to(ty),
             (Nip::Pred(_, v), _) => v.conforms_to(ty) || matches!(ty, NestedType::Prim(_)),
-            (Nip::Tuple(fields), NestedType::Tuple(tt)) => fields.iter().all(|(name, nip)| {
-                tt.attribute(name).map(|t| nip.conforms_to(t)).unwrap_or(false)
-            }),
+            (Nip::Tuple(fields), NestedType::Tuple(tt)) => fields
+                .iter()
+                .all(|(name, nip)| tt.attribute(name).map(|t| nip.conforms_to(t)).unwrap_or(false)),
             (Nip::Bag(elements), NestedType::Relation(tt)) => elements.iter().all(|e| match e {
                 Nip::Star => true,
                 other => other.conforms_to(&NestedType::Tuple(tt.clone())),
@@ -504,14 +506,10 @@ mod tests {
     #[test]
     fn example_6_star_versus_two_any() {
         // t_ex = ⟨city: NY, nList: {{?, *}}⟩ matches, t'_ex = ⟨city: NY, nList: {{?, ?}}⟩ does not.
-        let t_ex = Nip::tuple([
-            ("city", Nip::val("NY")),
-            ("nList", Nip::bag([Nip::Any, Nip::Star])),
-        ]);
-        let t_ex2 = Nip::tuple([
-            ("city", Nip::val("NY")),
-            ("nList", Nip::bag([Nip::Any, Nip::Any])),
-        ]);
+        let t_ex =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        let t_ex2 =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Any]))]);
         let value = example_output_tuple();
         assert!(t_ex.matches(&value));
         assert!(!t_ex2.matches(&value));
@@ -621,8 +619,8 @@ mod tests {
 
     #[test]
     fn constrain_builds_nested_nip() {
-        let address = TupleType::new([("city", NestedType::str()), ("year", NestedType::int())])
-            .unwrap();
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
         let person = TupleType::new([
             ("name", NestedType::str()),
             ("address1", NestedType::Relation(address.clone())),
@@ -684,8 +682,8 @@ mod tests {
 
     #[test]
     fn conforms_to_checks_shape() {
-        let address = TupleType::new([("city", NestedType::str()), ("year", NestedType::int())])
-            .unwrap();
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
         let rel = NestedType::Relation(address.clone());
         assert!(Nip::Any.conforms_to(&rel));
         assert!(Nip::bag([Nip::Star]).conforms_to(&rel));
@@ -696,7 +694,8 @@ mod tests {
 
     #[test]
     fn display_renders_placeholders() {
-        let nip = Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
+        let nip =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
         assert_eq!(nip.to_string(), "⟨city: \"NY\", nList: {{?, *}}⟩");
     }
 }

@@ -27,11 +27,7 @@ impl AttrPath {
     /// Parses a dotted path such as `"address2.city"`.
     pub fn parse(path: &str) -> Self {
         AttrPath {
-            segments: path
-                .split('.')
-                .filter(|s| !s.is_empty())
-                .map(|s| s.to_string())
-                .collect(),
+            segments: path.split('.').filter(|s| !s.is_empty()).map(|s| s.to_string()).collect(),
         }
     }
 

@@ -55,10 +55,7 @@ impl ValueTree {
                     })
                     .collect(),
             },
-            Value::Bag(bag) => ValueTree {
-                label: "{{}}".to_string(),
-                children: bag_children(bag),
-            },
+            Value::Bag(bag) => ValueTree { label: "{{}}".to_string(), children: bag_children(bag) },
             primitive => ValueTree { label: primitive.to_string(), children: Vec::new() },
         }
     }

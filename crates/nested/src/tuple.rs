@@ -148,16 +148,15 @@ impl Tuple {
         if self.arity() != ty.arity() {
             return false;
         }
-        self.fields.iter().all(|(name, value)| {
-            ty.attribute(name).map(|t| value.conforms_to(t)).unwrap_or(false)
-        })
+        self.fields
+            .iter()
+            .all(|(name, value)| ty.attribute(name).map(|t| value.conforms_to(t)).unwrap_or(false))
     }
 
     /// Canonicalized `(name, value)` pairs sorted by name; basis for
     /// order-insensitive equality, ordering, and hashing.
     fn canonical(&self) -> Vec<(&String, &Value)> {
-        let mut fields: Vec<(&String, &Value)> =
-            self.fields.iter().map(|(n, v)| (n, v)).collect();
+        let mut fields: Vec<(&String, &Value)> = self.fields.iter().map(|(n, v)| (n, v)).collect();
         fields.sort_by(|a, b| a.0.cmp(b.0));
         fields
     }
@@ -282,7 +281,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut ts = vec![addr("NY", 2018), addr("LA", 2019), addr("LA", 2010)];
+        let mut ts = [addr("NY", 2018), addr("LA", 2019), addr("LA", 2010)];
         ts.sort();
         assert_eq!(ts[0].get("city"), Some(&Value::str("LA")));
         assert_eq!(ts[0].get("year"), Some(&Value::int(2010)));

@@ -214,9 +214,9 @@ impl Value {
             (Value::Int(_), NestedType::Prim(PrimitiveType::Float)) => true,
             (Value::Str(_), NestedType::Prim(PrimitiveType::Str)) => true,
             (Value::Tuple(t), NestedType::Tuple(tt)) => t.conforms_to(tt),
-            (Value::Bag(b), NestedType::Relation(tt)) => b
-                .iter()
-                .all(|(v, _)| v.is_null() || v.as_tuple().map(|t| t.conforms_to(tt)).unwrap_or(false)),
+            (Value::Bag(b), NestedType::Relation(tt)) => b.iter().all(|(v, _)| {
+                v.is_null() || v.as_tuple().map(|t| t.conforms_to(tt)).unwrap_or(false)
+            }),
             _ => false,
         }
     }
@@ -464,7 +464,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_deterministic() {
-        let mut values = vec![
+        let mut values = [
             Value::str("b"),
             Value::Null,
             Value::int(5),

@@ -1,102 +1,146 @@
-//! Property-based tests for the nested data model: bag algebra laws, NIP
+//! Property-style tests for the nested data model: bag algebra laws, NIP
 //! matching invariants, and tree-edit-distance metric properties.
+//!
+//! Inputs are generated with the workspace's deterministic PRNG instead of
+//! `proptest` (hermetic builds have no external crates); each property is
+//! checked over a few hundred seeded random cases.
 
 use nested_data::{tree_distance, Bag, Nip, Value};
-use proptest::prelude::*;
+use whynot_rng::{Rng, SeedableRng, StdRng};
 
-/// A strategy for small primitive values.
-fn primitive() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-50i64..50).prop_map(Value::Int),
-        "[a-c]{0,3}".prop_map(Value::str),
-    ]
-}
+const CASES: usize = 200;
 
-/// A strategy for flat tuples over a fixed small schema.
-fn flat_tuple() -> impl Strategy<Value = Value> {
-    (primitive(), primitive()).prop_map(|(a, b)| Value::tuple([("a", a), ("b", b)]))
-}
-
-/// A strategy for small bags of flat tuples.
-fn small_bag() -> impl Strategy<Value = Bag> {
-    prop::collection::vec(flat_tuple(), 0..6).prop_map(Bag::from_values)
-}
-
-proptest! {
-    /// Bag union is commutative and its totals add up.
-    #[test]
-    fn bag_union_commutative(a in small_bag(), b in small_bag()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).total(), a.total() + b.total());
+/// A small primitive value.
+fn primitive(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..4usize) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(-50i64..50)),
+        _ => {
+            let len = rng.gen_range(0..=3usize);
+            let s: String = (0..len).map(|_| *rng.choose(&['a', 'b', 'c'])).collect();
+            Value::str(s)
+        }
     }
+}
 
-    /// Bag difference never yields negative multiplicities and is bounded by
-    /// the left operand.
-    #[test]
-    fn bag_difference_bounded(a in small_bag(), b in small_bag()) {
+/// A flat tuple over a fixed small schema.
+fn flat_tuple(rng: &mut StdRng) -> Value {
+    Value::tuple([("a", primitive(rng)), ("b", primitive(rng))])
+}
+
+/// A small bag of flat tuples.
+fn small_bag(rng: &mut StdRng) -> Bag {
+    let n = rng.gen_range(0..6usize);
+    Bag::from_values((0..n).map(|_| flat_tuple(rng)))
+}
+
+/// Bag union is commutative and its totals add up.
+#[test]
+fn bag_union_commutative() {
+    let mut rng = StdRng::seed_from_u64(0x6261_6775);
+    for _ in 0..CASES {
+        let a = small_bag(&mut rng);
+        let b = small_bag(&mut rng);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).total(), a.total() + b.total());
+    }
+}
+
+/// Bag difference never yields negative multiplicities and is bounded by
+/// the left operand.
+#[test]
+fn bag_difference_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x6261_6764);
+    for _ in 0..CASES {
+        let a = small_bag(&mut rng);
+        let b = small_bag(&mut rng);
         let d = a.difference(&b);
-        prop_assert!(d.total() <= a.total());
+        assert!(d.total() <= a.total());
         for (v, m) in d.iter() {
-            prop_assert!(*m <= a.mult(v));
+            assert!(*m <= a.mult(v));
         }
         // a = (a − b) ∪ (a ∩ b) in terms of totals.
         let kept: u64 = a.iter().map(|(v, m)| (*m).min(b.mult(v))).sum();
-        prop_assert_eq!(d.total() + kept, a.total());
+        assert_eq!(d.total() + kept, a.total());
     }
+}
 
-    /// Deduplication keeps exactly the distinct values with multiplicity one.
-    #[test]
-    fn dedup_is_idempotent(a in small_bag()) {
+/// Deduplication keeps exactly the distinct values with multiplicity one.
+#[test]
+fn dedup_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x6465_6475);
+    for _ in 0..CASES {
+        let a = small_bag(&mut rng);
         let d = a.dedup();
-        prop_assert_eq!(d.total() as usize, a.distinct());
-        prop_assert_eq!(d.dedup(), d);
+        assert_eq!(d.total() as usize, a.distinct());
+        assert_eq!(d.dedup(), d);
     }
+}
 
-    /// Bag equality is insensitive to insertion order.
-    #[test]
-    fn bag_equality_order_insensitive(values in prop::collection::vec(flat_tuple(), 0..6)) {
+/// Bag equality is insensitive to insertion order.
+#[test]
+fn bag_equality_order_insensitive() {
+    let mut rng = StdRng::seed_from_u64(0x6f72_6465);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..6usize);
+        let values: Vec<Value> = (0..n).map(|_| flat_tuple(&mut rng)).collect();
         let forward = Bag::from_values(values.clone());
         let mut reversed_values = values;
         reversed_values.reverse();
         let reversed = Bag::from_values(reversed_values);
-        prop_assert_eq!(forward, reversed);
+        assert_eq!(forward, reversed);
     }
+}
 
-    /// The unconstrained NIP (all `?`) matches every tuple, and an exact-value
-    /// NIP matches exactly that value.
-    #[test]
-    fn nip_matching_extremes(t in flat_tuple(), other in flat_tuple()) {
+/// The unconstrained NIP (all `?`) matches every tuple, and an exact-value
+/// NIP matches exactly that value.
+#[test]
+fn nip_matching_extremes() {
+    let mut rng = StdRng::seed_from_u64(0x6e69_706d);
+    for _ in 0..CASES {
+        let t = flat_tuple(&mut rng);
+        let other = flat_tuple(&mut rng);
         let any = Nip::tuple([("a", Nip::Any), ("b", Nip::Any)]);
-        prop_assert!(any.matches(&t));
+        assert!(any.matches(&t));
         let exact = Nip::Value(t.clone());
-        prop_assert!(exact.matches(&t));
-        prop_assert_eq!(exact.matches(&other), t == other);
+        assert!(exact.matches(&t));
+        assert_eq!(exact.matches(&other), t == other);
     }
+}
 
-    /// `{{ e, * }}` (bag-containing) matches iff some element matches `e`,
-    /// and matching implies compatibility.
-    #[test]
-    fn bag_containing_matches_iff_element_matches(bag in small_bag(), needle in flat_tuple()) {
+/// `{{ e, * }}` (bag-containing) matches iff some element matches `e`,
+/// and matching implies compatibility.
+#[test]
+fn bag_containing_matches_iff_element_matches() {
+    let mut rng = StdRng::seed_from_u64(0x6261_676e);
+    for _ in 0..CASES {
+        let bag = small_bag(&mut rng);
+        let needle = flat_tuple(&mut rng);
         let nip = Nip::bag_containing(Nip::Value(needle.clone()));
         let value = Value::Bag(bag.clone());
         let expected = bag.iter().any(|(v, _)| v == &needle);
-        prop_assert_eq!(nip.matches(&value), expected);
+        assert_eq!(nip.matches(&value), expected);
         if nip.matches(&value) {
-            prop_assert!(nip.compatible(&value));
+            assert!(nip.compatible(&value));
         }
     }
+}
 
-    /// The tree distance is a pseudo-metric on the values we generate:
-    /// identity, symmetry, and the triangle inequality hold.
-    #[test]
-    fn tree_distance_is_a_metric(a in flat_tuple(), b in flat_tuple(), c in flat_tuple()) {
-        prop_assert_eq!(tree_distance(&a, &a), 0);
-        prop_assert_eq!(tree_distance(&a, &b), tree_distance(&b, &a));
-        prop_assert!(tree_distance(&a, &c) <= tree_distance(&a, &b) + tree_distance(&b, &c));
+/// The tree distance is a pseudo-metric on the values we generate:
+/// identity, symmetry, and the triangle inequality hold.
+#[test]
+fn tree_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0x7472_6565);
+    for _ in 0..CASES {
+        let a = flat_tuple(&mut rng);
+        let b = flat_tuple(&mut rng);
+        let c = flat_tuple(&mut rng);
+        assert_eq!(tree_distance(&a, &a), 0);
+        assert_eq!(tree_distance(&a, &b), tree_distance(&b, &a));
+        assert!(tree_distance(&a, &c) <= tree_distance(&a, &b) + tree_distance(&b, &c));
         if a == b {
-            prop_assert_eq!(tree_distance(&a, &b), 0);
+            assert_eq!(tree_distance(&a, &b), 0);
         }
     }
 }

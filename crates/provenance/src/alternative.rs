@@ -88,6 +88,37 @@ impl SchemaAlternative {
         self.consistency.get(&op)
     }
 
+    /// A stable textual signature of this alternative's substitutions (and
+    /// nothing else — consistency NIPs are deliberately excluded).
+    ///
+    /// Two alternatives with equal signatures produce identical generalized
+    /// traces over the same plan and database, which is what makes the
+    /// signature usable as a trace-cache key component. The encoding is
+    /// injective: attribute paths are length-prefixed (netstring-style), so
+    /// path strings containing separator characters cannot collide with the
+    /// structure of the signature.
+    pub fn substitution_signature(&self) -> String {
+        fn netstring(s: &str) -> String {
+            format!("{}~{s}", s.len())
+        }
+        let mut parts: Vec<String> = self
+            .substitutions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}:{}{}",
+                    s.op,
+                    netstring(&s.from.to_string()),
+                    netstring(&s.to.to_string())
+                )
+            })
+            .collect();
+        parts.sort();
+        // Count prefix + self-delimiting parts keep the concatenation
+        // unambiguous.
+        format!("{}:{}", parts.len(), parts.concat())
+    }
+
     /// Returns the operator of `node` with this alternative's substitutions
     /// applied (the "effective" operator evaluated during tracing).
     pub fn effective_operator(&self, node: &OpNode) -> Operator {
@@ -139,6 +170,46 @@ mod tests {
         assert!(sa.substituted_ops().is_empty());
         assert!(sa.consistency_nip(0).is_none());
         assert_eq!(sa.to_string(), "S1 (original)");
+    }
+
+    #[test]
+    fn substitution_signatures_are_injective_under_separator_characters() {
+        // One substitution whose paths contain signature separator characters
+        // must not collide with two plain substitutions spelling the same
+        // concatenated text.
+        let tricky = SchemaAlternative::new(
+            1,
+            vec![OpSubstitution::new(1, AttrPath::single("a~1"), AttrPath::single("b:2"))],
+            BTreeMap::new(),
+        );
+        let plain = SchemaAlternative::new(
+            1,
+            vec![
+                OpSubstitution::new(1, AttrPath::single("a"), AttrPath::single("b")),
+                OpSubstitution::new(1, AttrPath::single("1"), AttrPath::single("2")),
+            ],
+            BTreeMap::new(),
+        );
+        assert_ne!(tricky.substitution_signature(), plain.substitution_signature());
+
+        // The slice-level signature length-prefixes per-SA parts: one SA with
+        // two substitutions differs from two SAs with one each.
+        let one_sa = crate::substitution_signature(std::slice::from_ref(&plain));
+        let two_sas = crate::substitution_signature(&[
+            SchemaAlternative::new(
+                1,
+                vec![OpSubstitution::new(1, AttrPath::single("a"), AttrPath::single("b"))],
+                BTreeMap::new(),
+            ),
+            SchemaAlternative::new(
+                2,
+                vec![OpSubstitution::new(1, AttrPath::single("1"), AttrPath::single("2"))],
+                BTreeMap::new(),
+            ),
+        ]);
+        assert_ne!(one_sa, two_sas);
+        // Identical substitution sets still agree.
+        assert_eq!(plain.substitution_signature(), plain.clone().substitution_signature());
     }
 
     #[test]

@@ -54,9 +54,42 @@ pub struct TracedTuple {
     /// per schema alternative (lineage can differ between alternatives, e.g.
     /// the members of a nested group).
     pub inputs: Vec<Vec<u64>>,
+    /// Alternative data variants used by consistency (re-)annotation, per
+    /// schema alternative. Only grouped aggregations populate this: the
+    /// aggregate computed from the *retained* members only, which the
+    /// consistency check consults as a fallback (Section 5.5). Empty for all
+    /// other operators.
+    pub fallback_variants: Vec<Option<Tuple>>,
 }
 
 impl TracedTuple {
+    /// Creates a traced tuple without fallback variants (every operator except
+    /// grouped aggregation).
+    pub fn new(
+        id: u64,
+        variants: Vec<Option<Tuple>>,
+        flags: Vec<SaFlags>,
+        inputs: Vec<Vec<u64>>,
+    ) -> Self {
+        TracedTuple { id, variants, flags, inputs, fallback_variants: Vec::new() }
+    }
+
+    /// Creates a traced tuple with per-SA fallback variants (grouped
+    /// aggregation).
+    pub fn with_fallbacks(
+        id: u64,
+        variants: Vec<Option<Tuple>>,
+        flags: Vec<SaFlags>,
+        inputs: Vec<Vec<u64>>,
+        fallback_variants: Vec<Option<Tuple>>,
+    ) -> Self {
+        TracedTuple { id, variants, flags, inputs, fallback_variants }
+    }
+
+    /// The fallback data variant under alternative `sa`, if any.
+    pub fn fallback_variant(&self, sa: usize) -> Option<&Tuple> {
+        self.fallback_variants.get(sa).and_then(Option::as_ref)
+    }
     /// The tuple's data under alternative `sa`, if it exists there.
     pub fn variant(&self, sa: usize) -> Option<&Tuple> {
         self.variants.get(sa).and_then(Option::as_ref)
@@ -97,11 +130,7 @@ impl OpTrace {
     /// alternative `sa` *and* contributes to a consistent output tuple
     /// (`contributing` is the id set computed by
     /// [`TraceResult::contributing_ids`]).
-    pub fn has_reparameterization_witness(
-        &self,
-        sa: usize,
-        contributing: &BTreeSet<u64>,
-    ) -> bool {
+    pub fn has_reparameterization_witness(&self, sa: usize, contributing: &BTreeSet<u64>) -> bool {
         self.tuples
             .iter()
             .any(|t| t.flags(sa).needs_reparameterization() && contributing.contains(&t.id))
@@ -111,8 +140,7 @@ impl OpTrace {
     /// (optionally restricted to tuples contributing to a consistent output).
     pub fn has_all_ones_witness(&self, sa: usize, contributing: Option<&BTreeSet<u64>>) -> bool {
         self.tuples.iter().any(|t| {
-            t.flags(sa).all_ones()
-                && contributing.map(|c| c.contains(&t.id)).unwrap_or(true)
+            t.flags(sa).all_ones() && contributing.map(|c| c.contains(&t.id)).unwrap_or(true)
         })
     }
 
@@ -207,6 +235,41 @@ impl TraceResult {
     }
 }
 
+/// A whole-plan trace whose `consistent` flags have *not* been computed yet.
+///
+/// Produced by [`crate::trace_plan_generalized`]: it depends only on the plan,
+/// the database, and the attribute *substitutions* of the schema alternatives
+/// — never on the why-not question's pushed-down NIPs. It is therefore safe to
+/// cache and share across why-not questions that target the same plan and
+/// database; [`crate::annotate_consistency`] specializes a generalized trace
+/// to one question by filling in the `consistent` flags.
+///
+/// The `consistent` flags inside are placeholders (`false`); the type exists
+/// precisely so that un-annotated traces cannot be fed to the explanation
+/// algorithm by accident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralizedTrace {
+    pub(crate) inner: TraceResult,
+}
+
+impl GeneralizedTrace {
+    /// Number of schema alternatives traced.
+    pub fn num_sas(&self) -> usize {
+        self.inner.num_sas
+    }
+
+    /// Total number of traced tuples across all operators (a size measure for
+    /// cache accounting).
+    pub fn tuple_count(&self) -> usize {
+        self.inner.traces.values().map(|t| t.tuples.len()).sum()
+    }
+
+    /// The operator ids covered by the trace, in pre-order.
+    pub fn pre_order(&self) -> &[OpId] {
+        &self.inner.pre_order
+    }
+}
+
 /// Tuple counts over the root trace used by the side-effect bounds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RootCounts {
@@ -220,11 +283,7 @@ pub struct RootCounts {
 
 impl fmt::Display for SaFlags {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "v={} c={} r={}",
-            self.valid as u8, self.consistent as u8, self.retained as u8
-        )
+        write!(f, "v={} c={} r={}", self.valid as u8, self.consistent as u8, self.retained as u8)
     }
 }
 
@@ -236,16 +295,10 @@ mod tests {
     fn tuple(id: u64, flags: Vec<SaFlags>, input_ids: Vec<u64>) -> TracedTuple {
         let variants: Vec<Option<Tuple>> = flags
             .iter()
-            .map(|f| {
-                if f.valid {
-                    Some(Tuple::new([("x", Value::int(id as i64))]))
-                } else {
-                    None
-                }
-            })
+            .map(|f| if f.valid { Some(Tuple::new([("x", Value::int(id as i64))])) } else { None })
             .collect();
         let inputs = vec![input_ids; flags.len()];
-        TracedTuple { id, variants, flags, inputs }
+        TracedTuple::new(id, variants, flags, inputs)
     }
 
     fn flags(valid: bool, consistent: bool, retained: bool) -> SaFlags {

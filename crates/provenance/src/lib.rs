@@ -29,5 +29,19 @@ pub mod annotate;
 pub mod trace;
 
 pub use alternative::{OpSubstitution, SchemaAlternative};
-pub use annotate::{OpTrace, SaFlags, TraceResult, TracedTuple};
-pub use trace::trace_plan;
+pub use annotate::{GeneralizedTrace, OpTrace, SaFlags, TraceResult, TracedTuple};
+pub use trace::{annotate_consistency, trace_plan, trace_plan_generalized};
+
+/// A stable textual signature of the substitution sets of a slice of schema
+/// alternatives, in order. Questions whose alternatives share this signature
+/// (over the same plan and database) can share one generalized trace. Each
+/// per-alternative signature is length-prefixed so the concatenation stays
+/// injective regardless of the characters appearing in attribute paths.
+pub fn substitution_signature(sas: &[SchemaAlternative]) -> String {
+    sas.iter()
+        .map(|sa| {
+            let signature = sa.substitution_signature();
+            format!("{}~{signature}", signature.len())
+        })
+        .collect()
+}

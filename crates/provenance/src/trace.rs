@@ -26,28 +26,112 @@ use nrab_algebra::{
 };
 
 use crate::alternative::SchemaAlternative;
-use crate::annotate::{OpTrace, SaFlags, TraceResult, TracedTuple};
+use crate::annotate::{GeneralizedTrace, OpTrace, SaFlags, TraceResult, TracedTuple};
 
 /// Traces a plan over a database under the given schema alternatives.
 ///
 /// Alternative 0 should be the original query (no substitutions); at least one
 /// alternative must be provided.
+///
+/// Equivalent to [`trace_plan_generalized`] followed by
+/// [`annotate_consistency`]; callers that answer many questions against the
+/// same plan and database should invoke the two stages separately and cache
+/// the (question-independent) generalized trace.
 pub fn trace_plan(
     plan: &QueryPlan,
     db: &Database,
     sas: &[SchemaAlternative],
 ) -> AlgebraResult<TraceResult> {
+    let base = trace_plan_generalized(plan, db, sas)?;
+    Ok(annotate_consistency(&base, plan, sas))
+}
+
+/// The expensive, question-independent part of tracing: evaluates the plan in
+/// its generalized form and computes the `valid` and `retained` flags, the
+/// data variants, and the lineage for every schema alternative.
+///
+/// Only the attribute *substitutions* of `sas` are consulted — never their
+/// consistency NIPs — so the result can be reused across why-not questions
+/// that share the plan, the database, and the substitution sets (the trace
+/// cache of `whynot-service` is keyed accordingly). The `consistent` flags of
+/// the returned trace are placeholders; [`annotate_consistency`] fills them in
+/// for a concrete question.
+pub fn trace_plan_generalized(
+    plan: &QueryPlan,
+    db: &Database,
+    sas: &[SchemaAlternative],
+) -> AlgebraResult<GeneralizedTrace> {
     if sas.is_empty() {
         return Err(AlgebraError::Eval("at least one schema alternative is required".into()));
     }
     let mut tracer = Tracer { db, sas, next_id: 1, traces: BTreeMap::new() };
     tracer.trace_node(&plan.root)?;
-    Ok(TraceResult {
-        traces: tracer.traces,
-        root: plan.root.id,
-        pre_order: plan.op_ids_top_down(),
-        num_sas: sas.len(),
+    Ok(GeneralizedTrace {
+        inner: TraceResult {
+            traces: tracer.traces,
+            root: plan.root.id,
+            pre_order: plan.op_ids_top_down(),
+            num_sas: sas.len(),
+        },
     })
+}
+
+/// The cheap, question-specific part of tracing: re-validates every traced
+/// tuple against the consistency NIPs of the schema alternatives (the
+/// pushed-down why-not constraints produced by schema backtracing) and fills
+/// in the `consistent` flags.
+///
+/// `sas` must describe the same substitution sets (in the same order) as the
+/// ones `base` was traced under; only the consistency NIPs may differ.
+pub fn annotate_consistency(
+    base: &GeneralizedTrace,
+    plan: &QueryPlan,
+    sas: &[SchemaAlternative],
+) -> TraceResult {
+    let mut result = base.inner.clone();
+    for (op, op_trace) in result.traces.iter_mut() {
+        let node = plan.node(*op).ok();
+        let is_group_agg = matches!(node.map(|n| &n.op), Some(Operator::GroupAggregation { .. }));
+        for tuple in op_trace.tuples.iter_mut() {
+            for (sa_idx, sa) in sas.iter().enumerate() {
+                let Some(flags) = tuple.flags.get_mut(sa_idx) else { continue };
+                if !flags.valid {
+                    continue;
+                }
+                let Some(variant) = tuple.variants.get(sa_idx).and_then(Option::as_ref) else {
+                    continue;
+                };
+                flags.consistent = match sa.consistency_nip(*op) {
+                    None => true,
+                    Some(nip) if is_group_agg => {
+                        // Upper-bound constraints on aggregate outputs can
+                        // always be met by a more restrictive choice of
+                        // contributing tuples, which the tracing does not
+                        // enumerate (Section 5.5); relax them, then accept the
+                        // group if either the all-members aggregate or the
+                        // retained-members fallback satisfies the NIP.
+                        let node = node.expect("group aggregation node exists in plan");
+                        let agg_outputs: Vec<String> = match sa.effective_operator(node) {
+                            Operator::GroupAggregation { aggs, .. } => {
+                                aggs.iter().map(|a| a.output.clone()).collect()
+                            }
+                            _ => Vec::new(),
+                        };
+                        let relaxed_nip = relax_aggregate_upper_bounds(nip, &agg_outputs);
+                        nip_matches_tuple(&relaxed_nip, variant)
+                            || tuple
+                                .fallback_variants
+                                .get(sa_idx)
+                                .and_then(Option::as_ref)
+                                .map(|f| nip_matches_tuple(&relaxed_nip, f))
+                                .unwrap_or(false)
+                    }
+                    Some(nip) => nip_matches_tuple(nip, variant),
+                };
+            }
+        }
+    }
+    result
 }
 
 struct Tracer<'a> {
@@ -66,30 +150,6 @@ impl<'a> Tracer<'a> {
 
     fn n_sas(&self) -> usize {
         self.sas.len()
-    }
-
-    /// Builds the flags of a variant at operator `op`: validity is inherited
-    /// from the input, consistency is re-validated against the alternative's
-    /// pushed-down NIP for this operator, and `retained` is provided by the
-    /// operator-specific tracing procedure.
-    fn make_flags(
-        &self,
-        op: OpId,
-        sa: usize,
-        variant: Option<&Tuple>,
-        input_valid: bool,
-        retained: bool,
-    ) -> SaFlags {
-        match variant {
-            Some(tuple) if input_valid => {
-                let consistent = match self.sas[sa].consistency_nip(op) {
-                    Some(nip) => nip_matches_tuple(nip, tuple),
-                    None => true,
-                };
-                SaFlags { valid: true, consistent, retained }
-            }
-            _ => SaFlags::absent(),
-        }
     }
 
     /// The effective (SA-substituted) operator of a node, wrapped in a node
@@ -135,10 +195,8 @@ impl<'a> Tracer<'a> {
             let tuple = value.as_tuple().cloned().unwrap_or_else(Tuple::empty);
             let id = self.fresh_id();
             let variants = vec![Some(tuple.clone()); self.n_sas()];
-            let flags = (0..self.n_sas())
-                .map(|sa| self.make_flags(node.id, sa, Some(&tuple), true, true))
-                .collect();
-            tuples.push(TracedTuple { id, variants, flags, inputs: vec![Vec::new(); self.n_sas()] });
+            let flags = (0..self.n_sas()).map(|_| base_flags(Some(&tuple), true, true)).collect();
+            tuples.push(TracedTuple::new(id, variants, flags, vec![Vec::new(); self.n_sas()]));
         }
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
     }
@@ -156,18 +214,18 @@ impl<'a> Tracer<'a> {
             let id = self.fresh_id();
             let mut variants = Vec::with_capacity(self.n_sas());
             let mut flags = Vec::with_capacity(self.n_sas());
-            for sa in 0..self.n_sas() {
+            for (sa, effective_node) in effective.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let transformed = match input.variant(sa) {
                     Some(tuple) if input_flags.valid => {
-                        apply_to_single(&effective[sa], tuple, self.db)?
+                        apply_to_single(effective_node, tuple, self.db)?
                     }
                     _ => None,
                 };
-                flags.push(self.make_flags(node.id, sa, transformed.as_ref(), input_flags.valid, true));
+                flags.push(base_flags(transformed.as_ref(), input_flags.valid, true));
                 variants.push(transformed);
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -190,17 +248,17 @@ impl<'a> Tracer<'a> {
             let id = self.fresh_id();
             let mut variants = Vec::with_capacity(self.n_sas());
             let mut flags = Vec::with_capacity(self.n_sas());
-            for sa in 0..self.n_sas() {
+            for (sa, predicate) in predicates.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let variant = input.variant(sa).cloned();
                 let retained = variant
                     .as_ref()
-                    .map(|t| input_flags.valid && predicates[sa].eval_bool(t))
+                    .map(|t| input_flags.valid && predicate.eval_bool(t))
                     .unwrap_or(false);
-                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input_flags.valid, retained));
+                flags.push(base_flags(variant.as_ref(), input_flags.valid, retained));
                 variants.push(variant);
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -228,16 +286,12 @@ impl<'a> Tracer<'a> {
         for input in &child_trace.tuples {
             // Per SA, the list of (tuple, retained) the outer flatten produces.
             let mut per_sa: Vec<Vec<(Tuple, bool)>> = Vec::with_capacity(self.n_sas());
-            for sa in 0..self.n_sas() {
+            for (sa, attr) in attrs.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let outputs = match input.variant(sa) {
-                    Some(tuple) if input_flags.valid => flatten_one(
-                        tuple,
-                        &attrs[sa],
-                        alias.as_deref(),
-                        original_kind,
-                        &child_schema,
-                    )?,
+                    Some(tuple) if input_flags.valid => {
+                        flatten_one(tuple, attr, alias.as_deref(), original_kind, &child_schema)?
+                    }
                     _ => Vec::new(),
                 };
                 per_sa.push(outputs);
@@ -247,10 +301,10 @@ impl<'a> Tracer<'a> {
                 let id = self.fresh_id();
                 let mut variants = Vec::with_capacity(self.n_sas());
                 let mut flags = Vec::with_capacity(self.n_sas());
-                for (sa, outputs) in per_sa.iter().enumerate() {
+                for outputs in per_sa.iter() {
                     match outputs.get(k) {
                         Some((tuple, retained)) => {
-                            flags.push(self.make_flags(node.id, sa, Some(tuple), true, *retained));
+                            flags.push(base_flags(Some(tuple), true, *retained));
                             variants.push(Some(tuple.clone()));
                         }
                         None => {
@@ -259,7 +313,12 @@ impl<'a> Tracer<'a> {
                         }
                     }
                 }
-                tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+                tuples.push(TracedTuple::new(
+                    id,
+                    variants,
+                    flags,
+                    vec![vec![input.id]; self.n_sas()],
+                ));
             }
         }
         self.put_trace(child_trace);
@@ -304,17 +363,18 @@ impl<'a> Tracer<'a> {
             };
             // Hash-based pre-bucketing for equi-join conjuncts.
             let equi = equi_join_keys(predicate, &left_schema, &right_schema);
-            let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> = equi.as_ref().map(|(_, rk)| {
-                let mut buckets: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-                for (ri, rt) in right_trace.tuples.iter().enumerate() {
-                    if let Some(tuple) = rt.variant(sa) {
-                        if rt.flags(sa).valid {
-                            buckets.entry(key_of(tuple, rk)).or_default().push(ri);
+            let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> =
+                equi.as_ref().map(|(_, rk)| {
+                    let mut buckets: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                    for (ri, rt) in right_trace.tuples.iter().enumerate() {
+                        if let Some(tuple) = rt.variant(sa) {
+                            if rt.flags(sa).valid {
+                                buckets.entry(key_of(tuple, rk)).or_default().push(ri);
+                            }
                         }
                     }
-                }
-                buckets
-            });
+                    buckets
+                });
             for (li, lt) in left_trace.tuples.iter().enumerate() {
                 let Some(ltuple) = lt.variant(sa) else { continue };
                 if !lt.flags(sa).valid {
@@ -350,11 +410,11 @@ impl<'a> Tracer<'a> {
         }
         let mut slots: BTreeMap<(Option<u64>, Option<u64>), Slot> = BTreeMap::new();
         let n = self.n_sas();
-        fn slot_for<'s>(
-            slots: &'s mut BTreeMap<(Option<u64>, Option<u64>), Slot>,
+        fn slot_for(
+            slots: &mut BTreeMap<(Option<u64>, Option<u64>), Slot>,
             key: (Option<u64>, Option<u64>),
             n: usize,
-        ) -> &'s mut Slot {
+        ) -> &mut Slot {
             slots.entry(key).or_insert_with(|| Slot { per_sa: vec![None; n] })
         }
         let left_names: Vec<&str> = left_schema.attribute_names();
@@ -378,8 +438,7 @@ impl<'a> Tracer<'a> {
             }
             for (ri, rt) in right_trace.tuples.iter().enumerate() {
                 if rt.flags(sa).valid && !state.right_matched[ri] {
-                    let padded =
-                        Tuple::null_padded(&left_names).concat(rt.variant(sa).unwrap())?;
+                    let padded = Tuple::null_padded(&left_names).concat(rt.variant(sa).unwrap())?;
                     let retained = matches!(original_kind, JoinKind::Right | JoinKind::Full);
                     let slot = slot_for(&mut slots, (None, Some(rt.id)), n);
                     slot.per_sa[sa] = Some((padded, retained));
@@ -397,7 +456,7 @@ impl<'a> Tracer<'a> {
             for sa in 0..n {
                 match &slot.per_sa[sa] {
                     Some((tuple, retained)) => {
-                        flags.push(self.make_flags(node.id, sa, Some(tuple), true, *retained));
+                        flags.push(base_flags(Some(tuple), true, *retained));
                         variants.push(Some(tuple.clone()));
                         inputs.push(pair_ids.clone());
                     }
@@ -408,7 +467,7 @@ impl<'a> Tracer<'a> {
                     }
                 }
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs });
+            tuples.push(TracedTuple::new(id, variants, flags, inputs));
         }
         self.put_trace(left_trace);
         self.put_trace(right_trace);
@@ -461,7 +520,7 @@ impl<'a> Tracer<'a> {
                 match &slot.per_sa[sa] {
                     Some((bag, into)) => {
                         let tuple = key_tuple.with_field(into.clone(), Value::Bag(bag.clone()));
-                        flags.push(self.make_flags(node.id, sa, Some(&tuple), true, true));
+                        flags.push(base_flags(Some(&tuple), true, true));
                         variants.push(Some(tuple));
                     }
                     None => {
@@ -470,7 +529,7 @@ impl<'a> Tracer<'a> {
                     }
                 }
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: slot.member_ids });
+            tuples.push(TracedTuple::new(id, variants, flags, slot.member_ids));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -525,6 +584,7 @@ impl<'a> Tracer<'a> {
             let id = self.fresh_id();
             let mut variants = Vec::with_capacity(n);
             let mut flags = Vec::with_capacity(n);
+            let mut fallbacks = Vec::with_capacity(n);
             for sa in 0..n {
                 match &slot.per_sa[sa] {
                     Some(group) => {
@@ -533,33 +593,28 @@ impl<'a> Tracer<'a> {
                             aggregate_tuple(&key_tuple, &group.aggs, &group.retained_members);
                         // The original query would produce the group from the
                         // retained members only; the group survives if any
-                        // member was retained.
+                        // member was retained. The retained-members aggregate
+                        // is kept as the fallback variant consulted by the
+                        // consistency annotation (Section 5.5).
                         let retained = !group.retained_members.is_empty();
-                        let consistent = match self.sas[sa].consistency_nip(node.id) {
-                            Some(nip) => {
-                                // Upper-bound constraints on aggregate outputs
-                                // (e.g. `revenue < c`) can always be met by a
-                                // more restrictive choice of contributing
-                                // tuples, which the tracing does not enumerate
-                                // (Section 5.5); they are treated as satisfiable.
-                                let agg_outputs: Vec<String> =
-                                    group.aggs.iter().map(|a| a.output.clone()).collect();
-                                let relaxed_nip = relax_aggregate_upper_bounds(nip, &agg_outputs);
-                                nip_matches_tuple(&relaxed_nip, &relaxed)
-                                    || nip_matches_tuple(&relaxed_nip, &retained_only)
-                            }
-                            None => true,
-                        };
-                        flags.push(SaFlags { valid: true, consistent, retained });
+                        flags.push(SaFlags { valid: true, consistent: false, retained });
                         variants.push(Some(relaxed));
+                        fallbacks.push(Some(retained_only));
                     }
                     None => {
                         flags.push(SaFlags::absent());
                         variants.push(None);
+                        fallbacks.push(None);
                     }
                 }
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: slot.member_ids });
+            tuples.push(TracedTuple::with_fallbacks(
+                id,
+                variants,
+                flags,
+                slot.member_ids,
+                fallbacks,
+            ));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -575,10 +630,10 @@ impl<'a> Tracer<'a> {
             let mut flags = Vec::with_capacity(self.n_sas());
             for sa in 0..self.n_sas() {
                 let variant = input.variant(sa).cloned();
-                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input.flags(sa).valid, true));
+                flags.push(base_flags(variant.as_ref(), input.flags(sa).valid, true));
                 variants.push(variant);
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
         }
         self.put_trace(left_trace);
         self.put_trace(right_trace);
@@ -601,10 +656,10 @@ impl<'a> Tracer<'a> {
                     })
                 });
                 let retained = matches!(subtracted, Some(false));
-                flags.push(self.make_flags(node.id, sa, variant.as_ref(), input.flags(sa).valid, retained));
+                flags.push(base_flags(variant.as_ref(), input.flags(sa).valid, retained));
                 variants.push(variant);
             }
-            tuples.push(TracedTuple { id, variants, flags, inputs: vec![vec![input.id]; self.n_sas()] });
+            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
         }
         self.put_trace(left_trace);
         self.put_trace(right_trace);
@@ -655,6 +710,17 @@ fn relax_aggregate_upper_bounds(nip: &Nip, agg_outputs: &[String]) -> Nip {
     }
 }
 
+/// Builds the question-independent flags of a variant: validity is inherited
+/// from the input, `retained` is provided by the operator-specific tracing
+/// procedure, and `consistent` is a placeholder that [`annotate_consistency`]
+/// fills in per question.
+fn base_flags(variant: Option<&Tuple>, input_valid: bool, retained: bool) -> SaFlags {
+    match variant {
+        Some(_) if input_valid => SaFlags { valid: true, consistent: false, retained },
+        _ => SaFlags::absent(),
+    }
+}
+
 fn aggregate_tuple(key: &Tuple, aggs: &[nrab_algebra::AggSpec], members: &[Tuple]) -> Tuple {
     let mut result = key.clone();
     for agg in aggs {
@@ -674,10 +740,7 @@ fn apply_to_single(node: &OpNode, tuple: &Tuple, db: &Database) -> AlgebraResult
     let singleton = Bag::from_values([Value::Tuple(tuple.clone())]);
     let inputs = vec![singleton];
     match apply_operator(node, &inputs, db) {
-        Ok(result) => Ok(result
-            .iter()
-            .next()
-            .and_then(|(v, _)| v.as_tuple().cloned())),
+        Ok(result) => Ok(result.iter().next().and_then(|(v, _)| v.as_tuple().cloned())),
         // A structural operator can fail under an alternative (e.g. a
         // substituted attribute is absent); the tuple then simply does not
         // exist under that alternative.
@@ -777,9 +840,7 @@ fn collect_equi_keys(
 }
 
 fn key_of(tuple: &Tuple, keys: &[AttrPath]) -> Vec<Value> {
-    keys.iter()
-        .map(|k| Value::Tuple(tuple.clone()).get_path(k).unwrap_or(Value::Null))
-        .collect()
+    keys.iter().map(|k| Value::Tuple(tuple.clone()).get_path(k).unwrap_or(Value::Null)).collect()
 }
 
 /// Matches a NIP against a tuple without cloning it into a `Value`.
@@ -918,11 +979,8 @@ mod tests {
         let result = trace_example();
         let selection = result.trace(2).unwrap();
         // The consistent S1 tuple (Sue, NY, 2018) is not retained by year ≥ 2019.
-        let witness = selection
-            .tuples
-            .iter()
-            .find(|t| t.flags(0).consistent && t.flags(0).valid)
-            .unwrap();
+        let witness =
+            selection.tuples.iter().find(|t| t.flags(0).consistent && t.flags(0).valid).unwrap();
         assert!(!witness.flags(0).retained);
         // Some valid tuple *is* retained (Sue's LA 2019).
         assert!(selection.tuples.iter().any(|t| t.flags(0).valid && t.flags(0).retained));
@@ -1006,8 +1064,8 @@ mod tests {
     fn join_tracing_pads_unmatched_tuples() {
         let mut db = Database::new();
         let r_ty = TupleType::new([("a", NestedType::int())]).unwrap();
-        let s_ty = TupleType::new([("b", NestedType::int()), ("payload", NestedType::str())])
-            .unwrap();
+        let s_ty =
+            TupleType::new([("b", NestedType::int()), ("payload", NestedType::str())]).unwrap();
         db.add_relation(
             "r",
             r_ty,

@@ -1,0 +1,230 @@
+//! # whynot-rng
+//!
+//! A tiny, dependency-free, deterministic pseudo-random number generator with
+//! a `rand`-like surface, used by the synthetic data generators and the
+//! property-style tests. The workspace is built in hermetic environments
+//! without network access, so it cannot depend on the `rand` crate; the
+//! generators only need *seeded determinism*, not cryptographic quality.
+//!
+//! The core generator is xoshiro256** (public domain, Blackman & Vigna),
+//! seeded through splitmix64 so that small seeds still produce well-mixed
+//! state.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding behaviour (mirrors the subset of `rand::SeedableRng` we use).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+/// Random-value generation (mirrors the subset of `rand::Rng` we use).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from the given range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: AsMut<StdRng>,
+    {
+        range.sample(self.as_mut())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_unit() < p
+    }
+
+    /// A uniform sample from `[0, 1)`.
+    fn gen_unit(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly chosen reference into a non-empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T
+    where
+        Self: AsMut<StdRng>,
+    {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        let idx = self.gen_range(0..slice.len());
+        &slice[idx]
+    }
+}
+
+/// The default deterministic generator (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+impl AsMut<StdRng> for StdRng {
+    fn as_mut(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl StdRng {
+    /// Unbiased uniform sample from `[0, bound)` (Lemire-style rejection).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Rejection sampling on the top bits keeps the distribution uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.gen_unit()
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + (end - start) * rng.gen_unit()
+    }
+}
+
+/// Namespace mirroring `rand::rngs` so call sites can keep familiar imports.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: i64 = rng.gen_range(1i64..=28);
+            assert!((1..=28).contains(&z));
+            let f: f64 = rng.gen_range(100.0..200.0);
+            assert!((100.0..200.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounds_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "got {hits}");
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_picks_from_slice() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let items = ["a", "b", "c"];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+}

@@ -76,8 +76,8 @@ pub fn c1() -> Scenario {
 /// C2: persons matching a sighting reported by the witness Susan from a
 /// high-numbered sector. Why is Conedera missing?
 pub fn c2() -> Scenario {
-    let witnesses = PlanBuilder::table("witnesses")
-        .select(Expr::attr_cmp("sector", CmpOp::Gt, 90i64));
+    let witnesses =
+        PlanBuilder::table("witnesses").select(Expr::attr_cmp("sector", CmpOp::Gt, 90i64));
     let sigma3 = witnesses.current_id();
     let witnesses = witnesses.select(Expr::attr_eq("wname", "Susan"));
     let sigma4 = witnesses.current_id();
@@ -144,10 +144,8 @@ pub fn c3() -> Scenario {
         Expr::cmp(Expr::attr("sname"), CmpOp::Eq, Expr::attr("witness")),
     );
     let join5 = builder.current_id();
-    let builder = builder.project(vec![
-        ProjColumn::renamed("name", "sname"),
-        ProjColumn::renamed("desc", "shair"),
-    ]);
+    let builder = builder
+        .project(vec![ProjColumn::renamed("name", "sname"), ProjColumn::renamed("desc", "shair")]);
     let pi6 = builder.current_id();
     let plan = builder.build().expect("C3 plan");
 

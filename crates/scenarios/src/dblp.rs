@@ -30,10 +30,8 @@ pub fn d1(scale: usize) -> Scenario {
         .tuple_flatten("title.text", Some("ititle"))
         .project_attrs(&["name", "ititle", "ref_key"]);
     // Right: proceedings projected to key and (erroneously) title.
-    let right = PlanBuilder::table("proceedings").project(vec![
-        ProjColumn::passthrough("key"),
-        ProjColumn::renamed("ptitle", "title"),
-    ]);
+    let right = PlanBuilder::table("proceedings")
+        .project(vec![ProjColumn::passthrough("key"), ProjColumn::renamed("ptitle", "title")]);
     let pi1 = right.current_id();
     let builder = left.join(
         right,
@@ -156,7 +154,8 @@ pub fn d3(scale: usize) -> Scenario {
 /// filters on 2015 instead of 2010.
 pub fn d4(scale: usize) -> Scenario {
     // Right: proceedings with the publisher value pulled up.
-    let right = PlanBuilder::table("proceedings").tuple_flatten("publisher.value", Some("ppublisher"));
+    let right =
+        PlanBuilder::table("proceedings").tuple_flatten("publisher.value", Some("ppublisher"));
     let ft5_local = right.current_id();
     let right = right.project_attrs(&["key", "year", "ppublisher"]);
     // Left: inproceedings with crossref and author flattened.

@@ -80,9 +80,9 @@ impl Scenario {
         let rp_no_sa = WhyNotEngine::rp_no_sa().explain(&question, &self.alternatives)?;
         let rp = WhyNotEngine::rp().explain(&question, &self.alternatives)?;
         let gold = self.gold_ops();
-        let gold_position_rp = gold.as_ref().and_then(|g| {
-            rp.explanations.iter().position(|e| &e.operators == g).map(|p| p + 1)
-        });
+        let gold_position_rp = gold
+            .as_ref()
+            .and_then(|g| rp.explanations.iter().position(|e| &e.operators == g).map(|p| p + 1));
         Ok(ScenarioOutcome {
             name: self.name.clone(),
             wnpp,

@@ -36,10 +36,7 @@ pub fn running_example() -> Scenario {
         description: "Running example: cities with workers since 2019 (Figure 1)".into(),
         db: person_database(),
         plan,
-        why_not: Nip::tuple([
-            ("city", Nip::val("NY")),
-            ("nList", Nip::bag([Nip::Any, Nip::Star])),
-        ]),
+        why_not: Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]),
         alternatives: vec![AttributeAlternative::new("person", "address2", "address1")],
         labels,
         paper_rp: vec![vec!["σ".into()], vec!["F".into(), "σ".into()]],

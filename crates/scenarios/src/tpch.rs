@@ -77,10 +77,8 @@ pub fn q1(scale: usize, flat: bool) -> Scenario {
     let (builder, _) = lineitems(flat);
     let builder = builder.select(Expr::attr_cmp("l_shipdate", CmpOp::Le, "1998-09-02"));
     let sigma24 = builder.current_id();
-    let builder = builder.group_aggregate(
-        vec![],
-        vec![AggSpec::new(AggFunc::Sum, Expr::attr("l_tax"), "avgDisc")],
-    );
+    let builder = builder
+        .group_aggregate(vec![], vec![AggSpec::new(AggFunc::Sum, Expr::attr("l_tax"), "avgDisc")]);
     let gamma23 = builder.current_id();
     let plan = builder.build().expect("Q1 plan");
     // Ask for an accumulated discount larger than what the erroneous query returns.
@@ -100,15 +98,8 @@ pub fn q1(scale: usize, flat: bool) -> Scenario {
         plan,
         why_not: Nip::tuple([("avgDisc", Nip::pred(NipCmp::Gt, Value::Float(current)))]),
         alternatives: tpch_alternatives(if flat { "flatlineitem" } else { "nestedOrders" }),
-        labels: BTreeMap::from([
-            ("σ24".to_string(), sigma24),
-            ("γ23".to_string(), gamma23),
-        ]),
-        paper_rp: vec![
-            vec!["σ24".into()],
-            vec!["γ23".into()],
-            vec!["γ23".into(), "σ24".into()],
-        ],
+        labels: BTreeMap::from([("σ24".to_string(), sigma24), ("γ23".to_string(), gamma23)]),
+        paper_rp: vec![vec!["σ24".into()], vec!["γ23".into()], vec!["γ23".into(), "σ24".into()]],
         paper_wnpp: vec![vec!["σ24".into()]],
         gold: Some(vec!["γ23".into()]),
     }
@@ -181,11 +172,8 @@ pub fn q3(scale: usize, flat: bool) -> Scenario {
 pub fn q4(scale: usize, flat: bool) -> Scenario {
     let db = database(scale, flat);
     let (builder, _) = lineitems(flat);
-    let builder = builder.select(Expr::cmp(
-        Expr::attr("l_shipdate"),
-        CmpOp::Lt,
-        Expr::attr("l_receiptdate"),
-    ));
+    let builder =
+        builder.select(Expr::cmp(Expr::attr("l_shipdate"), CmpOp::Lt, Expr::attr("l_receiptdate")));
     let sigma28 = builder.current_id();
     let builder = builder.select(Expr::and(
         Expr::attr_cmp("o_orderdate", CmpOp::Ge, "1993-07-01"),
@@ -392,11 +380,8 @@ pub fn q10(scale: usize, flat: bool) -> Scenario {
 /// orders.
 pub fn q13(scale: usize, flat: bool) -> Scenario {
     let db = database(scale, flat);
-    let orders = if flat {
-        PlanBuilder::table("flatlineitem")
-    } else {
-        PlanBuilder::table("nestedOrders")
-    };
+    let orders =
+        if flat { PlanBuilder::table("flatlineitem") } else { PlanBuilder::table("nestedOrders") };
     let builder = PlanBuilder::table("customer").join(
         orders,
         JoinKind::Inner,

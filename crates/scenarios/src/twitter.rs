@@ -30,8 +30,11 @@ pub fn t1(scale: usize) -> Scenario {
     let fi11 = builder.current_id();
     let builder = builder.select(Expr::contains(Expr::attr("text"), Expr::lit("Michael Jordan")));
     let sigma12 = builder.current_id();
-    let builder = builder.tuple_flatten("the_media.url", Some("media_url"))
-        .project_attrs(&["text", "id", "media_url"]);
+    let builder = builder.tuple_flatten("the_media.url", Some("media_url")).project_attrs(&[
+        "text",
+        "id",
+        "media_url",
+    ]);
     let plan = builder.build().expect("T1 plan");
 
     Scenario {
@@ -50,10 +53,7 @@ pub fn t1(scale: usize) -> Scenario {
             ("F11".to_string(), fi11),
             ("σ12".to_string(), sigma12),
         ]),
-        paper_rp: vec![
-            vec!["F11".into(), "σ12".into()],
-            vec!["F10".into(), "σ12".into()],
-        ],
+        paper_rp: vec![vec!["F11".into(), "σ12".into()], vec!["F10".into(), "σ12".into()]],
         paper_wnpp: vec![vec!["F11".into()]],
         gold: None,
     }

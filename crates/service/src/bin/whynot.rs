@@ -1,0 +1,340 @@
+//! `whynot` — the explanation-service CLI.
+//!
+//! ```text
+//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact]
+//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact]
+//! whynot scenarios list
+//! whynot scenarios export <dir>
+//! whynot scenarios run <dir> [--name NAME] [--text]
+//! ```
+//!
+//! `explain` answers one why-not question loaded from JSON files on disk;
+//! `batch` answers an array of questions against one registered plan and
+//! database, reporting per-question trace-cache hits; `scenarios` exports the
+//! paper's evaluation scenarios (running example, DBLP, Twitter, TPC-H,
+//! crime) as JSON files and runs them back from disk.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use whynot_service::json::Json;
+use whynot_service::service::{ExplainRequest, ExplainService};
+use whynot_service::wire::{
+    alternative_to_json, database_from_json, database_to_json, nip_to_json, plan_from_json,
+    plan_to_json,
+};
+use whynot_service::{ServiceError, ServiceResult};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("scenarios") => cmd_scenarios(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ServiceError::decode(format!("unknown command `{other}`\n{USAGE}"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("whynot: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "whynot — why-not explanations over nested data
+
+USAGE:
+    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact]
+    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact]
+    whynot scenarios list
+    whynot scenarios export <dir>
+    whynot scenarios run <dir> [--name <NAME>] [--text]
+
+The question file holds {\"why_not\": ..., \"alternatives\": [...]} and may
+optionally inline \"db\" and \"plan\" (then the flags may be omitted).
+";
+
+/// Minimal flag parser: `--flag value` pairs plus bare switches/positionals.
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    positionals: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str]) -> ServiceResult<Flags> {
+        let mut flags = Flags { values: Vec::new(), switches: Vec::new(), positionals: Vec::new() };
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| ServiceError::decode(format!("--{name} needs a value")))?;
+                    flags.values.push((name.to_string(), value.clone()));
+                    i += 2;
+                } else {
+                    flags.switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                flags.positionals.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn read_json(path: &Path) -> ServiceResult<Json> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServiceError::decode(format!("cannot read `{}`: {e}", path.display())))?;
+    Ok(Json::parse(&text)?)
+}
+
+/// Builds a request from a question document, falling back to `--db`/`--plan`
+/// files for payloads the question does not inline.
+fn request_from_question(
+    service: &mut ExplainService,
+    question: &Json,
+    db_path: Option<&str>,
+    plan_path: Option<&str>,
+) -> ServiceResult<ExplainRequest> {
+    let mut doc = match question {
+        Json::Object(fields) => fields.clone(),
+        other => {
+            return Err(ServiceError::decode(format!(
+                "a question must be an object, found {}",
+                other.kind()
+            )))
+        }
+    };
+    if !doc.iter().any(|(k, _)| k == "db") {
+        let path = db_path.ok_or_else(|| {
+            ServiceError::decode("the question does not inline `db`; pass --db <db.json>")
+        })?;
+        let name = catalog_name(path);
+        if service.catalog().database(&name).is_err() {
+            let db = database_from_json(&read_json(Path::new(path))?)?;
+            service.catalog_mut().register_database(name.clone(), db);
+        }
+        doc.push(("db".into(), Json::str(name)));
+    }
+    if !doc.iter().any(|(k, _)| k == "plan") {
+        let path = plan_path.ok_or_else(|| {
+            ServiceError::decode("the question does not inline `plan`; pass --plan <plan.json>")
+        })?;
+        let name = catalog_name(path);
+        if service.catalog().plan(&name).is_err() {
+            let plan = plan_from_json(&read_json(Path::new(path))?)?;
+            service.catalog_mut().register_plan(name.clone(), plan);
+        }
+        doc.push(("plan".into(), Json::str(name)));
+    }
+    ExplainRequest::from_json(&Json::Object(doc))
+}
+
+/// Catalog name for a payload file: its stem qualified by the parent
+/// directory (`examples/data/running/db.json` → `running/db`).
+fn catalog_name(path: &str) -> String {
+    let p = Path::new(path);
+    let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("payload");
+    match p.parent().and_then(|d| d.file_name()).and_then(|s| s.to_str()) {
+        Some(parent) => format!("{parent}/{stem}"),
+        None => stem.to_string(),
+    }
+}
+
+fn print_json(json: &Json, compact: bool) {
+    if compact {
+        println!("{}", json.to_compact());
+    } else {
+        print!("{}", json.to_pretty());
+    }
+}
+
+fn cmd_explain(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["db", "plan", "question"])?;
+    let question_path = flags
+        .value("question")
+        .ok_or_else(|| ServiceError::decode("--question <q.json> is required"))?;
+    let mut service = ExplainService::new();
+    let request = request_from_question(
+        &mut service,
+        &read_json(Path::new(question_path))?,
+        flags.value("db"),
+        flags.value("plan"),
+    )?;
+    let response = service.explain(&request)?;
+    if flags.switch("text") {
+        print!("{}", response.report.render_text());
+    } else {
+        print_json(&response.to_json(), flags.switch("compact"));
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["db", "plan", "questions"])?;
+    let batch_path = flags
+        .value("questions")
+        .ok_or_else(|| ServiceError::decode("--questions <batch.json> is required"))?;
+    let batch = read_json(Path::new(batch_path))?;
+    let questions = batch
+        .as_array()
+        .ok_or_else(|| ServiceError::decode("the batch file must be a JSON array of questions"))?;
+    let mut service = ExplainService::new();
+    // Failures stay per-question: a question that does not decode becomes an
+    // error entry, it does not abort the rest of the batch.
+    let requests: Vec<ServiceResult<_>> = questions
+        .iter()
+        .map(|q| request_from_question(&mut service, q, flags.value("db"), flags.value("plan")))
+        .collect();
+    let items: Vec<Json> = requests
+        .iter()
+        .map(|request| {
+            match request
+                .as_ref()
+                .map_err(|e| e.to_string())
+                .and_then(|request| service.explain(request).map_err(|e| e.to_string()))
+            {
+                Ok(response) => response.to_json(),
+                Err(message) => Json::object([("error", Json::str(message))]),
+            }
+        })
+        .collect();
+    let stats = service.cache_stats();
+    let document = Json::object([
+        ("responses", Json::Array(items)),
+        (
+            "trace_cache",
+            Json::object([
+                ("hits", Json::Int(stats.hits as i64)),
+                ("misses", Json::Int(stats.misses as i64)),
+                ("entries", Json::Int(stats.entries as i64)),
+            ]),
+        ),
+    ]);
+    print_json(&document, flags.switch("compact"));
+    Ok(())
+}
+
+fn cmd_scenarios(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["name"])?;
+    match flags.positionals.first().map(String::as_str) {
+        Some("list") => {
+            for scenario in whynot_scenarios::all_scenarios() {
+                println!("{:<6} {}", scenario.name, scenario.description);
+            }
+            Ok(())
+        }
+        Some("export") => {
+            let dir = flags
+                .positionals
+                .get(1)
+                .ok_or_else(|| ServiceError::decode("scenarios export needs a directory"))?;
+            export_scenarios(Path::new(dir))
+        }
+        Some("run") => {
+            let dir = flags
+                .positionals
+                .get(1)
+                .ok_or_else(|| ServiceError::decode("scenarios run needs a directory"))?;
+            run_scenarios(Path::new(dir), flags.value("name"), flags.switch("text"))
+        }
+        _ => Err(ServiceError::decode("scenarios expects `list`, `export <dir>`, or `run <dir>`")),
+    }
+}
+
+/// Writes each scenario as `<dir>/<name>/{db,plan,question}.json`.
+fn export_scenarios(dir: &Path) -> ServiceResult<()> {
+    for scenario in whynot_scenarios::all_scenarios() {
+        let scenario_dir = dir.join(&scenario.name);
+        std::fs::create_dir_all(&scenario_dir)?;
+        std::fs::write(scenario_dir.join("db.json"), database_to_json(&scenario.db).to_pretty())?;
+        std::fs::write(scenario_dir.join("plan.json"), plan_to_json(&scenario.plan).to_pretty())?;
+        let question = Json::object([
+            ("why_not", nip_to_json(&scenario.why_not)?),
+            (
+                "alternatives",
+                Json::Array(scenario.alternatives.iter().map(alternative_to_json).collect()),
+            ),
+        ]);
+        std::fs::write(scenario_dir.join("question.json"), question.to_pretty())?;
+        println!("exported {:<6} -> {}", scenario.name, scenario_dir.display());
+    }
+    Ok(())
+}
+
+/// Loads `<dir>/<name>/{db,plan,question}.json` scenarios back from disk and
+/// answers each question through the service.
+fn run_scenarios(dir: &Path, only: Option<&str>, text: bool) -> ServiceResult<()> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().join("question.json").exists())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    if let Some(only) = only {
+        names.retain(|n| n == only);
+        if names.is_empty() {
+            return Err(ServiceError::decode(format!(
+                "no scenario named `{only}` in {}",
+                dir.display()
+            )));
+        }
+    }
+    let mut service = ExplainService::new();
+    let mut failures = 0usize;
+    for name in &names {
+        let scenario_dir = dir.join(name);
+        let db = database_from_json(&read_json(&scenario_dir.join("db.json"))?)?;
+        let plan = plan_from_json(&read_json(&scenario_dir.join("plan.json"))?)?;
+        let question = read_json(&scenario_dir.join("question.json"))?;
+        service.catalog_mut().register_database(name.clone(), db);
+        service.catalog_mut().register_plan(name.clone(), plan);
+        let mut doc = match question {
+            Json::Object(fields) => fields,
+            _ => return Err(ServiceError::decode("question.json must be an object")),
+        };
+        doc.push(("db".into(), Json::str(name.clone())));
+        doc.push(("plan".into(), Json::str(name.clone())));
+        let request = ExplainRequest::from_json(&Json::Object(doc))?;
+        match service.explain(&request) {
+            Ok(response) => {
+                println!(
+                    "{name:<6} {} explanation(s), {} SA(s), cache_hit={}, {:.1} ms",
+                    response.report.explanations.len(),
+                    response.stats.schema_alternatives,
+                    response.stats.trace_cache_hit,
+                    response.stats.duration.as_secs_f64() * 1e3,
+                );
+                if text {
+                    print!("{}", response.report.render_text());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name:<6} FAILED: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(ServiceError::decode(format!("{failures} scenario(s) failed")));
+    }
+    Ok(())
+}

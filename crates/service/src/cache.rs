@@ -1,0 +1,227 @@
+//! The trace cache: generalized (question-independent) traces keyed by
+//! database identity, plan fingerprint, and the substitution signature of the
+//! schema-alternative set.
+//!
+//! The generalized trace is the expensive part of answering a why-not
+//! question (it evaluates the whole plan in generalized form over the data);
+//! the per-question consistency annotation is cheap. Caching the generalized
+//! trace therefore amortizes repeated and batched questions against the same
+//! plan and database — including questions with *different* why-not tuples,
+//! since the cache key deliberately excludes the pushed-down NIPs (see
+//! `nrab_provenance::trace_plan_generalized`). This mirrors how approximate
+//! provenance summaries are reused across queries in related systems.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use nrab_algebra::AlgebraResult;
+use nrab_provenance::GeneralizedTrace;
+
+/// Cache key: where the data came from, which plan was traced, and which
+/// attribute substitutions were applied.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Database identity (catalog name or inline-content fingerprint).
+    pub db: String,
+    /// Database version (0 for inline databases, which are identified by
+    /// content fingerprint instead).
+    pub db_version: u64,
+    /// Fingerprint of the plan's canonical wire encoding.
+    pub plan_fingerprint: u64,
+    /// Substitution signature of the schema-alternative set, in order.
+    pub substitutions: String,
+}
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a cached trace.
+    pub hits: u64,
+    /// Lookups that had to compute the trace.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Entries evicted because the cache was full.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<TraceKey, Arc<GeneralizedTrace>>,
+    /// Keys in least-recently-used order (front = coldest).
+    order: VecDeque<TraceKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: &TraceKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key.clone());
+    }
+}
+
+/// A bounded, thread-safe LRU cache of generalized traces.
+#[derive(Debug)]
+pub struct TraceCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+/// Default number of cached traces.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl TraceCache {
+    /// Creates a cache holding at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceCache { inner: Mutex::new(CacheInner::default()), capacity: capacity.max(1) }
+    }
+
+    /// Returns the cached trace for `key`, computing and inserting it with
+    /// `compute` on a miss. The boolean is `true` on a hit.
+    ///
+    /// Failed computations are not cached.
+    pub fn get_or_compute(
+        &self,
+        key: TraceKey,
+        compute: impl FnOnce() -> AlgebraResult<GeneralizedTrace>,
+    ) -> AlgebraResult<(Arc<GeneralizedTrace>, bool)> {
+        {
+            let mut inner = self.inner.lock().expect("trace cache poisoned");
+            if let Some(trace) = inner.map.get(&key).cloned() {
+                inner.hits += 1;
+                inner.touch(&key);
+                return Ok((trace, true));
+            }
+        }
+        // Compute outside the lock: tracing can be slow, and a poisoned lock
+        // from a panicking computation would take the whole service down.
+        let trace = Arc::new(compute()?);
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.misses += 1;
+        // Another request may have raced us here; keep the existing entry.
+        if !inner.map.contains_key(&key) {
+            inner.map.insert(key.clone(), Arc::clone(&trace));
+            inner.order.push_back(key.clone());
+            while inner.map.len() > self.capacity {
+                if let Some(coldest) = inner.order.pop_front() {
+                    inner.map.remove(&coldest);
+                    inner.evictions += 1;
+                }
+            }
+        }
+        inner.touch(&key);
+        Ok((inner.map.get(&key).cloned().unwrap_or(trace), false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("trace cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrab_provenance::trace_plan_generalized;
+    use nrab_provenance::SchemaAlternative;
+
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::{Database, PlanBuilder};
+
+    fn tiny_setup() -> (nrab_algebra::QueryPlan, Database, Vec<SchemaAlternative>) {
+        let ty = TupleType::new([("x", NestedType::int())]).unwrap();
+        let mut db = Database::new();
+        db.add_relation("r", ty, Bag::from_values([Value::tuple([("x", Value::int(1))])]));
+        let plan = PlanBuilder::table("r").build().unwrap();
+        let sas = vec![SchemaAlternative::original(Default::default())];
+        (plan, db, sas)
+    }
+
+    fn key(n: u64) -> TraceKey {
+        TraceKey {
+            db: "db".into(),
+            db_version: 1,
+            plan_fingerprint: n,
+            substitutions: String::new(),
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::new(4);
+        let (_, hit) =
+            cache.get_or_compute(key(1), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        assert!(!hit);
+        let (_, hit) =
+            cache.get_or_compute(key(1), || panic!("must not recompute on a hit")).unwrap();
+        assert!(hit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::new(2);
+        for n in 1..=2 {
+            cache.get_or_compute(key(n), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        }
+        // Touch key 1 so key 2 becomes the coldest.
+        cache.get_or_compute(key(1), || panic!("hit expected")).unwrap();
+        cache.get_or_compute(key(3), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // Key 2 was evicted; key 1 survived.
+        cache.get_or_compute(key(1), || panic!("hit expected")).unwrap();
+        let (_, hit) =
+            cache.get_or_compute(key(2), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn failed_computations_are_not_cached() {
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::new(2);
+        let err =
+            cache.get_or_compute(key(9), || Err(nrab_algebra::AlgebraError::Eval("boom".into())));
+        assert!(err.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        let (_, hit) =
+            cache.get_or_compute(key(9), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::default();
+        cache.get_or_compute(key(1), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

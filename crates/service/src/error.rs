@@ -1,0 +1,76 @@
+//! Service-level errors.
+
+use std::fmt;
+
+use nrab_algebra::AlgebraError;
+use whynot_core::WhyNotError;
+
+use crate::json::JsonError;
+
+/// Anything that can go wrong between a JSON request and a JSON response.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Malformed JSON.
+    Json(JsonError),
+    /// Structurally valid JSON that does not encode the expected entity.
+    Decode(String),
+    /// A named database or plan is not registered in the catalog.
+    UnknownCatalogEntry(String),
+    /// Error from the algebra layer.
+    Algebra(AlgebraError),
+    /// Error from the explanation engine.
+    WhyNot(WhyNotError),
+    /// Filesystem error (CLI).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ServiceError::Decode(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::UnknownCatalogEntry(name) => {
+                write!(f, "unknown catalog entry `{name}`")
+            }
+            ServiceError::Algebra(e) => write!(f, "algebra error: {e}"),
+            ServiceError::WhyNot(e) => write!(f, "explanation error: {e}"),
+            ServiceError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<JsonError> for ServiceError {
+    fn from(e: JsonError) -> Self {
+        ServiceError::Json(e)
+    }
+}
+
+impl From<AlgebraError> for ServiceError {
+    fn from(e: AlgebraError) -> Self {
+        ServiceError::Algebra(e)
+    }
+}
+
+impl From<WhyNotError> for ServiceError {
+    fn from(e: WhyNotError) -> Self {
+        ServiceError::WhyNot(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl ServiceError {
+    /// Shorthand for a decode error.
+    pub fn decode(message: impl Into<String>) -> Self {
+        ServiceError::Decode(message.into())
+    }
+}
+
+/// Result alias for service operations.
+pub type ServiceResult<T> = Result<T, ServiceError>;

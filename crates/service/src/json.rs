@@ -1,0 +1,608 @@
+//! A small, dependency-free JSON document model with a strict parser and
+//! compact/pretty printers.
+//!
+//! The workspace is built in hermetic environments without external crates, so
+//! `serde_json` is not available; this module provides the subset the wire
+//! format needs. Two deliberate deviations from a general-purpose JSON crate:
+//!
+//! * objects preserve insertion order (tuple types and tuples have *ordered*
+//!   attributes) and reject duplicate keys,
+//! * integers and floats are kept distinct: a number without `.`/`e` parses as
+//!   [`Json::Int`], everything else as [`Json::Float`], and floats always
+//!   print with a decimal point or exponent — this is what makes the
+//!   `Value::Int` / `Value::Float` round-trip loss-free without type tags.
+
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part or exponent.
+    Int(i64),
+    /// A number with fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with ordered, unique keys.
+    Object(Vec<(String, Json)>),
+}
+
+/// A JSON parse or access error, with the byte offset where it occurred
+/// (parse errors only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input, for parse errors.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        JsonError { message: message.into(), offset: Some(offset) }
+    }
+
+    /// An error not tied to an input position.
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError { message: message.into(), offset: None }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} (at byte {o})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type JsonResult<T> = Result<T, JsonError>;
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an object from `(key, value)` pairs.
+    pub fn object<I, S>(fields: I) -> Json
+    where
+        I: IntoIterator<Item = (S, Json)>,
+        S: Into<String>,
+    {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Shorthand for an array.
+    pub fn array<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// A short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required member lookup on objects.
+    pub fn get_required(&self, key: &str) -> JsonResult<&Json> {
+        self.get(key)
+            .ok_or_else(|| JsonError::msg(format!("missing key `{key}` in {}", self.kind())))
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document; trailing non-whitespace is an error.
+    ///
+    /// Nesting is bounded (see [`MAX_PARSE_DEPTH`]) so adversarial inputs
+    /// produce a parse error instead of a stack overflow.
+    pub fn parse(input: &str) -> JsonResult<Json> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
+        parser.skip_ws();
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(JsonError::at("trailing characters after document", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                // `{:?}` always renders a decimal point or exponent, keeping
+                // floats distinguishable from integers after a round trip.
+                debug_assert!(f.is_finite(), "non-finite floats cannot be encoded as JSON");
+                out.push_str(&format!("{f:?}"));
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_compact())
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum array/object nesting depth the parser accepts. Recursive descent
+/// uses the call stack, so untrusted input must be bounded; 128 levels is far
+/// deeper than any wire-format payload (nested values nest by schema depth).
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn enter(&mut self) -> JsonResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(JsonError::at(
+                format!("nesting deeper than {MAX_PARSE_DEPTH} levels"),
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> JsonResult<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(format!("expected `{}`", byte as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> JsonResult<Json> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => {
+                Err(JsonError::at(format!("unexpected character `{}`", other as char), self.pos))
+            }
+            None => Err(JsonError::at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Json) -> JsonResult<Json> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(format!("expected `{keyword}`"), self.pos))
+        }
+    }
+
+    fn parse_array(&mut self) -> JsonResult<Json> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(JsonError::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> JsonResult<Json> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError::at(format!("duplicate key `{key}`"), key_offset));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(JsonError::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> JsonResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(JsonError::at("unpaired high surrogate", self.pos));
+                                }
+                                self.pos += 2;
+                                let second = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(JsonError::at("invalid low surrogate", self.pos));
+                                }
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::at("invalid code point", self.pos))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| JsonError::at("invalid code point", self.pos))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(JsonError::at("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing on
+                    // char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::at("invalid UTF-8", self.pos))?;
+                    let c = s.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(JsonError::at("unescaped control character", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> JsonResult<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::at("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> JsonResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at("invalid number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| JsonError::at(format!("invalid number `{text}`"), start))
+        } else {
+            // Integers outside the i64 range fall back to floats.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Json::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|_| JsonError::at(format!("invalid number `{text}`"), start)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Float(2.5));
+        assert_eq!(Json::parse("2.0").unwrap(), Json::Float(2.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let doc = Json::parse(r#"{"b": [1, 2], "a": {"x": null}}"#).unwrap();
+        let fields = doc.as_object().unwrap();
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(doc.get("b").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        assert!(Json::parse(r#"{"a": 1, "a": 2}"#).is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quoted\" \\ tab\t unicode \u{1F600} nul-ish \u{01}";
+        let rendered = Json::str(original).to_compact();
+        assert_eq!(Json::parse(&rendered).unwrap(), Json::str(original));
+        // Surrogate-pair escape parses correctly.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::str("\u{1F600}"));
+    }
+
+    #[test]
+    fn int_float_distinction_survives_round_trip() {
+        let doc = Json::Array(vec![Json::Int(2), Json::Float(2.0), Json::Float(0.1)]);
+        let text = doc.to_compact();
+        assert_eq!(text, "[2,2.0,0.1]");
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = "[".repeat(100_000);
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting deeper"), "{err}");
+        let mixed = format!("{}{}", "[{\"k\":".repeat(80), "0");
+        assert!(Json::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn pretty_printing_parses_back() {
+        let doc = Json::object([
+            ("name", Json::str("Sue")),
+            ("tags", Json::array([Json::Int(1), Json::Null])),
+            ("empty", Json::Object(vec![])),
+        ]);
+        let pretty = doc.to_pretty();
+        assert!(pretty.contains("\n  \"tags\""));
+        assert_eq!(Json::parse(&pretty).unwrap(), doc);
+    }
+}

@@ -1,0 +1,395 @@
+//! Explanation reports: the wire-level mirror of a [`WhyNotAnswer`], with a
+//! loss-free JSON encoding and a human-readable text rendering.
+
+use nrab_algebra::OpId;
+use whynot_core::side_effects::SideEffectBounds;
+use whynot_core::WhyNotAnswer;
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::json::Json;
+
+/// One attribute substitution of a schema alternative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSubstitution {
+    /// The operator whose parameters were rewritten.
+    pub op: OpId,
+    /// The attribute path referenced by the original query.
+    pub from: String,
+    /// The alternative attribute path.
+    pub to: String,
+}
+
+/// One schema alternative considered by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportAlternative {
+    /// Index (0 = original query).
+    pub index: usize,
+    /// The substitutions applied under this alternative.
+    pub substitutions: Vec<ReportSubstitution>,
+}
+
+/// One ranked explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportExplanation {
+    /// 1-based rank in the partial order of Definition 9.
+    pub rank: usize,
+    /// The operators to reparameterize.
+    pub operators: Vec<OpId>,
+    /// Human-readable operator labels, ascending by operator id.
+    pub operator_labels: Vec<String>,
+    /// Operator kind symbols (σ, π, ⋈, Fᴵ, ...), ascending by operator id.
+    pub operator_kinds: Vec<String>,
+    /// Index of the schema alternative the explanation was found under.
+    pub schema_alternative: usize,
+    /// Loose side-effect bounds.
+    pub side_effects: SideEffectBounds,
+}
+
+/// A complete explanation report for one why-not question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplanationReport {
+    /// Number of top-level tuples of the original query result.
+    pub original_result_size: u64,
+    /// The schema alternatives considered (index 0 = original query).
+    pub schema_alternatives: Vec<ReportAlternative>,
+    /// The ranked explanations.
+    pub explanations: Vec<ReportExplanation>,
+}
+
+impl ExplanationReport {
+    /// Builds a report from an engine answer.
+    pub fn from_answer(answer: &WhyNotAnswer) -> Self {
+        ExplanationReport {
+            original_result_size: answer.original_result_size,
+            schema_alternatives: answer
+                .schema_alternatives
+                .iter()
+                .map(|sa| ReportAlternative {
+                    index: sa.index,
+                    substitutions: sa
+                        .substitutions
+                        .iter()
+                        .map(|s| ReportSubstitution {
+                            op: s.op,
+                            from: s.from.to_string(),
+                            to: s.to.to_string(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            explanations: answer
+                .explanations
+                .iter()
+                .enumerate()
+                .map(|(i, e)| ReportExplanation {
+                    rank: i + 1,
+                    operators: e.operators.iter().copied().collect(),
+                    operator_labels: e.operator_labels.clone(),
+                    operator_kinds: e.operator_kinds.clone(),
+                    schema_alternative: e.schema_alternative,
+                    side_effects: e.side_effects,
+                })
+                .collect(),
+        }
+    }
+
+    /// Encodes the report.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("original_result_size", Json::Int(self.original_result_size as i64)),
+            (
+                "schema_alternatives",
+                Json::Array(
+                    self.schema_alternatives
+                        .iter()
+                        .map(|sa| {
+                            Json::object([
+                                ("index", Json::Int(sa.index as i64)),
+                                (
+                                    "substitutions",
+                                    Json::Array(
+                                        sa.substitutions
+                                            .iter()
+                                            .map(|s| {
+                                                Json::object([
+                                                    ("op", Json::Int(s.op as i64)),
+                                                    ("from", Json::str(s.from.clone())),
+                                                    ("to", Json::str(s.to.clone())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "explanations",
+                Json::Array(
+                    self.explanations
+                        .iter()
+                        .map(|e| {
+                            Json::object([
+                                ("rank", Json::Int(e.rank as i64)),
+                                (
+                                    "operators",
+                                    Json::Array(
+                                        e.operators
+                                            .iter()
+                                            .map(|op| Json::Int(*op as i64))
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "operator_labels",
+                                    Json::Array(
+                                        e.operator_labels
+                                            .iter()
+                                            .map(|l| Json::str(l.clone()))
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "operator_kinds",
+                                    Json::Array(
+                                        e.operator_kinds
+                                            .iter()
+                                            .map(|k| Json::str(k.clone()))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("schema_alternative", Json::Int(e.schema_alternative as i64)),
+                                (
+                                    "side_effects",
+                                    Json::object([
+                                        ("lower", Json::Int(e.side_effects.lower as i64)),
+                                        ("upper", Json::Int(e.side_effects.upper as i64)),
+                                    ]),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a report.
+    pub fn from_json(json: &Json) -> ServiceResult<Self> {
+        let u64_of = |j: &Json, what: &str| -> ServiceResult<u64> {
+            j.as_i64().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
+                ServiceError::decode(format!("{what} must be a non-negative integer"))
+            })
+        };
+        let usize_of =
+            |j: &Json, what: &str| -> ServiceResult<usize> { Ok(u64_of(j, what)? as usize) };
+        let strings_of = |j: &Json, what: &str| -> ServiceResult<Vec<String>> {
+            j.as_array()
+                .ok_or_else(|| ServiceError::decode(format!("{what} must be an array")))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ServiceError::decode(format!("{what} must contain strings")))
+                })
+                .collect()
+        };
+
+        let schema_alternatives = json
+            .get_required("schema_alternatives")
+            .map_err(|e| ServiceError::decode(e.to_string()))?
+            .as_array()
+            .ok_or_else(|| ServiceError::decode("`schema_alternatives` must be an array"))?
+            .iter()
+            .map(|sa| {
+                let substitutions = sa
+                    .get_required("substitutions")
+                    .map_err(|e| ServiceError::decode(e.to_string()))?
+                    .as_array()
+                    .ok_or_else(|| ServiceError::decode("`substitutions` must be an array"))?
+                    .iter()
+                    .map(|s| {
+                        Ok(ReportSubstitution {
+                            op: u64_of(
+                                s.get_required("op")
+                                    .map_err(|e| ServiceError::decode(e.to_string()))?,
+                                "`op`",
+                            )? as OpId,
+                            from: s
+                                .get_required("from")
+                                .map_err(|e| ServiceError::decode(e.to_string()))?
+                                .as_str()
+                                .ok_or_else(|| ServiceError::decode("`from` must be a string"))?
+                                .to_string(),
+                            to: s
+                                .get_required("to")
+                                .map_err(|e| ServiceError::decode(e.to_string()))?
+                                .as_str()
+                                .ok_or_else(|| ServiceError::decode("`to` must be a string"))?
+                                .to_string(),
+                        })
+                    })
+                    .collect::<ServiceResult<Vec<_>>>()?;
+                Ok(ReportAlternative {
+                    index: usize_of(
+                        sa.get_required("index")
+                            .map_err(|e| ServiceError::decode(e.to_string()))?,
+                        "`index`",
+                    )?,
+                    substitutions,
+                })
+            })
+            .collect::<ServiceResult<Vec<_>>>()?;
+
+        let explanations = json
+            .get_required("explanations")
+            .map_err(|e| ServiceError::decode(e.to_string()))?
+            .as_array()
+            .ok_or_else(|| ServiceError::decode("`explanations` must be an array"))?
+            .iter()
+            .map(|e| {
+                let side_effects = e
+                    .get_required("side_effects")
+                    .map_err(|err| ServiceError::decode(err.to_string()))?;
+                Ok(ReportExplanation {
+                    rank: usize_of(
+                        e.get_required("rank")
+                            .map_err(|err| ServiceError::decode(err.to_string()))?,
+                        "`rank`",
+                    )?,
+                    operators: e
+                        .get_required("operators")
+                        .map_err(|err| ServiceError::decode(err.to_string()))?
+                        .as_array()
+                        .ok_or_else(|| ServiceError::decode("`operators` must be an array"))?
+                        .iter()
+                        .map(|op| Ok(u64_of(op, "`operators`")? as OpId))
+                        .collect::<ServiceResult<Vec<_>>>()?,
+                    operator_labels: strings_of(
+                        e.get_required("operator_labels")
+                            .map_err(|err| ServiceError::decode(err.to_string()))?,
+                        "`operator_labels`",
+                    )?,
+                    operator_kinds: strings_of(
+                        e.get_required("operator_kinds")
+                            .map_err(|err| ServiceError::decode(err.to_string()))?,
+                        "`operator_kinds`",
+                    )?,
+                    schema_alternative: usize_of(
+                        e.get_required("schema_alternative")
+                            .map_err(|err| ServiceError::decode(err.to_string()))?,
+                        "`schema_alternative`",
+                    )?,
+                    side_effects: SideEffectBounds {
+                        lower: u64_of(
+                            side_effects
+                                .get_required("lower")
+                                .map_err(|err| ServiceError::decode(err.to_string()))?,
+                            "`lower`",
+                        )?,
+                        upper: u64_of(
+                            side_effects
+                                .get_required("upper")
+                                .map_err(|err| ServiceError::decode(err.to_string()))?,
+                            "`upper`",
+                        )?,
+                    },
+                })
+            })
+            .collect::<ServiceResult<Vec<_>>>()?;
+
+        Ok(ExplanationReport {
+            original_result_size: u64_of(
+                json.get_required("original_result_size")
+                    .map_err(|e| ServiceError::decode(e.to_string()))?,
+                "`original_result_size`",
+            )?,
+            schema_alternatives,
+            explanations,
+        })
+    }
+
+    /// Renders the report as numbered human-readable lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "original result size {}, {} schema alternative(s), {} explanation(s)\n",
+            self.original_result_size,
+            self.schema_alternatives.len(),
+            self.explanations.len()
+        ));
+        if self.explanations.is_empty() {
+            out.push_str("no explanation found: the missing answer cannot be produced by the\n");
+            out.push_str("reparameterizations captured by the heuristic tracing\n");
+            return out;
+        }
+        for e in &self.explanations {
+            out.push_str(&format!(
+                "#{}: change {} operator(s) {:?}  (schema alternative S{}, side effects [{}, {}])\n",
+                e.rank,
+                e.operators.len(),
+                e.operators,
+                e.schema_alternative + 1,
+                e.side_effects.lower,
+                e.side_effects.upper,
+            ));
+            for label in &e.operator_labels {
+                out.push_str(&format!("    {label}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExplanationReport {
+        ExplanationReport {
+            original_result_size: 1,
+            schema_alternatives: vec![
+                ReportAlternative { index: 0, substitutions: vec![] },
+                ReportAlternative {
+                    index: 1,
+                    substitutions: vec![ReportSubstitution {
+                        op: 1,
+                        from: "address2".into(),
+                        to: "address1".into(),
+                    }],
+                },
+            ],
+            explanations: vec![ReportExplanation {
+                rank: 1,
+                operators: vec![2],
+                operator_labels: vec!["[2] σ_{year ≥ 2019}".into()],
+                operator_kinds: vec!["σ".into()],
+                schema_alternative: 0,
+                side_effects: SideEffectBounds { lower: 0, upper: 3 },
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let text = report.to_json().to_pretty();
+        let decoded = ExplanationReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn text_rendering_mentions_ranks_and_labels() {
+        let text = sample_report().render_text();
+        assert!(text.contains("#1"));
+        assert!(text.contains("σ_{year ≥ 2019}"));
+        let empty = ExplanationReport {
+            original_result_size: 0,
+            schema_alternatives: vec![],
+            explanations: vec![],
+        };
+        assert!(empty.render_text().contains("no explanation"));
+    }
+}

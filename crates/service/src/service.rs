@@ -1,0 +1,514 @@
+//! The explanation service: resolves requests against the catalog, answers
+//! single or batched why-not questions, and reuses generalized traces through
+//! the [`TraceCache`].
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nested_data::Nip;
+use nrab_algebra::{AlgebraResult, Database, QueryPlan};
+use nrab_provenance::{substitution_signature, GeneralizedTrace, SchemaAlternative};
+use whynot_core::{
+    AttributeAlternative, EngineConfig, TraceProvider, WhyNotEngine, WhyNotQuestion,
+};
+
+use crate::cache::{CacheStats, TraceCache, TraceKey};
+use crate::catalog::{fingerprint64, plan_fingerprint, Catalog};
+use crate::error::{ServiceError, ServiceResult};
+use crate::json::Json;
+use crate::report::ExplanationReport;
+use crate::wire::{
+    alternative_from_json, database_from_json, database_to_json, nip_from_json, plan_from_json,
+};
+
+/// A database reference: a catalog name or an inline database.
+#[derive(Debug, Clone)]
+pub enum DbRef {
+    /// A database registered in the catalog.
+    Named(String),
+    /// A database shipped inside the request.
+    Inline(Arc<Database>),
+}
+
+/// A plan reference: a catalog name or an inline plan.
+#[derive(Debug, Clone)]
+pub enum PlanRef {
+    /// A plan registered in the catalog.
+    Named(String),
+    /// A plan shipped inside the request.
+    Inline(Arc<QueryPlan>),
+}
+
+/// One why-not question, addressed against the catalog or fully inline.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// The input database.
+    pub db: DbRef,
+    /// The (possibly erroneous) query.
+    pub plan: PlanRef,
+    /// The missing answer of interest.
+    pub why_not: Nip,
+    /// Attribute alternatives provided as input (Section 5.2).
+    pub alternatives: Vec<AttributeAlternative>,
+    /// Whether to reason about schema alternatives (`RP` vs `RPnoSA`).
+    pub use_schema_alternatives: bool,
+    /// Optional cap on the number of enumerated schema alternatives.
+    pub max_schema_alternatives: Option<usize>,
+}
+
+impl ExplainRequest {
+    /// A full-engine (`RP`) request.
+    pub fn new(db: DbRef, plan: PlanRef, why_not: Nip) -> Self {
+        ExplainRequest {
+            db,
+            plan,
+            why_not,
+            alternatives: Vec::new(),
+            use_schema_alternatives: true,
+            max_schema_alternatives: None,
+        }
+    }
+
+    /// Adds attribute alternatives.
+    pub fn with_alternatives(mut self, alternatives: Vec<AttributeAlternative>) -> Self {
+        self.alternatives = alternatives;
+        self
+    }
+
+    /// Decodes a request from its wire form.
+    ///
+    /// `{"db": <name | inline>, "plan": <name | inline>, "why_not": <nip>,
+    ///   "alternatives": [...], "engine": "rp" | "rp_no_sa",
+    ///   "max_schema_alternatives": n}`
+    pub fn from_json(json: &Json) -> ServiceResult<Self> {
+        let db = match json.get_required("db").map_err(|e| ServiceError::decode(e.to_string()))? {
+            Json::Str(name) => DbRef::Named(name.clone()),
+            inline => DbRef::Inline(Arc::new(database_from_json(inline)?)),
+        };
+        let plan =
+            match json.get_required("plan").map_err(|e| ServiceError::decode(e.to_string()))? {
+                Json::Str(name) => PlanRef::Named(name.clone()),
+                inline => PlanRef::Inline(Arc::new(plan_from_json(inline)?)),
+            };
+        let why_not = nip_from_json(
+            json.get_required("why_not").map_err(|e| ServiceError::decode(e.to_string()))?,
+        )?;
+        let alternatives = match json.get("alternatives") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or_else(|| ServiceError::decode("`alternatives` must be an array"))?
+                .iter()
+                .map(alternative_from_json)
+                .collect::<ServiceResult<Vec<_>>>()?,
+        };
+        let use_schema_alternatives = match json.get("engine") {
+            None | Some(Json::Null) => true,
+            Some(Json::Str(s)) if s == "rp" => true,
+            Some(Json::Str(s)) if s == "rp_no_sa" => false,
+            Some(other) => {
+                return Err(ServiceError::decode(format!(
+                    "`engine` must be \"rp\" or \"rp_no_sa\", found {other}"
+                )))
+            }
+        };
+        let max_schema_alternatives = match json.get("max_schema_alternatives") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_i64().and_then(|i| usize::try_from(i).ok()).filter(|n| *n > 0).ok_or_else(
+                    || ServiceError::decode("`max_schema_alternatives` must be a positive integer"),
+                )?,
+            ),
+        };
+        Ok(ExplainRequest {
+            db,
+            plan,
+            why_not,
+            alternatives,
+            use_schema_alternatives,
+            max_schema_alternatives,
+        })
+    }
+}
+
+/// Per-request execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Whether the generalized trace came from the cache.
+    pub trace_cache_hit: bool,
+    /// Number of schema alternatives the engine considered.
+    pub schema_alternatives: usize,
+    /// Wall-clock time spent answering the question.
+    pub duration: Duration,
+}
+
+/// A successful answer: the report plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    /// The explanation report.
+    pub report: ExplanationReport,
+    /// Execution statistics.
+    pub stats: RequestStats,
+}
+
+impl ExplainResponse {
+    /// Encodes the response (report + stats).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("report", self.report.to_json()),
+            (
+                "stats",
+                Json::object([
+                    ("trace_cache_hit", Json::Bool(self.stats.trace_cache_hit)),
+                    ("schema_alternatives", Json::Int(self.stats.schema_alternatives as i64)),
+                    ("duration_ms", Json::Float(self.stats.duration.as_secs_f64() * 1e3)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The explanation service.
+#[derive(Debug, Default)]
+pub struct ExplainService {
+    catalog: Catalog,
+    cache: TraceCache,
+}
+
+/// A resolved database: shared data plus the identity the cache keys on.
+struct ResolvedDb {
+    db: Arc<Database>,
+    cache_id: String,
+    cache_version: u64,
+}
+
+impl ExplainService {
+    /// Creates a service with the default cache capacity.
+    pub fn new() -> Self {
+        ExplainService::default()
+    }
+
+    /// Creates a service with a custom trace-cache capacity.
+    pub fn with_cache_capacity(capacity: usize) -> Self {
+        ExplainService { catalog: Catalog::new(), cache: TraceCache::new(capacity) }
+    }
+
+    /// The catalog (for registration and lookups).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current trace-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn resolve_db(&self, db: &DbRef) -> ServiceResult<ResolvedDb> {
+        match db {
+            DbRef::Named(name) => {
+                let handle = self.catalog.database(name)?;
+                Ok(ResolvedDb {
+                    db: handle.db,
+                    cache_id: format!("catalog:{}", handle.name),
+                    cache_version: handle.version,
+                })
+            }
+            DbRef::Inline(db) => {
+                // Inline databases are identified by content fingerprint, so
+                // two identical inline payloads still share cache entries.
+                let fp = fingerprint64(&database_to_json(db).to_compact());
+                Ok(ResolvedDb {
+                    db: Arc::clone(db),
+                    cache_id: format!("inline:{fp:016x}"),
+                    cache_version: 0,
+                })
+            }
+        }
+    }
+
+    fn resolve_plan(&self, plan: &PlanRef) -> ServiceResult<(Arc<QueryPlan>, u64)> {
+        match plan {
+            PlanRef::Named(name) => {
+                let handle = self.catalog.plan(name)?;
+                Ok((handle.plan, handle.fingerprint))
+            }
+            PlanRef::Inline(plan) => Ok((Arc::clone(plan), plan_fingerprint(plan))),
+        }
+    }
+
+    /// Answers one why-not question.
+    pub fn explain(&self, request: &ExplainRequest) -> ServiceResult<ExplainResponse> {
+        let start = Instant::now();
+        let resolved = self.resolve_db(&request.db)?;
+        let (plan, plan_fp) = self.resolve_plan(&request.plan)?;
+
+        // Shared handles — no deep copy of the database or plan per request.
+        let question = WhyNotQuestion::new(
+            Arc::clone(&plan),
+            Arc::clone(&resolved.db),
+            request.why_not.clone(),
+        );
+        let original_result = question.validate()?;
+        let original_result_size = original_result.total();
+
+        let mut config = EngineConfig {
+            use_schema_alternatives: request.use_schema_alternatives,
+            ..EngineConfig::default()
+        };
+        if let Some(max) = request.max_schema_alternatives {
+            config.max_schema_alternatives = max;
+        }
+        let engine = WhyNotEngine { config };
+
+        let mut tracer = CachingTracer {
+            cache: &self.cache,
+            db_id: resolved.cache_id,
+            db_version: resolved.cache_version,
+            plan_fingerprint: plan_fp,
+            hit: false,
+        };
+        let answer = engine.explain_with_tracer(
+            &question,
+            &request.alternatives,
+            original_result_size,
+            &mut tracer,
+        )?;
+
+        Ok(ExplainResponse {
+            stats: RequestStats {
+                trace_cache_hit: tracer.hit,
+                schema_alternatives: answer.schema_alternatives.len(),
+                duration: start.elapsed(),
+            },
+            report: ExplanationReport::from_answer(&answer),
+        })
+    }
+
+    /// Answers a batch of why-not questions in order.
+    ///
+    /// Questions that target the same plan, database, and substitution sets
+    /// share one generalized trace: the first question pays for it, the rest
+    /// hit the cache. Failures are per-question — one invalid question does
+    /// not fail the batch.
+    pub fn explain_batch(
+        &self,
+        requests: &[ExplainRequest],
+    ) -> Vec<ServiceResult<ExplainResponse>> {
+        requests.iter().map(|request| self.explain(request)).collect()
+    }
+}
+
+/// The service's [`TraceProvider`]: generalized traces come from the LRU
+/// cache, keyed by database identity, plan fingerprint, and the substitution
+/// signature of the schema-alternative set.
+struct CachingTracer<'a> {
+    cache: &'a TraceCache,
+    db_id: String,
+    db_version: u64,
+    plan_fingerprint: u64,
+    hit: bool,
+}
+
+impl TraceProvider for CachingTracer<'_> {
+    fn generalized_trace(
+        &mut self,
+        plan: &QueryPlan,
+        db: &Database,
+        sas: &[SchemaAlternative],
+    ) -> AlgebraResult<Arc<GeneralizedTrace>> {
+        let key = TraceKey {
+            db: self.db_id.clone(),
+            db_version: self.db_version,
+            plan_fingerprint: self.plan_fingerprint,
+            substitutions: substitution_signature(sas),
+        };
+        let (trace, hit) = self
+            .cache
+            .get_or_compute(key, || nrab_provenance::trace_plan_generalized(plan, db, sas))?;
+        self.hit = hit;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nested_data::{Bag, NestedType, TupleType, Value};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::PlanBuilder;
+
+    fn person_db() -> Database {
+        let address =
+            TupleType::new([("city", NestedType::str()), ("year", NestedType::int())]).unwrap();
+        let person_ty = TupleType::new([
+            ("name", NestedType::str()),
+            ("address1", NestedType::Relation(address.clone())),
+            ("address2", NestedType::Relation(address)),
+        ])
+        .unwrap();
+        let addr = |city: &str, year: i64| {
+            Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
+        };
+        let peter = Value::tuple([
+            ("name", Value::str("Peter")),
+            ("address1", Value::bag([addr("NY", 2010), addr("LA", 2019), addr("LV", 2017)])),
+            ("address2", Value::bag([addr("LA", 2010), addr("SF", 2018)])),
+        ]);
+        let sue = Value::tuple([
+            ("name", Value::str("Sue")),
+            ("address1", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+            ("address2", Value::bag([addr("LA", 2019), addr("NY", 2018)])),
+        ]);
+        let mut db = Database::new();
+        db.add_relation("person", person_ty, Bag::from_values([peter, sue]));
+        db
+    }
+
+    fn running_example_plan() -> QueryPlan {
+        PlanBuilder::table("person")
+            .inner_flatten("address2", None)
+            .select(Expr::attr_cmp("year", CmpOp::Ge, 2019i64))
+            .project_attrs(&["name", "city"])
+            .relation_nest(vec!["name"], "nList")
+            .build()
+            .unwrap()
+    }
+
+    fn ny_question() -> Nip {
+        Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))])
+    }
+
+    fn service() -> ExplainService {
+        let mut service = ExplainService::new();
+        service.catalog_mut().register_database("person_small", person_db());
+        service.catalog_mut().register_plan("running", running_example_plan());
+        service
+    }
+
+    #[test]
+    fn named_request_reproduces_the_running_example() {
+        let service = service();
+        let request = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")]);
+        let response = service.explain(&request).unwrap();
+        assert_eq!(response.report.original_result_size, 1);
+        assert_eq!(response.report.explanations.len(), 2);
+        assert_eq!(response.report.explanations[0].operators, vec![2]);
+        assert_eq!(response.report.explanations[1].operators, vec![1, 2]);
+        assert!(!response.stats.trace_cache_hit, "first question must trace");
+    }
+
+    #[test]
+    fn second_question_hits_the_trace_cache() {
+        let service = service();
+        let request = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")]);
+        let first = service.explain(&request).unwrap();
+        let second = service.explain(&request).unwrap();
+        assert!(!first.stats.trace_cache_hit);
+        assert!(second.stats.trace_cache_hit, "second identical question must reuse the trace");
+        assert_eq!(first.report, second.report);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn different_questions_share_the_generalized_trace() {
+        let service = service();
+        // Same plan/db/alternatives, different why-not tuple: the cache key
+        // excludes the NIPs, so the second question also hits.
+        let ny = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")]);
+        let sf = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            Nip::tuple([("city", Nip::val("SF")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")]);
+        let responses = service.explain_batch(&[ny, sf]);
+        let ny_response = responses[0].as_ref().unwrap();
+        let sf_response = responses[1].as_ref().unwrap();
+        assert!(!ny_response.stats.trace_cache_hit);
+        assert!(sf_response.stats.trace_cache_hit);
+        // SF is missing because year ≥ 2019 filters Peter's SF 2018 address:
+        // the selection alone explains it.
+        assert_eq!(sf_response.report.explanations[0].operators, vec![2]);
+    }
+
+    #[test]
+    fn inline_and_named_payloads_share_cache_entries_by_content() {
+        let service = service();
+        let inline = ExplainRequest::new(
+            DbRef::Inline(Arc::new(person_db())),
+            PlanRef::Inline(Arc::new(running_example_plan())),
+            ny_question(),
+        );
+        let first = service.explain(&inline).unwrap();
+        let second = service.explain(&inline).unwrap();
+        assert!(!first.stats.trace_cache_hit);
+        assert!(second.stats.trace_cache_hit, "identical inline payloads share a cache entry");
+    }
+
+    #[test]
+    fn invalid_questions_fail_individually_in_a_batch() {
+        let service = service();
+        let good = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        );
+        // LA is already in the result, so this question is invalid.
+        let bad = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            Nip::tuple([("city", Nip::val("LA")), ("nList", Nip::Any)]),
+        );
+        let missing = ExplainRequest::new(
+            DbRef::Named("nope".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        );
+        let responses = service.explain_batch(&[good, bad, missing]);
+        assert!(responses[0].is_ok());
+        assert!(matches!(responses[1], Err(ServiceError::WhyNot(_))));
+        assert!(matches!(responses[2], Err(ServiceError::UnknownCatalogEntry(_))));
+    }
+
+    #[test]
+    fn rp_no_sa_requests_use_a_separate_cache_entry() {
+        let service = service();
+        let rp = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")]);
+        let mut no_sa = rp.clone();
+        no_sa.use_schema_alternatives = false;
+        let rp_response = service.explain(&rp).unwrap();
+        let no_sa_response = service.explain(&no_sa).unwrap();
+        // RPnoSA traces only the original alternative: different substitution
+        // signature, hence a miss, and only one explanation.
+        assert!(!rp_response.stats.trace_cache_hit);
+        assert!(!no_sa_response.stats.trace_cache_hit);
+        assert_eq!(no_sa_response.report.explanations.len(), 1);
+        assert_eq!(service.cache_stats().entries, 2);
+    }
+}

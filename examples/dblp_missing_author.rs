@@ -15,8 +15,5 @@ fn main() {
         .explain(&scenario.question(), &scenario.alternatives)
         .expect("explanation");
     println!("{}", render_answer(&answer, &scenario.plan));
-    println!(
-        "paper's expected explanations: {:?}",
-        scenario.paper_rp
-    );
+    println!("paper's expected explanations: {:?}", scenario.paper_rp);
 }

@@ -3,11 +3,11 @@
 //! Builds the person table, runs the city/worker query, asks why NY is
 //! missing, and prints the ranked explanations.
 
+use whynot_nested::algebra::expr::{CmpOp, Expr};
+use whynot_nested::algebra::{evaluate, PlanBuilder};
 use whynot_nested::core::report::render_answer;
 use whynot_nested::core::{AttributeAlternative, WhyNotEngine, WhyNotQuestion};
 use whynot_nested::data::Nip;
-use whynot_nested::algebra::expr::{CmpOp, Expr};
-use whynot_nested::algebra::{evaluate, PlanBuilder};
 use whynot_nested::datagen::person_database;
 
 fn main() {

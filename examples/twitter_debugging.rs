@@ -12,8 +12,8 @@ fn main() {
     println!("scenario {}: {}", scenario.name, scenario.description);
     println!("why-not: {}\n", scenario.why_not);
 
-    let wnpp = wnpp_explanations(&scenario.plan, &scenario.db, &scenario.why_not)
-        .expect("baseline runs");
+    let wnpp =
+        wnpp_explanations(&scenario.plan, &scenario.db, &scenario.why_not).expect("baseline runs");
     println!("WN++ (lineage-based baseline) blames operator sets: {wnpp:?}\n");
 
     let answer = WhyNotEngine::rp()

@@ -15,11 +15,14 @@
 //! * [`baselines`] — lineage-based baselines (WN++, Conseil-style)
 //! * [`datagen`] — seeded synthetic datasets
 //! * [`scenarios`] — the paper's evaluation scenarios with gold standards
+//! * [`service`] — the cached, batched explanation service with a JSON wire
+//!   format and the `whynot` CLI
 
 pub use nested_data as data;
+pub use nested_datagen as datagen;
 pub use nrab_algebra as algebra;
 pub use nrab_provenance as provenance;
 pub use whynot_baselines as baselines;
 pub use whynot_core as core;
-pub use nested_datagen as datagen;
 pub use whynot_scenarios as scenarios;
+pub use whynot_service as service;

@@ -1,15 +1,20 @@
-//! Property-based tests over the whole explanation pipeline: for randomly
+//! Property-style tests over the whole explanation pipeline: for randomly
 //! generated person databases, the heuristic's explanations must be sound
 //! (each reported operator set must correspond to data the tracing proved
 //! could produce the missing answer) and consistent between engine modes.
+//!
+//! Inputs are generated with the workspace's deterministic PRNG instead of
+//! `proptest` (hermetic builds have no external crates).
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 use whynot_nested::algebra::expr::{CmpOp, Expr};
 use whynot_nested::algebra::{Database, PlanBuilder, QueryPlan};
 use whynot_nested::core::{AttributeAlternative, WhyNotEngine, WhyNotQuestion};
 use whynot_nested::data::{Bag, NestedType, Nip, TupleType, Value};
+use whynot_rng::{Rng, SeedableRng, StdRng};
+
+const CASES: usize = 24;
 
 fn person_schema() -> TupleType {
     let address =
@@ -22,35 +27,27 @@ fn person_schema() -> TupleType {
     .unwrap()
 }
 
-fn address() -> impl Strategy<Value = Value> {
-    (prop_oneof![Just("NY"), Just("LA"), Just("SF")], 2016i64..2021).prop_map(|(city, year)| {
-        Value::tuple([("city", Value::str(city)), ("year", Value::int(year))])
-    })
+fn address(rng: &mut StdRng) -> Value {
+    let city = *rng.choose(&["NY", "LA", "SF"]);
+    Value::tuple([("city", Value::str(city)), ("year", Value::int(rng.gen_range(2016i64..2021)))])
 }
 
-fn person(idx: usize) -> impl Strategy<Value = Value> {
-    (
-        prop::collection::vec(address(), 0..3),
-        prop::collection::vec(address(), 0..3),
-    )
-        .prop_map(move |(a1, a2)| {
-            Value::tuple([
-                ("name", Value::str(format!("p{idx}"))),
-                ("address1", Value::bag(a1)),
-                ("address2", Value::bag(a2)),
-            ])
-        })
+fn person(rng: &mut StdRng, idx: usize) -> Value {
+    let a1: Vec<Value> = (0..rng.gen_range(0..3usize)).map(|_| address(rng)).collect();
+    let a2: Vec<Value> = (0..rng.gen_range(0..3usize)).map(|_| address(rng)).collect();
+    Value::tuple([
+        ("name", Value::str(format!("p{idx}"))),
+        ("address1", Value::bag(a1)),
+        ("address2", Value::bag(a2)),
+    ])
 }
 
-fn database() -> impl Strategy<Value = Database> {
-    prop::collection::vec(any::<u8>(), 1..6).prop_flat_map(|seeds| {
-        let persons: Vec<_> = seeds.iter().enumerate().map(|(i, _)| person(i)).collect();
-        persons.prop_map(|people| {
-            let mut db = Database::new();
-            db.add_relation("person", person_schema(), Bag::from_values(people));
-            db
-        })
-    })
+fn database(rng: &mut StdRng) -> Database {
+    let n = rng.gen_range(1..6usize);
+    let people: Vec<Value> = (0..n).map(|i| person(rng, i)).collect();
+    let mut db = Database::new();
+    db.add_relation("person", person_schema(), Bag::from_values(people));
+    db
 }
 
 fn running_example_plan() -> QueryPlan {
@@ -63,53 +60,50 @@ fn running_example_plan() -> QueryPlan {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For every generated database where NY is indeed missing:
-    /// * RPnoSA's explanations are a subset of RP's (schema alternatives only
-    ///   ever add explanations),
-    /// * explanations are non-empty operator sets over existing operators,
-    /// * reported side-effect bounds are ordered (lower ≤ upper).
-    #[test]
-    fn rp_extends_rp_no_sa_and_explanations_are_well_formed(db in database()) {
+/// For every generated database where NY is indeed missing:
+/// * RPnoSA's explanations are a subset of RP's (schema alternatives only
+///   ever add explanations),
+/// * explanations are non-empty operator sets over existing operators,
+/// * reported side-effect bounds are ordered (lower ≤ upper).
+#[test]
+fn rp_extends_rp_no_sa_and_explanations_are_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x6578_706c);
+    let mut checked = 0;
+    while checked < CASES {
+        let db = database(&mut rng);
         let plan = running_example_plan();
-        let why_not = Nip::tuple([
-            ("city", Nip::val("NY")),
-            ("nList", Nip::bag([Nip::Any, Nip::Star])),
-        ]);
+        let why_not =
+            Nip::tuple([("city", Nip::val("NY")), ("nList", Nip::bag([Nip::Any, Nip::Star]))]);
         let question = WhyNotQuestion::new(plan.clone(), db, why_not);
         // Skip databases where NY actually appears in the answer.
         if question.validate().is_err() {
-            return Ok(());
+            continue;
         }
+        checked += 1;
         let alternatives = [AttributeAlternative::new("person", "address2", "address1")];
         let no_sa = WhyNotEngine::rp_no_sa().explain(&question, &alternatives).unwrap();
         let full = WhyNotEngine::rp().explain(&question, &alternatives).unwrap();
 
         let full_sets: Vec<BTreeSet<_>> = full.operator_sets();
         for set in no_sa.operator_sets() {
-            prop_assert!(
+            assert!(
                 full_sets.contains(&set),
                 "RPnoSA explanation {set:?} missing from RP output {full_sets:?}"
             );
         }
         let valid_ops: BTreeSet<_> = plan.op_ids_top_down().into_iter().collect();
         for explanation in &full.explanations {
-            prop_assert!(!explanation.operators.is_empty());
-            prop_assert!(explanation.operators.iter().all(|op| valid_ops.contains(op)));
-            prop_assert!(explanation.side_effects.lower <= explanation.side_effects.upper);
+            assert!(!explanation.operators.is_empty());
+            assert!(explanation.operators.iter().all(|op| valid_ops.contains(op)));
+            assert!(explanation.side_effects.lower <= explanation.side_effects.upper);
         }
         // Ranking respects the primary criterion of Definition 9: explanation
         // sizes are non-decreasing only when side-effect bounds justify it; at
         // minimum the list is sorted by (|Δ|, upper bound) lexicographically.
-        let keys: Vec<(usize, u64)> = full
-            .explanations
-            .iter()
-            .map(|e| (e.operators.len(), e.side_effects.upper))
-            .collect();
+        let keys: Vec<(usize, u64)> =
+            full.explanations.iter().map(|e| (e.operators.len(), e.side_effects.upper)).collect();
         let mut sorted = keys.clone();
         sorted.sort();
-        prop_assert_eq!(keys, sorted);
+        assert_eq!(keys, sorted);
     }
 }

@@ -3,11 +3,11 @@
 
 use std::collections::BTreeSet;
 
+use whynot_nested::algebra::expr::{CmpOp, Expr};
+use whynot_nested::algebra::PlanBuilder;
 use whynot_nested::core::exact::{exact_explanations, ExactConfig};
 use whynot_nested::core::{AttributeAlternative, WhyNotEngine, WhyNotQuestion};
 use whynot_nested::data::Nip;
-use whynot_nested::algebra::expr::{CmpOp, Expr};
-use whynot_nested::algebra::PlanBuilder;
 use whynot_nested::datagen::person_database;
 
 fn question() -> WhyNotQuestion {
