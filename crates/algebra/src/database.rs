@@ -1,6 +1,7 @@
 //! Nested databases: named relations with their schemas.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use nested_data::{Bag, TupleType, Value};
 
@@ -8,9 +9,12 @@ use crate::error::{AlgebraError, AlgebraResult};
 
 /// A nested database `D`: a set of named nested relations, each with its
 /// relation schema (a tuple type).
+///
+/// Relation contents are stored behind [`Arc`]s so that table accesses during
+/// evaluation and tracing share the base data instead of deep-copying it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Database {
-    relations: BTreeMap<String, (TupleType, Bag)>,
+    relations: BTreeMap<String, (TupleType, Arc<Bag>)>,
 }
 
 impl Database {
@@ -20,8 +24,13 @@ impl Database {
     }
 
     /// Adds (or replaces) a relation with an explicit schema.
-    pub fn add_relation(&mut self, name: impl Into<String>, schema: TupleType, data: Bag) {
-        self.relations.insert(name.into(), (schema, data));
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        schema: TupleType,
+        data: impl Into<Arc<Bag>>,
+    ) {
+        self.relations.insert(name.into(), (schema, data.into()));
     }
 
     /// Adds a relation, inferring its schema from the first tuple.
@@ -56,6 +65,12 @@ impl Database {
 
     /// The contents of a relation.
     pub fn relation(&self, name: &str) -> AlgebraResult<&Bag> {
+        self.relation_shared(name).map(Arc::as_ref)
+    }
+
+    /// The contents of a relation as a shared handle: cloning the result is
+    /// O(1), which is how `TableAccess` avoids copying base relations.
+    pub fn relation_shared(&self, name: &str) -> AlgebraResult<&Arc<Bag>> {
         self.relations
             .get(name)
             .map(|(_, data)| data)
@@ -156,7 +171,7 @@ mod tests {
         let mut db = Database::new();
         let bag = Bag::from_values([Value::tuple([("x", Value::int(1))])]);
         db.add_relation_inferred("r", bag);
-        assert_eq!(db.schema("r").unwrap().attribute_names(), vec!["x"]);
+        assert_eq!(db.schema("r").unwrap().attribute_names().collect::<Vec<_>>(), vec!["x"]);
     }
 
     #[test]

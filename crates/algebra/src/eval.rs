@@ -1,6 +1,15 @@
 //! Bag-semantics evaluation of NRAB plans (the `⟦Q⟧_D` column of Table 1).
+//!
+//! Evaluation is built on the shared-immutable value layer: operators return
+//! `Arc<Bag>` so table accesses share base relations instead of copying them,
+//! result bags are assembled through [`BagBuilder`] (hash-deduplicated, sorted
+//! once) instead of per-insert binary searches, and operator parameters are
+//! interned to [`Sym`]s once per operator application so per-tuple field
+//! lookups are integer compares.
 
-use nested_data::{Bag, NestedType, Tuple, TupleType, Value};
+use std::sync::Arc;
+
+use nested_data::{Bag, BagBuilder, NestedType, Sym, Tuple, TupleType, Value};
 
 use crate::agg::AggFunc;
 use crate::database::Database;
@@ -11,13 +20,16 @@ use crate::plan::{OpNode, QueryPlan};
 use crate::schema::output_type;
 
 /// Evaluates a plan over a database, returning the result relation.
-pub fn evaluate(plan: &QueryPlan, db: &Database) -> AlgebraResult<Bag> {
+///
+/// The result is shared: for a bare table access it is literally the base
+/// relation's `Arc`, with no copy.
+pub fn evaluate(plan: &QueryPlan, db: &Database) -> AlgebraResult<Arc<Bag>> {
     evaluate_node(&plan.root, db)
 }
 
 /// Evaluates a single plan node over a database.
-pub fn evaluate_node(node: &OpNode, db: &Database) -> AlgebraResult<Bag> {
-    let inputs: Vec<Bag> =
+pub fn evaluate_node(node: &OpNode, db: &Database) -> AlgebraResult<Arc<Bag>> {
+    let inputs: Vec<Arc<Bag>> =
         node.inputs.iter().map(|i| evaluate_node(i, db)).collect::<AlgebraResult<_>>()?;
     apply_operator(node, &inputs, db)
 }
@@ -26,69 +38,87 @@ pub fn evaluate_node(node: &OpNode, db: &Database) -> AlgebraResult<Bag> {
 ///
 /// Exposed separately so that the provenance crate can interleave tracing with
 /// evaluation while reusing the exact same operator semantics.
-pub fn apply_operator(node: &OpNode, inputs: &[Bag], db: &Database) -> AlgebraResult<Bag> {
+pub fn apply_operator(
+    node: &OpNode,
+    inputs: &[Arc<Bag>],
+    db: &Database,
+) -> AlgebraResult<Arc<Bag>> {
     let input = |i: usize| -> AlgebraResult<&Bag> {
-        inputs.get(i).ok_or_else(|| AlgebraError::WrongArity {
+        inputs.get(i).map(Arc::as_ref).ok_or_else(|| AlgebraError::WrongArity {
             operator: node.op.kind_name().to_string(),
             expected: node.op.arity(),
             found: inputs.len(),
         })
     };
     match &node.op {
-        Operator::TableAccess { table } => db.relation(table).cloned(),
-        Operator::Projection { columns } => Ok(eval_projection(input(0)?, columns)),
+        Operator::TableAccess { table } => Ok(Arc::clone(db.relation_shared(table)?)),
+        Operator::Projection { columns } => Ok(Arc::new(eval_projection(input(0)?, columns))),
         Operator::Rename { pairs } => {
-            let mapping: Vec<(String, String)> =
-                pairs.iter().map(|p| (p.from.clone(), p.to.clone())).collect();
-            Ok(input(0)?.map_values(|v| match v.as_tuple() {
-                Some(t) => Value::Tuple(t.rename(&mapping)),
+            let mapping: Vec<(Sym, Sym)> =
+                pairs.iter().map(|p| (Sym::intern(&p.from), Sym::intern(&p.to))).collect();
+            Ok(Arc::new(input(0)?.map_values(|v| match v.as_tuple() {
+                Some(t) => Value::from_tuple(t.rename(&mapping)),
                 None => v.clone(),
-            }))
+            })))
         }
-        Operator::Selection { predicate } => Ok(eval_selection(input(0)?, predicate)),
+        Operator::Selection { predicate } => Ok(Arc::new(eval_selection(input(0)?, predicate))),
         Operator::Join { kind, predicate } => {
             let left_schema = output_type(&node.inputs[0], db)?;
             let right_schema = output_type(&node.inputs[1], db)?;
-            Ok(eval_join(input(0)?, input(1)?, *kind, predicate, &left_schema, &right_schema))
+            Ok(Arc::new(eval_join(
+                input(0)?,
+                input(1)?,
+                *kind,
+                predicate,
+                &left_schema,
+                &right_schema,
+            )))
         }
-        Operator::CrossProduct => Ok(eval_join(
+        Operator::CrossProduct => Ok(Arc::new(eval_join(
             input(0)?,
             input(1)?,
             JoinKind::Inner,
             &Expr::lit(true),
             &TupleType::empty(),
             &TupleType::empty(),
-        )),
+        ))),
         Operator::TupleFlatten { source, alias } => {
             let input_schema = output_type(&node.inputs[0], db)?;
-            eval_tuple_flatten(input(0)?, source, alias.as_deref(), &input_schema)
+            eval_tuple_flatten(input(0)?, source, alias.as_deref(), &input_schema).map(Arc::new)
         }
         Operator::Flatten { kind, attr, alias } => {
             let input_schema = output_type(&node.inputs[0], db)?;
-            eval_flatten(input(0)?, *kind, attr, alias.as_deref(), &input_schema)
+            eval_flatten(input(0)?, *kind, attr, alias.as_deref(), &input_schema).map(Arc::new)
         }
-        Operator::TupleNest { attrs, into } => eval_tuple_nest(input(0)?, attrs, into),
-        Operator::RelationNest { attrs, into } => eval_relation_nest(input(0)?, attrs, into),
+        Operator::TupleNest { attrs, into } => {
+            eval_tuple_nest(input(0)?, attrs, into).map(Arc::new)
+        }
+        Operator::RelationNest { attrs, into } => {
+            eval_relation_nest(input(0)?, attrs, into).map(Arc::new)
+        }
         Operator::NestAggregation { func, attr, field, output } => {
-            eval_nest_aggregation(input(0)?, *func, attr, field.as_deref(), output)
+            eval_nest_aggregation(input(0)?, *func, attr, field.as_deref(), output).map(Arc::new)
         }
         Operator::GroupAggregation { group_by, aggs } => {
-            eval_group_aggregation(input(0)?, group_by, aggs)
+            eval_group_aggregation(input(0)?, group_by, aggs).map(Arc::new)
         }
-        Operator::Union => Ok(input(0)?.union(input(1)?)),
-        Operator::Difference => Ok(input(0)?.difference(input(1)?)),
-        Operator::Dedup => Ok(input(0)?.dedup()),
+        Operator::Union => Ok(Arc::new(input(0)?.union(input(1)?))),
+        Operator::Difference => Ok(Arc::new(input(0)?.difference(input(1)?))),
+        Operator::Dedup => Ok(Arc::new(input(0)?.dedup())),
     }
 }
 
 fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
-    Bag::from_entries(input.iter().map(|(v, m)| {
+    let names: Vec<Sym> = columns.iter().map(|c| Sym::intern(&c.name)).collect();
+    let mut out = BagBuilder::with_capacity(input.distinct());
+    for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
         let projected = Tuple::new(
-            columns.iter().map(|c| (c.name.clone(), c.expr.eval(&tuple))).collect::<Vec<_>>(),
+            names.iter().zip(columns.iter()).map(|(name, c)| (*name, c.expr.eval(&tuple))),
         );
-        (Value::Tuple(projected), *m)
-    }))
+        out.add(Value::from_tuple(projected), *m);
+    }
+    out.finish()
 }
 
 fn eval_selection(input: &Bag, predicate: &Expr) -> Bag {
@@ -103,7 +133,7 @@ fn eval_join(
     left_schema: &TupleType,
     right_schema: &TupleType,
 ) -> Bag {
-    let mut out = Bag::new();
+    let mut out = BagBuilder::new();
     let mut left_matched: Vec<bool> = vec![false; left.distinct()];
     let mut right_matched: Vec<bool> = vec![false; right.distinct()];
 
@@ -115,32 +145,32 @@ fn eval_join(
             if predicate.eval_bool(&combined) {
                 left_matched[li] = true;
                 right_matched[ri] = true;
-                out.insert(Value::Tuple(combined), lm * rm);
+                out.add(Value::from_tuple(combined), lm * rm);
             }
         }
     }
 
     if matches!(kind, JoinKind::Left | JoinKind::Full) {
-        let right_names: Vec<&str> = right_schema.attribute_names();
+        let right_names: Vec<Sym> = right_schema.attribute_syms().collect();
         for (li, (lv, lm)) in left.iter().enumerate() {
             if !left_matched[li] {
                 let lt = lv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
                 let padded = lt.concat(&Tuple::null_padded(&right_names)).unwrap_or(lt);
-                out.insert(Value::Tuple(padded), *lm);
+                out.add(Value::from_tuple(padded), *lm);
             }
         }
     }
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
-        let left_names: Vec<&str> = left_schema.attribute_names();
+        let left_names: Vec<Sym> = left_schema.attribute_syms().collect();
         for (ri, (rv, rm)) in right.iter().enumerate() {
             if !right_matched[ri] {
                 let rt = rv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
                 let padded = Tuple::null_padded(&left_names).concat(&rt).unwrap_or(rt);
-                out.insert(Value::Tuple(padded), *rm);
+                out.add(Value::from_tuple(padded), *rm);
             }
         }
     }
-    out
+    out.finish()
 }
 
 fn eval_tuple_flatten(
@@ -150,17 +180,18 @@ fn eval_tuple_flatten(
     input_schema: &TupleType,
 ) -> AlgebraResult<Bag> {
     let source_ty = input_schema.resolve_path(source).ok().cloned();
-    let mut out = Bag::new();
+    let alias = alias.map(Sym::intern);
+    let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        let extracted = Value::Tuple(tuple.clone()).get_path(source).unwrap_or(Value::Null);
+        let extracted = tuple.get_path(source).unwrap_or(Value::Null);
         let result = match alias {
             Some(alias) => tuple.with_field(alias, extracted),
             None => match extracted {
                 Value::Tuple(inner) => tuple.concat(&inner)?,
                 Value::Null => match &source_ty {
                     Some(NestedType::Tuple(t)) => {
-                        let names: Vec<&str> = t.attribute_names();
+                        let names: Vec<Sym> = t.attribute_syms().collect();
                         tuple.concat(&Tuple::null_padded(&names))?
                     }
                     _ => tuple.clone(),
@@ -176,9 +207,9 @@ fn eval_tuple_flatten(
                 }
             },
         };
-        out.insert(Value::Tuple(result), *m);
+        out.add(Value::from_tuple(result), *m);
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 fn eval_flatten(
@@ -188,11 +219,16 @@ fn eval_flatten(
     alias: Option<&str>,
     input_schema: &TupleType,
 ) -> AlgebraResult<Bag> {
+    let attr = Sym::intern(attr);
+    let alias = alias.map(Sym::intern);
     let element_ty = match input_schema.attribute(attr) {
         Some(NestedType::Relation(t)) => Some(t.clone()),
         _ => None,
     };
-    let mut out = Bag::new();
+    let padding_names: Vec<Sym> =
+        element_ty.as_ref().map(|t| t.attribute_syms().collect()).unwrap_or_default();
+    let value_field = Sym::intern(&format!("{attr}_value"));
+    let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
         let nested = tuple.get(attr).cloned().unwrap_or(Value::Null);
@@ -204,13 +240,9 @@ fn eval_flatten(
             if kind == FlattenKind::Outer {
                 let padded = match alias {
                     Some(alias) => tuple.with_field(alias, Value::Null),
-                    None => {
-                        let names: Vec<&str> =
-                            element_ty.as_ref().map(|t| t.attribute_names()).unwrap_or_default();
-                        tuple.concat(&Tuple::null_padded(&names))?
-                    }
+                    None => tuple.concat(&Tuple::null_padded(&padding_names))?,
                 };
-                out.insert(Value::Tuple(padded), *m);
+                out.add(Value::from_tuple(padded), *m);
             }
             continue;
         }
@@ -223,52 +255,54 @@ fn eval_flatten(
                         // Elements that are not tuples (e.g. bare strings) are
                         // exposed under the attribute's own name suffixed with
                         // `_value` so flattening plain lists still works.
-                        tuple.with_field(format!("{attr}_value"), other)
+                        tuple.with_field(value_field, other)
                     }
                 },
             };
-            out.insert(Value::Tuple(combined), m * em);
+            out.add(Value::from_tuple(combined), m * em);
         }
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 fn eval_tuple_nest(input: &Bag, attrs: &[String], into: &str) -> AlgebraResult<Bag> {
-    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-    let mut out = Bag::new();
+    let attr_syms: Vec<Sym> = attrs.iter().map(|a| Sym::intern(a)).collect();
+    let into = Sym::intern(into);
+    let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        let nested = tuple.project(&attr_refs).unwrap_or_else(|_| Tuple::empty());
-        let remaining = tuple.without(&attr_refs);
-        out.insert(Value::Tuple(remaining.with_field(into, Value::Tuple(nested))), *m);
+        let nested = tuple.project(&attr_syms).unwrap_or_else(|_| Tuple::empty());
+        let remaining = tuple.without(&attr_syms);
+        out.add(Value::from_tuple(remaining.with_field(into, Value::from_tuple(nested))), *m);
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 fn eval_relation_nest(input: &Bag, attrs: &[String], into: &str) -> AlgebraResult<Bag> {
-    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let attr_syms: Vec<Sym> = attrs.iter().map(|a| Sym::intern(a)).collect();
+    let into = Sym::intern(into);
     let groups = input.group_by(|v| {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        Value::Tuple(tuple.without(&attr_refs))
+        Value::from_tuple(tuple.without(&attr_syms))
     });
-    let mut out = Bag::new();
+    let mut out = BagBuilder::with_capacity(groups.len());
     for (key, group) in groups {
-        let mut nested = Bag::new();
+        let mut nested = BagBuilder::with_capacity(group.distinct());
         for (v, m) in group.iter() {
             let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-            if let Ok(projected) = tuple.project(&attr_refs) {
+            if let Ok(projected) = tuple.project(&attr_syms) {
                 // Mirror Spark's behaviour (relied upon by scenario D2): rows
                 // whose nested values are all null do not contribute an
                 // element to the nested collection.
                 if projected.fields().iter().any(|(_, v)| !v.is_null()) {
-                    nested.insert(Value::Tuple(projected), *m);
+                    nested.add(Value::from_tuple(projected), *m);
                 }
             }
         }
         let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        out.insert(Value::Tuple(key_tuple.with_field(into, Value::Bag(nested))), 1);
+        out.add(Value::from_tuple(key_tuple.with_field(into, Value::from_bag(nested.finish()))), 1);
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 fn eval_nest_aggregation(
@@ -278,7 +312,10 @@ fn eval_nest_aggregation(
     field: Option<&str>,
     output: &str,
 ) -> AlgebraResult<Bag> {
-    let mut out = Bag::new();
+    let attr = Sym::intern(attr);
+    let field = field.map(Sym::intern);
+    let output = Sym::intern(output);
+    let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
         let nested = tuple.get(attr).cloned().unwrap_or(Value::Null);
@@ -300,9 +337,9 @@ fn eval_nest_aggregation(
             (Value::Null, AggFunc::Count | AggFunc::CountDistinct) => Value::Int(0),
             _ => aggregated,
         };
-        out.insert(Value::Tuple(tuple.with_field(output, aggregated)), *m);
+        out.add(Value::from_tuple(tuple.with_field(output, aggregated)), *m);
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 fn eval_group_aggregation(
@@ -310,16 +347,17 @@ fn eval_group_aggregation(
     group_by: &[String],
     aggs: &[AggSpec],
 ) -> AlgebraResult<Bag> {
-    let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+    let group_syms: Vec<Sym> = group_by.iter().map(|a| Sym::intern(a)).collect();
+    let output_syms: Vec<Sym> = aggs.iter().map(|a| Sym::intern(&a.output)).collect();
     let groups = input.group_by(|v| {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        Value::Tuple(tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()))
+        Value::from_tuple(tuple.project(&group_syms).unwrap_or_else(|_| Tuple::empty()))
     });
-    let mut out = Bag::new();
+    let mut out = BagBuilder::with_capacity(groups.len());
     for (key, group) in groups {
         let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
         let mut result = key_tuple;
-        for agg in aggs {
+        for (agg, output) in aggs.iter().zip(output_syms.iter()) {
             let values: Vec<Value> = group
                 .iter_expanded()
                 .map(|v| {
@@ -327,11 +365,11 @@ fn eval_group_aggregation(
                     agg.input.eval(&t)
                 })
                 .collect();
-            result = result.with_field(agg.output.clone(), agg.func.apply(values.iter()));
+            result = result.with_field(*output, agg.func.apply(values.iter()));
         }
-        out.insert(Value::Tuple(result), 1);
+        out.add(Value::from_tuple(result), 1);
     }
-    Ok(out)
+    Ok(out.finish())
 }
 
 #[cfg(test)]

@@ -203,7 +203,7 @@ impl Expr {
     /// Evaluates the expression against a tuple, producing a value.
     pub fn eval(&self, tuple: &Tuple) -> Value {
         match self {
-            Expr::Attr(path) => Value::Tuple(tuple.clone()).get_path(path).unwrap_or(Value::Null),
+            Expr::Attr(path) => tuple.get_path(path).unwrap_or(Value::Null),
             Expr::Const(v) => v.clone(),
             Expr::Cmp(l, op, r) => Value::Bool(op.apply(&l.eval(tuple), &r.eval(tuple))),
             Expr::And(l, r) => Value::Bool(l.eval_bool(tuple) && r.eval_bool(tuple)),
@@ -213,7 +213,7 @@ impl Expr {
                 let haystack = h.eval(tuple);
                 let needle = n.eval(tuple);
                 Value::Bool(match (&haystack, &needle) {
-                    (Value::Str(h), Value::Str(n)) => h.contains(n.as_str()),
+                    (Value::Str(h), Value::Str(n)) => h.contains(&**n),
                     (Value::Bag(b), v) => b.contains(v),
                     _ => false,
                 })

@@ -97,7 +97,9 @@ impl ProjColumn {
 impl fmt::Display for ProjColumn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.expr {
-            Expr::Attr(p) if p.len() == 1 && p.leaf() == Some(self.name.as_str()) => {
+            Expr::Attr(p)
+                if p.len() == 1 && matches!(p.leaf(), Some(l) if l == self.name.as_str()) =>
+            {
                 write!(f, "{}", self.name)
             }
             other => write!(f, "{} ← {}", self.name, other),

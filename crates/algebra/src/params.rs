@@ -278,7 +278,7 @@ fn apply_change(plan: &mut QueryPlan, change: &ParamChange) -> AlgebraResult<()>
 /// every operator kind for which Table 2 admits attribute replacement.
 pub fn substitute_attribute(op: &mut Operator, from: &AttrPath, to: &AttrPath) {
     let replace_name = |name: &mut String| {
-        if from.len() == 1 && name == from.head().unwrap_or_default() {
+        if from.len() == 1 && matches!(from.head(), Some(h) if h == *name) {
             if let Some(new) = to.leaf() {
                 *name = new.to_string();
             }
@@ -368,7 +368,7 @@ pub fn admissible_changes(
             for from in predicate.referenced_attributes() {
                 if let Ok(from_ty) = input_schema.resolve_path(&from) {
                     for (name, ty) in input_schema.fields() {
-                        let to = AttrPath::single(name.clone());
+                        let to = AttrPath::single(*name);
                         if to != from && ty.is_compatible_with(from_ty) {
                             changes.push(ParamChange::SubstituteAttribute {
                                 op: op_id,
@@ -392,7 +392,7 @@ pub fn admissible_changes(
                 for from in column.expr.referenced_attributes() {
                     if let Ok(from_ty) = input_schema.resolve_path(&from) {
                         for (name, ty) in input_schema.fields() {
-                            let to = AttrPath::single(name.clone());
+                            let to = AttrPath::single(*name);
                             if to != from && ty.is_compatible_with(from_ty) {
                                 changes.push(ParamChange::SubstituteAttribute {
                                     op: op_id,
@@ -412,7 +412,7 @@ pub fn admissible_changes(
                         changes.push(ParamChange::SubstituteAttribute {
                             op: op_id,
                             from: AttrPath::single(attr.clone()),
-                            to: AttrPath::single(name.clone()),
+                            to: AttrPath::single(*name),
                         });
                     }
                 }
@@ -426,7 +426,7 @@ pub fn admissible_changes(
         Operator::TupleFlatten { source, .. } => {
             if let Ok(from_ty) = input_schema.resolve_path(source) {
                 for (name, ty) in input_schema.fields() {
-                    let to = AttrPath::single(name.clone());
+                    let to = AttrPath::single(*name);
                     if &to != source && ty.is_compatible_with(from_ty) {
                         changes.push(ParamChange::SubstituteAttribute {
                             op: op_id,
@@ -441,11 +441,14 @@ pub fn admissible_changes(
             for attr in attrs {
                 if let Ok(from_ty) = input_schema.attribute_required(attr) {
                     for (name, ty) in input_schema.fields() {
-                        if name != attr && !attrs.contains(name) && ty.is_compatible_with(from_ty) {
+                        if *name != attr.as_str()
+                            && !attrs.iter().any(|a| *name == a.as_str())
+                            && ty.is_compatible_with(from_ty)
+                        {
                             changes.push(ParamChange::SubstituteAttribute {
                                 op: op_id,
                                 from: AttrPath::single(attr.clone()),
-                                to: AttrPath::single(name.clone()),
+                                to: AttrPath::single(*name),
                             });
                         }
                     }
@@ -459,7 +462,7 @@ pub fn admissible_changes(
                         changes.push(ParamChange::SubstituteAttribute {
                             op: op_id,
                             from: AttrPath::single(attr.clone()),
-                            to: AttrPath::single(name.clone()),
+                            to: AttrPath::single(*name),
                         });
                     }
                 }
@@ -470,7 +473,7 @@ pub fn admissible_changes(
                 for from in agg.input.referenced_attributes() {
                     if let Ok(from_ty) = input_schema.resolve_path(&from) {
                         for (name, ty) in input_schema.fields() {
-                            let to = AttrPath::single(name.clone());
+                            let to = AttrPath::single(*name);
                             if to != from && ty.is_compatible_with(from_ty) {
                                 changes.push(ParamChange::SubstituteAttribute {
                                     op: op_id,

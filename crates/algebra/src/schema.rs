@@ -54,8 +54,8 @@ pub fn output_type(node: &OpNode, db: &Database) -> AlgebraResult<TupleType> {
         }
         Operator::Rename { pairs } => {
             let input = input(0)?;
-            let mapping: Vec<(String, String)> =
-                pairs.iter().map(|p| (p.from.clone(), p.to.clone())).collect();
+            let mapping: Vec<(nested_data::Sym, nested_data::Sym)> =
+                pairs.iter().map(|p| (p.from.as_str().into(), p.to.as_str().into())).collect();
             input.rename(&mapping).map_err(Into::into)
         }
         Operator::Selection { .. } | Operator::Dedup => Ok(input(0)?.clone()),
@@ -208,7 +208,7 @@ mod tests {
         let db = person_db();
         let plan = running_example();
         let ty = plan_output_type(&plan, &db).unwrap();
-        assert_eq!(ty.attribute_names(), vec!["city", "nList"]);
+        assert_eq!(ty.attribute_names().collect::<Vec<_>>(), vec!["city", "nList"]);
         assert!(matches!(ty.attribute("nList"), Some(NestedType::Relation(_))));
         validate_plan(&plan, &db).unwrap();
     }
@@ -218,7 +218,10 @@ mod tests {
         let db = person_db();
         let plan = PlanBuilder::table("person").inner_flatten("address2", None).build().unwrap();
         let ty = plan_output_type(&plan, &db).unwrap();
-        assert_eq!(ty.attribute_names(), vec!["name", "address1", "address2", "city", "year"]);
+        assert_eq!(
+            ty.attribute_names().collect::<Vec<_>>(),
+            vec!["name", "address1", "address2", "city", "year"]
+        );
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! `value_layer` microbenchmarks: bag construction, symbol lookups, O(1)
+//! clones, and the full DBLP generalized trace.
+
+fn main() {
+    whynot_bench::value_layer_group();
+}

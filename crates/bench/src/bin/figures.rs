@@ -6,12 +6,18 @@
 //! ```
 //!
 //! Artifacts: `fig8`, `fig9`, `fig10`, `fig11`, `table3`, `table7`, `table8`,
-//! `crime`.
+//! `crime`, `value_layer`.
+//!
+//! Besides the stdout tables, runtime rows and microbench results are merged
+//! into the machine-readable `BENCH_figures.json` at the workspace root
+//! (override the location with `WHYNOT_BENCH_REPORT`).
 
 use std::collections::BTreeSet;
 
 use whynot_baselines::{conseil_explanations, wnpp_explanations};
-use whynot_bench::{format_runtime_rows, measure_scenario, render_ops, table7, RuntimeRow};
+use whynot_bench::{
+    format_runtime_rows, measure_scenario, render_ops, report_runtime_rows, table7, RuntimeRow,
+};
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::{all_scenarios, crime, dblp, running, tpch, twitter, Scenario};
 
@@ -46,6 +52,9 @@ fn main() {
     if wanted("crime") {
         println!("{}", crime_comparison());
     }
+    if wanted("value_layer") {
+        whynot_bench::value_layer_group();
+    }
 }
 
 /// Figure 8: RP runtime on the DBLP scenarios for growing dataset sizes.
@@ -53,6 +62,7 @@ fn figure8() -> String {
     let mut out = String::new();
     for scale in [60usize, 120, 180, 240, 300] {
         let rows: Vec<RuntimeRow> = dblp::all_dblp(scale).iter().map(measure_scenario).collect();
+        report_runtime_rows(&format!("fig8_dblp_scale{scale}"), &rows);
         out.push_str(&format_runtime_rows(
             &format!("Figure 8 — DBLP runtime, scale {scale} (≈{scale}×5 filler records)"),
             &rows,
@@ -67,6 +77,7 @@ fn figure9() -> String {
     for scale in [75usize, 150, 225, 300, 375] {
         let rows: Vec<RuntimeRow> =
             twitter::all_twitter(scale).iter().map(measure_scenario).collect();
+        report_runtime_rows(&format!("fig9_twitter_scale{scale}"), &rows);
         out.push_str(&format_runtime_rows(
             &format!("Figure 9 — Twitter runtime, scale {scale} tweets (+ planted)"),
             &rows,
@@ -82,6 +93,7 @@ fn figure10() -> String {
         .filter(|s| !s.name.ends_with('F'))
         .map(measure_scenario)
         .collect();
+    report_runtime_rows("fig10_tpch", &rows);
     format_runtime_rows("Figure 10 — TPC-H runtime (nested scenarios)", &rows)
 }
 

@@ -30,9 +30,12 @@ pub mod microbench;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+use nested_data::{Bag, Sym, Tuple, Value};
 use nrab_algebra::{evaluate, OpId};
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::{Scenario, ScenarioOutcome};
+
+use crate::microbench::{BenchGroup, CaseResult};
 
 /// A single runtime measurement for one scenario at one dataset size.
 #[derive(Debug, Clone)]
@@ -90,6 +93,88 @@ pub fn measure_scenario(scenario: &Scenario) -> RuntimeRow {
         rp_ms,
         schema_alternatives: rp.schema_alternatives.len(),
     }
+}
+
+/// Merges a set of single-shot runtime rows into the machine-readable bench
+/// report (`BENCH_figures.json`) under `group`: one case per scenario and
+/// metric, with mean = min = max (one measurement each).
+pub fn report_runtime_rows(group: &str, rows: &[RuntimeRow]) {
+    let cases = rows.iter().flat_map(|row| {
+        [
+            (format!("{}/query", row.scenario), row.query_ms),
+            (format!("{}/rp_no_sa", row.scenario), row.rp_no_sa_ms),
+            (format!("{}/rp", row.scenario), row.rp_ms),
+        ]
+        .into_iter()
+        .map(|(name, ms)| CaseResult { name, mean_ms: ms, min_ms: ms, max_ms: ms })
+    });
+    microbench::report_group(group, cases);
+}
+
+/// The `value_layer` microbench group: targeted measurements of the shared-
+/// immutable value layer (hash-canonicalized bag construction, interned-symbol
+/// tuple lookup, O(1) value clones, and a whole-plan generalized trace of the
+/// largest DBLP runtime scenario).
+pub fn value_layer_group() {
+    let mut group = BenchGroup::new("value_layer");
+
+    // A DBLP-publication-shaped workload: 10k tuples, ~5k distinct.
+    let tuples: Vec<Value> = (0..10_000)
+        .map(|i| {
+            Value::tuple([
+                ("key", Value::int((i * 37) % 5_000)),
+                ("title", Value::str(format!("title-{}", (i * 37) % 5_000))),
+                ("year", Value::int(1990 + (i % 30))),
+                (
+                    "authors",
+                    Value::bag((0..3).map(|a| {
+                        Value::tuple([("name", Value::str(format!("author-{}", (i + a) % 97)))])
+                    })),
+                ),
+            ])
+        })
+        .collect();
+
+    group.bench("bag_build/insert_10k", || {
+        let mut bag = Bag::new();
+        for v in &tuples {
+            bag.insert(v.clone(), 1);
+        }
+        bag
+    });
+    group.bench("bag_build/builder_10k", || Bag::from_values(tuples.iter().cloned()));
+
+    let wide = Tuple::new((0..12).map(|i| (format!("attr{i}"), Value::int(i))));
+    let last = Sym::intern("attr11");
+    group.bench("tuple_lookup/sym_1m", || {
+        let mut acc = 0i64;
+        for _ in 0..1_000_000 {
+            acc += std::hint::black_box(&wide)
+                .get(std::hint::black_box(last))
+                .and_then(Value::as_int)
+                .unwrap_or(0);
+        }
+        std::hint::black_box(acc)
+    });
+
+    let big = Value::bag(tuples.iter().cloned());
+    group.bench("value_clone/nested_100k", || {
+        let mut last = big.clone();
+        for _ in 0..100_000 {
+            last = big.clone();
+        }
+        last
+    });
+
+    // Whole-plan generalized tracing (trace + backtrace + ranking) of the
+    // largest DBLP scenario from the Figure 8 sweep.
+    let scenario = whynot_scenarios::dblp::d4(300);
+    let question = scenario.question();
+    group.bench("dblp_trace/d4_scale300", || {
+        WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
+    });
+
+    group.finish();
 }
 
 /// One row of the Table 7 summary.

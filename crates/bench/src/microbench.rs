@@ -3,20 +3,50 @@
 //! The workspace is built in hermetic environments without network access, so
 //! the figure benchmarks cannot use `criterion`. This module provides the
 //! small subset the harness needs: named groups, per-case warm-up and
-//! sampling, and a compact mean/min/max report on stdout. Invoke through
-//! `cargo bench` (the bench targets set `harness = false`).
+//! sampling, and a compact mean/min/max report on stdout.
+//!
+//! Besides the stdout table, every finished group is merged into a
+//! machine-readable report (`BENCH_figures.json` at the workspace root by
+//! default, override with `WHYNOT_BENCH_REPORT`), so perf trajectories can be
+//! tracked across commits. Merging is by group name: re-running one bench
+//! target refreshes its groups and leaves the others untouched. Invoke through
+//! `cargo bench` (the bench targets set `harness = false`) or the `figures`
+//! binary.
 
 use std::time::Instant;
+
+use whynot_service::json::Json;
 
 /// Number of measured samples per case (override with `WHYNOT_BENCH_SAMPLES`).
 fn sample_count() -> usize {
     std::env::var("WHYNOT_BENCH_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
 }
 
+/// Default location of the machine-readable report: the workspace root.
+fn report_path() -> std::path::PathBuf {
+    std::env::var_os("WHYNOT_BENCH_REPORT").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_figures.json")
+    })
+}
+
+/// One measured case of a benchmark group.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name (unique within its group).
+    pub name: String,
+    /// Mean wall-clock time over the measured samples, in milliseconds.
+    pub mean_ms: f64,
+    /// Fastest sample, in milliseconds.
+    pub min_ms: f64,
+    /// Slowest sample, in milliseconds.
+    pub max_ms: f64,
+}
+
 /// A named group of benchmark cases.
 pub struct BenchGroup {
     name: String,
     samples: usize,
+    cases: Vec<CaseResult>,
 }
 
 impl BenchGroup {
@@ -25,7 +55,7 @@ impl BenchGroup {
         let name = name.into();
         println!("== {name} ==");
         println!("{:<40} {:>10} {:>10} {:>10}", "case", "mean_ms", "min_ms", "max_ms");
-        BenchGroup { name, samples: sample_count() }
+        BenchGroup { name, samples: sample_count(), cases: Vec::new() }
     }
 
     /// Measures one case: one warm-up call, then `samples` timed calls.
@@ -43,10 +73,118 @@ impl BenchGroup {
         let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = times_ms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         println!("{case:<40} {mean:>10.3} {min:>10.3} {max:>10.3}");
+        self.record(case, mean, min, max);
     }
 
-    /// Prints the group footer.
+    /// Records an externally measured case (used by the `figures` binary for
+    /// single-shot runtime rows, where mean = min = max).
+    pub fn record(&mut self, case: impl Into<String>, mean_ms: f64, min_ms: f64, max_ms: f64) {
+        self.cases.push(CaseResult { name: case.into(), mean_ms, min_ms, max_ms });
+    }
+
+    /// Number of samples measured per case.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Prints the group footer and merges the group into the JSON report.
     pub fn finish(self) {
         println!("== end {} ==\n", self.name);
+        let path = report_path();
+        if let Err(err) = merge_into_report(&path, &self) {
+            eprintln!("warning: could not update {}: {err}", path.display());
+        }
+    }
+}
+
+/// Silently merges an externally measured group (e.g. the single-shot runtime
+/// rows of the `figures` binary) into the JSON report, without the stdout
+/// table that [`BenchGroup`] prints.
+pub fn report_group(name: impl Into<String>, cases: impl IntoIterator<Item = CaseResult>) {
+    let group = BenchGroup { name: name.into(), samples: 1, cases: cases.into_iter().collect() };
+    let path = report_path();
+    if let Err(err) = merge_into_report(&path, &group) {
+        eprintln!("warning: could not update {}: {err}", path.display());
+    }
+}
+
+fn group_to_json(group: &BenchGroup) -> Json {
+    Json::object([
+        ("name", Json::str(group.name.clone())),
+        ("samples_per_case", Json::Int(group.samples as i64)),
+        (
+            "cases",
+            Json::array(group.cases.iter().map(|c| {
+                Json::object([
+                    ("name", Json::str(c.name.clone())),
+                    ("mean_ms", Json::Float(c.mean_ms)),
+                    ("min_ms", Json::Float(c.min_ms)),
+                    ("max_ms", Json::Float(c.max_ms)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Merges a finished group into the report file: groups are keyed by name,
+/// the incoming group replaces a stale one with the same name, and the group
+/// list is kept sorted for stable diffs.
+fn merge_into_report(path: &std::path::Path, group: &BenchGroup) -> std::io::Result<()> {
+    let mut groups: Vec<(String, Json)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if let Ok(json) = Json::parse(&existing) {
+            if let Some(list) = json.get("groups").and_then(Json::as_array) {
+                for g in list {
+                    if let Some(name) = g.get("name").and_then(Json::as_str) {
+                        groups.push((name.to_string(), g.clone()));
+                    }
+                }
+            }
+        }
+    }
+    groups.retain(|(name, _)| name != &group.name);
+    groups.push((group.name.clone(), group_to_json(group)));
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    let report = Json::object([
+        ("version", Json::Int(1)),
+        ("groups", Json::array(groups.into_iter().map(|(_, g)| g))),
+    ]);
+    std::fs::write(path, report.to_pretty() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_cases_and_merges_reports() {
+        let dir = std::env::temp_dir().join(format!("whynot-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+
+        let mut group = BenchGroup::new("unit_test_group");
+        group.bench("noop", || 1 + 1);
+        group.record("external", 1.5, 1.0, 2.0);
+        assert_eq!(group.cases.len(), 2);
+        merge_into_report(&path, &group).unwrap();
+
+        // Merging a second group keeps the first; re-merging replaces in place.
+        let mut other = BenchGroup::new("another_group");
+        other.record("case", 3.0, 3.0, 3.0);
+        merge_into_report(&path, &other).unwrap();
+        merge_into_report(&path, &other).unwrap();
+
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let groups = json.get("groups").and_then(Json::as_array).unwrap();
+        assert_eq!(groups.len(), 2);
+        let names: Vec<&str> =
+            groups.iter().filter_map(|g| g.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, vec!["another_group", "unit_test_group"]);
+        let unit = &groups[1];
+        let cases = unit.get("cases").and_then(Json::as_array).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert!(cases[0].get("mean_ms").and_then(Json::as_f64).is_some());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

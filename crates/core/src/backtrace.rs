@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use nested_data::{AttrPath, NestedType, Nip, NipCmp, TupleType, Value};
+use nested_data::{AttrPath, NestedType, Nip, NipCmp, Sym, TupleType, Value};
 use nrab_algebra::expr::Expr;
 use nrab_algebra::schema::output_type;
 use nrab_algebra::{Database, OpId, OpNode, Operator, QueryPlan};
@@ -111,12 +111,12 @@ pub fn operator_attribute_refs(op: &Operator) -> Vec<AttrPath> {
 }
 
 /// The constrained fields of a tuple NIP (empty for unconstrained NIPs).
-fn constrained_fields(nip: &Nip) -> Vec<(String, Nip)> {
+fn constrained_fields(nip: &Nip) -> Vec<(Sym, Nip)> {
     match nip {
         Nip::Tuple(fields) => fields
             .iter()
             .filter(|(_, n)| !n.is_unconstrained())
-            .map(|(name, n)| (name.clone(), n.clone()))
+            .map(|(name, n)| (*name, n.clone()))
             .collect(),
         _ => Vec::new(),
     }
@@ -169,7 +169,7 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                let Some(column) = columns.iter().find(|c| &c.name == name) else { continue };
+                let Some(column) = columns.iter().find(|c| *name == c.name) else { continue };
                 match &column.expr {
                     Expr::Attr(path) => {
                         nip = constrain_or_keep(nip.clone(), path, constraint.clone(), schema);
@@ -189,11 +189,11 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                let source = pairs
+                let source: Sym = pairs
                     .iter()
-                    .find(|p| &p.to == name)
-                    .map(|p| p.from.clone())
-                    .unwrap_or_else(|| name.clone());
+                    .find(|p| *name == p.to)
+                    .map(|p| Sym::intern(&p.from))
+                    .unwrap_or(*name);
                 nip = constrain_or_keep(
                     nip.clone(),
                     &AttrPath::single(source),
@@ -209,7 +209,7 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let mut left = Nip::any_for_tuple_type(left_schema);
             let mut right = Nip::any_for_tuple_type(right_schema);
             for (name, constraint) in &fields {
-                let path = AttrPath::single(name.clone());
+                let path = AttrPath::single(*name);
                 if left_schema.contains(name) {
                     left = constrain_or_keep(left.clone(), &path, constraint.clone(), left_schema);
                 } else if right_schema.contains(name) {
@@ -250,17 +250,17 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             for (name, constraint) in &fields {
                 if alias.as_deref() == Some(name.as_str()) {
                     nip = constrain_or_keep(nip.clone(), source, constraint.clone(), schema);
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
-                } else if schema.resolve_path(&source.child(name.clone())).is_ok() {
+                } else if schema.resolve_path(&source.child(*name)).is_ok() {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &source.child(name.clone()),
+                        &source.child(*name),
                         constraint.clone(),
                         schema,
                     );
@@ -275,20 +275,20 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                 _ => TupleType::empty(),
             };
             let mut nip = Nip::any_for_tuple_type(schema);
-            let mut element_constraints: Vec<(String, Nip)> = Vec::new();
+            let mut element_constraints: Vec<(Sym, Nip)> = Vec::new();
             for (name, constraint) in &fields {
                 if alias.as_deref() == Some(name.as_str()) {
                     // The whole element is constrained.
                     nip = nip.with_field(attr.clone(), Nip::bag_containing(constraint.clone()));
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
-                } else if element_type.contains(name) {
-                    element_constraints.push((name.clone(), constraint.clone()));
+                } else if element_type.contains(*name) {
+                    element_constraints.push((*name, constraint.clone()));
                 }
             }
             if !element_constraints.is_empty() {
@@ -304,9 +304,9 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                if name == into {
+                if *name == into.as_str() {
                     for (inner_name, inner) in constrained_fields(constraint) {
-                        if attrs.contains(&inner_name) {
+                        if attrs.iter().any(|a| inner_name == a.as_str()) {
                             nip = nip.constrain(
                                 &AttrPath::single(inner_name),
                                 inner.clone(),
@@ -314,10 +314,10 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                             )?;
                         }
                     }
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
@@ -329,14 +329,14 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                if name == into {
+                if *name == into.as_str() {
                     // "The nested collection must contain at least one element
                     // matching e" ⇒ at least one input tuple of the group must
                     // match e on the nested attributes.
                     if let Nip::Bag(entries) = constraint {
                         if let Some(entry) = entries.iter().find(|e| !matches!(e, Nip::Star)) {
                             for (inner_name, inner) in constrained_fields(entry) {
-                                if attrs.contains(&inner_name) {
+                                if attrs.iter().any(|a| inner_name == a.as_str()) {
                                     nip = nip.constrain(
                                         &AttrPath::single(inner_name),
                                         inner.clone(),
@@ -346,10 +346,10 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
                             }
                         }
                     }
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
@@ -361,18 +361,18 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                if name == output {
+                if *name == output.as_str() {
                     if requires_contribution(constraint) {
                         let element = match field {
-                            Some(f) => Nip::Tuple(vec![(f.clone(), not_null())]),
+                            Some(f) => Nip::Tuple(vec![(Sym::intern(f), not_null())]),
                             None => Nip::Any,
                         };
                         nip = nip.with_field(attr.clone(), Nip::bag_containing(element));
                     }
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
@@ -384,16 +384,16 @@ pub fn backward_nips(node: &OpNode, out_nip: &Nip, db: &Database) -> WhyNotResul
             let schema = &child_schemas[0];
             let mut nip = Nip::any_for_tuple_type(schema);
             for (name, constraint) in &fields {
-                if let Some(agg) = aggs.iter().find(|a| &a.output == name) {
+                if let Some(agg) = aggs.iter().find(|a| *name == a.output) {
                     if requires_contribution(constraint) {
                         for path in agg.input.referenced_attributes() {
                             nip = constrain_or_keep(nip.clone(), &path, not_null(), schema);
                         }
                     }
-                } else if schema.contains(name) {
+                } else if schema.contains(*name) {
                     nip = constrain_or_keep(
                         nip.clone(),
-                        &AttrPath::single(name.clone()),
+                        &AttrPath::single(*name),
                         constraint.clone(),
                         schema,
                     );
@@ -431,7 +431,7 @@ fn collect_equi_pairs(predicate: &Expr, pairs: &mut Vec<(AttrPath, AttrPath)>) {
 /// constrain attribute `to` (on whichever join side declares it).
 #[allow(clippy::too_many_arguments)]
 fn transfer_constraint(
-    fields: &[(String, Nip)],
+    fields: &[(Sym, Nip)],
     from: &AttrPath,
     to: &AttrPath,
     left_schema: &TupleType,
@@ -440,7 +440,7 @@ fn transfer_constraint(
     right: &mut Nip,
 ) -> WhyNotResult<()> {
     let Some(from_leaf) = from.leaf() else { return Ok(()) };
-    let Some((_, constraint)) = fields.iter().find(|(name, _)| name == from_leaf) else {
+    let Some((_, constraint)) = fields.iter().find(|(name, _)| *name == from_leaf) else {
         return Ok(());
     };
     if !matches!(constraint, Nip::Value(_) | Nip::Pred(..)) {

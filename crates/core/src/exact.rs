@@ -179,7 +179,7 @@ pub fn exact_explanations(
 /// Distance between two query results (bags of nested tuples), using the
 /// unordered tree edit distance over their tree views (Definition 9's `d`).
 fn result_distance(a: &Bag, b: &Bag) -> u64 {
-    tree_distance(&Value::Bag(a.clone()), &Value::Bag(b.clone()))
+    tree_distance(&Value::from_bag(a.clone()), &Value::from_bag(b.clone()))
 }
 
 /// Selects the minimal successful reparameterizations under Definition 9.

@@ -41,7 +41,7 @@ impl WhyNotQuestion {
     ///   is not actually missing — Definition 5 requires this).
     ///
     /// Returns the original query result so callers can reuse it.
-    pub fn validate(&self) -> WhyNotResult<nested_data::Bag> {
+    pub fn validate(&self) -> WhyNotResult<std::sync::Arc<nested_data::Bag>> {
         self.why_not.validate()?;
         let output_schema = nrab_algebra::schema::plan_output_type(&self.plan, &self.db)?;
         if !self.why_not.conforms_to(&nested_data::NestedType::Tuple(output_schema.clone()))

@@ -388,7 +388,7 @@ pub fn tpch_flat_database(config: TpchConfig) -> Database {
                     let combined = order_attrs
                         .concat(&item_tuple.without(&["l_orderkey"]))
                         .expect("disjoint attribute names");
-                    flat.insert(Value::Tuple(combined), mult * item_mult);
+                    flat.insert(Value::from_tuple(combined), mult * item_mult);
                 }
             }
         }

@@ -5,8 +5,16 @@
 //! well-defined and deterministic. Bags are used both as nested relation
 //! *values* (attributes of relation type) and as the top-level relations of a
 //! database.
+//!
+//! Bags should be built through [`BagBuilder`] (which all the batch
+//! constructors use internally): it deduplicates entries in a hash map — one
+//! structural hash per inserted value instead of `O(log n)` deep comparisons
+//! plus a `Vec::insert` shift — and sorts into canonical order once at
+//! [`BagBuilder::finish`]. The resulting entry order is identical to what
+//! repeated [`Bag::insert`] calls produce; only the construction cost differs.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -17,6 +25,80 @@ use crate::value::Value;
 pub struct Bag {
     /// Distinct values with positive multiplicities, kept sorted by value.
     entries: Vec<(Value, u64)>,
+}
+
+/// Accumulates `(value, multiplicity)` entries in a hash map and produces a
+/// canonical [`Bag`] in one sort at the end.
+///
+/// Equal values are merged by their structural hash (with equality confirmed
+/// on collision), so building a bag of `n` insertions costs `n` hashes plus a
+/// single `O(d log d)` sort over the `d` distinct values — instead of the
+/// `O(n·d)` deep-comparison binary-search-and-shift of per-insert
+/// canonicalization.
+#[derive(Debug, Default)]
+pub struct BagBuilder {
+    // `Value`'s interior mutability is limited to its lazily cached
+    // structural hash, which never changes its `Eq`/`Hash` identity.
+    #[allow(clippy::mutable_key_type)]
+    entries: HashMap<Value, u64>,
+}
+
+impl BagBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BagBuilder { entries: HashMap::new() }
+    }
+
+    /// An empty builder with capacity for `n` distinct values.
+    pub fn with_capacity(n: usize) -> Self {
+        BagBuilder { entries: HashMap::with_capacity(n) }
+    }
+
+    /// Adds `mult` copies of `value`. Adding zero copies is a no-op.
+    pub fn add(&mut self, value: Value, mult: u64) {
+        if mult == 0 {
+            return;
+        }
+        *self.entries.entry(value).or_insert(0) += mult;
+    }
+
+    /// Adds one copy of `value`.
+    pub fn push(&mut self, value: Value) {
+        self.add(value, 1);
+    }
+
+    /// Number of distinct values accumulated so far.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts the accumulated entries into canonical order and returns the bag.
+    pub fn finish(self) -> Bag {
+        let mut entries: Vec<(Value, u64)> = self.entries.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Bag { entries }
+    }
+}
+
+impl Extend<Value> for BagBuilder {
+    fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl Extend<(Value, u64)> for BagBuilder {
+    fn extend<T: IntoIterator<Item = (Value, u64)>>(&mut self, iter: T) {
+        for (v, m) in iter {
+            self.add(v, m);
+        }
+    }
 }
 
 impl Bag {
@@ -30,11 +112,9 @@ impl Bag {
     where
         I: IntoIterator<Item = Value>,
     {
-        let mut bag = Bag::new();
-        for v in values {
-            bag.insert(v, 1);
-        }
-        bag
+        let mut builder = BagBuilder::new();
+        builder.extend(values);
+        builder.finish()
     }
 
     /// Builds a bag from `(value, multiplicity)` pairs.
@@ -42,14 +122,15 @@ impl Bag {
     where
         I: IntoIterator<Item = (Value, u64)>,
     {
-        let mut bag = Bag::new();
-        for (v, m) in entries {
-            bag.insert(v, m);
-        }
-        bag
+        let mut builder = BagBuilder::new();
+        builder.extend(entries);
+        builder.finish()
     }
 
     /// Inserts `mult` copies of `value`. Inserting zero copies is a no-op.
+    ///
+    /// Prefer [`BagBuilder`] when constructing a bag from many values; this
+    /// per-insert path re-canonicalizes incrementally.
     pub fn insert(&mut self, value: Value, mult: u64) {
         if mult == 0 {
             return;
@@ -105,23 +186,52 @@ impl Bag {
 
     /// Additive union `R ∪ S` (multiplicities add).
     pub fn union(&self, other: &Bag) -> Bag {
-        let mut result = self.clone();
-        for (v, m) in other.iter() {
-            result.insert(v.clone(), *m);
+        // Both inputs are sorted: a linear merge preserves canonical order
+        // without re-sorting.
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut left = self.entries.iter().peekable();
+        let mut right = other.entries.iter().peekable();
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some((lv, lm)), Some((rv, rm))) => match lv.cmp(rv) {
+                    Ordering::Less => {
+                        entries.push((lv.clone(), *lm));
+                        left.next();
+                    }
+                    Ordering::Greater => {
+                        entries.push((rv.clone(), *rm));
+                        right.next();
+                    }
+                    Ordering::Equal => {
+                        entries.push((lv.clone(), lm + rm));
+                        left.next();
+                        right.next();
+                    }
+                },
+                (Some((lv, lm)), None) => {
+                    entries.push((lv.clone(), *lm));
+                    left.next();
+                }
+                (None, Some((rv, rm))) => {
+                    entries.push((rv.clone(), *rm));
+                    right.next();
+                }
+                (None, None) => break,
+            }
         }
-        result
+        Bag { entries }
     }
 
     /// Bag difference `R − S` (multiplicities subtract, floored at zero).
     pub fn difference(&self, other: &Bag) -> Bag {
-        let mut result = Bag::new();
+        let mut entries = Vec::new();
         for (v, m) in self.iter() {
             let other_m = other.mult(v);
             if *m > other_m {
-                result.insert(v.clone(), m - other_m);
+                entries.push((v.clone(), m - other_m));
             }
         }
-        result
+        Bag { entries }
     }
 
     /// Duplicate elimination `δ(R)`: every distinct value with multiplicity 1.
@@ -134,7 +244,11 @@ impl Bag {
     where
         F: FnMut(&Value) -> Value,
     {
-        Bag::from_entries(self.entries.iter().map(|(v, m)| (f(v), *m)))
+        let mut builder = BagBuilder::with_capacity(self.entries.len());
+        for (v, m) in &self.entries {
+            builder.add(f(v), *m);
+        }
+        builder.finish()
     }
 
     /// Retains only entries whose value satisfies the predicate.
@@ -153,19 +267,16 @@ impl Bag {
     where
         F: FnMut(&Value) -> Value,
     {
-        let mut groups: Vec<(Value, Bag)> = Vec::new();
+        // `Value` only carries interior mutability in its lazily cached
+        // structural hash, which never changes its `Eq`/`Hash` identity.
+        #[allow(clippy::mutable_key_type)]
+        let mut groups: HashMap<Value, BagBuilder> = HashMap::new();
         for (v, m) in self.iter() {
-            let k = key(v);
-            match groups.binary_search_by(|(gk, _)| gk.cmp(&k)) {
-                Ok(idx) => groups[idx].1.insert(v.clone(), *m),
-                Err(idx) => {
-                    let mut bag = Bag::new();
-                    bag.insert(v.clone(), *m);
-                    groups.insert(idx, (k, bag));
-                }
-            }
+            groups.entry(key(v)).or_default().add(v.clone(), *m);
         }
-        groups
+        let mut out: Vec<(Value, Bag)> = groups.into_iter().map(|(k, b)| (k, b.finish())).collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -223,6 +334,12 @@ impl FromIterator<Value> for Bag {
     }
 }
 
+impl FromIterator<(Value, u64)> for Bag {
+    fn from_iter<T: IntoIterator<Item = (Value, u64)>>(iter: T) -> Self {
+        Bag::from_entries(iter)
+    }
+}
+
 impl IntoIterator for Bag {
     type Item = (Value, u64);
     type IntoIter = std::vec::IntoIter<(Value, u64)>;
@@ -255,6 +372,37 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_insert_semantics() {
+        let values =
+            [t("Sue", 1), t("Peter", 2), t("Sue", 1), Value::int(7), Value::str("x"), t("Ann", 0)];
+        let mut via_insert = Bag::new();
+        for v in &values {
+            via_insert.insert(v.clone(), 1);
+        }
+        let mut builder = BagBuilder::new();
+        for v in &values {
+            builder.push(v.clone());
+        }
+        assert_eq!(builder.distinct(), 5);
+        assert!(!builder.is_empty());
+        let via_builder = builder.finish();
+        assert_eq!(via_builder, via_insert);
+        // Canonical entry order is identical, not just bag equality.
+        assert_eq!(via_builder.into_entries(), via_insert.into_entries());
+        assert!(BagBuilder::with_capacity(4).finish().is_empty());
+    }
+
+    #[test]
+    fn builder_zero_multiplicity_is_noop() {
+        let mut builder = BagBuilder::new();
+        builder.add(Value::int(1), 0);
+        assert!(builder.is_empty());
+        builder.extend([(Value::int(2), 3u64)]);
+        let bag = builder.finish();
+        assert_eq!(bag.mult(&Value::int(2)), 3);
+    }
+
+    #[test]
     fn equality_is_order_insensitive() {
         let a = Bag::from_values([Value::int(1), Value::int(2), Value::int(1)]);
         let b = Bag::from_values([Value::int(2), Value::int(1), Value::int(1)]);
@@ -280,6 +428,18 @@ mod tests {
     }
 
     #[test]
+    fn union_merge_preserves_canonical_order() {
+        let a = Bag::from_values([Value::int(5), Value::int(1), Value::int(3)]);
+        let b = Bag::from_values([Value::int(4), Value::int(1), Value::int(0)]);
+        let merged = a.union(&b);
+        let mut expected = a.clone();
+        for (v, m) in b.iter() {
+            expected.insert(v.clone(), *m);
+        }
+        assert_eq!(merged.into_entries(), expected.into_entries());
+    }
+
+    #[test]
     fn expanded_iteration_respects_multiplicities() {
         let bag = Bag::from_entries([(Value::int(7), 3)]);
         assert_eq!(bag.iter_expanded().count(), 3);
@@ -293,6 +453,8 @@ mod tests {
         let (sue_key, sue_group) = groups.iter().find(|(k, _)| k == &Value::str("Sue")).unwrap();
         assert_eq!(sue_key, &Value::str("Sue"));
         assert_eq!(sue_group.total(), 2);
+        // Group keys come back in canonical (sorted) order.
+        assert!(groups.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -10,8 +10,9 @@ pub enum DataError {
     UnknownAttribute {
         /// The attribute that was looked up.
         attribute: String,
-        /// The attributes that are actually available.
-        available: Vec<String>,
+        /// The attributes that are actually available. Interned names, so
+        /// building this list is a single allocation with no string copies.
+        available: Vec<&'static str>,
     },
     /// A path navigated into a value of an unexpected shape
     /// (e.g. asking for a field of a primitive).
@@ -71,7 +72,7 @@ mod tests {
     fn display_unknown_attribute() {
         let err = DataError::UnknownAttribute {
             attribute: "city".into(),
-            available: vec!["name".into(), "year".into()],
+            available: vec!["name", "year"],
         };
         let rendered = err.to_string();
         assert!(rendered.contains("city"));

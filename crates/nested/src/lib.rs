@@ -20,6 +20,15 @@
 //!   of nested values from Figure 2 and the distance function `d` used in the
 //!   side-effect component of the MSR partial order (Definition 9).
 //!
+//! The representation is a shared-immutable value layer: attribute names are
+//! interned symbols ([`Sym`]), compound values live behind `Arc`s (so
+//! `Value::clone` is O(1) and subtrees are shared structurally, with
+//! copy-on-write mutation), and bags are built through [`BagBuilder`]
+//! (hash-deduplicated, canonicalized once). None of this is observable in the
+//! semantics: name-based tuple equality, the total value order, and the
+//! deterministic canonical bag order are exactly those of a naive
+//! `String`-keyed, deep-copying representation.
+//!
 //! The crate has no dependencies and is deliberately self-contained so that the
 //! algebra, provenance, and explanation crates can all share one value model.
 
@@ -30,15 +39,17 @@ pub mod bag;
 pub mod error;
 pub mod nip;
 pub mod path;
+pub mod sym;
 pub mod tree;
 pub mod tuple;
 pub mod types;
 pub mod value;
 
-pub use bag::Bag;
+pub use bag::{Bag, BagBuilder};
 pub use error::{DataError, DataResult};
 pub use nip::{Nip, NipCmp};
 pub use path::AttrPath;
+pub use sym::Sym;
 pub use tree::{tree_distance, ValueTree};
 pub use tuple::Tuple;
 pub use types::{NestedType, PrimitiveType, TupleType};

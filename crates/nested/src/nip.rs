@@ -23,6 +23,7 @@ use std::fmt;
 
 use crate::error::{DataError, DataResult};
 use crate::path::AttrPath;
+use crate::sym::Sym;
 use crate::types::{NestedType, TupleType};
 use crate::value::Value;
 
@@ -99,7 +100,7 @@ pub enum Nip {
     /// A bounded leaf: matches any value satisfying `value ⋄ bound`.
     Pred(NipCmp, Value),
     /// A tuple whose attributes are themselves NIPs.
-    Tuple(Vec<(String, Nip)>),
+    Tuple(Vec<(Sym, Nip)>),
     /// A nested relation whose elements are NIPs (at most one `*`).
     Bag(Vec<Nip>),
 }
@@ -119,7 +120,7 @@ impl Nip {
     pub fn tuple<I, S>(fields: I) -> Nip
     where
         I: IntoIterator<Item = (S, Nip)>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
         Nip::Tuple(fields.into_iter().map(|(n, v)| (n.into(), v)).collect())
     }
@@ -141,7 +142,7 @@ impl Nip {
     /// An all-`?` tuple NIP over the attributes of `ty` — the "unconstrained"
     /// NIP that matches every tuple of that type.
     pub fn any_for_tuple_type(ty: &TupleType) -> Nip {
-        Nip::Tuple(ty.fields().iter().map(|(name, _)| (name.clone(), Nip::Any)).collect())
+        Nip::Tuple(ty.fields().iter().map(|(name, _)| (*name, Nip::Any)).collect())
     }
 
     /// Validates the structural constraints of Definition 3: `*` may only
@@ -198,15 +199,16 @@ impl Nip {
     }
 
     /// Access a field of a tuple NIP.
-    pub fn field(&self, name: &str) -> Option<&Nip> {
+    pub fn field(&self, name: impl Into<Sym>) -> Option<&Nip> {
+        let sym = name.into();
         match self {
-            Nip::Tuple(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            Nip::Tuple(fields) => fields.iter().find(|(n, _)| *n == sym).map(|(_, v)| v),
             _ => None,
         }
     }
 
     /// Returns a copy of a tuple NIP with field `name` replaced (or added).
-    pub fn with_field(&self, name: impl Into<String>, nip: Nip) -> Nip {
+    pub fn with_field(&self, name: impl Into<Sym>, nip: Nip) -> Nip {
         let name = name.into();
         match self {
             Nip::Tuple(fields) => {
@@ -300,7 +302,7 @@ impl Nip {
             Nip::Value(v) => v == value,
             Nip::Pred(op, bound) => op.apply(value, bound),
             Nip::Tuple(fields) => match value {
-                Value::Tuple(t) => fields.iter().all(|(name, nip)| match t.get(name) {
+                Value::Tuple(t) => fields.iter().all(|(name, nip)| match t.get(*name) {
                     Some(v) => nip.matches(v),
                     None => false,
                 }),
@@ -326,7 +328,7 @@ impl Nip {
             Nip::Value(v) => v == value,
             Nip::Pred(op, bound) => op.apply(value, bound),
             Nip::Tuple(fields) => match value {
-                Value::Tuple(t) => fields.iter().all(|(name, nip)| match t.get(name) {
+                Value::Tuple(t) => fields.iter().all(|(name, nip)| match t.get(*name) {
                     Some(v) => nip.compatible(v),
                     None => true,
                 }),
@@ -350,9 +352,9 @@ impl Nip {
             (Nip::Star, _) => false,
             (Nip::Value(v), _) => v.conforms_to(ty),
             (Nip::Pred(_, v), _) => v.conforms_to(ty) || matches!(ty, NestedType::Prim(_)),
-            (Nip::Tuple(fields), NestedType::Tuple(tt)) => fields
-                .iter()
-                .all(|(name, nip)| tt.attribute(name).map(|t| nip.conforms_to(t)).unwrap_or(false)),
+            (Nip::Tuple(fields), NestedType::Tuple(tt)) => fields.iter().all(|(name, nip)| {
+                tt.attribute(*name).map(|t| nip.conforms_to(t)).unwrap_or(false)
+            }),
             (Nip::Bag(elements), NestedType::Relation(tt)) => elements.iter().all(|e| match e {
                 Nip::Star => true,
                 other => other.conforms_to(&NestedType::Tuple(tt.clone())),
@@ -491,11 +493,11 @@ mod tests {
 
     /// The output tuple of the running example: ⟨city: NY, nList: {{Sue², Peter}}⟩.
     fn example_output_tuple() -> Value {
-        Value::Tuple(crate::tuple::Tuple::new([
+        Value::from_tuple(crate::tuple::Tuple::new([
             ("city", Value::str("NY")),
             (
                 "nList",
-                Value::Bag(crate::bag::Bag::from_entries([
+                Value::from_bag(crate::bag::Bag::from_entries([
                     (name_tuple("Sue"), 2),
                     (name_tuple("Peter"), 1),
                 ])),

@@ -5,13 +5,18 @@
 //! attributes and *into* the element tuples of nested relations. They are the
 //! vocabulary in which schema backtracing records source attributes and in
 //! which users specify attribute alternatives (Section 5.2).
+//!
+//! Segments are interned [`Sym`]s, so navigating a path through tuples
+//! compares integers and copying paths never copies name strings.
 
 use std::fmt;
+
+use crate::sym::Sym;
 
 /// A dotted attribute path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrPath {
-    segments: Vec<String>,
+    segments: Vec<Sym>,
 }
 
 impl AttrPath {
@@ -19,25 +24,23 @@ impl AttrPath {
     pub fn new<I, S>(segments: I) -> Self
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
         AttrPath { segments: segments.into_iter().map(Into::into).collect() }
     }
 
     /// Parses a dotted path such as `"address2.city"`.
     pub fn parse(path: &str) -> Self {
-        AttrPath {
-            segments: path.split('.').filter(|s| !s.is_empty()).map(|s| s.to_string()).collect(),
-        }
+        AttrPath { segments: path.split('.').filter(|s| !s.is_empty()).map(Sym::intern).collect() }
     }
 
     /// A single-segment path.
-    pub fn single(name: impl Into<String>) -> Self {
+    pub fn single(name: impl Into<Sym>) -> Self {
         AttrPath { segments: vec![name.into()] }
     }
 
     /// The path segments.
-    pub fn segments(&self) -> &[String] {
+    pub fn segments(&self) -> &[Sym] {
         &self.segments
     }
 
@@ -52,18 +55,18 @@ impl AttrPath {
     }
 
     /// The first segment, if any.
-    pub fn head(&self) -> Option<&str> {
-        self.segments.first().map(String::as_str)
+    pub fn head(&self) -> Option<Sym> {
+        self.segments.first().copied()
     }
 
     /// The last segment, if any (the attribute ultimately referenced).
-    pub fn leaf(&self) -> Option<&str> {
-        self.segments.last().map(String::as_str)
+    pub fn leaf(&self) -> Option<Sym> {
+        self.segments.last().copied()
     }
 
     /// The path with the first segment removed.
     pub fn tail(&self) -> AttrPath {
-        AttrPath { segments: self.segments.iter().skip(1).cloned().collect() }
+        AttrPath { segments: self.segments[1.min(self.segments.len())..].to_vec() }
     }
 
     /// The path with the last segment removed (its "parent").
@@ -74,7 +77,7 @@ impl AttrPath {
     }
 
     /// Appends a segment, returning a new path.
-    pub fn child(&self, name: impl Into<String>) -> AttrPath {
+    pub fn child(&self, name: impl Into<Sym>) -> AttrPath {
         let mut segments = self.segments.clone();
         segments.push(name.into());
         AttrPath { segments }
@@ -83,7 +86,7 @@ impl AttrPath {
     /// Concatenates two paths.
     pub fn join(&self, other: &AttrPath) -> AttrPath {
         let mut segments = self.segments.clone();
-        segments.extend(other.segments.iter().cloned());
+        segments.extend_from_slice(&other.segments);
         AttrPath { segments }
     }
 
@@ -116,7 +119,13 @@ impl AttrPath {
 
 impl fmt::Display for AttrPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.segments.join("."))
+        for (i, segment) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{segment}")?;
+        }
+        Ok(())
     }
 }
 
@@ -132,6 +141,12 @@ impl From<String> for AttrPath {
     }
 }
 
+impl From<Sym> for AttrPath {
+    fn from(s: Sym) -> Self {
+        AttrPath::single(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,7 +154,7 @@ mod tests {
     #[test]
     fn parse_and_display_roundtrip() {
         let p = AttrPath::parse("address2.city");
-        assert_eq!(p.segments(), &["address2".to_string(), "city".to_string()]);
+        assert_eq!(p.segments(), &[Sym::intern("address2"), Sym::intern("city")]);
         assert_eq!(p.to_string(), "address2.city");
         assert_eq!(AttrPath::parse("").len(), 0);
     }
@@ -147,11 +162,12 @@ mod tests {
     #[test]
     fn head_tail_leaf_parent() {
         let p = AttrPath::parse("a.b.c");
-        assert_eq!(p.head(), Some("a"));
-        assert_eq!(p.leaf(), Some("c"));
+        assert_eq!(p.head(), Some(Sym::intern("a")));
+        assert_eq!(p.leaf(), Some(Sym::intern("c")));
         assert_eq!(p.tail().to_string(), "b.c");
         assert_eq!(p.parent().to_string(), "a.b");
         assert_eq!(p.child("d").to_string(), "a.b.c.d");
+        assert!(AttrPath::parse("").tail().is_empty());
     }
 
     #[test]
@@ -180,6 +196,8 @@ mod tests {
         let p: AttrPath = "user.name".into();
         assert_eq!(p.len(), 2);
         let p: AttrPath = String::from("x").into();
-        assert_eq!(p.leaf(), Some("x"));
+        assert_eq!(p.leaf(), Some(Sym::intern("x")));
+        let p: AttrPath = Sym::intern("y").into();
+        assert_eq!(p.len(), 1);
     }
 }

@@ -45,7 +45,7 @@ impl ValueTree {
                     .iter()
                     .map(|(name, v)| match v {
                         Value::Tuple(_) | Value::Bag(_) => ValueTree {
-                            label: name.clone(),
+                            label: name.as_str().to_string(),
                             children: vec![ValueTree::from_value(v)],
                         },
                         primitive => ValueTree {
@@ -209,6 +209,9 @@ fn hungarian_min_cost(cost: &[Vec<u64>]) -> u64 {
 /// Section 5.4 reason about, and is usable on relations far too large for the
 /// tree edit distance.
 pub fn relation_symmetric_difference(a: &Bag, b: &Bag) -> u64 {
+    // `Value` only carries interior mutability in its lazily cached
+    // structural hash, which never changes its `Eq`/`Ord` identity.
+    #[allow(clippy::mutable_key_type)]
     let mut keys: BTreeMap<&Value, (u64, u64)> = BTreeMap::new();
     for (v, m) in a.iter() {
         keys.entry(v).or_default().0 += m;

@@ -3,8 +3,10 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 use crate::error::{DataError, DataResult};
+use crate::sym::Sym;
 use crate::types::TupleType;
 use crate::value::Value;
 
@@ -14,9 +16,40 @@ use crate::value::Value;
 /// output schema), but equality, ordering, and hashing are *name-based*: two
 /// tuples with the same name→value mapping are equal regardless of field
 /// order, which is what the algebra's bag semantics require.
-#[derive(Debug, Clone, Default)]
+///
+/// Attribute names are interned [`Sym`]s, so looking a field up by an already
+/// interned symbol is a linear scan of integer compares, and copying a tuple's
+/// field names never allocates. The name-based structural hash is computed
+/// lazily and cached, so hash-canonicalized bag construction hashes each
+/// (possibly `Arc`-shared) tuple at most once.
+#[derive(Clone, Default)]
 pub struct Tuple {
-    fields: Vec<(String, Value)>,
+    fields: Vec<(Sym, Value)>,
+    /// Lazily computed structural hash over the canonical (name-sorted)
+    /// fields. Tuples are immutable (every "mutation" builds a new tuple), so
+    /// the cache never goes stale; cloning carries it along.
+    hash: OnceLock<u64>,
+}
+
+/// Maximum arity for which canonical iteration runs on a stack-allocated
+/// index buffer; wider tuples fall back to a heap-allocated sort.
+const INLINE_ARITY: usize = 16;
+
+/// Fills `idx[..fields.len()]` with field indices in canonical (name-sorted)
+/// order; stable insertion sort, so duplicate names keep declaration order
+/// exactly like the previous `sort_by_key` canonicalization.
+fn canonical_idx(fields: &[(Sym, Value)], idx: &mut [u8; INLINE_ARITY]) {
+    let n = fields.len();
+    for (i, slot) in idx.iter_mut().enumerate().take(n) {
+        *slot = i as u8;
+    }
+    for i in 1..n {
+        let mut j = i;
+        while j > 0 && fields[idx[j - 1] as usize].0 > fields[idx[j] as usize].0 {
+            idx.swap(j - 1, j);
+            j -= 1;
+        }
+    }
 }
 
 impl Tuple {
@@ -24,18 +57,22 @@ impl Tuple {
     pub fn new<I, S>(fields: I) -> Self
     where
         I: IntoIterator<Item = (S, Value)>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
-        Tuple { fields: fields.into_iter().map(|(n, v)| (n.into(), v)).collect() }
+        Tuple::from_field_vec(fields.into_iter().map(|(n, v)| (n.into(), v)).collect())
+    }
+
+    fn from_field_vec(fields: Vec<(Sym, Value)>) -> Self {
+        Tuple { fields, hash: OnceLock::new() }
     }
 
     /// The empty tuple `⟨⟩`.
     pub fn empty() -> Self {
-        Tuple { fields: Vec::new() }
+        Tuple::from_field_vec(Vec::new())
     }
 
     /// The `(name, value)` pairs in field order.
-    pub fn fields(&self) -> &[(String, Value)] {
+    pub fn fields(&self) -> &[(Sym, Value)] {
         &self.fields
     }
 
@@ -49,97 +86,130 @@ impl Tuple {
         self.fields.is_empty()
     }
 
-    /// The attribute names in field order.
-    pub fn attribute_names(&self) -> Vec<&str> {
-        self.fields.iter().map(|(n, _)| n.as_str()).collect()
+    /// The attribute names in field order, without allocating.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.fields.iter().map(|(n, _)| n.as_str())
     }
 
-    /// Looks up a field by name.
-    pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    /// Looks up a field by name. Pass a [`Sym`] on hot paths so the lookup is
+    /// a scan of integer compares; `&str` arguments are interned first.
+    pub fn get(&self, name: impl Into<Sym>) -> Option<&Value> {
+        let sym = name.into();
+        self.fields.iter().find(|(n, _)| *n == sym).map(|(_, v)| v)
     }
 
-    /// Looks up a field by name, erroring if absent.
-    pub fn get_required(&self, name: &str) -> DataResult<&Value> {
-        self.get(name).ok_or_else(|| DataError::UnknownAttribute {
-            attribute: name.to_string(),
-            available: self.fields.iter().map(|(n, _)| n.clone()).collect(),
-        })
+    /// Looks up a field by name, erroring if absent. The error (with its list
+    /// of available attributes) is only constructed on the miss path, so
+    /// probing optional fields through this method stays cheap.
+    pub fn get_required(&self, name: impl Into<Sym>) -> DataResult<&Value> {
+        let sym = name.into();
+        match self.get(sym) {
+            Some(v) => Ok(v),
+            None => Err(self.unknown_attribute(sym)),
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn unknown_attribute(&self, sym: Sym) -> DataError {
+        DataError::UnknownAttribute {
+            attribute: sym.as_str().to_string(),
+            available: self.attribute_names().collect(),
+        }
     }
 
     /// Whether the tuple contains a field called `name`.
-    pub fn contains(&self, name: &str) -> bool {
+    pub fn contains(&self, name: impl Into<Sym>) -> bool {
         self.get(name).is_some()
     }
 
     /// Projects the tuple onto the given attributes (the paper's `t.L`),
     /// preserving the requested order.
-    pub fn project(&self, names: &[&str]) -> DataResult<Tuple> {
+    pub fn project<S: Into<Sym> + Copy>(&self, names: &[S]) -> DataResult<Tuple> {
         let mut fields = Vec::with_capacity(names.len());
         for name in names {
-            fields.push(((*name).to_string(), self.get_required(name)?.clone()));
+            let sym = (*name).into();
+            fields.push((sym, self.get_required(sym)?.clone()));
         }
-        Ok(Tuple { fields })
+        Ok(Tuple::from_field_vec(fields))
     }
 
     /// Concatenates two tuples (the paper's `t ◦ t'`). Field names must be
     /// disjoint.
     pub fn concat(&self, other: &Tuple) -> DataResult<Tuple> {
-        let mut fields = self.fields.clone();
+        let mut fields = Vec::with_capacity(self.fields.len() + other.fields.len());
+        fields.extend_from_slice(&self.fields);
         for (name, value) in &other.fields {
-            if self.contains(name) {
-                return Err(DataError::DuplicateAttribute(name.clone()));
+            if self.contains(*name) {
+                return Err(DataError::DuplicateAttribute(name.as_str().to_string()));
             }
-            fields.push((name.clone(), value.clone()));
+            fields.push((*name, value.clone()));
         }
-        Ok(Tuple { fields })
+        Ok(Tuple::from_field_vec(fields))
     }
 
-    /// Returns a copy with the listed attributes removed.
-    pub fn without(&self, names: &[&str]) -> Tuple {
-        Tuple {
-            fields: self
-                .fields
-                .iter()
-                .filter(|(n, _)| !names.contains(&n.as_str()))
-                .cloned()
-                .collect(),
-        }
+    /// Returns a copy with the listed attributes removed. Names are converted
+    /// to symbols once per call (on the stack for up to 8 names), so the
+    /// per-field filter is pure integer compares.
+    pub fn without<S: Into<Sym> + Copy>(&self, names: &[S]) -> Tuple {
+        let Some(&first) = names.first() else { return self.clone() };
+        let mut inline = [first.into(); 8];
+        let heap: Vec<Sym>;
+        let syms: &[Sym] = if names.len() <= inline.len() {
+            for (slot, name) in inline.iter_mut().zip(names.iter()) {
+                *slot = (*name).into();
+            }
+            &inline[..names.len()]
+        } else {
+            heap = names.iter().map(|n| (*n).into()).collect();
+            &heap
+        };
+        Tuple::from_field_vec(
+            self.fields.iter().filter(|(n, _)| !syms.contains(n)).cloned().collect(),
+        )
     }
 
     /// Returns a copy with an additional field appended (replacing any
     /// existing field of the same name).
-    pub fn with_field(&self, name: impl Into<String>, value: Value) -> Tuple {
+    pub fn with_field(&self, name: impl Into<Sym>, value: Value) -> Tuple {
         let name = name.into();
-        let mut fields: Vec<(String, Value)> =
+        let mut fields: Vec<(Sym, Value)> =
             self.fields.iter().filter(|(n, _)| *n != name).cloned().collect();
         fields.push((name, value));
-        Tuple { fields }
+        Tuple::from_field_vec(fields)
     }
 
     /// Renames fields according to `(old, new)` pairs; unmentioned fields keep
     /// their names.
-    pub fn rename(&self, mapping: &[(String, String)]) -> Tuple {
-        Tuple {
-            fields: self
-                .fields
+    pub fn rename(&self, mapping: &[(Sym, Sym)]) -> Tuple {
+        Tuple::from_field_vec(
+            self.fields
                 .iter()
                 .map(|(name, value)| {
                     let new_name = mapping
                         .iter()
                         .find(|(old, _)| old == name)
-                        .map(|(_, new)| new.clone())
-                        .unwrap_or_else(|| name.clone());
+                        .map(|(_, new)| *new)
+                        .unwrap_or(*name);
                     (new_name, value.clone())
                 })
                 .collect(),
-        }
+        )
     }
 
     /// A tuple with the same attribute names whose values are all `⊥`
     /// (used to pad outer joins and outer flattens).
-    pub fn null_padded(names: &[&str]) -> Tuple {
-        Tuple { fields: names.iter().map(|n| ((*n).to_string(), Value::Null)).collect() }
+    pub fn null_padded<S: Into<Sym> + Copy>(names: &[S]) -> Tuple {
+        Tuple::from_field_vec(names.iter().map(|n| ((*n).into(), Value::Null)).collect())
+    }
+
+    /// Navigates an attribute path starting at this tuple, mirroring
+    /// [`Value::get_path`] without first wrapping the tuple in a [`Value`].
+    pub fn get_path(&self, path: &crate::path::AttrPath) -> DataResult<Value> {
+        match path.head() {
+            None => Ok(Value::from_tuple(self.clone())),
+            Some(head) => self.get_required(head)?.get_path(&path.tail()),
+        }
     }
 
     /// Whether every field of this tuple conforms to the corresponding
@@ -150,20 +220,64 @@ impl Tuple {
         }
         self.fields
             .iter()
-            .all(|(name, value)| ty.attribute(name).map(|t| value.conforms_to(t)).unwrap_or(false))
+            .all(|(name, value)| ty.attribute(*name).map(|t| value.conforms_to(t)).unwrap_or(false))
+    }
+
+    /// Calls `f` with each `(name, value)` pair in canonical (name-sorted)
+    /// order, without allocating for tuples up to [`INLINE_ARITY`] fields.
+    fn for_each_canonical(&self, mut f: impl FnMut(Sym, &Value)) {
+        let n = self.fields.len();
+        if n <= INLINE_ARITY {
+            let mut idx = [0u8; INLINE_ARITY];
+            canonical_idx(&self.fields, &mut idx);
+            for &i in &idx[..n] {
+                let (name, value) = &self.fields[i as usize];
+                f(*name, value);
+            }
+        } else {
+            for (name, value) in self.canonical() {
+                f(name, value);
+            }
+        }
+    }
+
+    /// The cached name-based structural hash. Equal tuples (same name→value
+    /// mapping, any field order) have equal structural hashes.
+    pub fn structural_hash(&self) -> u64 {
+        *self.hash.get_or_init(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.for_each_canonical(|name, value| {
+                name.hash(&mut h);
+                value.hash(&mut h);
+            });
+            h.finish()
+        })
     }
 
     /// Canonicalized `(name, value)` pairs sorted by name; basis for
-    /// order-insensitive equality, ordering, and hashing.
-    fn canonical(&self) -> Vec<(&String, &Value)> {
-        let mut fields: Vec<(&String, &Value)> = self.fields.iter().map(|(n, v)| (n, v)).collect();
-        fields.sort_by(|a, b| a.0.cmp(b.0));
+    /// order-insensitive equality, ordering, and hashing of tuples too wide
+    /// for the inline path.
+    fn canonical(&self) -> Vec<(Sym, &Value)> {
+        let mut fields: Vec<(Sym, &Value)> = self.fields.iter().map(|(n, v)| (*n, v)).collect();
+        fields.sort_by_key(|a| a.0);
         fields
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tuple").field("fields", &self.fields).finish()
     }
 }
 
 impl PartialEq for Tuple {
     fn eq(&self, other: &Self) -> bool {
+        // Different cached structural hashes prove inequality without a walk.
+        if let (Some(a), Some(b)) = (self.hash.get(), other.hash.get()) {
+            if a != b {
+                return false;
+            }
+        }
         self.cmp(other) == Ordering::Equal
     }
 }
@@ -177,17 +291,34 @@ impl PartialOrd for Tuple {
 }
 
 impl Ord for Tuple {
+    /// Name-based canonical order, identical to comparing the name-sorted
+    /// `(name, value)` vectors lexicographically (then by arity), but
+    /// allocation-free for tuples up to [`INLINE_ARITY`] fields.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.canonical().cmp(&other.canonical())
+        let (na, nb) = (self.fields.len(), other.fields.len());
+        if na <= INLINE_ARITY && nb <= INLINE_ARITY {
+            let mut ia = [0u8; INLINE_ARITY];
+            let mut ib = [0u8; INLINE_ARITY];
+            canonical_idx(&self.fields, &mut ia);
+            canonical_idx(&other.fields, &mut ib);
+            for k in 0..na.min(nb) {
+                let (sa, va) = &self.fields[ia[k] as usize];
+                let (sb, vb) = &other.fields[ib[k] as usize];
+                match sa.cmp(sb).then_with(|| va.cmp(vb)) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            na.cmp(&nb)
+        } else {
+            self.canonical().cmp(&other.canonical())
+        }
     }
 }
 
 impl Hash for Tuple {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for (name, value) in self.canonical() {
-            name.hash(state);
-            value.hash(state);
-        }
+        state.write_u64(self.structural_hash());
     }
 }
 
@@ -219,7 +350,15 @@ mod tests {
         assert_eq!(t.get("city"), Some(&Value::str("NY")));
         assert!(t.get("zip").is_none());
         assert!(t.get_required("zip").is_err());
-        assert_eq!(t.attribute_names(), vec!["city", "year"]);
+        assert_eq!(t.attribute_names().collect::<Vec<_>>(), vec!["city", "year"]);
+    }
+
+    #[test]
+    fn symbol_lookup_matches_string_lookup() {
+        let t = addr("NY", 2010);
+        let city = Sym::intern("city");
+        assert_eq!(t.get(city), t.get("city"));
+        assert!(t.contains(city));
     }
 
     #[test]
@@ -250,7 +389,7 @@ mod tests {
         assert!(joined.concat(&extra).is_err());
 
         let smaller = joined.without(&["year", "city"]);
-        assert_eq!(smaller.attribute_names(), vec!["name"]);
+        assert_eq!(smaller.attribute_names().collect::<Vec<_>>(), vec!["name"]);
     }
 
     #[test]

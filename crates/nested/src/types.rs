@@ -10,12 +10,14 @@
 //! ```
 //!
 //! A nested relation schema is an `R` type; a nested database schema is a set
-//! of `R` types (represented by the algebra crate's `Database`).
+//! of `R` types (represented by the algebra crate's `Database`). Attribute
+//! names are interned [`Sym`]s, matching the instance representation.
 
 use std::fmt;
 
 use crate::error::{DataError, DataResult};
 use crate::path::AttrPath;
+use crate::sym::Sym;
 
 /// Primitive types of the data model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,7 +46,7 @@ impl fmt::Display for PrimitiveType {
 /// A tuple type `⟨A₁ : τ₁, ..., Aₙ : τₙ⟩` with named, ordered attributes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct TupleType {
-    fields: Vec<(String, NestedType)>,
+    fields: Vec<(Sym, NestedType)>,
 }
 
 impl TupleType {
@@ -54,13 +56,13 @@ impl TupleType {
     pub fn new<I, S>(fields: I) -> DataResult<Self>
     where
         I: IntoIterator<Item = (S, NestedType)>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
-        let fields: Vec<(String, NestedType)> =
+        let fields: Vec<(Sym, NestedType)> =
             fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
         for (i, (name, _)) in fields.iter().enumerate() {
             if fields.iter().skip(i + 1).any(|(other, _)| other == name) {
-                return Err(DataError::DuplicateAttribute(name.clone()));
+                return Err(DataError::DuplicateAttribute(name.as_str().to_string()));
             }
         }
         Ok(TupleType { fields })
@@ -69,7 +71,7 @@ impl TupleType {
     /// Creates a tuple type without checking for duplicate names.
     ///
     /// Intended for internal use where uniqueness is already guaranteed.
-    pub fn from_fields(fields: Vec<(String, NestedType)>) -> Self {
+    pub fn from_fields(fields: Vec<(Sym, NestedType)>) -> Self {
         TupleType { fields }
     }
 
@@ -79,13 +81,19 @@ impl TupleType {
     }
 
     /// The `(name, type)` pairs in declaration order.
-    pub fn fields(&self) -> &[(String, NestedType)] {
+    pub fn fields(&self) -> &[(Sym, NestedType)] {
         &self.fields
     }
 
-    /// The attribute names in declaration order (the paper's `sch(R)`).
-    pub fn attribute_names(&self) -> Vec<&str> {
-        self.fields.iter().map(|(n, _)| n.as_str()).collect()
+    /// The attribute names in declaration order (the paper's `sch(R)`),
+    /// without allocating.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The attribute symbols in declaration order.
+    pub fn attribute_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.fields.iter().map(|(n, _)| *n)
     }
 
     /// Number of attributes.
@@ -99,21 +107,33 @@ impl TupleType {
     }
 
     /// Looks up the type of attribute `name`.
-    pub fn attribute(&self, name: &str) -> Option<&NestedType> {
-        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    pub fn attribute(&self, name: impl Into<Sym>) -> Option<&NestedType> {
+        let sym = name.into();
+        self.fields.iter().find(|(n, _)| *n == sym).map(|(_, t)| t)
     }
 
     /// Whether the tuple type contains attribute `name`.
-    pub fn contains(&self, name: &str) -> bool {
+    pub fn contains(&self, name: impl Into<Sym>) -> bool {
         self.attribute(name).is_some()
     }
 
-    /// Looks up the type of attribute `name`, erroring if absent.
-    pub fn attribute_required(&self, name: &str) -> DataResult<&NestedType> {
-        self.attribute(name).ok_or_else(|| DataError::UnknownAttribute {
-            attribute: name.to_string(),
-            available: self.fields.iter().map(|(n, _)| n.clone()).collect(),
-        })
+    /// Looks up the type of attribute `name`, erroring if absent. The error
+    /// (with its list of available attributes) is only built on the miss path.
+    pub fn attribute_required(&self, name: impl Into<Sym>) -> DataResult<&NestedType> {
+        let sym = name.into();
+        match self.attribute(sym) {
+            Some(t) => Ok(t),
+            None => Err(self.unknown_attribute(sym)),
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn unknown_attribute(&self, sym: Sym) -> DataError {
+        DataError::UnknownAttribute {
+            attribute: sym.as_str().to_string(),
+            available: self.attribute_names().collect(),
+        }
     }
 
     /// Resolves a (possibly nested) attribute path starting at this tuple type.
@@ -128,7 +148,7 @@ impl TupleType {
             return Err(DataError::Invalid("empty attribute path".into()));
         }
         for (i, segment) in segments.iter().enumerate() {
-            let ty = current_tuple.attribute_required(segment)?;
+            let ty = current_tuple.attribute_required(*segment)?;
             if i + 1 == segments.len() {
                 return Ok(ty);
             }
@@ -148,11 +168,12 @@ impl TupleType {
 
     /// Projects this tuple type onto the given attribute names, preserving the
     /// requested order. Unknown attributes yield an error.
-    pub fn project(&self, names: &[&str]) -> DataResult<TupleType> {
+    pub fn project<S: Into<Sym> + Copy>(&self, names: &[S]) -> DataResult<TupleType> {
         let mut fields = Vec::with_capacity(names.len());
         for name in names {
-            let ty = self.attribute_required(name)?.clone();
-            fields.push(((*name).to_string(), ty));
+            let sym = (*name).into();
+            let ty = self.attribute_required(sym)?.clone();
+            fields.push((sym, ty));
         }
         TupleType::new(fields)
     }
@@ -163,31 +184,40 @@ impl TupleType {
     pub fn concat(&self, other: &TupleType) -> DataResult<TupleType> {
         let mut fields = self.fields.clone();
         for (name, ty) in &other.fields {
-            if self.contains(name) {
-                return Err(DataError::DuplicateAttribute(name.clone()));
+            if self.contains(*name) {
+                return Err(DataError::DuplicateAttribute(name.as_str().to_string()));
             }
-            fields.push((name.clone(), ty.clone()));
+            fields.push((*name, ty.clone()));
         }
         Ok(TupleType { fields })
     }
 
     /// Returns a copy with the named attribute removed (no-op if absent).
-    pub fn without(&self, names: &[&str]) -> TupleType {
+    /// Names are converted to symbols once per call (on the stack for up to
+    /// 8 names), so the per-field filter is pure integer compares.
+    pub fn without<S: Into<Sym> + Copy>(&self, names: &[S]) -> TupleType {
+        let Some(&first) = names.first() else { return self.clone() };
+        let mut inline = [first.into(); 8];
+        let heap: Vec<Sym>;
+        let syms: &[Sym] = if names.len() <= inline.len() {
+            for (slot, name) in inline.iter_mut().zip(names.iter()) {
+                *slot = (*name).into();
+            }
+            &inline[..names.len()]
+        } else {
+            heap = names.iter().map(|n| (*n).into()).collect();
+            &heap
+        };
         TupleType {
-            fields: self
-                .fields
-                .iter()
-                .filter(|(n, _)| !names.contains(&n.as_str()))
-                .cloned()
-                .collect(),
+            fields: self.fields.iter().filter(|(n, _)| !syms.contains(n)).cloned().collect(),
         }
     }
 
     /// Returns a copy with an additional attribute appended.
-    pub fn with_attribute(&self, name: impl Into<String>, ty: NestedType) -> DataResult<TupleType> {
+    pub fn with_attribute(&self, name: impl Into<Sym>, ty: NestedType) -> DataResult<TupleType> {
         let name = name.into();
-        if self.contains(&name) {
-            return Err(DataError::DuplicateAttribute(name));
+        if self.contains(name) {
+            return Err(DataError::DuplicateAttribute(name.as_str().to_string()));
         }
         let mut fields = self.fields.clone();
         fields.push((name, ty));
@@ -196,14 +226,11 @@ impl TupleType {
 
     /// Renames attributes according to `(old, new)` pairs; attributes not
     /// mentioned keep their name.
-    pub fn rename(&self, mapping: &[(String, String)]) -> DataResult<TupleType> {
+    pub fn rename(&self, mapping: &[(Sym, Sym)]) -> DataResult<TupleType> {
         let mut fields = Vec::with_capacity(self.fields.len());
         for (name, ty) in &self.fields {
-            let new_name = mapping
-                .iter()
-                .find(|(old, _)| old == name)
-                .map(|(_, new)| new.clone())
-                .unwrap_or_else(|| name.clone());
+            let new_name =
+                mapping.iter().find(|(old, _)| old == name).map(|(_, new)| *new).unwrap_or(*name);
             fields.push((new_name, ty.clone()));
         }
         TupleType::new(fields)
@@ -259,7 +286,7 @@ impl NestedType {
     pub fn relation_of<I, S>(fields: I) -> DataResult<Self>
     where
         I: IntoIterator<Item = (S, NestedType)>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
         Ok(NestedType::Relation(TupleType::new(fields)?))
     }
@@ -268,7 +295,7 @@ impl NestedType {
     pub fn tuple_of<I, S>(fields: I) -> DataResult<Self>
     where
         I: IntoIterator<Item = (S, NestedType)>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
         Ok(NestedType::Tuple(TupleType::new(fields)?))
     }
@@ -309,7 +336,7 @@ impl NestedType {
                     return false;
                 }
                 a.fields().iter().all(|(name, ty)| {
-                    b.attribute(name).map(|t| ty.is_compatible_with(t)).unwrap_or(false)
+                    b.attribute(*name).map(|t| ty.is_compatible_with(t)).unwrap_or(false)
                 })
             }
             _ => false,
@@ -363,7 +390,8 @@ mod tests {
         assert!(ty.attribute("missing").is_none());
         assert!(ty.attribute_required("missing").is_err());
         assert_eq!(ty.arity(), 3);
-        assert_eq!(ty.attribute_names(), vec!["name", "address1", "address2"]);
+        assert_eq!(ty.attribute_names().collect::<Vec<_>>(), vec!["name", "address1", "address2"]);
+        assert_eq!(ty.attribute_syms().count(), 3);
     }
 
     #[test]
@@ -382,7 +410,7 @@ mod tests {
         assert_eq!(projected.arity(), 1);
         let extra = TupleType::new([("age", NestedType::int())]).unwrap();
         let combined = projected.concat(&extra).unwrap();
-        assert_eq!(combined.attribute_names(), vec!["name", "age"]);
+        assert_eq!(combined.attribute_names().collect::<Vec<_>>(), vec!["name", "age"]);
         // Concatenation with a colliding name fails.
         assert!(combined.concat(&extra).is_err());
     }
@@ -394,7 +422,7 @@ mod tests {
         assert!(renamed.contains("town"));
         assert!(!renamed.contains("city"));
         let smaller = ty.without(&["year"]);
-        assert_eq!(smaller.attribute_names(), vec!["city"]);
+        assert_eq!(smaller.attribute_names().collect::<Vec<_>>(), vec!["city"]);
     }
 
     #[test]
@@ -415,7 +443,7 @@ mod tests {
     #[test]
     fn with_attribute_appends() {
         let ty = address_type().with_attribute("zip", NestedType::int()).unwrap();
-        assert_eq!(ty.attribute_names(), vec!["city", "year", "zip"]);
+        assert_eq!(ty.attribute_names().collect::<Vec<_>>(), vec!["city", "year", "zip"]);
         assert!(ty.with_attribute("zip", NestedType::int()).is_err());
     }
 }

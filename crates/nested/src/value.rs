@@ -5,12 +5,20 @@
 //! Values have a total order (used to canonicalize bags and to make results
 //! deterministic), structural equality, and hashing, so they can be used as
 //! grouping keys throughout the algebra and provenance crates.
+//!
+//! Compound values (strings, tuples, bags) are stored behind [`Arc`]s, so
+//! `Value::clone` is **O(1)** and values share subtrees structurally: copying
+//! a traced tuple, a projected field, or a whole base relation bumps reference
+//! counts instead of deep-copying trees. In-place mutation goes through
+//! [`Arc::make_mut`] (copy-on-write): shared subtrees are only materialized
+//! when actually written to.
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use crate::bag::Bag;
+use crate::bag::{Bag, BagBuilder};
 use crate::error::{DataError, DataResult};
 use crate::path::AttrPath;
 use crate::tuple::Tuple;
@@ -28,16 +36,16 @@ pub enum Value {
     /// A 64-bit float.
     Float(f64),
     /// A string (ISO dates are represented as strings and compare lexicographically).
-    Str(String),
+    Str(Arc<str>),
     /// A tuple value.
-    Tuple(Tuple),
+    Tuple(Arc<Tuple>),
     /// A nested relation (bag of values, normally tuples).
-    Bag(Bag),
+    Bag(Arc<Bag>),
 }
 
 impl Value {
     /// Convenience constructor for string values.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Str(s.into())
     }
 
@@ -58,16 +66,26 @@ impl Value {
 
     /// An empty nested relation `{{}}`.
     pub fn empty_bag() -> Value {
-        Value::Bag(Bag::new())
+        Value::Bag(Arc::new(Bag::new()))
+    }
+
+    /// Wraps an owned tuple as a value.
+    pub fn from_tuple(t: Tuple) -> Value {
+        Value::Tuple(Arc::new(t))
+    }
+
+    /// Wraps an owned bag as a value.
+    pub fn from_bag(b: Bag) -> Value {
+        Value::Bag(Arc::new(b))
     }
 
     /// Builds a tuple value from `(name, value)` pairs.
     pub fn tuple<I, S>(fields: I) -> Value
     where
         I: IntoIterator<Item = (S, Value)>,
-        S: Into<String>,
+        S: Into<crate::sym::Sym>,
     {
-        Value::Tuple(Tuple::new(fields))
+        Value::from_tuple(Tuple::new(fields))
     }
 
     /// Builds a bag value from an iterator of element values.
@@ -75,7 +93,7 @@ impl Value {
     where
         I: IntoIterator<Item = Value>,
     {
-        Value::Bag(Bag::from_values(values))
+        Value::from_bag(Bag::from_values(values))
     }
 
     /// Whether this value is `⊥`.
@@ -92,9 +110,12 @@ impl Value {
     }
 
     /// Mutable access to the contained tuple, if this is a tuple value.
+    ///
+    /// Copy-on-write: if the tuple is shared, it is cloned one level deep
+    /// first (`Arc::make_mut`); nested values inside it stay shared.
     pub fn as_tuple_mut(&mut self) -> Option<&mut Tuple> {
         match self {
-            Value::Tuple(t) => Some(t),
+            Value::Tuple(t) => Some(Arc::make_mut(t)),
             _ => None,
         }
     }
@@ -184,7 +205,7 @@ impl Value {
                 let mut fields = Vec::with_capacity(t.arity());
                 for (name, value) in t.fields() {
                     let ty = value.infer_type().unwrap_or(NestedType::Prim(PrimitiveType::Str));
-                    fields.push((name.clone(), ty));
+                    fields.push((*name, ty));
                 }
                 Some(NestedType::Tuple(TupleType::from_fields(fields)))
             }
@@ -239,14 +260,12 @@ impl Value {
                 inner.get_path(&path.tail())
             }
             Value::Bag(b) => {
-                let mut collected = Vec::new();
+                let mut builder = BagBuilder::with_capacity(b.distinct());
                 for (element, mult) in b.iter() {
                     let v = element.get_path(path)?;
-                    for _ in 0..*mult {
-                        collected.push(v.clone());
-                    }
+                    builder.add(v, *mult);
                 }
-                Ok(Value::Bag(Bag::from_values(collected)))
+                Ok(Value::from_bag(builder.finish()))
             }
             other => Err(DataError::PathMismatch {
                 path: path.to_string(),
@@ -329,8 +348,22 @@ impl Ord for Value {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            (Value::Tuple(a), Value::Tuple(b)) => a.cmp(b),
-            (Value::Bag(a), Value::Bag(b)) => a.cmp(b),
+            // Shared subtrees are identical without looking inside; the deep
+            // comparison only runs for distinct allocations.
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            (Value::Bag(a), Value::Bag(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
             // Numeric cross-variant comparisons keep Int and Float comparable
             // by value so that e.g. grouping on a mixed column is stable.
             (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
@@ -398,13 +431,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::str(s)
     }
 }
 
@@ -422,13 +455,13 @@ impl From<f64> for Value {
 
 impl From<Tuple> for Value {
     fn from(t: Tuple) -> Self {
-        Value::Tuple(t)
+        Value::from_tuple(t)
     }
 }
 
 impl From<Bag> for Value {
     fn from(b: Bag) -> Self {
-        Value::Bag(b)
+        Value::from_bag(b)
     }
 }
 
@@ -460,6 +493,27 @@ mod tests {
         assert!(Value::empty_bag().as_bag().unwrap().is_empty());
         assert!(Value::int(1).expect_tuple().is_err());
         assert!(sue().expect_tuple().is_ok());
+    }
+
+    #[test]
+    fn clone_is_shallow_and_shared() {
+        let v = sue();
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Tuple(a), Value::Tuple(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected tuples"),
+        }
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn copy_on_write_mutation_leaves_the_original_alone() {
+        let v = sue();
+        let mut w = v.clone();
+        let t = w.as_tuple_mut().unwrap();
+        *t = t.with_field("name", Value::str("Ann"));
+        assert_eq!(v.as_tuple().unwrap().get("name"), Some(&Value::str("Sue")));
+        assert_eq!(w.as_tuple().unwrap().get("name"), Some(&Value::str("Ann")));
     }
 
     #[test]

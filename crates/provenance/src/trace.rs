@@ -365,6 +365,10 @@ impl<'a> Tracer<'a> {
             let equi = equi_join_keys(predicate, &left_schema, &right_schema);
             let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> =
                 equi.as_ref().map(|(_, rk)| {
+                    // `Value` only carries interior mutability in its lazily
+                    // cached structural hash, which never changes its
+                    // `Eq`/`Ord` identity.
+                    #[allow(clippy::mutable_key_type)]
                     let mut buckets: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
                     for (ri, rt) in right_trace.tuples.iter().enumerate() {
                         if let Some(tuple) = rt.variant(sa) {
@@ -417,8 +421,8 @@ impl<'a> Tracer<'a> {
         ) -> &mut Slot {
             slots.entry(key).or_insert_with(|| Slot { per_sa: vec![None; n] })
         }
-        let left_names: Vec<&str> = left_schema.attribute_names();
-        let right_names: Vec<&str> = right_schema.attribute_names();
+        let left_names: Vec<nested_data::Sym> = left_schema.attribute_syms().collect();
+        let right_names: Vec<nested_data::Sym> = right_schema.attribute_syms().collect();
         for (sa, state) in per_sa.iter().enumerate() {
             for (li, ri) in &state.pairs {
                 let lt = &left_trace.tuples[*li];
@@ -479,6 +483,9 @@ impl<'a> Tracer<'a> {
     fn trace_relation_nest(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
         let child = &node.inputs[0];
         let child_trace = self.take_trace(child.id);
+        // `Value`'s interior mutability is limited to its cached structural
+        // hash, which never changes its `Eq`/`Ord` identity.
+        #[allow(clippy::mutable_key_type)]
         let mut groups: BTreeMap<Value, GroupSlot> = BTreeMap::new();
         let n = self.n_sas();
 
@@ -487,13 +494,14 @@ impl<'a> Tracer<'a> {
                 Operator::RelationNest { attrs, into } => (attrs, into),
                 _ => unreachable!("trace_relation_nest called on non-nest"),
             };
-            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let attr_refs: Vec<nested_data::Sym> =
+                attrs.iter().map(|a| nested_data::Sym::intern(a)).collect();
             for input in &child_trace.tuples {
                 let Some(tuple) = input.variant(sa) else { continue };
                 if !input.flags(sa).valid {
                     continue;
                 }
-                let key = Value::Tuple(tuple.without(&attr_refs));
+                let key = Value::from_tuple(tuple.without(&attr_refs));
                 let slot = groups.entry(key).or_insert_with(|| GroupSlot {
                     per_sa: vec![None; n],
                     member_ids: vec![Vec::new(); n],
@@ -501,7 +509,7 @@ impl<'a> Tracer<'a> {
                 let entry = slot.per_sa[sa].get_or_insert_with(|| (Bag::new(), into.clone()));
                 if let Ok(projected) = tuple.project(&attr_refs) {
                     if projected.fields().iter().any(|(_, v)| !v.is_null()) {
-                        entry.0.insert(Value::Tuple(projected), 1);
+                        entry.0.insert(Value::from_tuple(projected), 1);
                     }
                 }
                 if !slot.member_ids[sa].contains(&input.id) {
@@ -519,7 +527,8 @@ impl<'a> Tracer<'a> {
             for sa in 0..n {
                 match &slot.per_sa[sa] {
                     Some((bag, into)) => {
-                        let tuple = key_tuple.with_field(into.clone(), Value::Bag(bag.clone()));
+                        let tuple =
+                            key_tuple.with_field(into.as_str(), Value::from_bag(bag.clone()));
                         flags.push(base_flags(Some(&tuple), true, true));
                         variants.push(Some(tuple));
                     }
@@ -544,6 +553,8 @@ impl<'a> Tracer<'a> {
         let child = &node.inputs[0];
         let child_trace = self.take_trace(child.id);
         let n = self.n_sas();
+        // See above: the cached structural hash does not affect ordering.
+        #[allow(clippy::mutable_key_type)]
         let mut groups: BTreeMap<Value, AggGroupSlot> = BTreeMap::new();
 
         for sa in 0..n {
@@ -551,14 +562,16 @@ impl<'a> Tracer<'a> {
                 Operator::GroupAggregation { group_by, aggs } => (group_by, aggs),
                 _ => unreachable!("trace_group_aggregation called on non-aggregation"),
             };
-            let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            let group_refs: Vec<nested_data::Sym> =
+                group_by.iter().map(|a| nested_data::Sym::intern(a)).collect();
             for input in &child_trace.tuples {
                 let Some(tuple) = input.variant(sa) else { continue };
                 if !input.flags(sa).valid {
                     continue;
                 }
-                let key =
-                    Value::Tuple(tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()));
+                let key = Value::from_tuple(
+                    tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()),
+                );
                 let slot = groups.entry(key).or_insert_with(|| AggGroupSlot {
                     per_sa: (0..n).map(|_| None).collect(),
                     member_ids: vec![Vec::new(); n],
@@ -692,7 +705,7 @@ fn relax_aggregate_upper_bounds(nip: &Nip, agg_outputs: &[String]) -> Nip {
             fields
                 .iter()
                 .map(|(name, field)| {
-                    let relaxed = if agg_outputs.contains(name) {
+                    let relaxed = if agg_outputs.iter().any(|o| *name == o.as_str()) {
                         match field {
                             Nip::Pred(nested_data::NipCmp::Lt | nested_data::NipCmp::Le, _) => {
                                 Nip::Any
@@ -702,7 +715,7 @@ fn relax_aggregate_upper_bounds(nip: &Nip, agg_outputs: &[String]) -> Nip {
                     } else {
                         field.clone()
                     };
-                    (name.clone(), relaxed)
+                    (*name, relaxed)
                 })
                 .collect(),
         ),
@@ -737,8 +750,8 @@ fn aggregate_tuple(key: &Tuple, aggs: &[nrab_algebra::AggSpec], members: &[Tuple
 /// Applies a 1:1 structural operator to a single tuple by evaluating it over a
 /// singleton bag, reusing the evaluator's semantics.
 fn apply_to_single(node: &OpNode, tuple: &Tuple, db: &Database) -> AlgebraResult<Option<Tuple>> {
-    let singleton = Bag::from_values([Value::Tuple(tuple.clone())]);
-    let inputs = vec![singleton];
+    let singleton = Bag::from_values([Value::from_tuple(tuple.clone())]);
+    let inputs = vec![std::sync::Arc::new(singleton)];
     match apply_operator(node, &inputs, db) {
         Ok(result) => Ok(result.iter().next().and_then(|(v, _)| v.as_tuple().cloned())),
         // A structural operator can fail under an alternative (e.g. a
@@ -767,8 +780,8 @@ fn flatten_one(
         let padded = match alias {
             Some(alias) => tuple.with_field(alias, Value::Null),
             None => {
-                let names: Vec<&str> = match child_schema.attribute(attr) {
-                    Some(NestedType::Relation(t)) => t.attribute_names(),
+                let names: Vec<nested_data::Sym> = match child_schema.attribute(attr) {
+                    Some(NestedType::Relation(t)) => t.attribute_syms().collect(),
                     _ => Vec::new(),
                 };
                 tuple.concat(&Tuple::null_padded(&names))?
@@ -840,18 +853,18 @@ fn collect_equi_keys(
 }
 
 fn key_of(tuple: &Tuple, keys: &[AttrPath]) -> Vec<Value> {
-    keys.iter().map(|k| Value::Tuple(tuple.clone()).get_path(k).unwrap_or(Value::Null)).collect()
+    keys.iter().map(|k| tuple.get_path(k).unwrap_or(Value::Null)).collect()
 }
 
 /// Matches a NIP against a tuple without cloning it into a `Value`.
 fn nip_matches_tuple(nip: &Nip, tuple: &Tuple) -> bool {
     match nip {
-        Nip::Tuple(fields) => fields.iter().all(|(name, field_nip)| match tuple.get(name) {
+        Nip::Tuple(fields) => fields.iter().all(|(name, field_nip)| match tuple.get(*name) {
             Some(v) => field_nip.matches(v),
             None => false,
         }),
         Nip::Any => true,
-        other => other.matches(&Value::Tuple(tuple.clone())),
+        other => other.matches(&Value::from_tuple(tuple.clone())),
     }
 }
 

@@ -38,10 +38,10 @@ pub fn value_to_json(value: &Value) -> Json {
         Value::Bool(b) => Json::Bool(*b),
         Value::Int(i) => Json::Int(*i),
         Value::Float(f) => Json::Float(*f),
-        Value::Str(s) => Json::str(s.clone()),
-        Value::Tuple(t) => {
-            Json::Object(t.fields().iter().map(|(n, v)| (n.clone(), value_to_json(v))).collect())
-        }
+        Value::Str(s) => Json::str(&**s),
+        Value::Tuple(t) => Json::Object(
+            t.fields().iter().map(|(n, v)| (n.as_str().to_string(), value_to_json(v))).collect(),
+        ),
         Value::Bag(b) => {
             let mut items = Vec::with_capacity(b.total() as usize);
             for value in b.iter_expanded() {
@@ -52,6 +52,35 @@ pub fn value_to_json(value: &Value) -> Json {
     }
 }
 
+/// Interns an attribute name arriving from untrusted wire input, refusing to
+/// grow the process-global interner past its cap (each distinct name is
+/// retained for the lifetime of the process).
+fn intern_wire_name(name: &str) -> ServiceResult<nested_data::Sym> {
+    nested_data::Sym::try_intern(name).ok_or_else(|| {
+        ServiceError::decode(format!(
+            "too many distinct attribute names; refusing to intern `{name}`"
+        ))
+    })
+}
+
+/// Validates an attribute name from untrusted wire input (bounded interning),
+/// passing the string through for operator parameters that store `String`s.
+fn wire_name(name: &str) -> ServiceResult<&str> {
+    intern_wire_name(name)?;
+    Ok(name)
+}
+
+/// Parses a dotted attribute path from untrusted wire input with bounded
+/// interning of each segment.
+fn wire_attr_path(path: &str) -> ServiceResult<AttrPath> {
+    let segments = path
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .map(intern_wire_name)
+        .collect::<ServiceResult<Vec<_>>>()?;
+    Ok(AttrPath::new(segments))
+}
+
 /// Decodes a nested value.
 pub fn value_from_json(json: &Json) -> ServiceResult<Value> {
     Ok(match json {
@@ -59,11 +88,11 @@ pub fn value_from_json(json: &Json) -> ServiceResult<Value> {
         Json::Bool(b) => Value::Bool(*b),
         Json::Int(i) => Value::Int(*i),
         Json::Float(f) => Value::Float(*f),
-        Json::Str(s) => Value::Str(s.clone()),
+        Json::Str(s) => Value::str(s.as_str()),
         Json::Object(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (name, v) in fields {
-                out.push((name.clone(), value_from_json(v)?));
+                out.push((intern_wire_name(name)?, value_from_json(v)?));
             }
             Value::tuple(out)
         }
@@ -72,7 +101,7 @@ pub fn value_from_json(json: &Json) -> ServiceResult<Value> {
             for item in items {
                 values.push(value_from_json(item)?);
             }
-            Value::Bag(Bag::from_values(values))
+            Value::from_bag(Bag::from_values(values))
         }
     })
 }
@@ -92,7 +121,9 @@ pub fn type_to_json(ty: &NestedType) -> Json {
 
 /// Encodes a tuple type as an ordered object.
 pub fn tuple_type_to_json(ty: &TupleType) -> Json {
-    Json::Object(ty.fields().iter().map(|(n, t)| (n.clone(), type_to_json(t))).collect())
+    Json::Object(
+        ty.fields().iter().map(|(n, t)| (n.as_str().to_string(), type_to_json(t))).collect(),
+    )
 }
 
 /// Decodes a nested type.
@@ -124,7 +155,7 @@ pub fn tuple_type_from_json(json: &Json) -> ServiceResult<TupleType> {
         json.as_object().ok_or_else(|| ServiceError::decode("tuple type must be an object"))?;
     let mut out = Vec::with_capacity(fields.len());
     for (name, ty) in fields {
-        out.push((name.clone(), type_from_json(ty)?));
+        out.push((intern_wire_name(name)?, type_from_json(ty)?));
     }
     TupleType::new(out).map_err(|e| ServiceError::decode(e.to_string()))
 }
@@ -159,8 +190,8 @@ pub fn nip_to_json(nip: &Nip) -> ServiceResult<Json> {
     Ok(match nip {
         Nip::Any => Json::str("?"),
         Nip::Star => Json::str("*"),
-        Nip::Value(Value::Str(s)) if s == "?" || s == "*" => {
-            Json::object([("$str", Json::str(s.clone()))])
+        Nip::Value(Value::Str(s)) if &**s == "?" || &**s == "*" => {
+            Json::object([("$str", Json::str(&**s))])
         }
         Nip::Value(v @ (Value::Tuple(_) | Value::Bag(_))) => {
             Json::object([("$value", value_to_json(v))])
@@ -178,7 +209,7 @@ pub fn nip_to_json(nip: &Nip) -> ServiceResult<Json> {
                         "attribute name `{name}` collides with wire-format tags"
                     )));
                 }
-                out.push((name.clone(), nip_to_json(field)?));
+                out.push((name.as_str().to_string(), nip_to_json(field)?));
             }
             Json::Object(out)
         }
@@ -204,12 +235,11 @@ pub fn nip_from_json(json: &Json) -> ServiceResult<Nip> {
             if fields.first().map(|(k, _)| k.starts_with('$')).unwrap_or(false) =>
         {
             match fields[0].0.as_str() {
-                "$str" => Nip::Value(Value::Str(
+                "$str" => Nip::Value(Value::str(
                     fields[0]
                         .1
                         .as_str()
-                        .ok_or_else(|| ServiceError::decode("$str payload must be a string"))?
-                        .to_string(),
+                        .ok_or_else(|| ServiceError::decode("$str payload must be a string"))?,
                 )),
                 "$value" => Nip::Value(value_from_json(&fields[0].1)?),
                 "$cmp" => {
@@ -228,7 +258,7 @@ pub fn nip_from_json(json: &Json) -> ServiceResult<Nip> {
         Json::Object(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (name, field) in fields {
-                out.push((name.clone(), nip_from_json(field)?));
+                out.push((intern_wire_name(name)?, nip_from_json(field)?));
             }
             Nip::Tuple(out)
         }
@@ -330,9 +360,9 @@ pub fn expr_from_json(json: &Json) -> ServiceResult<Expr> {
     })?;
     let (tag, payload) = &fields[0];
     Ok(match tag.as_str() {
-        "attr" => Expr::Attr(AttrPath::parse(
+        "attr" => Expr::Attr(wire_attr_path(
             payload.as_str().ok_or_else(|| ServiceError::decode("`attr` expects a path string"))?,
-        )),
+        )?),
         "const" => Expr::Const(value_from_json(payload)?),
         "cmp" | "arith" => {
             let items = payload.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
@@ -423,7 +453,8 @@ fn opt_str_to_json(s: &Option<String>) -> Json {
 fn opt_str_from_json(json: &Json, what: &str) -> ServiceResult<Option<String>> {
     match json {
         Json::Null => Ok(None),
-        Json::Str(s) => Ok(Some(s.clone())),
+        // Aliases and field selectors are attribute names: bounded interning.
+        Json::Str(s) => Ok(Some(wire_name(s)?.to_string())),
         other => Err(ServiceError::decode(format!(
             "{what} must be a string or null, found {}",
             other.kind()
@@ -442,9 +473,10 @@ fn str_list_from_json(json: &Json, what: &str) -> ServiceResult<Vec<String>> {
     items
         .iter()
         .map(|item| {
+            // These lists carry attribute names: bounded interning.
             item.as_str()
-                .map(str::to_string)
                 .ok_or_else(|| ServiceError::decode(format!("{what} must be an array of strings")))
+                .and_then(|s| Ok(wire_name(s)?.to_string()))
         })
         .collect()
 }
@@ -577,7 +609,7 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
                 .iter()
                 .map(|c| {
                     Ok(ProjColumn {
-                        name: required_str(c, "name")?.to_string(),
+                        name: wire_name(required_str(c, "name")?)?.to_string(),
                         expr: expr_from_json(
                             c.get_required("expr")
                                 .map_err(|e| ServiceError::decode(e.to_string()))?,
@@ -594,7 +626,12 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
                 .as_array()
                 .ok_or_else(|| ServiceError::decode("`pairs` must be an array"))?
                 .iter()
-                .map(|p| Ok(RenamePair::new(required_str(p, "from")?, required_str(p, "to")?)))
+                .map(|p| {
+                    Ok(RenamePair::new(
+                        wire_name(required_str(p, "from")?)?,
+                        wire_name(required_str(p, "to")?)?,
+                    ))
+                })
                 .collect::<ServiceResult<Vec<_>>>()?;
             Operator::Rename { pairs }
         }
@@ -611,7 +648,7 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
         },
         "cross" => Operator::CrossProduct,
         "tuple_flatten" => Operator::TupleFlatten {
-            source: AttrPath::parse(required_str(json, "source")?),
+            source: wire_attr_path(required_str(json, "source")?)?,
             alias: opt_str_from_json(json.get("alias").unwrap_or(&Json::Null), "`alias`")?,
         },
         "flatten" => Operator::Flatten {
@@ -622,7 +659,7 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
                     return Err(ServiceError::decode(format!("unknown flatten kind `{other}`")))
                 }
             },
-            attr: required_str(json, "attr")?.to_string(),
+            attr: wire_name(required_str(json, "attr")?)?.to_string(),
             alias: opt_str_from_json(json.get("alias").unwrap_or(&Json::Null), "`alias`")?,
         },
         "tuple_nest" => Operator::TupleNest {
@@ -630,20 +667,20 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
                 json.get_required("attrs").map_err(|e| ServiceError::decode(e.to_string()))?,
                 "`attrs`",
             )?,
-            into: required_str(json, "into")?.to_string(),
+            into: wire_name(required_str(json, "into")?)?.to_string(),
         },
         "relation_nest" => Operator::RelationNest {
             attrs: str_list_from_json(
                 json.get_required("attrs").map_err(|e| ServiceError::decode(e.to_string()))?,
                 "`attrs`",
             )?,
-            into: required_str(json, "into")?.to_string(),
+            into: wire_name(required_str(json, "into")?)?.to_string(),
         },
         "nest_agg" => Operator::NestAggregation {
             func: agg_func_from_name(required_str(json, "func")?)?,
-            attr: required_str(json, "attr")?.to_string(),
+            attr: wire_name(required_str(json, "attr")?)?.to_string(),
             field: opt_str_from_json(json.get("field").unwrap_or(&Json::Null), "`field`")?,
-            output: required_str(json, "output")?.to_string(),
+            output: wire_name(required_str(json, "output")?)?.to_string(),
         },
         "group_agg" => {
             let aggs = json
@@ -659,7 +696,7 @@ pub fn operator_from_json(json: &Json) -> ServiceResult<Operator> {
                             a.get_required("input")
                                 .map_err(|e| ServiceError::decode(e.to_string()))?,
                         )?,
-                        required_str(a, "output")?,
+                        wire_name(required_str(a, "output")?)?,
                     ))
                 })
                 .collect::<ServiceResult<Vec<_>>>()?;
@@ -795,8 +832,8 @@ pub fn alternative_to_json(alt: &AttributeAlternative) -> Json {
 pub fn alternative_from_json(json: &Json) -> ServiceResult<AttributeAlternative> {
     Ok(AttributeAlternative::new(
         required_str(json, "relation")?,
-        AttrPath::parse(required_str(json, "from")?),
-        AttrPath::parse(required_str(json, "to")?),
+        wire_attr_path(required_str(json, "from")?)?,
+        wire_attr_path(required_str(json, "to")?)?,
     ))
 }
 
@@ -840,7 +877,7 @@ mod tests {
 
     #[test]
     fn value_round_trip_with_multiplicities() {
-        let v = Value::Bag(Bag::from_entries([
+        let v = Value::from_bag(Bag::from_entries([
             (Value::tuple([("x", Value::int(1))]), 3),
             (Value::tuple([("x", Value::Null)]), 1),
         ]));

@@ -42,14 +42,14 @@ fn random_value(rng: &mut StdRng, depth: usize) -> Value {
                 Value::Float(rng.gen_range(-1000.0..1000.0))
             }
         }
-        4 => Value::Str(random_string(rng)),
+        4 => Value::str(random_string(rng)),
         5 => {
             let n = rng.gen_range(0..3usize);
             Value::tuple((0..n).map(|i| (format!("f{i}"), random_value(rng, depth - 1))))
         }
         _ => {
             let n = rng.gen_range(0..3usize);
-            Value::Bag(Bag::from_values((0..n).map(|_| random_value(rng, depth - 1))))
+            Value::from_bag(Bag::from_values((0..n).map(|_| random_value(rng, depth - 1))))
         }
     }
 }
@@ -63,10 +63,16 @@ fn random_nip(rng: &mut StdRng, depth: usize) -> Nip {
             *rng.choose(&[NipCmp::Lt, NipCmp::Le, NipCmp::Gt, NipCmp::Ge, NipCmp::Ne]),
             Value::Int(rng.gen_range(-100i64..100)),
         ),
-        3 => Nip::Value(Value::Str(random_string(rng))),
+        3 => Nip::Value(Value::str(random_string(rng))),
         4 => {
             let n = rng.gen_range(0..3usize);
-            Nip::Tuple((0..n).map(|i| (format!("a{i}"), random_nip(rng, depth - 1))).collect())
+            Nip::Tuple(
+                (0..n)
+                    .map(|i| {
+                        (nested_data::Sym::intern(&format!("a{i}")), random_nip(rng, depth - 1))
+                    })
+                    .collect(),
+            )
         }
         _ => {
             let n = rng.gen_range(0..3usize);
@@ -233,7 +239,7 @@ fn databases_round_trip() {
             .map(|_| {
                 Value::tuple([
                     ("x", Value::Int(rng.gen_range(-9i64..9))),
-                    ("s", Value::Str(random_string(&mut rng))),
+                    ("s", Value::str(random_string(&mut rng))),
                 ])
             })
             .collect();
@@ -242,7 +248,7 @@ fn databases_round_trip() {
             .map(|_| {
                 let k = rng.gen_range(0..3usize);
                 Value::tuple([
-                    ("name", Value::Str(random_string(&mut rng))),
+                    ("name", Value::str(random_string(&mut rng))),
                     (
                         "items",
                         Value::bag((0..k).map(|_| {
@@ -302,5 +308,26 @@ fn reports_round_trip() {
         let text = report.to_json().to_pretty();
         let decoded = ExplanationReport::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded, report, "report round trip failed");
+    }
+}
+
+/// `Arc`-shared values (structural sharing from the value layer) round-trip
+/// through the wire codecs unchanged: sharing is a representation detail the
+/// wire format cannot observe.
+#[test]
+fn shared_values_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x7761_7263);
+    for _ in 0..CASES {
+        let subtree = random_value(&mut rng, 1);
+        // Build a value whose branches share one Arc'd subtree several times.
+        let shared = Value::tuple([
+            ("left", subtree.clone()),
+            ("right", subtree.clone()),
+            ("bag", Value::bag([subtree.clone(), subtree.clone(), random_value(&mut rng, 0)])),
+        ]);
+        let encoded = value_to_json(&shared);
+        let reparsed = Json::parse(&encoded.to_compact()).expect("wire JSON parses");
+        let decoded = value_from_json(&reparsed).expect("wire JSON decodes");
+        assert_eq!(decoded, shared, "shared value changed across the wire");
     }
 }
