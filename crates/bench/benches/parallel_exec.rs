@@ -1,0 +1,6 @@
+//! `parallel` microbenchmarks: serial vs. parallel generalized tracing and
+//! service batches (with built-in bit-identity assertions).
+
+fn main() {
+    whynot_bench::parallel_group();
+}

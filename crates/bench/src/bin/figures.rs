@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Artifacts: `fig8`, `fig9`, `fig10`, `fig11`, `table3`, `table7`, `table8`,
-//! `crime`, `value_layer`.
+//! `crime`, `value_layer`, `parallel`.
 //!
 //! Besides the stdout tables, runtime rows and microbench results are merged
 //! into the machine-readable `BENCH_figures.json` at the workspace root
@@ -54,6 +54,9 @@ fn main() {
     }
     if wanted("value_layer") {
         whynot_bench::value_layer_group();
+    }
+    if wanted("parallel") {
+        whynot_bench::parallel_group();
     }
 }
 

@@ -177,6 +177,91 @@ pub fn value_layer_group() {
     group.finish();
 }
 
+/// The `parallel` microbench group: serial vs. parallel wall-clock time of
+/// the two workloads the execution subsystem accelerates — the whole-plan
+/// multi-SA generalized trace of DBLP D4 and an 8-question service batch —
+/// at `WHYNOT_THREADS=1` vs. 4 pool threads.
+///
+/// The group also *asserts* the determinism contract before measuring:
+/// parallel traces and batch reports must be bit-identical to their serial
+/// twins. A `available_parallelism` pseudo-case records how many hardware
+/// threads the measuring host actually had (on a single-core host the
+/// threads4 rows cannot beat threads1 — CI enforces the speedup on
+/// multi-core runners).
+pub fn parallel_group() {
+    use whynot_core::alternatives::enumerate_schema_alternatives;
+    use whynot_core::backtrace::schema_backtrace;
+    use whynot_exec::with_threads;
+    use whynot_service::service::{DbRef, ExplainRequest, ExplainService, PlanRef};
+
+    let mut group = BenchGroup::new("parallel");
+    let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1) as f64;
+    group.record("available_parallelism", cpus, cpus, cpus);
+
+    // Whole-plan generalized trace of DBLP D4 (multi-SA) — the per-question-
+    // independent stage the trace cache amortizes.
+    let scenario = whynot_scenarios::dblp::d4(300);
+    let backtrace = schema_backtrace(&scenario.plan, &scenario.db, &scenario.why_not)
+        .expect("backtrace succeeds");
+    let sas = enumerate_schema_alternatives(
+        &scenario.plan,
+        &scenario.db,
+        &scenario.why_not,
+        &backtrace,
+        &scenario.alternatives,
+        64,
+    )
+    .expect("alternatives enumerate");
+    let trace = |threads: usize| {
+        with_threads(threads, || {
+            nrab_provenance::trace_plan_generalized(&scenario.plan, &scenario.db, &sas)
+                .expect("trace succeeds")
+        })
+    };
+    assert!(trace(1) == trace(4), "parallel trace must be bit-identical to the serial trace");
+    group.bench("dblp_d4_trace/threads1", || trace(1));
+    group.bench("dblp_d4_trace/threads4", || trace(4));
+
+    // An 8-question batch over the five DBLP plans (three questions repeat,
+    // exercising the concurrent cache-dedup path).
+    let scenarios = whynot_scenarios::dblp::all_dblp(300);
+    let requests: Vec<ExplainRequest> = scenarios
+        .iter()
+        .chain(scenarios.iter().take(3))
+        .map(|s| {
+            ExplainRequest::new(
+                DbRef::Named("dblp".into()),
+                PlanRef::Named(s.name.clone()),
+                s.why_not.clone(),
+            )
+            .with_alternatives(s.alternatives.clone())
+        })
+        .collect();
+    let run_batch = |threads: usize| {
+        let mut service = ExplainService::new();
+        service.catalog_mut().register_database("dblp", scenarios[0].db.clone());
+        for s in &scenarios {
+            service.catalog_mut().register_plan(s.name.clone(), s.plan.clone());
+        }
+        with_threads(threads, || {
+            service
+                .explain_batch(&requests)
+                .into_iter()
+                .map(|r| r.expect("batch question succeeds").report.to_json().to_compact())
+                .collect::<Vec<String>>()
+        })
+    };
+    assert_eq!(
+        run_batch(1),
+        run_batch(4),
+        "parallel batch reports must be byte-identical to serial reports"
+    );
+    group.bench("service_batch8/threads1", || run_batch(1));
+    group.bench("service_batch8/threads4", || run_batch(4));
+
+    group.finish();
+}
+
 /// One row of the Table 7 summary.
 #[derive(Debug, Clone)]
 pub struct Table7Row {

@@ -15,7 +15,10 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use whynot_rng::{Rng, SeedableRng, StdRng};
+use whynot_exec::par_map_range;
+use whynot_rng::Rng;
+
+use crate::row_rng;
 
 /// Configuration of the DBLP generator.
 #[derive(Debug, Clone, Copy)]
@@ -77,8 +80,11 @@ pub mod planted {
 }
 
 /// Builds the DBLP database with the relations used by scenarios D1–D5.
+///
+/// Filler records are generated in parallel (deterministically — each record
+/// derives its RNG from its index); the planted scenario facts are inserted
+/// afterwards on the calling thread.
 pub fn dblp_database(config: DblpConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut db = Database::new();
 
     // --- proceedings (P): key, title (written out), booktitle (acronym), year,
@@ -92,22 +98,18 @@ pub fn dblp_database(config: DblpConfig) -> Database {
         ("series", NestedType::tuple_of([("value", NestedType::str())]).unwrap()),
     ])
     .unwrap();
-    let mut proceedings = Bag::new();
     let venues = ["VLDB", "ICDE", "EDBT", "CIKM"];
-    for i in 0..config.scale {
+    let mut proceedings = Bag::from_values(par_map_range(0..config.scale, |i| {
         let venue = venues[i % venues.len()];
-        proceedings.insert(
-            Value::tuple([
-                ("key", Value::str(format!("conf/{venue}/{i}"))),
-                ("title", Value::str(format!("Proceedings of the {venue} Conference {i}"))),
-                ("booktitle", Value::str(venue)),
-                ("year", Value::int(2000 + (i % 20) as i64)),
-                ("publisher", value_tuple(if i % 3 == 0 { "Springer" } else { "IEEE" })),
-                ("series", value_tuple("LNCS")),
-            ]),
-            1,
-        );
-    }
+        Value::tuple([
+            ("key", Value::str(format!("conf/{venue}/{i}"))),
+            ("title", Value::str(format!("Proceedings of the {venue} Conference {i}"))),
+            ("booktitle", Value::str(venue)),
+            ("year", Value::int(2000 + (i % 20) as i64)),
+            ("publisher", value_tuple(if i % 3 == 0 { "Springer" } else { "IEEE" })),
+            ("series", value_tuple("LNCS")),
+        ])
+    }));
     // D1: the SIGMOD proceedings (acronym only in booktitle).
     proceedings.insert(
         Value::tuple([
@@ -160,22 +162,19 @@ pub fn dblp_database(config: DblpConfig) -> Database {
         ("year", NestedType::int()),
     ])
     .unwrap();
-    let mut inproceedings = Bag::new();
     let filler_authors = ["Alice Shaw", "Bob Liu", "Chao Dey", "Dana Cruz", "Erik Holm"];
-    for i in 0..config.scale {
+    let mut inproceedings = Bag::from_values(par_map_range(0..config.scale, |i| {
         let venue = venues[i % venues.len()];
+        let mut rng = row_rng(config.seed, 1, i as u64);
         let bibtex = if rng.gen_range(0..200) == 0 { Some("@inproceedings{...}") } else { None };
-        inproceedings.insert(
-            Value::tuple([
-                ("key", Value::str(format!("conf/{venue}/paper{i}"))),
-                ("title", title_tuple(&format!("A Study of Topic {i}"), bibtex)),
-                ("author", name_bag(&[filler_authors[i % filler_authors.len()]])),
-                ("crossref", ref_bag(&[&format!("conf/{venue}/{i}")])),
-                ("year", Value::int(2000 + (i % 20) as i64)),
-            ]),
-            1,
-        );
-    }
+        Value::tuple([
+            ("key", Value::str(format!("conf/{venue}/paper{i}"))),
+            ("title", title_tuple(&format!("A Study of Topic {i}"), bibtex)),
+            ("author", name_bag(&[filler_authors[i % filler_authors.len()]])),
+            ("crossref", ref_bag(&[&format!("conf/{venue}/{i}")])),
+            ("year", Value::int(2000 + (i % 20) as i64)),
+        ])
+    }));
     // D1: the missing SIGMOD paper.
     inproceedings.insert(
         Value::tuple([
@@ -243,20 +242,16 @@ pub fn dblp_database(config: DblpConfig) -> Database {
         ("year", NestedType::int()),
     ])
     .unwrap();
-    let mut records = Bag::new();
-    for i in 0..config.scale {
+    let mut records = Bag::from_values(par_map_range(0..config.scale, |i| {
         let venue = venues[i % venues.len()];
-        records.insert(
-            Value::tuple([
-                ("author", Value::str(filler_authors[i % filler_authors.len()])),
-                ("editor", Value::str("Harold Editor")),
-                ("title", Value::str(format!("A Study of Topic {i}"))),
-                ("booktitle", Value::str(venue)),
-                ("year", Value::int(2000 + (i % 20) as i64)),
-            ]),
-            1,
-        );
-    }
+        Value::tuple([
+            ("author", Value::str(filler_authors[i % filler_authors.len()])),
+            ("editor", Value::str("Harold Editor")),
+            ("title", Value::str(format!("A Study of Topic {i}"))),
+            ("booktitle", Value::str(venue)),
+            ("year", Value::int(2000 + (i % 20) as i64)),
+        ])
+    }));
     // D3: the planted person edited (but did not author) a VLDB 2012 volume.
     records.insert(
         Value::tuple([
@@ -277,23 +272,19 @@ pub fn dblp_database(config: DblpConfig) -> Database {
         ("note", NestedType::relation_of([("value", NestedType::str())]).unwrap()),
     ])
     .unwrap();
-    let mut homepages = Bag::new();
-    for i in 0..config.scale {
-        homepages.insert(
-            Value::tuple([
-                ("author", name_bag(&[filler_authors[i % filler_authors.len()]])),
-                (
-                    "url",
-                    Value::bag([Value::tuple([(
-                        "value",
-                        Value::str(format!("https://example.org/{i}")),
-                    )])]),
-                ),
-                ("note", Value::bag([])),
-            ]),
-            1,
-        );
-    }
+    let mut homepages = Bag::from_values(par_map_range(0..config.scale, |i| {
+        Value::tuple([
+            ("author", name_bag(&[filler_authors[i % filler_authors.len()]])),
+            (
+                "url",
+                Value::bag([Value::tuple([(
+                    "value",
+                    Value::str(format!("https://example.org/{i}")),
+                )])]),
+            ),
+            ("note", Value::bag([])),
+        ])
+    }));
     // D5: the planted author's homepage lives in `note`; `url` is empty.
     homepages.insert(
         Value::tuple([

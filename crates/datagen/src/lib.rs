@@ -22,6 +22,12 @@
 //!
 //! Every generator is deterministic (seeded `StdRng`) and has a scale knob so
 //! the benchmark harness can sweep dataset sizes (Figures 8–10).
+//!
+//! Filler records are generated **in parallel** over the `whynot-exec` pool:
+//! each record derives its own RNG from `(seed, stream, index)` via
+//! [`row_rng`] instead of drawing from one sequential stream, so the
+//! generated data is identical for every `WHYNOT_THREADS` value (and the
+//! planted protagonist facts are inserted outside the parallel loops).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,3 +43,17 @@ pub use dblp::{dblp_database, DblpConfig};
 pub use person::person_database;
 pub use tpch::{tpch_flat_database, tpch_nested_database, TpchConfig};
 pub use twitter::{twitter_database, TwitterConfig};
+
+use whynot_rng::{SeedableRng, StdRng};
+
+/// A per-record RNG derived from `(seed, stream, index)` so records can be
+/// generated in parallel (and in any order) while staying bit-identical to
+/// serial generation. `stream` separates independent record families under
+/// the same dataset seed; the multipliers decorrelate neighbouring indices
+/// before `seed_from_u64`'s splitmix mixing.
+pub(crate) fn row_rng(seed: u64, stream: u64, index: u64) -> StdRng {
+    let mixed = seed
+        ^ stream.wrapping_mul(0xA076_1D64_78BD_642F).rotate_left(23)
+        ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    StdRng::seed_from_u64(mixed)
+}

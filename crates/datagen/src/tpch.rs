@@ -7,7 +7,10 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use whynot_rng::{Rng, SeedableRng, StdRng};
+use whynot_exec::par_map_range;
+use whynot_rng::{Rng, StdRng};
+
+use crate::row_rng;
 
 /// Configuration of the TPC-H generator.
 #[derive(Debug, Clone, Copy)]
@@ -128,81 +131,90 @@ impl LineitemSpec {
     }
 }
 
-/// Builds the nested TPC-H database: `customer`, `nestedOrders`, `nation`.
-pub fn tpch_nested_database(config: TpchConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
-    let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-    let nations = ["GERMANY", "FRANCE", "BRAZIL", "JAPAN", "CANADA"];
+/// Maximum filler orders per customer; filler order keys are
+/// `custkey * (MAX_ORDERS_PER_CUSTOMER + 1) + k`, which keeps them unique
+/// and independent of any other customer — the property that lets the
+/// filler customers generate in parallel.
+const MAX_ORDERS_PER_CUSTOMER: i64 = 3;
 
-    let mut customers = Bag::new();
-    let mut orders = Bag::new();
-    let mut next_orderkey: i64 = 1;
+/// Fixed order keys of the planted Q10 orders. Filler keys are
+/// `custkey * 4 + k` with `k ≤ 2`, i.e. never ≡ 3 (mod 4) — these keys (and
+/// `Q3_ORDERKEY`) are ≡ 3 (mod 4), so they cannot collide at any scale.
+const Q10_ORDERKEY_IN_QUARTER: i64 = 9_000_003;
+const Q10_ORDERKEY_LATE: i64 = 9_000_007;
 
-    let mut make_customer =
-        |rng: &mut StdRng,
-         custkey: i64,
-         segment: &str,
-         orders_bag: &mut Bag,
-         next_orderkey: &mut i64,
-         order_specs: Option<Vec<(String, Vec<LineitemSpec>)>>| {
-            let nationkey = custkey % nations.len() as i64;
-            customers.insert(
-                Value::tuple([
-                    ("c_custkey", Value::int(custkey)),
-                    ("c_name", Value::str(format!("Customer#{custkey:09}"))),
-                    ("c_acctbal", Value::float(rng.gen_range(-999.0..9999.0))),
-                    ("c_phone", Value::str(format!("13-{custkey:07}"))),
-                    ("c_address", Value::str(format!("{custkey} Main Street"))),
-                    ("c_comment", Value::str("regular account")),
-                    ("c_mktsegment", Value::str(segment)),
-                    ("c_nationkey", Value::int(nationkey)),
-                ]),
-                1,
-            );
-            let specs = order_specs.unwrap_or_else(|| {
-                (0..rng.gen_range(1..=3))
-                    .map(|_| {
-                        let year = 1993 + rng.gen_range(0..5);
-                        let date = format!(
-                            "{year}-{:02}-{:02}",
-                            rng.gen_range(1..=12),
-                            rng.gen_range(1..=28)
-                        );
-                        let items =
-                            (0..rng.gen_range(1..=4)).map(|_| random_lineitem(rng, 0)).collect();
-                        (date, items)
-                    })
-                    .collect()
-            });
-            for (orderdate, items) in specs {
-                let orderkey = *next_orderkey;
-                *next_orderkey += 1;
-                let lineitems: Vec<Value> =
-                    items.iter().map(|spec| lineitem_value(orderkey, spec)).collect();
-                orders_bag.insert(
-                    Value::tuple([
-                        ("o_orderkey", Value::int(orderkey)),
-                        ("o_custkey", Value::int(custkey)),
-                        ("o_orderdate", Value::str(orderdate)),
-                        ("o_shippriority", Value::str("0")),
-                        (
-                            "o_orderpriority",
-                            Value::str(priorities[rng.gen_range(0..priorities.len())]),
-                        ),
-                        ("o_comment", Value::str("standard order")),
-                        ("o_lineitems", Value::bag(lineitems)),
-                    ]),
-                    1,
-                );
-            }
-        };
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const NATIONS: [&str; 5] = ["GERMANY", "FRANCE", "BRAZIL", "JAPAN", "CANADA"];
 
-    for i in 0..config.customers {
-        let custkey = 1000 + i as i64;
-        let segment = segments[i % segments.len()];
-        make_customer(&mut rng, custkey, segment, &mut orders, &mut next_orderkey, None);
+fn customer_value(rng: &mut StdRng, custkey: i64, segment: &str) -> Value {
+    let nationkey = custkey % NATIONS.len() as i64;
+    Value::tuple([
+        ("c_custkey", Value::int(custkey)),
+        ("c_name", Value::str(format!("Customer#{custkey:09}"))),
+        ("c_acctbal", Value::float(rng.gen_range(-999.0..9999.0))),
+        ("c_phone", Value::str(format!("13-{custkey:07}"))),
+        ("c_address", Value::str(format!("{custkey} Main Street"))),
+        ("c_comment", Value::str("regular account")),
+        ("c_mktsegment", Value::str(segment)),
+        ("c_nationkey", Value::int(nationkey)),
+    ])
+}
+
+fn order_value(
+    orderkey: i64,
+    custkey: i64,
+    orderdate: &str,
+    priority: &str,
+    items: &[Value],
+) -> Value {
+    Value::tuple([
+        ("o_orderkey", Value::int(orderkey)),
+        ("o_custkey", Value::int(custkey)),
+        ("o_orderdate", Value::str(orderdate)),
+        ("o_shippriority", Value::str("0")),
+        ("o_orderpriority", Value::str(priority)),
+        ("o_comment", Value::str("standard order")),
+        ("o_lineitems", Value::bag(items.iter().cloned())),
+    ])
+}
+
+/// One filler customer plus their orders, generated from a per-customer RNG
+/// so customers are independent (and parallelizable) under one seed.
+fn filler_customer(seed: u64, i: usize) -> (Value, Vec<Value>) {
+    let custkey = 1000 + i as i64;
+    let segment = SEGMENTS[i % SEGMENTS.len()];
+    let mut rng = row_rng(seed, 0, i as u64);
+    let customer = customer_value(&mut rng, custkey, segment);
+    let order_count = rng.gen_range(1..=MAX_ORDERS_PER_CUSTOMER);
+    let mut orders = Vec::with_capacity(order_count as usize);
+    for k in 0..order_count {
+        let orderkey = custkey * (MAX_ORDERS_PER_CUSTOMER + 1) + k;
+        let year = 1993 + rng.gen_range(0..5);
+        let date = format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28));
+        let items: Vec<Value> = (0..rng.gen_range(1..=4))
+            .map(|_| lineitem_value(orderkey, &random_lineitem(&mut rng, 0)))
+            .collect();
+        let priority = PRIORITIES[rng.gen_range(0..PRIORITIES.len())];
+        orders.push(order_value(orderkey, custkey, &date, priority, &items));
     }
+    (customer, orders)
+}
+
+/// Builds the nested TPC-H database: `customer`, `nestedOrders`, `nation`.
+///
+/// Filler customers (and their nested orders) generate in parallel with
+/// per-customer RNGs; the planted Q3/Q10/Q13 rows are inserted afterwards on
+/// the calling thread.
+pub fn tpch_nested_database(config: TpchConfig) -> Database {
+    // Filler custkeys are 1000 + i; the planted Q3/Q10/Q13 customers start
+    // at 60_000 and must stay unique.
+    assert!(config.customers < 59_000, "scale would collide with planted customer keys");
+    let generated: Vec<(Value, Vec<Value>)> =
+        par_map_range(0..config.customers, |i| filler_customer(config.seed, i));
+    let (customer_rows, order_rows): (Vec<Value>, Vec<Vec<Value>>) = generated.into_iter().unzip();
+    let mut customers = Bag::from_values(customer_rows);
+    let mut orders = Bag::from_values(order_rows.into_iter().flatten());
 
     // Q3: the missing order — a HOUSEHOLD-intended customer whose segment is
     // actually BUILDING, with lineitems whose commitdate is *before* the
@@ -278,8 +290,7 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
             ]),
             1,
         );
-        let orderkey = next_orderkey;
-        next_orderkey += 1;
+        let orderkey = Q10_ORDERKEY_IN_QUARTER;
         let items = [
             LineitemSpec {
                 price: 20_000.0,
@@ -318,7 +329,7 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
         // A second returned order *outside* the queried quarter, so that the
         // orderdate selection (σ36) also stands between the customer and a
         // non-zero revenue.
-        let orderkey2 = next_orderkey;
+        let orderkey2 = Q10_ORDERKEY_LATE;
         let late = LineitemSpec {
             price: 9_000.0,
             discount: 0.04,
@@ -359,7 +370,7 @@ pub fn tpch_nested_database(config: TpchConfig) -> Database {
     );
 
     let mut nation = Bag::new();
-    for (i, name) in nations.iter().enumerate() {
+    for (i, name) in NATIONS.iter().enumerate() {
         nation.insert(
             Value::tuple([("n_nationkey", Value::int(i as i64)), ("n_name", Value::str(*name))]),
             1,

@@ -2,7 +2,10 @@
 
 use nested_data::{Bag, NestedType, TupleType, Value};
 use nrab_algebra::Database;
-use whynot_rng::{Rng, SeedableRng, StdRng};
+use whynot_exec::par_map_range;
+use whynot_rng::Rng;
+
+use crate::row_rng;
 
 /// Configuration of the Twitter generator.
 #[derive(Debug, Clone, Copy)]
@@ -151,32 +154,29 @@ fn tweet(
     ])
 }
 
-/// Builds the Twitter database (single `tweets` relation).
+/// Builds the Twitter database (single `tweets` relation). Filler tweets are
+/// generated in parallel with per-index RNGs (deterministic for any thread
+/// count); the planted scenario tweets are inserted afterwards.
 pub fn twitter_database(config: TwitterConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut tweets = Bag::new();
     let topics = ["coffee", "rustlang", "databases", "UEFA final tonight", "music"];
     let countries = ["Germany", "France", "Brazil", "Japan"];
-    for i in 0..config.scale {
+    let mut tweets = Bag::from_values(par_map_range(0..config.scale, |i| {
         let topic = topics[i % topics.len()];
         let country = countries[i % countries.len()];
-        let has_media = rng.gen_bool(0.4);
-        tweets.insert(
-            tweet(
-                i as i64,
-                &format!("tweet about {topic} number {i}"),
-                &[topics[i % topics.len()]],
-                if has_media { &["https://pic.example.com/x.jpg"] } else { &[] },
-                &[],
-                &[],
-                Some(country),
-                (100 + (i % 50) as i64, &format!("user{}", i % 50), country),
-                None,
-                None,
-            ),
-            1,
-        );
-    }
+        let has_media = row_rng(config.seed, 0, i as u64).gen_bool(0.4);
+        tweet(
+            i as i64,
+            &format!("tweet about {topic} number {i}"),
+            &[topics[i % topics.len()]],
+            if has_media { &["https://pic.example.com/x.jpg"] } else { &[] },
+            &[],
+            &[],
+            Some(country),
+            (100 + (i % 50) as i64, &format!("user{}", i % 50), country),
+            None,
+            None,
+        )
+    }));
 
     // T1: the missing tweet about LeBron James — the picture URL sits in
     // entities.urls, entities.media is empty.

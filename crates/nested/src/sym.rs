@@ -21,11 +21,19 @@
 //!
 //! The interner only ever grows; its memory is bounded by the number of
 //! *distinct* attribute names, which is small in practice.
+//!
+//! The lookup table is *sharded* (16 independent mutexes, keyed by a hash of
+//! the name) so that concurrent tracing threads interning operator parameters
+//! do not serialize on a single lock; symbol ids come from one atomic counter
+//! and the [`MAX_INTERNED_SYMBOLS`] cap honored by [`Sym::try_intern`] stays
+//! global and exact (a single atomic reservation guards every new name,
+//! whichever shard it lands in).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// An interned attribute name: a `u32` handle plus a pointer to the interned
@@ -36,15 +44,37 @@ pub struct Sym {
     text: &'static str,
 }
 
+/// Number of independent lock shards. A small power of two: contention on
+/// the interner is bursty (operator parameters at trace time), and 16 locks
+/// already make collisions between tracing threads unlikely.
+const SHARD_COUNT: usize = 16;
+
 struct Interner {
-    lookup: HashMap<&'static str, u32>,
-    symbols: Vec<&'static str>,
+    shards: [Mutex<HashMap<&'static str, Sym>>; SHARD_COUNT],
+    /// Distinct symbols interned so far, across all shards. New names reserve
+    /// a slot here *before* allocating, which is what keeps the
+    /// [`MAX_INTERNED_SYMBOLS`] cap exact under concurrency.
+    count: AtomicUsize,
+    /// Next symbol id (ids are unique but not contiguous per shard).
+    next_id: AtomicU32,
 }
 
-static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+static INTERNER: OnceLock<Interner> = OnceLock::new();
 
-fn interner() -> &'static Mutex<Interner> {
-    INTERNER.get_or_init(|| Mutex::new(Interner { lookup: HashMap::new(), symbols: Vec::new() }))
+fn interner() -> &'static Interner {
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        count: AtomicUsize::new(0),
+        next_id: AtomicU32::new(0),
+    })
+}
+
+/// The shard a name lives in: deterministic within the process (which is all
+/// sharding needs — symbol identity never depends on the shard index).
+fn shard_index(name: &str) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARD_COUNT
 }
 
 /// Hard ceiling on distinct interned symbols honored by [`Sym::try_intern`].
@@ -62,14 +92,25 @@ impl Sym {
     /// always yields the same handle. Use [`Sym::try_intern`] instead when
     /// the name comes from untrusted input.
     pub fn intern(name: &str) -> Sym {
-        let mut interner = interner().lock().expect("symbol interner poisoned");
-        if let Some(&id) = interner.lookup.get(name) {
-            return Sym { id, text: interner.symbols[id as usize] };
+        let interner = interner();
+        let mut shard =
+            interner.shards[shard_index(name)].lock().expect("symbol interner poisoned");
+        if let Some(&sym) = shard.get(name) {
+            return sym;
         }
+        interner.count.fetch_add(1, Ordering::SeqCst);
+        let sym = Sym::allocate(interner, name);
+        shard.insert(sym.text, sym);
+        sym
+    }
+
+    /// Leaks `name` and assigns a fresh id. Caller holds the shard lock for
+    /// `name` (so a name is never allocated twice) and has already accounted
+    /// for the new symbol in `count`.
+    fn allocate(interner: &Interner, name: &str) -> Sym {
         let text: &'static str = Box::leak(name.to_string().into_boxed_str());
-        let id = u32::try_from(interner.symbols.len()).expect("symbol interner overflow");
-        interner.symbols.push(text);
-        interner.lookup.insert(text, id);
+        let id = interner.next_id.fetch_add(1, Ordering::SeqCst);
+        assert!(id != u32::MAX, "symbol interner overflow");
         Sym { id, text }
     }
 
@@ -78,18 +119,24 @@ impl Sym {
     /// succeed. This is the entry point for untrusted (wire) input, whose
     /// attribute names must not leak unbounded interner memory.
     pub fn try_intern(name: &str) -> Option<Sym> {
-        let mut interner = interner().lock().expect("symbol interner poisoned");
-        if let Some(&id) = interner.lookup.get(name) {
-            return Some(Sym { id, text: interner.symbols[id as usize] });
+        let interner = interner();
+        let mut shard =
+            interner.shards[shard_index(name)].lock().expect("symbol interner poisoned");
+        if let Some(&sym) = shard.get(name) {
+            return Some(sym);
         }
-        if interner.symbols.len() >= MAX_INTERNED_SYMBOLS {
-            return None;
-        }
-        let text: &'static str = Box::leak(name.to_string().into_boxed_str());
-        let id = u32::try_from(interner.symbols.len()).expect("symbol interner overflow");
-        interner.symbols.push(text);
-        interner.lookup.insert(text, id);
-        Sym { id, text }.into()
+        // Reserve a slot under the global cap before allocating. The atomic
+        // reservation keeps the cap exact even when other shards are
+        // admitting names concurrently.
+        interner
+            .count
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |count| {
+                (count < MAX_INTERNED_SYMBOLS).then_some(count + 1)
+            })
+            .ok()?;
+        let sym = Sym::allocate(interner, name);
+        shard.insert(sym.text, sym);
+        Some(sym)
     }
 
     /// The interned string. Free: no lock, no allocation.
@@ -104,7 +151,7 @@ impl Sym {
 
     /// Number of distinct symbols interned so far (diagnostics / benches).
     pub fn interned_count() -> usize {
-        interner().lock().expect("symbol interner poisoned").symbols.len()
+        interner().count.load(Ordering::SeqCst)
     }
 }
 
@@ -311,6 +358,38 @@ mod tests {
         let fresh = Sym::try_intern("sym-test-try-fresh").unwrap();
         assert_eq!(fresh.as_str(), "sym-test-try-fresh");
         assert!(Sym::interned_count() <= MAX_INTERNED_SYMBOLS);
+    }
+
+    #[test]
+    fn concurrent_interning_of_distinct_names_stays_consistent() {
+        // Hammer the sharded interner from several threads with overlapping
+        // name sets: every name must resolve to exactly one id, and the
+        // count must grow by exactly the number of distinct new names.
+        let before = Sym::interned_count();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| {
+                            // Each name is interned by two of the four threads.
+                            let name = format!("sym-shard-test-{}-{i}", (t / 2) as u32);
+                            (name.clone(), Sym::intern(&name))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut seen: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        for handle in handles {
+            for (name, sym) in handle.join().unwrap() {
+                assert_eq!(sym.as_str(), name);
+                let id = seen.entry(name.clone()).or_insert_with(|| sym.id());
+                assert_eq!(*id, sym.id(), "id of {name} must be stable across threads");
+            }
+        }
+        assert_eq!(seen.len(), 128);
+        // Other tests may intern concurrently, so only a lower bound is exact.
+        assert!(Sym::interned_count() >= before + 128);
     }
 
     #[test]

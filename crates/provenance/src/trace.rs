@@ -14,6 +14,15 @@
 //! All schema alternatives are traced in a single pass over the data (the
 //! merge step of Algorithm 3 / Figure 7), which is what makes additional
 //! alternatives cheaper than additional query executions (Figure 11).
+//!
+//! The per-tuple work of the 1:1 operators (structural, selection, flatten)
+//! and the per-schema-alternative work of the n:m operators (join probing,
+//! nesting, aggregation) are independent, so both fan out across the
+//! `whynot-exec` pool. Every parallel loop is an ordered `par_map` whose
+//! results are reassembled in input order and whose fresh tuple ids are
+//! assigned in a serial pass afterwards, so the trace is **bit-identical**
+//! to the serial one at any `WHYNOT_THREADS` (the cross-crate determinism
+//! tests enforce this).
 
 use std::collections::BTreeMap;
 
@@ -24,6 +33,7 @@ use nrab_algebra::schema::output_type;
 use nrab_algebra::{
     AlgebraError, AlgebraResult, Database, FlattenKind, JoinKind, OpId, OpNode, Operator, QueryPlan,
 };
+use whynot_exec::{par_map, par_map_range};
 
 use crate::alternative::SchemaAlternative;
 use crate::annotate::{GeneralizedTrace, OpTrace, SaFlags, TraceResult, TracedTuple};
@@ -88,50 +98,74 @@ pub fn annotate_consistency(
     plan: &QueryPlan,
     sas: &[SchemaAlternative],
 ) -> TraceResult {
-    let mut result = base.inner.clone();
-    for (op, op_trace) in result.traces.iter_mut() {
-        let node = plan.node(*op).ok();
-        let is_group_agg = matches!(node.map(|n| &n.op), Some(Operator::GroupAggregation { .. }));
-        for tuple in op_trace.tuples.iter_mut() {
-            for (sa_idx, sa) in sas.iter().enumerate() {
-                let Some(flags) = tuple.flags.get_mut(sa_idx) else { continue };
-                if !flags.valid {
-                    continue;
-                }
-                let Some(variant) = tuple.variants.get(sa_idx).and_then(Option::as_ref) else {
-                    continue;
-                };
-                flags.consistent = match sa.consistency_nip(*op) {
-                    None => true,
-                    Some(nip) if is_group_agg => {
-                        // Upper-bound constraints on aggregate outputs can
-                        // always be met by a more restrictive choice of
-                        // contributing tuples, which the tracing does not
-                        // enumerate (Section 5.5); relax them, then accept the
-                        // group if either the all-members aggregate or the
-                        // retained-members fallback satisfies the NIP.
-                        let node = node.expect("group aggregation node exists in plan");
-                        let agg_outputs: Vec<String> = match sa.effective_operator(node) {
-                            Operator::GroupAggregation { aggs, .. } => {
-                                aggs.iter().map(|a| a.output.clone()).collect()
-                            }
-                            _ => Vec::new(),
-                        };
-                        let relaxed_nip = relax_aggregate_upper_bounds(nip, &agg_outputs);
-                        nip_matches_tuple(&relaxed_nip, variant)
-                            || tuple
-                                .fallback_variants
-                                .get(sa_idx)
-                                .and_then(Option::as_ref)
-                                .map(|f| nip_matches_tuple(&relaxed_nip, f))
-                                .unwrap_or(false)
-                    }
-                    Some(nip) => nip_matches_tuple(nip, variant),
-                };
-            }
-        }
+    // Per-operator annotation is independent work; each operator's tuples
+    // are in turn annotated in parallel chunks. Only the outermost level
+    // actually fans out (nested calls always serialize), so the per-tuple
+    // level parallelizes exactly when the operator level ran serially
+    // (e.g. a single-operator plan).
+    let entries: Vec<(OpId, &OpTrace)> = base.inner.traces.iter().map(|(op, t)| (*op, t)).collect();
+    let annotated: Vec<OpTrace> =
+        par_map(&entries, |(op, op_trace)| annotate_op_consistency(op_trace, *op, plan, sas));
+    TraceResult {
+        traces: entries.iter().map(|(op, _)| *op).zip(annotated).collect(),
+        root: base.inner.root,
+        pre_order: base.inner.pre_order.clone(),
+        num_sas: base.inner.num_sas,
     }
-    result
+}
+
+/// Annotates one operator's trace: re-validates every tuple against the
+/// consistency NIPs of the schema alternatives and fills in the `consistent`
+/// flags.
+fn annotate_op_consistency(
+    base: &OpTrace,
+    op: OpId,
+    plan: &QueryPlan,
+    sas: &[SchemaAlternative],
+) -> OpTrace {
+    let node = plan.node(op).ok();
+    let is_group_agg = matches!(node.map(|n| &n.op), Some(Operator::GroupAggregation { .. }));
+    let tuples = par_map(&base.tuples, |tuple| {
+        let mut tuple = tuple.clone();
+        for (sa_idx, sa) in sas.iter().enumerate() {
+            let Some(flags) = tuple.flags.get_mut(sa_idx) else { continue };
+            if !flags.valid {
+                continue;
+            }
+            let Some(variant) = tuple.variants.get(sa_idx).and_then(Option::as_ref) else {
+                continue;
+            };
+            flags.consistent = match sa.consistency_nip(op) {
+                None => true,
+                Some(nip) if is_group_agg => {
+                    // Upper-bound constraints on aggregate outputs can
+                    // always be met by a more restrictive choice of
+                    // contributing tuples, which the tracing does not
+                    // enumerate (Section 5.5); relax them, then accept the
+                    // group if either the all-members aggregate or the
+                    // retained-members fallback satisfies the NIP.
+                    let node = node.expect("group aggregation node exists in plan");
+                    let agg_outputs: Vec<String> = match sa.effective_operator(node) {
+                        Operator::GroupAggregation { aggs, .. } => {
+                            aggs.iter().map(|a| a.output.clone()).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    let relaxed_nip = relax_aggregate_upper_bounds(nip, &agg_outputs);
+                    nip_matches_tuple(&relaxed_nip, variant)
+                        || tuple
+                            .fallback_variants
+                            .get(sa_idx)
+                            .and_then(Option::as_ref)
+                            .map(|f| nip_matches_tuple(&relaxed_nip, f))
+                            .unwrap_or(false)
+                }
+                Some(nip) => nip_matches_tuple(nip, variant),
+            };
+        }
+        tuple
+    });
+    OpTrace { op: base.op, kind: base.kind.clone(), tuples }
 }
 
 struct Tracer<'a> {
@@ -209,23 +243,35 @@ impl<'a> Tracer<'a> {
         let effective: Vec<OpNode> =
             (0..self.n_sas()).map(|sa| self.effective_node(node, sa)).collect();
 
-        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
-        for input in &child_trace.tuples {
-            let id = self.fresh_id();
-            let mut variants = Vec::with_capacity(self.n_sas());
-            let mut flags = Vec::with_capacity(self.n_sas());
+        // The per-tuple evaluation is the expensive part; fan it out and
+        // assign the fresh ids in a serial pass so they match the serial
+        // trace exactly.
+        let db = self.db;
+        let n = self.n_sas();
+        type StructuralRow = (Vec<Option<Tuple>>, Vec<SaFlags>);
+        let computed: Vec<AlgebraResult<StructuralRow>> = par_map(&child_trace.tuples, |input| {
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
             for (sa, effective_node) in effective.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let transformed = match input.variant(sa) {
-                    Some(tuple) if input_flags.valid => {
-                        apply_to_single(effective_node, tuple, self.db)?
-                    }
+                    Some(tuple) if input_flags.valid => apply_to_single(effective_node, tuple, db)?,
                     _ => None,
                 };
                 flags.push(base_flags(transformed.as_ref(), input_flags.valid, true));
                 variants.push(transformed);
             }
-            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
+            Ok((variants, flags))
+        });
+        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
+        for (input, row) in child_trace.tuples.iter().zip(computed) {
+            let (variants, flags) = row?;
+            tuples.push(TracedTuple::new(
+                self.fresh_id(),
+                variants,
+                flags,
+                vec![vec![input.id]; n],
+            ));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -243,11 +289,11 @@ impl<'a> Tracer<'a> {
             })
             .collect();
 
-        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
-        for input in &child_trace.tuples {
-            let id = self.fresh_id();
-            let mut variants = Vec::with_capacity(self.n_sas());
-            let mut flags = Vec::with_capacity(self.n_sas());
+        let n = self.n_sas();
+        type SelectionRow = (Vec<Option<Tuple>>, Vec<SaFlags>);
+        let computed: Vec<SelectionRow> = par_map(&child_trace.tuples, |input| {
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
             for (sa, predicate) in predicates.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let variant = input.variant(sa).cloned();
@@ -258,7 +304,16 @@ impl<'a> Tracer<'a> {
                 flags.push(base_flags(variant.as_ref(), input_flags.valid, retained));
                 variants.push(variant);
             }
-            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
+            (variants, flags)
+        });
+        let mut tuples = Vec::with_capacity(child_trace.tuples.len());
+        for (input, (variants, flags)) in child_trace.tuples.iter().zip(computed) {
+            tuples.push(TracedTuple::new(
+                self.fresh_id(),
+                variants,
+                flags,
+                vec![vec![input.id]; n],
+            ));
         }
         self.put_trace(child_trace);
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
@@ -282,10 +337,13 @@ impl<'a> Tracer<'a> {
             })
             .collect();
 
-        let mut tuples = Vec::new();
-        for input in &child_trace.tuples {
-            // Per SA, the list of (tuple, retained) the outer flatten produces.
-            let mut per_sa: Vec<Vec<(Tuple, bool)>> = Vec::with_capacity(self.n_sas());
+        // Per input tuple and SA, the list of (tuple, retained) the outer
+        // flatten produces — computed in parallel, merged serially below.
+        let n = self.n_sas();
+        // Per SA, the `(tuple, retained)` rows one input produces.
+        type FlattenRows = Vec<Vec<(Tuple, bool)>>;
+        let computed: Vec<AlgebraResult<FlattenRows>> = par_map(&child_trace.tuples, |input| {
+            let mut per_sa: FlattenRows = Vec::with_capacity(n);
             for (sa, attr) in attrs.iter().enumerate() {
                 let input_flags = input.flags(sa);
                 let outputs = match input.variant(sa) {
@@ -296,6 +354,11 @@ impl<'a> Tracer<'a> {
                 };
                 per_sa.push(outputs);
             }
+            Ok(per_sa)
+        });
+        let mut tuples = Vec::new();
+        for (input, per_sa) in child_trace.tuples.iter().zip(computed) {
+            let per_sa = per_sa?;
             let width = per_sa.iter().map(Vec::len).max().unwrap_or(0);
             for k in 0..width {
                 let id = self.fresh_id();
@@ -354,13 +417,16 @@ impl<'a> Tracer<'a> {
             left_matched: Vec<bool>,
             right_matched: Vec<bool>,
         }
-        let mut per_sa: Vec<SaJoin> = Vec::with_capacity(self.n_sas());
-        for (sa, predicate) in predicates.iter().enumerate() {
-            let mut state = SaJoin {
-                pairs: Vec::new(),
-                left_matched: vec![false; left_trace.tuples.len()],
-                right_matched: vec![false; right_trace.tuples.len()],
-            };
+        // The per-SA join passes are independent, and within one SA the probe
+        // over the left side is, too. Both levels go through the pool, but
+        // only the outermost parallel call fans out (nested calls always
+        // serialize): with several SAs the SA level owns the threads and the
+        // probes run serially inside it; with a single SA the SA level is a
+        // no-op and the probe level parallelizes instead. The matched pairs
+        // are folded serially in (left, candidate) order, so the pair list
+        // is identical to the serial nested loop.
+        let per_sa: Vec<SaJoin> = par_map_range(0..self.n_sas(), |sa| {
+            let predicate = &predicates[sa];
             // Hash-based pre-bucketing for equi-join conjuncts.
             let equi = equi_join_keys(predicate, &left_schema, &right_schema);
             let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> =
@@ -379,10 +445,10 @@ impl<'a> Tracer<'a> {
                     }
                     buckets
                 });
-            for (li, lt) in left_trace.tuples.iter().enumerate() {
-                let Some(ltuple) = lt.variant(sa) else { continue };
+            let matches_per_left: Vec<Vec<usize>> = par_map(&left_trace.tuples, |lt| {
+                let Some(ltuple) = lt.variant(sa) else { return Vec::new() };
                 if !lt.flags(sa).valid {
-                    continue;
+                    return Vec::new();
                 }
                 let candidates: Vec<usize> = match (&equi, &right_buckets) {
                     (Some((lk, _)), Some(buckets)) => {
@@ -390,6 +456,7 @@ impl<'a> Tracer<'a> {
                     }
                     _ => (0..right_trace.tuples.len()).collect(),
                 };
+                let mut matched = Vec::new();
                 for ri in candidates {
                     let rt = &right_trace.tuples[ri];
                     let Some(rtuple) = rt.variant(sa) else { continue };
@@ -398,14 +465,25 @@ impl<'a> Tracer<'a> {
                     }
                     let Ok(combined) = ltuple.concat(rtuple) else { continue };
                     if predicate.eval_bool(&combined) {
-                        state.pairs.push((li, ri));
-                        state.left_matched[li] = true;
-                        state.right_matched[ri] = true;
+                        matched.push(ri);
                     }
                 }
+                matched
+            });
+            let mut state = SaJoin {
+                pairs: Vec::new(),
+                left_matched: vec![false; left_trace.tuples.len()],
+                right_matched: vec![false; right_trace.tuples.len()],
+            };
+            for (li, matched) in matches_per_left.iter().enumerate() {
+                for &ri in matched {
+                    state.pairs.push((li, ri));
+                    state.left_matched[li] = true;
+                    state.right_matched[ri] = true;
+                }
             }
-            per_sa.push(state);
-        }
+            state
+        });
 
         // Merge across SAs, keyed by (left id, right id) with None for padding.
         #[derive(Default, Clone)]
@@ -483,38 +561,54 @@ impl<'a> Tracer<'a> {
     fn trace_relation_nest(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
         let child = &node.inputs[0];
         let child_trace = self.take_trace(child.id);
-        // `Value`'s interior mutability is limited to its cached structural
-        // hash, which never changes its `Eq`/`Ord` identity.
-        #[allow(clippy::mutable_key_type)]
-        let mut groups: BTreeMap<Value, GroupSlot> = BTreeMap::new();
         let n = self.n_sas();
 
-        for sa in 0..n {
-            let (attrs, into) = match self.sas[sa].effective_operator(node) {
+        // Per-SA grouping passes are independent: each SA builds its own
+        // key → (nested bag, member ids) map in parallel; the maps are then
+        // merged over the union of keys — the outer-join-like combination of
+        // Figure 7, step 4 — in SA order, which reproduces the serial result
+        // exactly (B-tree maps are insertion-order insensitive).
+        #[allow(clippy::mutable_key_type)] // cached hashes don't affect `Ord`
+        type SaGroups = BTreeMap<Value, (Bag, Vec<u64>)>;
+        let sas = self.sas;
+        let per_sa_groups: Vec<(SaGroups, String)> = par_map_range(0..n, |sa| {
+            let (attrs, into) = match sas[sa].effective_operator(node) {
                 Operator::RelationNest { attrs, into } => (attrs, into),
                 _ => unreachable!("trace_relation_nest called on non-nest"),
             };
             let attr_refs: Vec<nested_data::Sym> =
                 attrs.iter().map(|a| nested_data::Sym::intern(a)).collect();
+            #[allow(clippy::mutable_key_type)]
+            let mut sa_groups: SaGroups = BTreeMap::new();
             for input in &child_trace.tuples {
                 let Some(tuple) = input.variant(sa) else { continue };
                 if !input.flags(sa).valid {
                     continue;
                 }
                 let key = Value::from_tuple(tuple.without(&attr_refs));
-                let slot = groups.entry(key).or_insert_with(|| GroupSlot {
-                    per_sa: vec![None; n],
-                    member_ids: vec![Vec::new(); n],
-                });
-                let entry = slot.per_sa[sa].get_or_insert_with(|| (Bag::new(), into.clone()));
+                let entry = sa_groups.entry(key).or_insert_with(|| (Bag::new(), Vec::new()));
                 if let Ok(projected) = tuple.project(&attr_refs) {
                     if projected.fields().iter().any(|(_, v)| !v.is_null()) {
                         entry.0.insert(Value::from_tuple(projected), 1);
                     }
                 }
-                if !slot.member_ids[sa].contains(&input.id) {
-                    slot.member_ids[sa].push(input.id);
+                if !entry.1.contains(&input.id) {
+                    entry.1.push(input.id);
                 }
+            }
+            (sa_groups, into)
+        });
+
+        #[allow(clippy::mutable_key_type)]
+        let mut groups: BTreeMap<Value, GroupSlot> = BTreeMap::new();
+        for (sa, (sa_groups, into)) in per_sa_groups.into_iter().enumerate() {
+            for (key, (bag, member_ids)) in sa_groups {
+                let slot = groups.entry(key).or_insert_with(|| GroupSlot {
+                    per_sa: vec![None; n],
+                    member_ids: vec![Vec::new(); n],
+                });
+                slot.per_sa[sa] = Some((bag, into.clone()));
+                slot.member_ids[sa] = member_ids;
             }
         }
 
@@ -553,17 +647,21 @@ impl<'a> Tracer<'a> {
         let child = &node.inputs[0];
         let child_trace = self.take_trace(child.id);
         let n = self.n_sas();
-        // See above: the cached structural hash does not affect ordering.
-        #[allow(clippy::mutable_key_type)]
-        let mut groups: BTreeMap<Value, AggGroupSlot> = BTreeMap::new();
 
-        for sa in 0..n {
-            let (group_by, aggs) = match self.sas[sa].effective_operator(node) {
+        // Like relation nesting: independent per-SA grouping passes in
+        // parallel, merged over the union of group keys in SA order.
+        #[allow(clippy::mutable_key_type)] // cached hashes don't affect `Ord`
+        type SaAggGroups = BTreeMap<Value, (AggGroupSa, Vec<u64>)>;
+        let sas = self.sas;
+        let per_sa_groups: Vec<SaAggGroups> = par_map_range(0..n, |sa| {
+            let (group_by, aggs) = match sas[sa].effective_operator(node) {
                 Operator::GroupAggregation { group_by, aggs } => (group_by, aggs),
                 _ => unreachable!("trace_group_aggregation called on non-aggregation"),
             };
             let group_refs: Vec<nested_data::Sym> =
                 group_by.iter().map(|a| nested_data::Sym::intern(a)).collect();
+            #[allow(clippy::mutable_key_type)]
+            let mut sa_groups: SaAggGroups = BTreeMap::new();
             for input in &child_trace.tuples {
                 let Some(tuple) = input.variant(sa) else { continue };
                 if !input.flags(sa).valid {
@@ -572,29 +670,48 @@ impl<'a> Tracer<'a> {
                 let key = Value::from_tuple(
                     tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()),
                 );
-                let slot = groups.entry(key).or_insert_with(|| AggGroupSlot {
-                    per_sa: (0..n).map(|_| None).collect(),
-                    member_ids: vec![Vec::new(); n],
-                });
-                let entry = slot.per_sa[sa].get_or_insert_with(|| AggGroupSa {
-                    aggs: aggs.clone(),
-                    all_members: Vec::new(),
-                    retained_members: Vec::new(),
+                let (entry, member_ids) = sa_groups.entry(key).or_insert_with(|| {
+                    (
+                        AggGroupSa {
+                            aggs: aggs.clone(),
+                            all_members: Vec::new(),
+                            retained_members: Vec::new(),
+                        },
+                        Vec::new(),
+                    )
                 });
                 entry.all_members.push(tuple.clone());
                 if input.flags(sa).retained {
                     entry.retained_members.push(tuple.clone());
                 }
-                if !slot.member_ids[sa].contains(&input.id) {
-                    slot.member_ids[sa].push(input.id);
+                if !member_ids.contains(&input.id) {
+                    member_ids.push(input.id);
                 }
+            }
+            sa_groups
+        });
+
+        // See above: the cached structural hash does not affect ordering.
+        #[allow(clippy::mutable_key_type)]
+        let mut groups: BTreeMap<Value, AggGroupSlot> = BTreeMap::new();
+        for (sa, sa_groups) in per_sa_groups.into_iter().enumerate() {
+            for (key, (group, member_ids)) in sa_groups {
+                let slot = groups.entry(key).or_insert_with(|| AggGroupSlot {
+                    per_sa: (0..n).map(|_| None).collect(),
+                    member_ids: vec![Vec::new(); n],
+                });
+                slot.per_sa[sa] = Some(group);
+                slot.member_ids[sa] = member_ids;
             }
         }
 
-        let mut tuples = Vec::with_capacity(groups.len());
-        for (key, slot) in groups {
+        // The per-group aggregate evaluation is independent across groups;
+        // fresh ids are assigned serially afterwards in key order, exactly
+        // like the serial loop.
+        let group_list: Vec<(Value, AggGroupSlot)> = groups.into_iter().collect();
+        type AggRow = (Vec<Option<Tuple>>, Vec<SaFlags>, Vec<Option<Tuple>>);
+        let computed: Vec<AggRow> = par_map(&group_list, |(key, slot)| {
             let key_tuple = key.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-            let id = self.fresh_id();
             let mut variants = Vec::with_capacity(n);
             let mut flags = Vec::with_capacity(n);
             let mut fallbacks = Vec::with_capacity(n);
@@ -621,8 +738,12 @@ impl<'a> Tracer<'a> {
                     }
                 }
             }
+            (variants, flags, fallbacks)
+        });
+        let mut tuples = Vec::with_capacity(group_list.len());
+        for ((_, slot), (variants, flags, fallbacks)) in group_list.into_iter().zip(computed) {
             tuples.push(TracedTuple::with_fallbacks(
-                id,
+                self.fresh_id(),
                 variants,
                 flags,
                 slot.member_ids,
@@ -656,12 +777,14 @@ impl<'a> Tracer<'a> {
     fn trace_difference(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
         let left_trace = self.take_trace(node.inputs[0].id);
         let right_trace = self.take_trace(node.inputs[1].id);
-        let mut tuples = Vec::with_capacity(left_trace.tuples.len());
-        for input in &left_trace.tuples {
-            let id = self.fresh_id();
-            let mut variants = Vec::with_capacity(self.n_sas());
-            let mut flags = Vec::with_capacity(self.n_sas());
-            for sa in 0..self.n_sas() {
+        // The right-side membership probe is the quadratic part; fan the
+        // left tuples out over the pool.
+        let n = self.n_sas();
+        type DifferenceRow = (Vec<Option<Tuple>>, Vec<SaFlags>);
+        let computed: Vec<DifferenceRow> = par_map(&left_trace.tuples, |input| {
+            let mut variants = Vec::with_capacity(n);
+            let mut flags = Vec::with_capacity(n);
+            for sa in 0..n {
                 let variant = input.variant(sa).cloned();
                 let subtracted = variant.as_ref().map(|t| {
                     right_trace.tuples.iter().any(|r| {
@@ -672,7 +795,16 @@ impl<'a> Tracer<'a> {
                 flags.push(base_flags(variant.as_ref(), input.flags(sa).valid, retained));
                 variants.push(variant);
             }
-            tuples.push(TracedTuple::new(id, variants, flags, vec![vec![input.id]; self.n_sas()]));
+            (variants, flags)
+        });
+        let mut tuples = Vec::with_capacity(left_trace.tuples.len());
+        for (input, (variants, flags)) in left_trace.tuples.iter().zip(computed) {
+            tuples.push(TracedTuple::new(
+                self.fresh_id(),
+                variants,
+                flags,
+                vec![vec![input.id]; n],
+            ));
         }
         self.put_trace(left_trace);
         self.put_trace(right_trace);

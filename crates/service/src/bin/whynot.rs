@@ -1,18 +1,23 @@
 //! `whynot` — the explanation-service CLI.
 //!
 //! ```text
-//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact]
-//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact]
+//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N]
+//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N]
 //! whynot scenarios list
 //! whynot scenarios export <dir>
-//! whynot scenarios run <dir> [--name NAME] [--text]
+//! whynot scenarios run <dir> [--name NAME] [--text] [--threads N]
 //! ```
 //!
 //! `explain` answers one why-not question loaded from JSON files on disk;
 //! `batch` answers an array of questions against one registered plan and
-//! database, reporting per-question trace-cache hits; `scenarios` exports the
-//! paper's evaluation scenarios (running example, DBLP, Twitter, TPC-H,
-//! crime) as JSON files and runs them back from disk.
+//! database concurrently, reporting per-question trace-cache hits;
+//! `scenarios` exports the paper's evaluation scenarios (running example,
+//! DBLP, Twitter, TPC-H, crime) as JSON files and runs them back from disk.
+//! `--threads N` overrides the `WHYNOT_THREADS` environment variable for the
+//! invocation (`1` = fully serial). Reports are identical for any thread
+//! count; only the per-question `stats` (timing, and which of several
+//! same-key questions happened to compute the shared trace) may differ
+//! under concurrency.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -49,14 +54,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "whynot — why-not explanations over nested data
 
 USAGE:
-    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact]
-    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact]
+    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N]
+    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N]
     whynot scenarios list
     whynot scenarios export <dir>
-    whynot scenarios run <dir> [--name <NAME>] [--text]
+    whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N]
 
 The question file holds {\"why_not\": ..., \"alternatives\": [...]} and may
 optionally inline \"db\" and \"plan\" (then the flags may be omitted).
+--threads N overrides WHYNOT_THREADS (1 = serial); reports are identical
+for any thread count (only per-question timing/cache-hit stats may differ).
 ";
 
 /// Minimal flag parser: `--flag value` pairs plus bare switches/positionals.
@@ -97,6 +104,20 @@ impl Flags {
 
     fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+
+    /// Applies `--threads N` (if present) as the process-wide thread count,
+    /// overriding `WHYNOT_THREADS`.
+    fn apply_threads(&self) -> ServiceResult<()> {
+        if let Some(value) = self.value("threads") {
+            let n: usize = value
+                .parse()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| ServiceError::decode("--threads needs a positive integer"))?;
+            whynot_exec::set_threads(n);
+        }
+        Ok(())
     }
 }
 
@@ -168,7 +189,8 @@ fn print_json(json: &Json, compact: bool) {
 }
 
 fn cmd_explain(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "question"])?;
+    let flags = Flags::parse(args, &["db", "plan", "question", "threads"])?;
+    flags.apply_threads()?;
     let question_path = flags
         .value("question")
         .ok_or_else(|| ServiceError::decode("--question <q.json> is required"))?;
@@ -189,7 +211,8 @@ fn cmd_explain(args: &[String]) -> ServiceResult<()> {
 }
 
 fn cmd_batch(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "questions"])?;
+    let flags = Flags::parse(args, &["db", "plan", "questions", "threads"])?;
+    flags.apply_threads()?;
     let batch_path = flags
         .value("questions")
         .ok_or_else(|| ServiceError::decode("--questions <batch.json> is required"))?;
@@ -204,14 +227,21 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
         .iter()
         .map(|q| request_from_question(&mut service, q, flags.value("db"), flags.value("plan")))
         .collect();
+    // Decoded questions run concurrently through the service (same-key
+    // questions still compute one shared trace); responses are merged back
+    // with the decode failures in request order.
+    let decoded: Vec<whynot_service::service::ExplainRequest> =
+        requests.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+    let mut responses = service.explain_batch(&decoded).into_iter();
     let items: Vec<Json> = requests
         .iter()
         .map(|request| {
-            match request
-                .as_ref()
-                .map_err(|e| e.to_string())
-                .and_then(|request| service.explain(request).map_err(|e| e.to_string()))
-            {
+            match request.as_ref().map_err(|e| e.to_string()).and_then(|_| {
+                responses
+                    .next()
+                    .expect("one response per decoded request")
+                    .map_err(|e| e.to_string())
+            }) {
                 Ok(response) => response.to_json(),
                 Err(message) => Json::object([("error", Json::str(message))]),
             }
@@ -234,7 +264,8 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
 }
 
 fn cmd_scenarios(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["name"])?;
+    let flags = Flags::parse(args, &["name", "threads"])?;
+    flags.apply_threads()?;
     match flags.positionals.first().map(String::as_str) {
         Some("list") => {
             for scenario in whynot_scenarios::all_scenarios() {
@@ -300,6 +331,7 @@ fn run_scenarios(dir: &Path, only: Option<&str>, text: bool) -> ServiceResult<()
     }
     let mut service = ExplainService::new();
     let mut failures = 0usize;
+    println!("threads: {}", whynot_exec::effective_threads());
     for name in &names {
         let scenario_dir = dir.join(name);
         let db = database_from_json(&read_json(&scenario_dir.join("db.json"))?)?;

@@ -11,8 +11,8 @@
 //! `nrab_provenance::trace_plan_generalized`). This mirrors how approximate
 //! provenance summaries are reused across queries in related systems.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 
 use nrab_algebra::AlgebraResult;
 use nrab_provenance::GeneralizedTrace;
@@ -39,6 +39,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute the trace.
     pub misses: u64,
+    /// Lookups that found the trace *in flight* on another thread and waited
+    /// for it instead of recomputing (they also count as hits once the value
+    /// arrives).
+    pub coalesced: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Entries evicted because the cache was full.
@@ -50,8 +54,12 @@ struct CacheInner {
     map: HashMap<TraceKey, Arc<GeneralizedTrace>>,
     /// Keys in least-recently-used order (front = coldest).
     order: VecDeque<TraceKey>,
+    /// Keys currently being computed by some thread. Concurrent requests for
+    /// an in-flight key wait on `inflight_cv` instead of recomputing.
+    inflight: HashSet<TraceKey>,
     hits: u64,
     misses: u64,
+    coalesced: u64,
     evictions: u64,
 }
 
@@ -64,10 +72,15 @@ impl CacheInner {
     }
 }
 
-/// A bounded, thread-safe LRU cache of generalized traces.
+/// A bounded, thread-safe LRU cache of generalized traces with per-key
+/// in-flight deduplication: when two requests race on the same key, one
+/// computes the trace and the other waits for it — the expensive generalized
+/// evaluation runs **once per key**, which the concurrent-batch stress tests
+/// pin down.
 #[derive(Debug)]
 pub struct TraceCache {
     inner: Mutex<CacheInner>,
+    inflight_cv: Condvar,
     capacity: usize,
 }
 
@@ -83,13 +96,19 @@ impl Default for TraceCache {
 impl TraceCache {
     /// Creates a cache holding at most `capacity` traces (minimum 1).
     pub fn new(capacity: usize) -> Self {
-        TraceCache { inner: Mutex::new(CacheInner::default()), capacity: capacity.max(1) }
+        TraceCache {
+            inner: Mutex::new(CacheInner::default()),
+            inflight_cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Returns the cached trace for `key`, computing and inserting it with
-    /// `compute` on a miss. The boolean is `true` on a hit.
+    /// `compute` on a miss. The boolean is `true` on a hit (including hits
+    /// obtained by waiting for another thread's in-flight computation).
     ///
-    /// Failed computations are not cached.
+    /// Failed computations are not cached, and a failure wakes any waiters so
+    /// one of them takes over the computation.
     pub fn get_or_compute(
         &self,
         key: TraceKey,
@@ -97,30 +116,53 @@ impl TraceCache {
     ) -> AlgebraResult<(Arc<GeneralizedTrace>, bool)> {
         {
             let mut inner = self.inner.lock().expect("trace cache poisoned");
-            if let Some(trace) = inner.map.get(&key).cloned() {
-                inner.hits += 1;
-                inner.touch(&key);
-                return Ok((trace, true));
+            let mut waited = false;
+            loop {
+                if let Some(trace) = inner.map.get(&key).cloned() {
+                    inner.hits += 1;
+                    inner.touch(&key);
+                    return Ok((trace, true));
+                }
+                if inner.inflight.insert(key.clone()) {
+                    // We own the computation now.
+                    break;
+                }
+                // Someone else is computing this key: wait for them and
+                // re-check. If they failed (or panicked), the in-flight
+                // marker is gone and we take over on the next iteration.
+                // Count the lookup as coalesced once, not once per wakeup
+                // (the condvar is shared across keys, so spurious wakeups
+                // are routine).
+                if !waited {
+                    inner.coalesced += 1;
+                    waited = true;
+                }
+                inner = self.inflight_cv.wait(inner).expect("trace cache poisoned");
             }
         }
-        // Compute outside the lock: tracing can be slow, and a poisoned lock
-        // from a panicking computation would take the whole service down.
+
+        // Compute outside the lock: tracing can be slow. The guard removes
+        // the in-flight marker and wakes waiters on *every* exit path —
+        // success, error, and panic alike.
+        let guard = InflightGuard { cache: self, key: &key };
         let trace = Arc::new(compute()?);
+
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.misses += 1;
-        // Another request may have raced us here; keep the existing entry.
-        if !inner.map.contains_key(&key) {
-            inner.map.insert(key.clone(), Arc::clone(&trace));
-            inner.order.push_back(key.clone());
-            while inner.map.len() > self.capacity {
-                if let Some(coldest) = inner.order.pop_front() {
-                    inner.map.remove(&coldest);
-                    inner.evictions += 1;
-                }
+        // The in-flight marker guarantees the key is absent from both the
+        // map and the LRU order here, so a plain append is already the
+        // most-recently-used position.
+        inner.map.insert(key.clone(), Arc::clone(&trace));
+        inner.order.push_back(key.clone());
+        while inner.map.len() > self.capacity {
+            if let Some(coldest) = inner.order.pop_front() {
+                inner.map.remove(&coldest);
+                inner.evictions += 1;
             }
         }
-        inner.touch(&key);
-        Ok((inner.map.get(&key).cloned().unwrap_or(trace), false))
+        drop(inner);
+        drop(guard);
+        Ok((trace, false))
     }
 
     /// Current counters.
@@ -129,6 +171,7 @@ impl TraceCache {
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
+            coalesced: inner.coalesced,
             entries: inner.map.len(),
             evictions: inner.evictions,
         }
@@ -139,6 +182,23 @@ impl TraceCache {
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.map.clear();
         inner.order.clear();
+    }
+}
+
+/// Removes the in-flight marker for a key and wakes waiters when dropped, so
+/// a failing (or panicking) computation never strands the threads waiting on
+/// it.
+struct InflightGuard<'a> {
+    cache: &'a TraceCache,
+    key: &'a TraceKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.cache.inner.lock().expect("trace cache poisoned");
+        inner.inflight.remove(self.key);
+        drop(inner);
+        self.cache.inflight_cv.notify_all();
     }
 }
 
@@ -214,6 +274,73 @@ mod tests {
         let (_, hit) =
             cache.get_or_compute(key(9), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_each_key_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::new(8);
+        let computes = AtomicUsize::new(0);
+        const THREADS: u64 = 8;
+        const KEYS: u64 = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for n in 0..KEYS {
+                        let (_, _) = cache
+                            .get_or_compute(key(n), || {
+                                computes.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window so waiters really
+                                // find the key in flight.
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                trace_plan_generalized(&plan, &db, &sas)
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), KEYS as usize, "one computation per key");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, KEYS);
+        assert_eq!(stats.hits, THREADS * KEYS - KEYS);
+        assert_eq!(stats.entries, KEYS as usize);
+    }
+
+    #[test]
+    fn failed_inflight_computations_hand_over_to_a_waiter() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (plan, db, sas) = tiny_setup();
+        let cache = TraceCache::new(2);
+        let attempts = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    // The first attempt fails; whoever takes over succeeds.
+                    let result = cache.get_or_compute(key(77), || {
+                        if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            Err(nrab_algebra::AlgebraError::Eval("transient".into()))
+                        } else {
+                            trace_plan_generalized(&plan, &db, &sas)
+                        }
+                    });
+                    // Only the failing owner sees the error; everyone else
+                    // ends up with the recomputed value.
+                    if let Err(e) = result {
+                        assert!(e.to_string().contains("transient"));
+                    }
+                });
+            }
+        });
+        // The error was not cached; the key is present from the successful
+        // retry (at least two attempts happened: the failure and a success).
+        assert!(attempts.load(Ordering::SeqCst) >= 2);
+        let (_, hit) = cache.get_or_compute(key(77), || panic!("must be cached")).unwrap();
+        assert!(hit);
     }
 
     #[test]

@@ -289,17 +289,22 @@ impl ExplainService {
         })
     }
 
-    /// Answers a batch of why-not questions in order.
+    /// Answers a batch of why-not questions, returning responses in request
+    /// order.
     ///
-    /// Questions that target the same plan, database, and substitution sets
-    /// share one generalized trace: the first question pays for it, the rest
-    /// hit the cache. Failures are per-question — one invalid question does
-    /// not fail the batch.
+    /// Requests fan out over the `whynot-exec` pool (`WHYNOT_THREADS`-many at
+    /// a time); the reports are identical to answering the questions one by
+    /// one. Questions that target the same plan, database, and substitution
+    /// sets share one generalized trace even when they run concurrently: the
+    /// cache's per-key in-flight deduplication makes the first question pay
+    /// for it and the rest wait for (then reuse) that single computation.
+    /// Failures are per-question — one invalid question does not fail the
+    /// batch.
     pub fn explain_batch(
         &self,
         requests: &[ExplainRequest],
     ) -> Vec<ServiceResult<ExplainResponse>> {
-        requests.iter().map(|request| self.explain(request)).collect()
+        whynot_exec::par_map(requests, |request| self.explain(request))
     }
 }
 
