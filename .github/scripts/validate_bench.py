@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_figures.json report and enforces the CI perf gates.
+
+Usage: validate_bench.py [REPORT [BASELINE]]
+
+REPORT (default BENCH_figures.json) is the freshly measured report.
+BASELINE, when given, is the *committed* report snapshotted before the bench
+run; the perf-regression gate compares the re-measured `value_layer` and
+`columnar` groups against it and fails on a >2x slowdown of any case.
+
+Gates that compare two runs on the *same* machine are enforced everywhere;
+gates that need real cores (the threads1-vs-threads4 parallel speedup) or
+that compare against a baseline measured elsewhere (the regression gate) are
+only enforced on runners with >= 4 CPUs and print a notice otherwise.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    report_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_figures.json"
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else None
+
+    report = load(report_path)
+    assert report["version"] == 1, "unexpected report version"
+    groups = {g["name"]: g for g in report["groups"]}
+    assert groups, "report has no groups"
+    for name in ("value_layer", "parallel", "columnar"):
+        assert name in groups, f"{name} group missing: {sorted(groups)}"
+    for group in report["groups"]:
+        assert group["cases"], f"group {group['name']} has no cases"
+        for case in group["cases"]:
+            for key in ("mean_ms", "min_ms", "max_ms"):
+                assert isinstance(case[key], (int, float)), (group["name"], case)
+            assert case["min_ms"] <= case["max_ms"] + 1e-9, (group["name"], case)
+
+    def cases(group_name):
+        return {c["name"]: c for c in groups[group_name]["cases"]}
+
+    cpus = os.cpu_count() or 1
+
+    # Parallel speedup gate: threads4 must beat threads1 on multi-core
+    # runners. The bit-identity of parallel and serial results is asserted
+    # inside the bench itself on every machine.
+    parallel = cases("parallel")
+    for case in (
+        "dblp_d4_trace/threads1",
+        "dblp_d4_trace/threads4",
+        "service_batch8/threads1",
+        "service_batch8/threads4",
+    ):
+        assert case in parallel, f"parallel group lacks {case}: {sorted(parallel)}"
+    for workload in ("dblp_d4_trace", "service_batch8"):
+        serial = parallel[f"{workload}/threads1"]["min_ms"]
+        threaded = parallel[f"{workload}/threads4"]["min_ms"]
+        speedup = serial / threaded if threaded > 0 else float("inf")
+        print(
+            f"{workload}: {serial:.2f} ms serial / {threaded:.2f} ms "
+            f"at 4 threads = {speedup:.2f}x (cpus={cpus})"
+        )
+        if cpus >= 4:
+            assert speedup >= 1.5, (
+                f"{workload}: expected >= 1.5x speedup at 4 threads "
+                f"on a {cpus}-cpu runner, got {speedup:.2f}x"
+            )
+        else:
+            print(f"NOTICE: parallel speedup gate skipped on a {cpus}-cpu runner (< 4)")
+
+    # Columnar speedup gate: the columnar wide-flat scan must beat the
+    # row-oriented scan. Both sides are measured serially in the same
+    # process, so this holds regardless of core count.
+    columnar = cases("columnar")
+    for case in (
+        "lineitem_select/rows",
+        "lineitem_select/columnar",
+        "lineitem_trace/rows",
+        "lineitem_trace/columnar",
+    ):
+        assert case in columnar, f"columnar group lacks {case}: {sorted(columnar)}"
+    rows = columnar["lineitem_select/rows"]["min_ms"]
+    cols = columnar["lineitem_select/columnar"]["min_ms"]
+    speedup = rows / cols if cols > 0 else float("inf")
+    print(f"lineitem_select: {rows:.3f} ms rows / {cols:.3f} ms columnar = {speedup:.2f}x")
+    assert speedup >= 1.5, f"columnar lineitem_select: expected >= 1.5x, got {speedup:.2f}x"
+    trace_rows = columnar["lineitem_trace/rows"]["min_ms"]
+    trace_cols = columnar["lineitem_trace/columnar"]["min_ms"]
+    trace_speedup = trace_rows / trace_cols if trace_cols > 0 else float("inf")
+    print(
+        f"lineitem_trace: {trace_rows:.3f} ms rows / {trace_cols:.3f} ms columnar "
+        f"= {trace_speedup:.2f}x (informational)"
+    )
+
+    # Perf-regression gate: the re-measured value_layer and columnar groups
+    # must not be more than 2x slower than the committed baseline. Absolute
+    # times only transfer between comparable machines, so the gate needs a
+    # real runner: enforced on >= 4 CPUs, notice otherwise.
+    if baseline_path:
+        baseline = load(baseline_path)
+        baseline_cases = {
+            g["name"]: {c["name"]: c for c in g["cases"]} for g in baseline["groups"]
+        }
+        if cpus >= 4:
+            failures = []
+            for group_name in ("value_layer", "columnar"):
+                for case_name, case in cases(group_name).items():
+                    base = baseline_cases.get(group_name, {}).get(case_name)
+                    if base is None:
+                        print(f"NOTICE: {group_name}/{case_name} has no baseline; skipped")
+                        continue
+                    ratio = case["min_ms"] / base["min_ms"] if base["min_ms"] > 0 else 0.0
+                    print(
+                        f"{group_name}/{case_name}: baseline {base['min_ms']:.3f} ms, "
+                        f"measured {case['min_ms']:.3f} ms ({ratio:.2f}x)"
+                    )
+                    if ratio > 2.0:
+                        failures.append(
+                            f"{group_name}/{case_name} slowed down {ratio:.2f}x (> 2x)"
+                        )
+            assert not failures, "perf regression: " + "; ".join(failures)
+        else:
+            print(f"NOTICE: perf-regression gate skipped on a {cpus}-cpu runner (< 4)")
+
+    print(
+        f"BENCH_figures.json OK: {len(groups)} groups, "
+        f"{sum(len(g['cases']) for g in report['groups'])} cases"
+    )
+
+
+if __name__ == "__main__":
+    main()

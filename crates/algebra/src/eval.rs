@@ -7,9 +7,11 @@
 //! interned to [`Sym`]s once per operator application so per-tuple field
 //! lookups are integer compares.
 
+use std::ops::Range;
 use std::sync::Arc;
 
-use nested_data::{Bag, BagBuilder, NestedType, Sym, Tuple, TupleType, Value};
+use nested_data::{Bag, BagBuilder, ColumnarBag, NestedType, Sym, Tuple, TupleType, Value};
+use whynot_exec::par_map;
 
 use crate::agg::AggFunc;
 use crate::database::Database;
@@ -108,8 +110,35 @@ pub fn apply_operator(
     }
 }
 
+/// Rows per parallel chunk of a columnar scan. Chunks fan out over
+/// [`whynot_exec::par_map`] and are reassembled in input order, so the scan
+/// result is independent of the thread count.
+const COLUMNAR_CHUNK_ROWS: usize = 1024;
+
+/// Splits `rows` into contiguous `COLUMNAR_CHUNK_ROWS`-sized ranges.
+pub fn columnar_chunks(rows: usize) -> Vec<Range<usize>> {
+    (0..rows)
+        .step_by(COLUMNAR_CHUNK_ROWS)
+        .map(|start| start..(start + COLUMNAR_CHUNK_ROWS).min(rows))
+        .collect()
+}
+
+/// Evaluates a predicate over every row of a columnar bag, column-at-a-time
+/// in parallel chunks. `mask[r]` is the predicate value of row `r`, identical
+/// to evaluating the predicate on the row's tuple.
+pub fn columnar_mask(cols: &ColumnarBag, predicate: &Expr) -> Vec<bool> {
+    let chunks = columnar_chunks(cols.rows());
+    par_map(&chunks, |range| predicate.eval_columnar_mask(cols, range.clone()))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
     let names: Vec<Sym> = columns.iter().map(|c| Sym::intern(&c.name)).collect();
+    if let Some(cols) = input.columnar() {
+        return eval_projection_columnar(&cols, &names, columns);
+    }
     let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
@@ -121,7 +150,47 @@ fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
     out.finish()
 }
 
+/// Columnar projection: evaluates each output column over per-chunk column
+/// slices, then reassembles rows in input order. The output tuples (and
+/// therefore the canonical result bag) are identical to the row-oriented
+/// path's, because both build `⟨name: expr(row)⟩` from the same expression
+/// semantics.
+fn eval_projection_columnar(cols: &ColumnarBag, names: &[Sym], columns: &[ProjColumn]) -> Bag {
+    let chunks = columnar_chunks(cols.rows());
+    let mults = cols.mults();
+    let per_chunk: Vec<Vec<(Value, u64)>> = par_map(&chunks, |range| {
+        let evaluated: Vec<Vec<Value>> =
+            columns.iter().map(|c| c.expr.eval_columnar(cols, range.clone())).collect();
+        (0..range.len())
+            .map(|i| {
+                let projected = Tuple::new(
+                    names.iter().zip(evaluated.iter()).map(|(name, col)| (*name, col[i].clone())),
+                );
+                (Value::from_tuple(projected), mults[range.start + i])
+            })
+            .collect()
+    });
+    let mut out = BagBuilder::with_capacity(cols.rows());
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out.finish()
+}
+
 fn eval_selection(input: &Bag, predicate: &Expr) -> Bag {
+    if let Some(cols) = input.columnar() {
+        // Column-at-a-time predicate evaluation; the surviving entries are
+        // gathered from the canonical input in order, so the result is the
+        // same bag `filter` builds.
+        let mask = columnar_mask(&cols, predicate);
+        let entries: Vec<(Value, u64)> = input
+            .iter()
+            .zip(mask)
+            .filter(|(_, keep)| *keep)
+            .map(|(entry, _)| entry.clone())
+            .collect();
+        return Bag::from_canonical_entries(entries);
+    }
     input.filter(|v| v.as_tuple().map(|t| predicate.eval_bool(t)).unwrap_or(false))
 }
 

@@ -10,8 +10,81 @@
 //! tuples.
 
 use std::fmt;
+use std::ops::Range;
 
-use nested_data::{AttrPath, Bag, Tuple, Value};
+use nested_data::{AttrPath, Bag, ColumnarBag, Tuple, Value};
+
+/// A borrowable `⊥` for broadcast operands.
+static NULL_VALUE: Value = Value::Null;
+
+/// One side of a vectorized comparison/arithmetic step over a row range.
+enum ColOperand<'a> {
+    /// A borrowed column slice, already restricted to the row range.
+    Col(&'a [Value]),
+    /// A constant, broadcast to every row.
+    Const(&'a Value),
+    /// A materialized per-row vector (computed sub-expression).
+    Owned(Vec<Value>),
+}
+
+impl ColOperand<'_> {
+    /// The operand's value at row offset `i` within the range.
+    fn get(&self, i: usize) -> &Value {
+        match self {
+            ColOperand::Col(column) => &column[i],
+            ColOperand::Const(v) => v,
+            ColOperand::Owned(values) => &values[i],
+        }
+    }
+}
+
+/// Scalar kernel of [`Expr::Contains`], shared by the row-oriented and
+/// columnar evaluators.
+fn scalar_contains(haystack: &Value, needle: &Value) -> Value {
+    Value::Bool(match (haystack, needle) {
+        (Value::Str(h), Value::Str(n)) => h.contains(&**n),
+        (Value::Bag(b), v) => b.contains(v),
+        _ => false,
+    })
+}
+
+/// Scalar kernel of [`Expr::IsNull`]: `⊥` and empty nested relations count
+/// as null.
+fn scalar_is_null(v: &Value) -> Value {
+    Value::Bool(v.is_null() || matches!(v, Value::Bag(b) if b.is_empty()))
+}
+
+/// Scalar kernel of [`Expr::Arith`]; non-numeric operands and division by
+/// zero yield `⊥`.
+fn scalar_arith(a: &Value, op: ArithOp, b: &Value) -> Value {
+    match (a.as_float(), b.as_float()) {
+        (Some(a), Some(b)) => {
+            let result = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Value::Null;
+                    }
+                    a / b
+                }
+            };
+            Value::Float(result)
+        }
+        _ => Value::Null,
+    }
+}
+
+/// Scalar kernel of [`Expr::Size`]: the cardinality of a nested relation,
+/// with `⊥` counting as empty.
+fn scalar_size(v: &Value) -> Value {
+    match v {
+        Value::Bag(b) => Value::Int(b.total() as i64),
+        Value::Null => Value::Int(0),
+        _ => Value::Null,
+    }
+}
 
 /// Comparison operators `{=, ≠, <, ≤, >, ≥}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -209,44 +282,10 @@ impl Expr {
             Expr::And(l, r) => Value::Bool(l.eval_bool(tuple) && r.eval_bool(tuple)),
             Expr::Or(l, r) => Value::Bool(l.eval_bool(tuple) || r.eval_bool(tuple)),
             Expr::Not(e) => Value::Bool(!e.eval_bool(tuple)),
-            Expr::Contains(h, n) => {
-                let haystack = h.eval(tuple);
-                let needle = n.eval(tuple);
-                Value::Bool(match (&haystack, &needle) {
-                    (Value::Str(h), Value::Str(n)) => h.contains(&**n),
-                    (Value::Bag(b), v) => b.contains(v),
-                    _ => false,
-                })
-            }
-            Expr::IsNull(e) => {
-                let v = e.eval(tuple);
-                Value::Bool(v.is_null() || matches!(&v, Value::Bag(b) if b.is_empty()))
-            }
-            Expr::Arith(l, op, r) => {
-                let (a, b) = (l.eval(tuple), r.eval(tuple));
-                match (a.as_float(), b.as_float()) {
-                    (Some(a), Some(b)) => {
-                        let result = match op {
-                            ArithOp::Add => a + b,
-                            ArithOp::Sub => a - b,
-                            ArithOp::Mul => a * b,
-                            ArithOp::Div => {
-                                if b == 0.0 {
-                                    return Value::Null;
-                                }
-                                a / b
-                            }
-                        };
-                        Value::Float(result)
-                    }
-                    _ => Value::Null,
-                }
-            }
-            Expr::Size(e) => match e.eval(tuple) {
-                Value::Bag(b) => Value::Int(b.total() as i64),
-                Value::Null => Value::Int(0),
-                _ => Value::Null,
-            },
+            Expr::Contains(h, n) => scalar_contains(&h.eval(tuple), &n.eval(tuple)),
+            Expr::IsNull(e) => scalar_is_null(&e.eval(tuple)),
+            Expr::Arith(l, op, r) => scalar_arith(&l.eval(tuple), *op, &r.eval(tuple)),
+            Expr::Size(e) => scalar_size(&e.eval(tuple)),
         }
     }
 
@@ -254,6 +293,109 @@ impl Expr {
     /// count as false.
     pub fn eval_bool(&self, tuple: &Tuple) -> bool {
         self.eval(tuple).as_bool().unwrap_or(false)
+    }
+
+    /// Evaluates the expression for every row in `range` of a columnar bag,
+    /// one column at a time.
+    ///
+    /// Attribute references resolve to a column **once per call** instead of
+    /// scanning the fields of every row tuple, which is where the columnar
+    /// scan wins. The per-row semantics are exactly those of [`Expr::eval`]
+    /// on the reconstructed row tuple — both paths share the same scalar
+    /// kernels — so row-oriented and columnar scans are interchangeable
+    /// (the workspace equivalence tests compare them bit for bit).
+    pub fn eval_columnar(&self, cols: &ColumnarBag, range: Range<usize>) -> Vec<Value> {
+        let len = range.len();
+        match self {
+            Expr::Attr(path) => {
+                if path.is_empty() {
+                    // An empty path denotes the whole row.
+                    return range.map(|r| Value::from_tuple(cols.row_tuple(r))).collect();
+                }
+                if path.len() == 1 {
+                    if let Some(column) = cols.column(path.head().expect("non-empty path")) {
+                        return column[range].to_vec();
+                    }
+                }
+                // A missing attribute evaluates to ⊥; so does any longer
+                // path, because every column of a flat bag holds scalars
+                // (and ⊥ navigates to ⊥).
+                vec![Value::Null; len]
+            }
+            Expr::Const(v) => vec![v.clone(); len],
+            Expr::Cmp(l, op, r) => {
+                let (a, b) = (l.operand(cols, &range), r.operand(cols, &range));
+                (0..len).map(|i| Value::Bool(op.apply(a.get(i), b.get(i)))).collect()
+            }
+            Expr::And(_, _) | Expr::Or(_, _) | Expr::Not(_) => {
+                self.eval_columnar_mask(cols, range).into_iter().map(Value::Bool).collect()
+            }
+            Expr::Contains(h, n) => {
+                let (a, b) = (h.operand(cols, &range), n.operand(cols, &range));
+                (0..len).map(|i| scalar_contains(a.get(i), b.get(i))).collect()
+            }
+            Expr::IsNull(e) => {
+                let a = e.operand(cols, &range);
+                (0..len).map(|i| scalar_is_null(a.get(i))).collect()
+            }
+            Expr::Arith(l, op, r) => {
+                let (a, b) = (l.operand(cols, &range), r.operand(cols, &range));
+                (0..len).map(|i| scalar_arith(a.get(i), *op, b.get(i))).collect()
+            }
+            Expr::Size(e) => {
+                let a = e.operand(cols, &range);
+                (0..len).map(|i| scalar_size(a.get(i))).collect()
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate for every row in `range` of a
+    /// columnar bag: the vectorized [`Expr::eval_bool`]. Comparisons and
+    /// logical connectives stay on borrowed column slices (no per-row value
+    /// clones); other shapes fall back to [`Expr::eval_columnar`].
+    pub fn eval_columnar_mask(&self, cols: &ColumnarBag, range: Range<usize>) -> Vec<bool> {
+        let len = range.len();
+        match self {
+            Expr::Cmp(l, op, r) => {
+                let (a, b) = (l.operand(cols, &range), r.operand(cols, &range));
+                (0..len).map(|i| op.apply(a.get(i), b.get(i))).collect()
+            }
+            Expr::And(l, r) => {
+                let a = l.eval_columnar_mask(cols, range.clone());
+                let b = r.eval_columnar_mask(cols, range);
+                a.into_iter().zip(b).map(|(x, y)| x && y).collect()
+            }
+            Expr::Or(l, r) => {
+                let a = l.eval_columnar_mask(cols, range.clone());
+                let b = r.eval_columnar_mask(cols, range);
+                a.into_iter().zip(b).map(|(x, y)| x || y).collect()
+            }
+            Expr::Not(e) => e.eval_columnar_mask(cols, range).into_iter().map(|x| !x).collect(),
+            other => other
+                .eval_columnar(cols, range)
+                .iter()
+                .map(|v| v.as_bool().unwrap_or(false))
+                .collect(),
+        }
+    }
+
+    /// Resolves this expression to a per-row operand over `range`: a borrowed
+    /// column slice, a broadcast constant, or a materialized vector for
+    /// computed sub-expressions.
+    fn operand<'a>(&'a self, cols: &'a ColumnarBag, range: &Range<usize>) -> ColOperand<'a> {
+        match self {
+            Expr::Const(v) => ColOperand::Const(v),
+            Expr::Attr(path) if path.len() == 1 => {
+                match cols.column(path.head().expect("non-empty path")) {
+                    Some(column) => ColOperand::Col(&column[range.clone()]),
+                    None => ColOperand::Const(&NULL_VALUE),
+                }
+            }
+            // Longer paths over a flat bag always evaluate to ⊥ (see
+            // `eval_columnar`); empty paths and computed shapes materialize.
+            Expr::Attr(path) if path.len() > 1 => ColOperand::Const(&NULL_VALUE),
+            _ => ColOperand::Owned(self.eval_columnar(cols, range.clone())),
+        }
     }
 
     /// All attribute paths referenced by this expression.

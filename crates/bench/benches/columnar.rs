@@ -1,0 +1,6 @@
+//! `columnar` microbenchmarks: row-oriented vs. columnar wide-flat scans
+//! (with built-in byte-identity assertions between the two paths).
+
+fn main() {
+    whynot_bench::columnar_group();
+}

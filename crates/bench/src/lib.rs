@@ -262,6 +262,105 @@ pub fn parallel_group() {
     group.finish();
 }
 
+/// The `columnar` microbench group: row-oriented vs. columnar scans over the
+/// wide flat TPC-H `flatlineitem` relation (14 scalar attributes) — a Q6-style
+/// selection through the evaluator and a selection + grouped-aggregation
+/// whole-plan generalized trace under two schema alternatives.
+///
+/// Before measuring, the group *asserts* the equivalence contract: the
+/// columnar result bag and the columnar generalized trace must be
+/// byte-identical to their row-oriented twins (the row path is forced with
+/// [`nested_data::with_columnar`]). The columnar speedup is thread-count
+/// independent (it comes from column locality, not from the pool), so CI can
+/// enforce it on any runner; the committed baseline is measured serially.
+pub fn columnar_group() {
+    use nested_data::with_columnar;
+    use nested_datagen::{tpch_flat_database, TpchConfig};
+    use nrab_algebra::expr::{ArithOp, CmpOp, Expr};
+    use nrab_algebra::{AggFunc, AggSpec, PlanBuilder};
+    use nrab_provenance::{trace_plan_generalized, OpSubstitution, SchemaAlternative};
+    use std::collections::BTreeMap;
+
+    let mut group = BenchGroup::new("columnar");
+
+    let db = tpch_flat_database(TpchConfig { customers: 1500, seed: 42 });
+    let q6_predicate = || {
+        Expr::and_all([
+            Expr::attr_cmp("l_shipdate", CmpOp::Ge, "1994-01-01"),
+            Expr::attr_cmp("l_shipdate", CmpOp::Lt, "1996-01-01"),
+            Expr::attr_cmp("l_discount", CmpOp::Ge, 0.02),
+            Expr::attr_cmp("l_discount", CmpOp::Le, 0.09),
+            Expr::attr_cmp("l_quantity", CmpOp::Lt, 40i64),
+        ])
+    };
+    let select_plan = PlanBuilder::table("flatlineitem")
+        .select(q6_predicate())
+        .build()
+        .expect("selection plan builds");
+
+    // Byte-identity: the columnar scan must produce the very same canonical
+    // bag as the row-oriented scan.
+    let row_result = with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"));
+    let col_result = evaluate(&select_plan, &db).expect("columnar evaluates");
+    assert!(
+        row_result == col_result,
+        "columnar selection must be byte-identical to the row-oriented selection"
+    );
+    assert!(!col_result.is_empty(), "the benchmark selection must keep some rows");
+
+    group.bench("lineitem_select/rows", || {
+        with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"))
+    });
+    group.bench("lineitem_select/columnar", || evaluate(&select_plan, &db).expect("cols evaluate"));
+
+    // Selection + grouped aggregation, traced under two schema alternatives
+    // (original and l_shipdate → l_commitdate): the workload whose selection
+    // masks and group keys read the shared columns during tracing.
+    let builder = PlanBuilder::table("flatlineitem").select(q6_predicate());
+    let selection_op = builder.current_id();
+    let trace_plan = builder
+        .group_aggregate(
+            vec!["l_returnflag"],
+            vec![AggSpec::new(
+                AggFunc::Sum,
+                Expr::arith(
+                    Expr::attr("l_extendedprice"),
+                    ArithOp::Mul,
+                    Expr::arith(Expr::lit(1.0), ArithOp::Sub, Expr::attr("l_discount")),
+                ),
+                "revenue",
+            )],
+        )
+        .build()
+        .expect("trace plan builds");
+    let sas = vec![
+        SchemaAlternative::original(BTreeMap::new()),
+        SchemaAlternative::new(
+            1,
+            vec![OpSubstitution::new(selection_op, "l_shipdate", "l_commitdate")],
+            BTreeMap::new(),
+        ),
+    ];
+
+    let row_trace = with_columnar(false, || {
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("rows trace")
+    });
+    let col_trace = trace_plan_generalized(&trace_plan, &db, &sas).expect("columnar trace");
+    assert!(
+        row_trace == col_trace,
+        "columnar generalized trace must be byte-identical to the row-oriented trace"
+    );
+
+    group.bench("lineitem_trace/rows", || {
+        with_columnar(false, || trace_plan_generalized(&trace_plan, &db, &sas).expect("rows trace"))
+    });
+    group.bench("lineitem_trace/columnar", || {
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("columnar trace")
+    });
+
+    group.finish();
+}
+
 /// One row of the Table 7 summary.
 #[derive(Debug, Clone)]
 pub struct Table7Row {

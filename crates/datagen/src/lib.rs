@@ -24,8 +24,9 @@
 //! the benchmark harness can sweep dataset sizes (Figures 8–10).
 //!
 //! Filler records are generated **in parallel** over the `whynot-exec` pool:
-//! each record derives its own RNG from `(seed, stream, index)` via
-//! [`row_rng`] instead of drawing from one sequential stream, so the
+//! each record derives its own RNG from `(seed, stream, index)` via the
+//! crate-internal `row_rng` instead of drawing from one sequential stream,
+//! so the
 //! generated data is identical for every `WHYNOT_THREADS` value (and the
 //! planted protagonist facts are inserted outside the parallel loops).
 

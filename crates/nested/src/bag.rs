@@ -17,7 +17,9 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
+use crate::columnar::{self, ColumnarBag};
 use crate::value::Value;
 
 /// A bag `{{ v₁ⁿ¹, v₂ⁿ², ... }}` of nested values with multiplicities.
@@ -25,6 +27,10 @@ use crate::value::Value;
 pub struct Bag {
     /// Distinct values with positive multiplicities, kept sorted by value.
     entries: Vec<(Value, u64)>,
+    /// Lazily built columnar form (see [`Bag::columnar`]): `None` once
+    /// computed means the bag is not eligible. The cache never affects
+    /// equality, ordering, or hashing, and [`Bag::insert`] invalidates it.
+    columnar: OnceLock<Option<Arc<ColumnarBag>>>,
 }
 
 /// Accumulates `(value, multiplicity)` entries in a hash map and produces a
@@ -81,7 +87,7 @@ impl BagBuilder {
     pub fn finish(self) -> Bag {
         let mut entries: Vec<(Value, u64)> = self.entries.into_iter().collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        Bag { entries }
+        Bag::from_vec(entries)
     }
 }
 
@@ -104,7 +110,42 @@ impl Extend<(Value, u64)> for BagBuilder {
 impl Bag {
     /// The empty bag `{{}}`.
     pub fn new() -> Self {
-        Bag { entries: Vec::new() }
+        Bag::from_vec(Vec::new())
+    }
+
+    /// Internal constructor: wraps already-canonical entries with an empty
+    /// columnar cache.
+    fn from_vec(entries: Vec<(Value, u64)>) -> Self {
+        Bag { entries, columnar: OnceLock::new() }
+    }
+
+    /// Builds a bag from entries that are **already canonical**: sorted
+    /// strictly ascending by value, with positive multiplicities — e.g.
+    /// entries filtered (in order) from an existing bag's [`Bag::iter`].
+    /// Canonicality is debug-asserted.
+    pub fn from_canonical_entries(entries: Vec<(Value, u64)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted and distinct"
+        );
+        debug_assert!(entries.iter().all(|(_, m)| *m > 0), "multiplicities must be positive");
+        Bag::from_vec(entries)
+    }
+
+    /// The columnar form of this bag, if it is *wide and flat*: at least
+    /// [`columnar::MIN_COLUMNAR_ROWS`] distinct rows, every row a tuple of at
+    /// least [`columnar::MIN_COLUMNAR_ARITY`] attributes with the same names
+    /// in the same order, and every field a scalar.
+    ///
+    /// The conversion runs once per bag and is cached, so shared relations
+    /// (`Arc<Bag>` in a database) convert once no matter how many scans
+    /// consume them. Returns `None` without touching the cache while the
+    /// columnar path is disabled via [`columnar::with_columnar`].
+    pub fn columnar(&self) -> Option<Arc<ColumnarBag>> {
+        if !columnar::columnar_enabled() {
+            return None;
+        }
+        self.columnar.get_or_init(|| columnar::build_columnar(self)).clone()
     }
 
     /// Builds a bag from an iterator of values (each contributing multiplicity 1).
@@ -135,6 +176,7 @@ impl Bag {
         if mult == 0 {
             return;
         }
+        self.columnar = OnceLock::new();
         match self.entries.binary_search_by(|(v, _)| v.cmp(&value)) {
             Ok(idx) => self.entries[idx].1 += mult,
             Err(idx) => self.entries.insert(idx, (value, mult)),
@@ -219,7 +261,7 @@ impl Bag {
                 (None, None) => break,
             }
         }
-        Bag { entries }
+        Bag::from_vec(entries)
     }
 
     /// Bag difference `R − S` (multiplicities subtract, floored at zero).
@@ -231,12 +273,12 @@ impl Bag {
                 entries.push((v.clone(), m - other_m));
             }
         }
-        Bag { entries }
+        Bag::from_vec(entries)
     }
 
     /// Duplicate elimination `δ(R)`: every distinct value with multiplicity 1.
     pub fn dedup(&self) -> Bag {
-        Bag { entries: self.entries.iter().map(|(v, _)| (v.clone(), 1)).collect() }
+        Bag::from_vec(self.entries.iter().map(|(v, _)| (v.clone(), 1)).collect())
     }
 
     /// Maps every distinct value through `f`, preserving multiplicities.
@@ -256,7 +298,7 @@ impl Bag {
     where
         F: FnMut(&Value) -> bool,
     {
-        Bag { entries: self.entries.iter().filter(|(v, _)| pred(v)).cloned().collect() }
+        Bag::from_vec(self.entries.iter().filter(|(v, _)| pred(v)).cloned().collect())
     }
 
     /// Groups the bag's elements by a key extracted from each value.

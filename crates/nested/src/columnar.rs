@@ -1,0 +1,284 @@
+//! Columnar representation of wide flat bags.
+//!
+//! Canonical bags are row-oriented (`Vec<(Value, u64)>`), which is the right
+//! layout for nested values but wastes memory bandwidth on the scan-dominated
+//! workloads of the paper's evaluation: selections, projections, and
+//! aggregations over *wide flat* base relations (TPC-H `lineitem`, the
+//! pre-joined `flatlineitem`, DBLP filler). A [`ColumnarBag`] stores such a
+//! relation as one `Vec<Value>` per attribute (keyed by its interned
+//! [`Sym`]) plus a multiplicity column, so a predicate over three attributes
+//! of a 14-attribute relation touches three dense columns instead of
+//! scanning every field of every row tuple.
+//!
+//! The representation is a **cache, not a second source of truth**: it is
+//! built lazily from a canonical [`Bag`] (row `r` of every column is field
+//! `r` of the bag's `r`-th entry, in canonical entry order), it is only
+//! built when the bag is eligible (see [`ColumnarBag::from_flat_bag`] and
+//! the [`MIN_COLUMNAR_ARITY`] / [`MIN_COLUMNAR_ROWS`] policy applied by
+//! [`Bag::columnar`]), and every consumer must produce results byte-identical
+//! to the row-oriented scan — the workspace equivalence tests pin this down
+//! across all scenario families.
+//!
+//! [`with_columnar`] force-disables the columnar path on the current thread;
+//! tests and benches use it to compare the two scan paths on the same code.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::bag::Bag;
+use crate::sym::Sym;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Minimum tuple arity for a bag to count as *wide* (and thus worth
+/// converting): narrow tuples are cheap to scan row-wise, and the per-column
+/// bookkeeping would not pay for itself.
+pub const MIN_COLUMNAR_ARITY: usize = 6;
+
+/// Minimum number of distinct rows before conversion pays for itself.
+pub const MIN_COLUMNAR_ROWS: usize = 32;
+
+thread_local! {
+    /// Thread-local columnar enable flag (default: enabled). See
+    /// [`with_columnar`].
+    static COLUMNAR_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether the columnar path is enabled on the current thread.
+pub fn columnar_enabled() -> bool {
+    COLUMNAR_ENABLED.with(Cell::get)
+}
+
+/// Runs `f` with the columnar scan path enabled or disabled on the current
+/// thread, restoring the previous setting afterwards (also on panic).
+///
+/// Disabling makes [`Bag::columnar`] return `None`, which forces every scan
+/// back onto the row-oriented path — the knob the equivalence tests and the
+/// `columnar` bench group use to compare the two paths. The flag is
+/// thread-local: it governs where the columnar *decision* is made (operator
+/// application and tracing run on the calling thread; parallel workers only
+/// execute chunks of an already-decided scan).
+pub fn with_columnar<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        previous: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.previous;
+            COLUMNAR_ENABLED.with(|c| c.set(previous));
+        }
+    }
+    let _restore = Restore { previous: COLUMNAR_ENABLED.with(|c| c.replace(enabled)) };
+    f()
+}
+
+/// A flat bag decomposed into per-attribute columns.
+///
+/// Row `r` corresponds to the bag's `r`-th canonical entry: `columns[c][r]`
+/// is the value of attribute `syms[c]` and `mults[r]` its multiplicity.
+/// All values are scalars (null, bool, int, float, or string) and every row
+/// has the same attributes in the same order, so the original tuples can be
+/// reconstructed exactly (see [`ColumnarBag::row_tuple`]).
+#[derive(Debug)]
+pub struct ColumnarBag {
+    /// Attribute symbols, in the (shared) field order of the row tuples.
+    syms: Vec<Sym>,
+    /// One dense value column per attribute, in `syms` order.
+    columns: Vec<Vec<Value>>,
+    /// Per-row multiplicities, mirroring the bag entries.
+    mults: Vec<u64>,
+}
+
+impl ColumnarBag {
+    /// Decomposes a flat bag into columns, or `None` if the bag is not
+    /// *uniformly flat*: every entry must be a tuple, every tuple must list
+    /// the same attributes in the same order, and every field value must be
+    /// a scalar (no nested tuples or bags). Empty bags and bags of
+    /// zero-arity tuples yield `None` (there is nothing to columnarize).
+    ///
+    /// This checks only *shape*; the wideness policy
+    /// ([`MIN_COLUMNAR_ARITY`], [`MIN_COLUMNAR_ROWS`]) lives in
+    /// [`Bag::columnar`], so tests can columnarize small bags directly.
+    pub fn from_flat_bag(bag: &Bag) -> Option<ColumnarBag> {
+        let (first, _) = bag.iter().next()?;
+        let syms: Vec<Sym> = first.as_tuple()?.fields().iter().map(|(n, _)| *n).collect();
+        if syms.is_empty() {
+            return None;
+        }
+        let mut columns: Vec<Vec<Value>> =
+            syms.iter().map(|_| Vec::with_capacity(bag.distinct())).collect();
+        let mut mults = Vec::with_capacity(bag.distinct());
+        for (value, mult) in bag.iter() {
+            let fields = value.as_tuple()?.fields();
+            if fields.len() != syms.len() {
+                return None;
+            }
+            for (c, (sym, field)) in fields.iter().enumerate() {
+                if *sym != syms[c] || !field.is_scalar() {
+                    return None;
+                }
+                columns[c].push(field.clone());
+            }
+            mults.push(*mult);
+        }
+        Some(ColumnarBag { syms, columns, mults })
+    }
+
+    /// Number of rows (distinct bag entries).
+    pub fn rows(&self) -> usize {
+        self.mults.len()
+    }
+
+    /// Number of columns (the shared tuple arity).
+    pub fn arity(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// The attribute symbols in column order.
+    pub fn syms(&self) -> &[Sym] {
+        &self.syms
+    }
+
+    /// The per-row multiplicities.
+    pub fn mults(&self) -> &[u64] {
+        &self.mults
+    }
+
+    /// The value column of attribute `name`, if present.
+    pub fn column(&self, name: Sym) -> Option<&[Value]> {
+        self.syms.iter().position(|s| *s == name).map(|c| self.columns[c].as_slice())
+    }
+
+    /// Reconstructs row `r` as a tuple, field-for-field identical to the bag
+    /// entry the row was built from.
+    pub fn row_tuple(&self, r: usize) -> Tuple {
+        Tuple::new(self.syms.iter().zip(&self.columns).map(|(sym, col)| (*sym, col[r].clone())))
+    }
+}
+
+/// Whether a bag passes the default wideness policy (enough rows, first row
+/// a wide-enough tuple) that makes columnar conversion worth attempting.
+/// Exposed for tests and benches.
+pub fn is_wide_flat(bag: &Bag) -> bool {
+    bag.distinct() >= MIN_COLUMNAR_ROWS
+        && bag
+            .iter()
+            .next()
+            .and_then(|(v, _)| v.as_tuple())
+            .map(|t| t.arity() >= MIN_COLUMNAR_ARITY)
+            .unwrap_or(false)
+}
+
+/// Applies the wideness policy and builds (or rejects) the columnar form of
+/// a bag. Used by [`Bag::columnar`] to fill its cache.
+pub(crate) fn build_columnar(bag: &Bag) -> Option<Arc<ColumnarBag>> {
+    if !is_wide_flat(bag) {
+        return None;
+    }
+    ColumnarBag::from_flat_bag(bag).map(Arc::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_row(i: i64, arity: usize) -> Value {
+        Value::tuple((0..arity).map(|c| {
+            let name = format!("a{c}");
+            let value = match c % 3 {
+                0 => Value::int(i * 10 + c as i64),
+                1 => Value::str(format!("s{}-{}", i, c)),
+                _ => Value::float(i as f64 + c as f64 / 10.0),
+            };
+            (name, value)
+        }))
+    }
+
+    fn wide_bag(rows: usize, arity: usize) -> Bag {
+        Bag::from_values((0..rows as i64).map(|i| wide_row(i, arity)))
+    }
+
+    #[test]
+    fn flat_wide_bag_is_columnar() {
+        let bag = wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY);
+        let cols = bag.columnar().expect("wide flat bag must columnarize");
+        assert_eq!(cols.rows(), MIN_COLUMNAR_ROWS);
+        assert_eq!(cols.arity(), MIN_COLUMNAR_ARITY);
+        assert_eq!(cols.mults().len(), cols.rows());
+        // Rows reconstruct exactly, in canonical entry order.
+        for (r, (value, mult)) in bag.iter().enumerate() {
+            assert_eq!(&Value::from_tuple(cols.row_tuple(r)), value);
+            assert_eq!(cols.mults()[r], *mult);
+        }
+        // Columns read back the per-row field values.
+        let a0 = cols.column(Sym::intern("a0")).unwrap();
+        for (r, (value, _)) in bag.iter().enumerate() {
+            assert_eq!(&a0[r], value.as_tuple().unwrap().get("a0").unwrap());
+        }
+        assert!(cols.column(Sym::intern("missing")).is_none());
+    }
+
+    #[test]
+    fn conversion_is_cached_per_bag() {
+        let bag = wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY);
+        let a = bag.columnar().unwrap();
+        let b = bag.columnar().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "conversion must happen once per bag");
+    }
+
+    #[test]
+    fn narrow_small_or_nested_bags_are_not_columnar() {
+        // Too few rows.
+        assert!(wide_bag(MIN_COLUMNAR_ROWS - 1, MIN_COLUMNAR_ARITY).columnar().is_none());
+        // Too narrow.
+        assert!(wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY - 1).columnar().is_none());
+        // Nested field value.
+        let nested = Bag::from_values((0..MIN_COLUMNAR_ROWS as i64).map(|i| {
+            let mut fields: Vec<(String, Value)> =
+                (0..MIN_COLUMNAR_ARITY - 1).map(|c| (format!("a{c}"), Value::int(i))).collect();
+            fields.push(("nested".into(), Value::bag([Value::int(i)])));
+            Value::tuple(fields)
+        }));
+        assert!(!is_wide_flat(&nested) || nested.columnar().is_none());
+        assert!(ColumnarBag::from_flat_bag(&nested).is_none());
+        // Non-tuple entries.
+        let scalars = Bag::from_values((0..MIN_COLUMNAR_ROWS as i64).map(Value::int));
+        assert!(scalars.columnar().is_none());
+        assert!(ColumnarBag::from_flat_bag(&scalars).is_none());
+        // Empty bag.
+        assert!(ColumnarBag::from_flat_bag(&Bag::new()).is_none());
+    }
+
+    #[test]
+    fn from_flat_bag_ignores_the_wideness_policy() {
+        let small = wide_bag(2, 3);
+        assert!(small.columnar().is_none());
+        let cols = ColumnarBag::from_flat_bag(&small).expect("shape is flat");
+        assert_eq!(cols.rows(), 2);
+        assert_eq!(cols.arity(), 3);
+    }
+
+    #[test]
+    fn with_columnar_toggles_and_restores() {
+        let bag = wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY);
+        assert!(columnar_enabled());
+        with_columnar(false, || {
+            assert!(!columnar_enabled());
+            assert!(bag.columnar().is_none(), "disabled thread must take the row path");
+            with_columnar(true, || assert!(bag.columnar().is_some()));
+            assert!(!columnar_enabled());
+        });
+        assert!(columnar_enabled());
+        assert!(bag.columnar().is_some());
+    }
+
+    #[test]
+    fn mutation_invalidates_the_cache() {
+        let mut bag = wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY);
+        let before = bag.columnar().unwrap();
+        assert_eq!(before.rows(), MIN_COLUMNAR_ROWS);
+        bag.insert(wide_row(1_000, MIN_COLUMNAR_ARITY), 2);
+        let after = bag.columnar().unwrap();
+        assert_eq!(after.rows(), MIN_COLUMNAR_ROWS + 1);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bag;
+pub mod columnar;
 pub mod error;
 pub mod nip;
 pub mod path;
@@ -46,6 +47,7 @@ pub mod types;
 pub mod value;
 
 pub use bag::{Bag, BagBuilder};
+pub use columnar::{with_columnar, ColumnarBag};
 pub use error::{DataError, DataResult};
 pub use nip::{Nip, NipCmp};
 pub use path::AttrPath;

@@ -224,7 +224,7 @@ impl Tuple {
     }
 
     /// Calls `f` with each `(name, value)` pair in canonical (name-sorted)
-    /// order, without allocating for tuples up to [`INLINE_ARITY`] fields.
+    /// order, without allocating for tuples up to `INLINE_ARITY` fields.
     fn for_each_canonical(&self, mut f: impl FnMut(Sym, &Value)) {
         let n = self.fields.len();
         if n <= INLINE_ARITY {
@@ -293,7 +293,7 @@ impl PartialOrd for Tuple {
 impl Ord for Tuple {
     /// Name-based canonical order, identical to comparing the name-sorted
     /// `(name, value)` vectors lexicographically (then by arity), but
-    /// allocation-free for tuples up to [`INLINE_ARITY`] fields.
+    /// allocation-free for tuples up to `INLINE_ARITY` fields.
     fn cmp(&self, other: &Self) -> Ordering {
         let (na, nb) = (self.fields.len(), other.fields.len());
         if na <= INLINE_ARITY && nb <= INLINE_ARITY {

@@ -101,6 +101,13 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Whether this value is a scalar (null, bool, int, float, or string) —
+    /// i.e. neither a tuple nor a nested relation. Scalar-only tuples are
+    /// what the columnar layout ([`crate::columnar`]) decomposes.
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, Value::Tuple(_) | Value::Bag(_))
+    }
+
     /// The contained tuple, if this is a tuple value.
     pub fn as_tuple(&self) -> Option<&Tuple> {
         match self {

@@ -25,9 +25,10 @@
 //! tests enforce this).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use nested_data::{AttrPath, Bag, NestedType, Nip, Tuple, TupleType, Value};
-use nrab_algebra::eval::apply_operator;
+use nested_data::{AttrPath, Bag, ColumnarBag, NestedType, Nip, Tuple, TupleType, Value};
+use nrab_algebra::eval::{apply_operator, columnar_mask};
 use nrab_algebra::expr::{CmpOp, Expr};
 use nrab_algebra::schema::output_type;
 use nrab_algebra::{
@@ -74,7 +75,8 @@ pub fn trace_plan_generalized(
     if sas.is_empty() {
         return Err(AlgebraError::Eval("at least one schema alternative is required".into()));
     }
-    let mut tracer = Tracer { db, sas, next_id: 1, traces: BTreeMap::new() };
+    let mut tracer =
+        Tracer { db, sas, next_id: 1, traces: BTreeMap::new(), columnar: BTreeMap::new() };
     tracer.trace_node(&plan.root)?;
     Ok(GeneralizedTrace {
         inner: TraceResult {
@@ -173,6 +175,16 @@ struct Tracer<'a> {
     sas: &'a [SchemaAlternative],
     next_id: u64,
     traces: BTreeMap<OpId, OpTrace>,
+    /// Columnar passthrough: operators whose traced tuples are, under every
+    /// schema alternative, exactly the rows of a columnar bag (tuple `i` ↔
+    /// row `i`, every variant present and valid). Table accesses over
+    /// wide-flat relations establish the mapping and selections preserve it
+    /// (they annotate without transforming), so selection and aggregation
+    /// tracing above a flat base relation read dense columns instead of
+    /// scanning row tuples. Any transforming operator simply does not
+    /// propagate the entry. Tracer-internal: the produced traces carry no
+    /// columnar state and are bit-identical to the row-oriented ones.
+    columnar: BTreeMap<OpId, Arc<ColumnarBag>>,
 }
 
 impl<'a> Tracer<'a> {
@@ -224,6 +236,11 @@ impl<'a> Tracer<'a> {
 
     fn trace_table_access(&mut self, node: &OpNode, table: &str) -> AlgebraResult<OpTrace> {
         let bag = self.db.relation(table)?.clone();
+        // Wide flat relations establish a columnar passthrough: traced tuple
+        // `i` is (under every SA) row `i` of the cached columnar form.
+        if let Some(cols) = bag.columnar() {
+            self.columnar.insert(node.id, cols);
+        }
         let mut tuples = Vec::with_capacity(bag.distinct());
         for (value, _mult) in bag.iter() {
             let tuple = value.as_tuple().cloned().unwrap_or_else(Tuple::empty);
@@ -290,22 +307,34 @@ impl<'a> Tracer<'a> {
             .collect();
 
         let n = self.n_sas();
+        let child_cols = self.columnar.get(&child.id).cloned();
         type SelectionRow = (Vec<Option<Tuple>>, Vec<SaFlags>);
-        let computed: Vec<SelectionRow> = par_map(&child_trace.tuples, |input| {
-            let mut variants = Vec::with_capacity(n);
-            let mut flags = Vec::with_capacity(n);
+        let computed: Vec<SelectionRow> = if let Some(cols) = &child_cols {
+            // Columnar fast path: the child is a columnar passthrough (tuple
+            // `i`'s variant under every SA is row `i`, present and valid), so
+            // each SA's retained flags are one column-at-a-time predicate
+            // mask, evaluated over per-chunk column slices on the pool.
+            debug_assert_eq!(cols.rows(), child_trace.tuples.len());
+            // SAs that did not substitute into the selection share its
+            // predicate; evaluate each distinct predicate once.
+            let mut masks: Vec<Vec<bool>> = Vec::with_capacity(predicates.len());
             for (sa, predicate) in predicates.iter().enumerate() {
-                let input_flags = input.flags(sa);
-                let variant = input.variant(sa).cloned();
-                let retained = variant
-                    .as_ref()
-                    .map(|t| input_flags.valid && predicate.eval_bool(t))
-                    .unwrap_or(false);
-                flags.push(base_flags(variant.as_ref(), input_flags.valid, retained));
-                variants.push(variant);
+                match predicates[..sa].iter().position(|p| p == predicate) {
+                    Some(prev) => masks.push(masks[prev].clone()),
+                    None => masks.push(columnar_mask(cols, predicate)),
+                }
             }
-            (variants, flags)
-        });
+            child_trace
+                .tuples
+                .iter()
+                .enumerate()
+                .map(|(i, input)| selection_row(n, input, |sa, _| masks[sa][i]))
+                .collect()
+        } else {
+            par_map(&child_trace.tuples, |input| {
+                selection_row(n, input, |sa, t| predicates[sa].eval_bool(t))
+            })
+        };
         let mut tuples = Vec::with_capacity(child_trace.tuples.len());
         for (input, (variants, flags)) in child_trace.tuples.iter().zip(computed) {
             tuples.push(TracedTuple::new(
@@ -316,6 +345,12 @@ impl<'a> Tracer<'a> {
             ));
         }
         self.put_trace(child_trace);
+        // A selection only annotates, so its output rows still mirror the
+        // child's columnar form: keep the passthrough alive for operators
+        // above (selection chains, aggregations).
+        if let Some(cols) = child_cols {
+            self.columnar.insert(node.id, cols);
+        }
         Ok(OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples })
     }
 
@@ -445,19 +480,25 @@ impl<'a> Tracer<'a> {
                     }
                     buckets
                 });
+            // The non-equi fallback probes every right tuple; materialize
+            // that index list once per SA instead of once per left tuple.
+            let all_right: Vec<usize> =
+                if equi.is_none() { (0..right_trace.tuples.len()).collect() } else { Vec::new() };
             let matches_per_left: Vec<Vec<usize>> = par_map(&left_trace.tuples, |lt| {
                 let Some(ltuple) = lt.variant(sa) else { return Vec::new() };
                 if !lt.flags(sa).valid {
                     return Vec::new();
                 }
-                let candidates: Vec<usize> = match (&equi, &right_buckets) {
+                // The bucket's candidate list is borrowed, not cloned: the
+                // probe only reads it.
+                let candidates: &[usize] = match (&equi, &right_buckets) {
                     (Some((lk, _)), Some(buckets)) => {
-                        buckets.get(&key_of(ltuple, lk)).cloned().unwrap_or_default()
+                        buckets.get(&key_of(ltuple, lk)).map(Vec::as_slice).unwrap_or(&[])
                     }
-                    _ => (0..right_trace.tuples.len()).collect(),
+                    _ => &all_right,
                 };
                 let mut matched = Vec::new();
-                for ri in candidates {
+                for &ri in candidates {
                     let rt = &right_trace.tuples[ri];
                     let Some(rtuple) = rt.variant(sa) else { continue };
                     if !rt.flags(sa).valid {
@@ -653,6 +694,7 @@ impl<'a> Tracer<'a> {
         #[allow(clippy::mutable_key_type)] // cached hashes don't affect `Ord`
         type SaAggGroups = BTreeMap<Value, (AggGroupSa, Vec<u64>)>;
         let sas = self.sas;
+        let child_cols = self.columnar.get(&child.id).cloned();
         let per_sa_groups: Vec<SaAggGroups> = par_map_range(0..n, |sa| {
             let (group_by, aggs) = match sas[sa].effective_operator(node) {
                 Operator::GroupAggregation { group_by, aggs } => (group_by, aggs),
@@ -660,16 +702,29 @@ impl<'a> Tracer<'a> {
             };
             let group_refs: Vec<nested_data::Sym> =
                 group_by.iter().map(|a| nested_data::Sym::intern(a)).collect();
+            // Columnar group keys: when the child is a columnar passthrough
+            // and every grouping attribute is one of its columns, the group
+            // key of row `i` is assembled from dense column slices instead of
+            // per-row field scans — identical to `tuple.project(group_refs)`.
+            let key_cols: Option<Vec<&[Value]>> = child_cols.as_ref().and_then(|cols| {
+                debug_assert_eq!(cols.rows(), child_trace.tuples.len());
+                group_refs.iter().map(|s| cols.column(*s)).collect()
+            });
             #[allow(clippy::mutable_key_type)]
             let mut sa_groups: SaAggGroups = BTreeMap::new();
-            for input in &child_trace.tuples {
+            for (i, input) in child_trace.tuples.iter().enumerate() {
                 let Some(tuple) = input.variant(sa) else { continue };
                 if !input.flags(sa).valid {
                     continue;
                 }
-                let key = Value::from_tuple(
-                    tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()),
-                );
+                let key = match &key_cols {
+                    Some(cols) => Value::from_tuple(Tuple::new(
+                        group_refs.iter().zip(cols.iter()).map(|(s, col)| (*s, col[i].clone())),
+                    )),
+                    None => Value::from_tuple(
+                        tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()),
+                    ),
+                };
                 let (entry, member_ids) = sa_groups.entry(key).or_insert_with(|| {
                     (
                         AggGroupSa {
@@ -853,6 +908,29 @@ fn relax_aggregate_upper_bounds(nip: &Nip, agg_outputs: &[String]) -> Nip {
         ),
         other => other.clone(),
     }
+}
+
+/// Assembles one traced selection tuple's per-SA variants and flags. The
+/// columnar and row-oriented paths differ only in how `retained` is decided
+/// (a precomputed column mask vs. a per-tuple predicate evaluation), so both
+/// share this loop — keeping their outputs structurally identical by
+/// construction.
+fn selection_row(
+    n: usize,
+    input: &TracedTuple,
+    retained: impl Fn(usize, &Tuple) -> bool,
+) -> (Vec<Option<Tuple>>, Vec<SaFlags>) {
+    let mut variants = Vec::with_capacity(n);
+    let mut flags = Vec::with_capacity(n);
+    for sa in 0..n {
+        let input_flags = input.flags(sa);
+        let variant = input.variant(sa).cloned();
+        let is_retained =
+            variant.as_ref().map(|t| input_flags.valid && retained(sa, t)).unwrap_or(false);
+        flags.push(base_flags(variant.as_ref(), input_flags.valid, is_retained));
+        variants.push(variant);
+    }
+    (variants, flags)
 }
 
 /// Builds the question-independent flags of a variant: validity is inherited
