@@ -32,7 +32,7 @@ def main():
     assert report["version"] == 1, "unexpected report version"
     groups = {g["name"]: g for g in report["groups"]}
     assert groups, "report has no groups"
-    for name in ("value_layer", "parallel", "columnar"):
+    for name in ("value_layer", "parallel", "columnar", "join"):
         assert name in groups, f"{name} group missing: {sorted(groups)}"
     for group in report["groups"]:
         assert group["cases"], f"group {group['name']} has no cases"
@@ -97,10 +97,41 @@ def main():
         f"= {trace_speedup:.2f}x (informational)"
     )
 
-    # Perf-regression gate: the re-measured value_layer and columnar groups
-    # must not be more than 2x slower than the committed baseline. Absolute
-    # times only transfer between comparable machines, so the gate needs a
-    # real runner: enforced on >= 4 CPUs, notice otherwise.
+    # Hash-join speedup gate: the partitioned hash join must beat the block
+    # nested loop (the physical plan the evaluator ran before the shared join
+    # core) on the equi-join case. Both sides are measured in the same
+    # process, so this holds regardless of core count. The traced equi join
+    # is reported for information.
+    join = cases("join")
+    for case in (
+        "equi_join/nested_loop",
+        "equi_join/hash_rows",
+        "equi_join/hash_columnar",
+        "mixed_join/nested_loop",
+        "mixed_join/hash_columnar",
+        "nonequi_join/rows",
+        "nonequi_join/columnar",
+        "equi_trace/nested_loop",
+        "equi_trace/hash",
+    ):
+        assert case in join, f"join group lacks {case}: {sorted(join)}"
+    loop_ms = join["equi_join/nested_loop"]["min_ms"]
+    hash_ms = join["equi_join/hash_columnar"]["min_ms"]
+    speedup = loop_ms / hash_ms if hash_ms > 0 else float("inf")
+    print(f"equi_join: {loop_ms:.3f} ms nested loop / {hash_ms:.3f} ms hash = {speedup:.2f}x")
+    assert speedup >= 1.5, f"equi_join: expected >= 1.5x over the nested loop, got {speedup:.2f}x"
+    trace_loop = join["equi_trace/nested_loop"]["min_ms"]
+    trace_hash = join["equi_trace/hash"]["min_ms"]
+    trace_speedup = trace_loop / trace_hash if trace_hash > 0 else float("inf")
+    print(
+        f"equi_trace: {trace_loop:.3f} ms nested loop / {trace_hash:.3f} ms hash "
+        f"= {trace_speedup:.2f}x (informational)"
+    )
+
+    # Perf-regression gate: the re-measured value_layer, columnar, and join
+    # groups must not be more than 2x slower than the committed baseline.
+    # Absolute times only transfer between comparable machines, so the gate
+    # needs a real runner: enforced on >= 4 CPUs, notice otherwise.
     if baseline_path:
         baseline = load(baseline_path)
         baseline_cases = {
@@ -108,7 +139,7 @@ def main():
         }
         if cpus >= 4:
             failures = []
-            for group_name in ("value_layer", "columnar"):
+            for group_name in ("value_layer", "columnar", "join"):
                 for case_name, case in cases(group_name).items():
                     base = baseline_cases.get(group_name, {}).get(case_name)
                     if base is None:

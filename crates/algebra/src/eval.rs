@@ -17,6 +17,7 @@ use crate::agg::AggFunc;
 use crate::database::Database;
 use crate::error::{AlgebraError, AlgebraResult};
 use crate::expr::Expr;
+use crate::join::{join_matches, JoinSide};
 use crate::operator::{AggSpec, FlattenKind, JoinKind, Operator, ProjColumn};
 use crate::plan::{OpNode, QueryPlan};
 use crate::schema::output_type;
@@ -202,40 +203,45 @@ fn eval_join(
     left_schema: &TupleType,
     right_schema: &TupleType,
 ) -> Bag {
-    let mut out = BagBuilder::new();
-    let mut left_matched: Vec<bool> = vec![false; left.distinct()];
-    let mut right_matched: Vec<bool> = vec![false; right.distinct()];
+    // Materialize each side's row tuples once (non-tuple entries join as the
+    // empty tuple, as the nested loop always did), attach the bags' columnar
+    // forms for key extraction, and let the shared join core find the pairs.
+    let left_tuples: Vec<Tuple> =
+        left.iter().map(|(v, _)| v.as_tuple().cloned().unwrap_or_else(Tuple::empty)).collect();
+    let right_tuples: Vec<Tuple> =
+        right.iter().map(|(v, _)| v.as_tuple().cloned().unwrap_or_else(Tuple::empty)).collect();
+    let left_cols = left.columnar();
+    let right_cols = right.columnar();
+    let left_side =
+        JoinSide::new(left_tuples.iter().map(Some).collect()).with_columns(left_cols.as_deref());
+    let right_side =
+        JoinSide::new(right_tuples.iter().map(Some).collect()).with_columns(right_cols.as_deref());
+    let matches = join_matches(&left_side, &right_side, predicate, left_schema, right_schema);
 
-    for (li, (lv, lm)) in left.iter().enumerate() {
-        let lt = lv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-        for (ri, (rv, rm)) in right.iter().enumerate() {
-            let rt = rv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-            let Ok(combined) = lt.concat(&rt) else { continue };
-            if predicate.eval_bool(&combined) {
-                left_matched[li] = true;
-                right_matched[ri] = true;
-                out.add(Value::from_tuple(combined), lm * rm);
-            }
-        }
+    let left_mults: Vec<u64> = left.iter().map(|(_, m)| *m).collect();
+    let right_mults: Vec<u64> = right.iter().map(|(_, m)| *m).collect();
+    let mut out = BagBuilder::new();
+    for pair in matches.pairs {
+        out.add(Value::from_tuple(pair.combined), left_mults[pair.left] * right_mults[pair.right]);
     }
 
     if matches!(kind, JoinKind::Left | JoinKind::Full) {
         let right_names: Vec<Sym> = right_schema.attribute_syms().collect();
-        for (li, (lv, lm)) in left.iter().enumerate() {
-            if !left_matched[li] {
-                let lt = lv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-                let padded = lt.concat(&Tuple::null_padded(&right_names)).unwrap_or(lt);
-                out.add(Value::from_tuple(padded), *lm);
+        for (li, lt) in left_tuples.iter().enumerate() {
+            if !matches.left_matched[li] {
+                let padded =
+                    lt.concat(&Tuple::null_padded(&right_names)).unwrap_or_else(|_| lt.clone());
+                out.add(Value::from_tuple(padded), left_mults[li]);
             }
         }
     }
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
         let left_names: Vec<Sym> = left_schema.attribute_syms().collect();
-        for (ri, (rv, rm)) in right.iter().enumerate() {
-            if !right_matched[ri] {
-                let rt = rv.as_tuple().cloned().unwrap_or_else(Tuple::empty);
-                let padded = Tuple::null_padded(&left_names).concat(&rt).unwrap_or(rt);
-                out.add(Value::from_tuple(padded), *rm);
+        for (ri, rt) in right_tuples.iter().enumerate() {
+            if !matches.right_matched[ri] {
+                let padded =
+                    Tuple::null_padded(&left_names).concat(rt).unwrap_or_else(|_| rt.clone());
+                out.add(Value::from_tuple(padded), right_mults[ri]);
             }
         }
     }

@@ -11,6 +11,9 @@
 //! * [`schema`] — output-type inference (the `type(·)` column of Table 1) and
 //!   plan validation.
 //! * [`eval`] — the bag-semantics evaluator `⟦Q⟧_D`.
+//! * [`join`] — the shared physical join core (partitioned hash join with a
+//!   parallel nested-loop fallback), used by the evaluator and by the
+//!   provenance tracer's generalized join.
 //! * [`params`] — operator parameters, the admissible parameter changes of
 //!   Table 2, and reparameterizations (Definitions 6 and 7).
 //! * [`database`] — named input relations with their schemas.
@@ -26,6 +29,7 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod join;
 pub mod operator;
 pub mod params;
 pub mod plan;
@@ -37,6 +41,7 @@ pub use database::Database;
 pub use error::{AlgebraError, AlgebraResult};
 pub use eval::evaluate;
 pub use expr::{CmpOp, Expr};
+pub use join::{with_hash_join, JoinMatches, JoinSide};
 pub use operator::{AggSpec, FlattenKind, JoinKind, Operator, ProjColumn, RenamePair};
 pub use params::{OperatorParams, ParamChange, Reparameterization};
 pub use plan::{OpId, OpNode, QueryPlan};

@@ -1,0 +1,7 @@
+//! `join` microbenchmarks: the partitioned hash join vs. the block nested
+//! loop, through evaluation and per-SA tracing (with built-in byte-identity
+//! assertions between the physical paths).
+
+fn main() {
+    whynot_bench::join_group();
+}

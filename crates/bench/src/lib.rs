@@ -361,6 +361,180 @@ pub fn columnar_group() {
     group.finish();
 }
 
+/// The `join` microbench group: the partitioned hash join of
+/// `nrab_algebra::join` against the block nested loop it replaced, over two
+/// wide flat relations (6 scalar attributes each, columnar-eligible) — a
+/// pure equi join, an equi join with a residual range conjunct, and a pure
+/// non-equi range join, each measured through the evaluator; plus the
+/// per-schema-alternative traced equi join (two SAs, the second substituting
+/// the probe key) through `trace_plan_generalized`.
+///
+/// Before measuring, the group *asserts* the equivalence contract: for every
+/// plan, the hash-join result and trace must be byte-identical to the forced
+/// nested loop (`with_hash_join(false, ..)`), with and without the columnar
+/// key extraction (`with_columnar(false, ..)`). The `nested_loop` cases run
+/// with both knobs off — exactly the physical plan the evaluator executed
+/// before the shared join core existed — so CI can hold the speedup against
+/// the seed path.
+pub fn join_group() {
+    use nested_data::{with_columnar, NestedType, TupleType};
+    use nrab_algebra::expr::{CmpOp, Expr};
+    use nrab_algebra::{with_hash_join, Database, JoinKind, PlanBuilder};
+    use nrab_provenance::{trace_plan_generalized, OpSubstitution, SchemaAlternative};
+    use std::collections::BTreeMap;
+
+    let mut group = BenchGroup::new("join");
+
+    let fact_ty = || {
+        TupleType::new([
+            ("fk", NestedType::int()),
+            ("fseq", NestedType::int()),
+            ("fname", NestedType::str()),
+            ("fqty", NestedType::int()),
+            ("famount", NestedType::float()),
+            ("ftag", NestedType::str()),
+        ])
+        .expect("fact schema")
+    };
+    let dim_ty = || {
+        TupleType::new([
+            ("pk", NestedType::int()),
+            ("dcap", NestedType::int()),
+            ("dname", NestedType::str()),
+            ("dprio", NestedType::int()),
+            ("dscale", NestedType::float()),
+            ("dtag", NestedType::str()),
+        ])
+        .expect("dim schema")
+    };
+    let fact_rows = |n: i64, keys: i64| {
+        Bag::from_values((0..n).map(|i| {
+            Value::tuple([
+                ("fk", Value::int(i % keys)),
+                ("fseq", Value::int(i)),
+                ("fname", Value::str(format!("fact-{i}"))),
+                ("fqty", Value::int(i % 50)),
+                ("famount", Value::float(i as f64 / 4.0)),
+                ("ftag", Value::str(if i % 3 == 0 { "hot" } else { "cold" })),
+            ])
+        }))
+    };
+    let dim_rows = |n: i64, keys: i64| {
+        Bag::from_values((0..n).map(|j| {
+            Value::tuple([
+                ("pk", Value::int(j % keys)),
+                ("dcap", Value::int(j * 2)),
+                ("dname", Value::str(format!("dim-{j}"))),
+                ("dprio", Value::int(j % 7)),
+                ("dscale", Value::float(j as f64 / 8.0)),
+                ("dtag", Value::str(if j % 2 == 0 { "even" } else { "odd" })),
+            ])
+        }))
+    };
+    let join_db = |fact_n: i64, dim_n: i64, keys: i64| {
+        let mut db = Database::new();
+        db.add_relation("fact", fact_ty(), fact_rows(fact_n, keys));
+        db.add_relation("dim", dim_ty(), dim_rows(dim_n, keys));
+        db
+    };
+    let plan_for = |predicate: Expr| {
+        PlanBuilder::table("fact")
+            .join(PlanBuilder::table("dim"), JoinKind::Inner, predicate)
+            .build()
+            .expect("join plan builds")
+    };
+    let equi = || Expr::cmp(Expr::attr("fk"), CmpOp::Eq, Expr::attr("pk"));
+
+    // The evaluator workloads: 1500 × 1000 rows for the hash-eligible
+    // shapes (1.5M candidate pairs for the loop, one bucket probe per row
+    // for the hash join), a smaller 300 × 300 pair for the always-quadratic
+    // non-equi range join.
+    let db = join_db(1500, 1000, 600);
+    let equi_plan = plan_for(equi());
+    let mixed_plan =
+        plan_for(Expr::and(equi(), Expr::cmp(Expr::attr("fqty"), CmpOp::Lt, Expr::attr("dcap"))));
+    let small_db = join_db(300, 300, 120);
+    let nonequi_plan = plan_for(Expr::and(
+        Expr::cmp(Expr::attr("famount"), CmpOp::Le, Expr::attr("dscale")),
+        Expr::cmp(Expr::attr("fqty"), CmpOp::Gt, Expr::attr("dprio")),
+    ));
+
+    // Byte-identity before measuring: every knob combination produces the
+    // same canonical bag.
+    for (name, plan, db) in [
+        ("equi", &equi_plan, &db),
+        ("mixed", &mixed_plan, &db),
+        ("nonequi", &nonequi_plan, &small_db),
+    ] {
+        let loop_rows = with_hash_join(false, || {
+            with_columnar(false, || evaluate(plan, db).expect("loop eval"))
+        });
+        let hash_rows = with_columnar(false, || evaluate(plan, db).expect("hash eval"));
+        let hash_cols = evaluate(plan, db).expect("hash+columnar eval");
+        assert!(
+            loop_rows == hash_rows && hash_rows == hash_cols,
+            "{name}: hash join must be byte-identical to the nested loop"
+        );
+        assert!(!hash_cols.is_empty(), "{name}: the benchmark join must produce rows");
+    }
+
+    group.bench("equi_join/nested_loop", || {
+        with_hash_join(false, || with_columnar(false, || evaluate(&equi_plan, &db).expect("loop")))
+    });
+    group.bench("equi_join/hash_rows", || {
+        with_columnar(false, || evaluate(&equi_plan, &db).expect("hash rows"))
+    });
+    group.bench("equi_join/hash_columnar", || evaluate(&equi_plan, &db).expect("hash cols"));
+    group.bench("mixed_join/nested_loop", || {
+        with_hash_join(false, || with_columnar(false, || evaluate(&mixed_plan, &db).expect("loop")))
+    });
+    group.bench("mixed_join/hash_columnar", || evaluate(&mixed_plan, &db).expect("hash cols"));
+    group.bench("nonequi_join/rows", || {
+        with_columnar(false, || evaluate(&nonequi_plan, &small_db).expect("loop rows"))
+    });
+    group.bench("nonequi_join/columnar", || evaluate(&nonequi_plan, &small_db).expect("loop cols"));
+
+    // The traced equi join: two schema alternatives (the second substitutes
+    // the probe key, so the per-SA joins build different hash tables) —
+    // the per-SA probing workload `trace_join` used to run over a single
+    // `BTreeMap` bucketing.
+    let trace_db = join_db(600, 400, 240);
+    let builder =
+        PlanBuilder::table("fact").join(PlanBuilder::table("dim"), JoinKind::Inner, equi());
+    let join_op = builder.current_id();
+    let trace_plan = builder.build().expect("trace plan builds");
+    let sas = vec![
+        SchemaAlternative::original(BTreeMap::new()),
+        SchemaAlternative::new(
+            1,
+            vec![OpSubstitution::new(join_op, "fk", "fqty")],
+            BTreeMap::new(),
+        ),
+    ];
+    let loop_trace = with_hash_join(false, || {
+        with_columnar(false, || {
+            trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("loop trace")
+        })
+    });
+    let hash_trace = trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("hash trace");
+    assert!(
+        loop_trace == hash_trace,
+        "traced equi join must be byte-identical to the nested-loop trace"
+    );
+    group.bench("equi_trace/nested_loop", || {
+        with_hash_join(false, || {
+            with_columnar(false, || {
+                trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("loop trace")
+            })
+        })
+    });
+    group.bench("equi_trace/hash", || {
+        trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("hash trace")
+    });
+
+    group.finish();
+}
+
 /// One row of the Table 7 summary.
 #[derive(Debug, Clone)]
 pub struct Table7Row {

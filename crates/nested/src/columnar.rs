@@ -23,6 +23,7 @@
 //! tests and benches use it to compare the two scan paths on the same code.
 
 use std::cell::Cell;
+use std::ops::Range;
 use std::sync::Arc;
 
 use crate::bag::Bag;
@@ -72,19 +73,193 @@ pub fn with_columnar<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// A dense column of one attribute, typed by the values it holds.
+///
+/// A column is *typed* (`Int`, `Real`, `Bool`, `Str`) only when **every** row
+/// holds exactly that [`Value`] variant — no `⊥`, no `Int`/`Float` mixing —
+/// so [`Column::value`] reconstructs the original `Value` bit for bit (the
+/// equivalence contract of the whole columnar layer). Anything else, including
+/// columns with nulls, is stored as `Mixed` boxed values and consumed through
+/// the same scalar kernels as the row-oriented path.
+///
+/// Typed columns are what the vectorized kernels in `nrab-algebra::expr`
+/// dispatch on: one match per chunk instead of one `Value` enum dispatch per
+/// row, with comparisons and arithmetic running over unboxed `i64`/`f64`
+/// slices.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Every row is a `Value::Int`.
+    Int(Vec<i64>),
+    /// Every row is a `Value::Float`.
+    Real(Vec<f64>),
+    /// Every row is a `Value::Bool`.
+    Bool(Vec<bool>),
+    /// Every row is a `Value::Str`.
+    Str(Vec<Arc<str>>),
+    /// Heterogeneous rows (or rows containing `⊥`), kept as boxed values.
+    Mixed(Vec<Value>),
+}
+
+/// A borrowed view of a contiguous row range of a [`Column`], preserving its
+/// typed representation. This is what per-chunk kernels work on.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// Slice of an `Int` column.
+    Int(&'a [i64]),
+    /// Slice of a `Real` column.
+    Real(&'a [f64]),
+    /// Slice of a `Bool` column.
+    Bool(&'a [bool]),
+    /// Slice of a `Str` column.
+    Str(&'a [Arc<str>]),
+    /// Slice of a `Mixed` column.
+    Mixed(&'a [Value]),
+}
+
+impl Column {
+    /// Classifies a vector of scalar values into the narrowest typed column
+    /// that reconstructs every value exactly. Mixed-variant vectors (including
+    /// any `⊥` or `Int`/`Float` mixing) stay boxed.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        fn all<F: Fn(&Value) -> bool>(values: &[Value], f: F) -> bool {
+            values.iter().all(f)
+        }
+        match values.first() {
+            Some(Value::Int(_)) if all(&values, |v| matches!(v, Value::Int(_))) => Column::Int(
+                values.into_iter().map(|v| v.as_int().expect("all-int column")).collect(),
+            ),
+            Some(Value::Float(_)) if all(&values, |v| matches!(v, Value::Float(_))) => {
+                Column::Real(
+                    values
+                        .into_iter()
+                        .map(|v| match v {
+                            Value::Float(f) => f,
+                            _ => unreachable!("all-float column"),
+                        })
+                        .collect(),
+                )
+            }
+            Some(Value::Bool(_)) if all(&values, |v| matches!(v, Value::Bool(_))) => Column::Bool(
+                values.into_iter().map(|v| v.as_bool().expect("all-bool column")).collect(),
+            ),
+            Some(Value::Str(_)) if all(&values, |v| matches!(v, Value::Str(_))) => Column::Str(
+                values
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => s,
+                        _ => unreachable!("all-str column"),
+                    })
+                    .collect(),
+            ),
+            _ => Column::Mixed(values),
+        }
+    }
+
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Real(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs row `r` as a [`Value`], identical to the field value the
+    /// column was built from (an `Arc` bump for strings, a copy otherwise).
+    pub fn value(&self, r: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[r]),
+            Column::Real(v) => Value::Float(v[r]),
+            Column::Bool(v) => Value::Bool(v[r]),
+            Column::Str(v) => Value::Str(v[r].clone()),
+            Column::Mixed(v) => v[r].clone(),
+        }
+    }
+
+    /// A typed view of the rows in `range`.
+    pub fn slice(&self, range: Range<usize>) -> ColumnSlice<'_> {
+        match self {
+            Column::Int(v) => ColumnSlice::Int(&v[range]),
+            Column::Real(v) => ColumnSlice::Real(&v[range]),
+            Column::Bool(v) => ColumnSlice::Bool(&v[range]),
+            Column::Str(v) => ColumnSlice::Str(&v[range]),
+            Column::Mixed(v) => ColumnSlice::Mixed(&v[range]),
+        }
+    }
+
+    /// Consumes the column, reconstructing the boxed values of every row.
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            Column::Int(v) => v.into_iter().map(Value::Int).collect(),
+            Column::Real(v) => v.into_iter().map(Value::Float).collect(),
+            Column::Bool(v) => v.into_iter().map(Value::Bool).collect(),
+            Column::Str(v) => v.into_iter().map(Value::Str).collect(),
+            Column::Mixed(v) => v,
+        }
+    }
+}
+
+impl ColumnSlice<'_> {
+    /// Number of rows in the slice.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::Int(v) => v.len(),
+            ColumnSlice::Real(v) => v.len(),
+            ColumnSlice::Bool(v) => v.len(),
+            ColumnSlice::Str(v) => v.len(),
+            ColumnSlice::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the slice has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstructs row `i` (relative to the slice) as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnSlice::Int(v) => Value::Int(v[i]),
+            ColumnSlice::Real(v) => Value::Float(v[i]),
+            ColumnSlice::Bool(v) => Value::Bool(v[i]),
+            ColumnSlice::Str(v) => Value::Str(v[i].clone()),
+            ColumnSlice::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Copies the slice into an owned [`Column`] of the same type.
+    pub fn to_column(&self) -> Column {
+        match self {
+            ColumnSlice::Int(v) => Column::Int(v.to_vec()),
+            ColumnSlice::Real(v) => Column::Real(v.to_vec()),
+            ColumnSlice::Bool(v) => Column::Bool(v.to_vec()),
+            ColumnSlice::Str(v) => Column::Str(v.to_vec()),
+            ColumnSlice::Mixed(v) => Column::Mixed(v.to_vec()),
+        }
+    }
+}
+
 /// A flat bag decomposed into per-attribute columns.
 ///
-/// Row `r` corresponds to the bag's `r`-th canonical entry: `columns[c][r]`
-/// is the value of attribute `syms[c]` and `mults[r]` its multiplicity.
+/// Row `r` corresponds to the bag's `r`-th canonical entry: column `c`'s row
+/// `r` is the value of attribute `syms[c]` and `mults[r]` its multiplicity.
 /// All values are scalars (null, bool, int, float, or string) and every row
 /// has the same attributes in the same order, so the original tuples can be
-/// reconstructed exactly (see [`ColumnarBag::row_tuple`]).
+/// reconstructed exactly (see [`ColumnarBag::row_tuple`]). Homogeneous
+/// columns store their data unboxed (see [`Column`]).
 #[derive(Debug)]
 pub struct ColumnarBag {
     /// Attribute symbols, in the (shared) field order of the row tuples.
     syms: Vec<Sym>,
-    /// One dense value column per attribute, in `syms` order.
-    columns: Vec<Vec<Value>>,
+    /// One dense typed column per attribute, in `syms` order.
+    columns: Vec<Column>,
     /// Per-row multiplicities, mirroring the bag entries.
     mults: Vec<u64>,
 }
@@ -121,6 +296,7 @@ impl ColumnarBag {
             }
             mults.push(*mult);
         }
+        let columns = columns.into_iter().map(Column::from_values).collect();
         Some(ColumnarBag { syms, columns, mults })
     }
 
@@ -144,15 +320,15 @@ impl ColumnarBag {
         &self.mults
     }
 
-    /// The value column of attribute `name`, if present.
-    pub fn column(&self, name: Sym) -> Option<&[Value]> {
-        self.syms.iter().position(|s| *s == name).map(|c| self.columns[c].as_slice())
+    /// The typed column of attribute `name`, if present.
+    pub fn column(&self, name: Sym) -> Option<&Column> {
+        self.syms.iter().position(|s| *s == name).map(|c| &self.columns[c])
     }
 
     /// Reconstructs row `r` as a tuple, field-for-field identical to the bag
     /// entry the row was built from.
     pub fn row_tuple(&self, r: usize) -> Tuple {
-        Tuple::new(self.syms.iter().zip(&self.columns).map(|(sym, col)| (*sym, col[r].clone())))
+        Tuple::new(self.syms.iter().zip(&self.columns).map(|(sym, col)| (*sym, col.value(r))))
     }
 }
 
@@ -213,9 +389,51 @@ mod tests {
         // Columns read back the per-row field values.
         let a0 = cols.column(Sym::intern("a0")).unwrap();
         for (r, (value, _)) in bag.iter().enumerate() {
-            assert_eq!(&a0[r], value.as_tuple().unwrap().get("a0").unwrap());
+            assert_eq!(&a0.value(r), value.as_tuple().unwrap().get("a0").unwrap());
         }
         assert!(cols.column(Sym::intern("missing")).is_none());
+    }
+
+    #[test]
+    fn homogeneous_columns_are_typed_and_mixed_columns_are_boxed() {
+        let bag = wide_bag(MIN_COLUMNAR_ROWS, MIN_COLUMNAR_ARITY);
+        let cols = bag.columnar().unwrap();
+        // `wide_row` cycles int / str / float per column index.
+        assert!(matches!(cols.column(Sym::intern("a0")), Some(Column::Int(_))));
+        assert!(matches!(cols.column(Sym::intern("a1")), Some(Column::Str(_))));
+        assert!(matches!(cols.column(Sym::intern("a2")), Some(Column::Real(_))));
+
+        // A column holding a ⊥ (or mixed variants) must stay boxed so
+        // reconstruction is exact.
+        let mixed = Column::from_values(vec![Value::int(1), Value::Null, Value::int(3)]);
+        assert!(matches!(mixed, Column::Mixed(_)));
+        let int_and_float = Column::from_values(vec![Value::int(1), Value::float(2.0)]);
+        assert!(
+            matches!(int_and_float, Column::Mixed(_)),
+            "Int/Float mixing must not be widened: Value::Int(2) and Value::Float(2.0) are \
+             distinct representations even though they compare equal"
+        );
+        let bools = Column::from_values(vec![Value::bool(true), Value::bool(false)]);
+        assert!(matches!(bools, Column::Bool(_)));
+        assert_eq!(bools.len(), 2);
+        assert!(!bools.is_empty());
+        assert_eq!(bools.value(1), Value::bool(false));
+    }
+
+    #[test]
+    fn column_slices_preserve_type_and_values() {
+        let col = Column::from_values((0..10).map(Value::int).collect());
+        let slice = col.slice(3..7);
+        assert_eq!(slice.len(), 4);
+        assert!(!slice.is_empty());
+        assert!(matches!(slice, ColumnSlice::Int(_)));
+        assert_eq!(slice.value(0), Value::int(3));
+        let owned = slice.to_column();
+        assert!(matches!(owned, Column::Int(_)));
+        assert_eq!(owned.into_values(), (3..7).map(Value::int).collect::<Vec<_>>());
+        // Round trip: values in, values out.
+        let values: Vec<Value> = vec![Value::str("a"), Value::str("b")];
+        assert_eq!(Column::from_values(values.clone()).into_values(), values);
     }
 
     #[test]

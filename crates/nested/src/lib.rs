@@ -47,7 +47,7 @@ pub mod types;
 pub mod value;
 
 pub use bag::{Bag, BagBuilder};
-pub use columnar::{with_columnar, ColumnarBag};
+pub use columnar::{with_columnar, Column, ColumnSlice, ColumnarBag};
 pub use error::{DataError, DataResult};
 pub use nip::{Nip, NipCmp};
 pub use path::AttrPath;

@@ -152,6 +152,12 @@ impl Value {
     }
 
     /// The contained float, widening integers, if numeric.
+    ///
+    /// This `Int → f64` widening (`i as f64`, lossy above 2⁵³) is the
+    /// numeric-comparison contract of the whole workspace: scalar
+    /// comparisons, the typed columnar kernels, and the hash-join key
+    /// canonicalization all coerce through exactly this function, so mixed
+    /// `Int`/`Float` data compares identically on every physical path.
     pub fn as_float(&self) -> Option<f64> {
         match self {
             Value::Float(f) => Some(*f),

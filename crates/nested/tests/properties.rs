@@ -286,11 +286,15 @@ fn columnar_roundtrips_wide_flat_bags() {
             assert_eq!(&Value::from_tuple(cols.row_tuple(r)), value);
             assert_eq!(cols.mults()[r], *mult);
         }
-        // Column lookups agree with per-row field lookups.
+        // Column lookups agree with per-row field lookups, and typed columns
+        // reconstruct the exact `Value` variant (never a widened one).
         for sym in cols.syms() {
             let column = cols.column(*sym).unwrap();
             for (r, (value, _)) in bag.iter().enumerate() {
-                assert_eq!(Some(&column[r]), value.as_tuple().unwrap().get(*sym));
+                let field = value.as_tuple().unwrap().get(*sym).unwrap();
+                let reconstructed = column.value(r);
+                assert_eq!(&reconstructed, field);
+                assert_eq!(reconstructed.kind(), field.kind(), "variant must round-trip exactly");
             }
         }
     }

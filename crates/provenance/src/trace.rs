@@ -27,9 +27,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use nested_data::{AttrPath, Bag, ColumnarBag, NestedType, Nip, Tuple, TupleType, Value};
+use nested_data::{Bag, Column, ColumnarBag, NestedType, Nip, Tuple, TupleType, Value};
 use nrab_algebra::eval::{apply_operator, columnar_mask};
-use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::expr::Expr;
+use nrab_algebra::join::{hash_join_enabled, join_matches_with, JoinMatches, JoinSide};
 use nrab_algebra::schema::output_type;
 use nrab_algebra::{
     AlgebraError, AlgebraResult, Database, FlattenKind, JoinKind, OpId, OpNode, Operator, QueryPlan,
@@ -424,6 +425,12 @@ impl<'a> Tracer<'a> {
     }
 
     /// Joins (and cross products), generalized to full outer joins.
+    ///
+    /// The pairing itself — partitioned hash join on the equi conjuncts with
+    /// a parallel nested-loop fallback — is `nrab_algebra::join`, the same
+    /// core the evaluator's join runs on; tracing adds the per-SA fan-out,
+    /// the columnar key extraction over passthrough children, and the
+    /// outer-join generalization below.
     fn trace_join(&mut self, node: &OpNode) -> AlgebraResult<OpTrace> {
         let left_node = &node.inputs[0];
         let right_node = &node.inputs[1];
@@ -445,85 +452,45 @@ impl<'a> Tracer<'a> {
             })
             .collect();
 
-        // Per SA: matched pairs plus matched-flags per side.
-        #[derive(Default)]
-        struct SaJoin {
-            pairs: Vec<(usize, usize)>,
-            left_matched: Vec<bool>,
-            right_matched: Vec<bool>,
-        }
-        // The per-SA join passes are independent, and within one SA the probe
-        // over the left side is, too. Both levels go through the pool, but
-        // only the outermost parallel call fans out (nested calls always
-        // serialize): with several SAs the SA level owns the threads and the
-        // probes run serially inside it; with a single SA the SA level is a
-        // no-op and the probe level parallelizes instead. The matched pairs
-        // are folded serially in (left, candidate) order, so the pair list
-        // is identical to the serial nested loop.
-        let per_sa: Vec<SaJoin> = par_map_range(0..self.n_sas(), |sa| {
-            let predicate = &predicates[sa];
-            // Hash-based pre-bucketing for equi-join conjuncts.
-            let equi = equi_join_keys(predicate, &left_schema, &right_schema);
-            let right_buckets: Option<BTreeMap<Vec<Value>, Vec<usize>>> =
-                equi.as_ref().map(|(_, rk)| {
-                    // `Value` only carries interior mutability in its lazily
-                    // cached structural hash, which never changes its
-                    // `Eq`/`Ord` identity.
-                    #[allow(clippy::mutable_key_type)]
-                    let mut buckets: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
-                    for (ri, rt) in right_trace.tuples.iter().enumerate() {
-                        if let Some(tuple) = rt.variant(sa) {
-                            if rt.flags(sa).valid {
-                                buckets.entry(key_of(tuple, rk)).or_default().push(ri);
-                            }
-                        }
-                    }
-                    buckets
-                });
-            // The non-equi fallback probes every right tuple; materialize
-            // that index list once per SA instead of once per left tuple.
-            let all_right: Vec<usize> =
-                if equi.is_none() { (0..right_trace.tuples.len()).collect() } else { Vec::new() };
-            let matches_per_left: Vec<Vec<usize>> = par_map(&left_trace.tuples, |lt| {
-                let Some(ltuple) = lt.variant(sa) else { return Vec::new() };
-                if !lt.flags(sa).valid {
-                    return Vec::new();
-                }
-                // The bucket's candidate list is borrowed, not cloned: the
-                // probe only reads it.
-                let candidates: &[usize] = match (&equi, &right_buckets) {
-                    (Some((lk, _)), Some(buckets)) => {
-                        buckets.get(&key_of(ltuple, lk)).map(Vec::as_slice).unwrap_or(&[])
-                    }
-                    _ => &all_right,
-                };
-                let mut matched = Vec::new();
-                for &ri in candidates {
-                    let rt = &right_trace.tuples[ri];
-                    let Some(rtuple) = rt.variant(sa) else { continue };
-                    if !rt.flags(sa).valid {
-                        continue;
-                    }
-                    let Ok(combined) = ltuple.concat(rtuple) else { continue };
-                    if predicate.eval_bool(&combined) {
-                        matched.push(ri);
-                    }
-                }
-                matched
-            });
-            let mut state = SaJoin {
-                pairs: Vec::new(),
-                left_matched: vec![false; left_trace.tuples.len()],
-                right_matched: vec![false; right_trace.tuples.len()],
-            };
-            for (li, matched) in matches_per_left.iter().enumerate() {
-                for &ri in matched {
-                    state.pairs.push((li, ri));
-                    state.left_matched[li] = true;
-                    state.right_matched[ri] = true;
-                }
-            }
-            state
+        // Columnar passthrough children expose their key columns to the join
+        // core (tuple `i` of the trace is row `i` of the columnar form under
+        // every SA, so per-SA key extraction may read the shared columns).
+        let left_cols = self.columnar.get(&left_node.id).cloned();
+        let right_cols = self.columnar.get(&right_node.id).cloned();
+        // The hash-join decision is resolved once, on the calling thread:
+        // the per-SA closures below may run on pool workers whose
+        // thread-local flag was never touched by `with_hash_join`.
+        let use_hash = hash_join_enabled();
+
+        // The per-SA join passes are independent, and within one SA the join
+        // core chunks build and probe over the pool, too. Only the outermost
+        // parallel call fans out (nested calls always serialize): with
+        // several SAs the SA level owns the threads and the per-SA joins run
+        // serially inside it; with a single SA the SA level is a no-op and
+        // the core's build/probe level parallelizes instead. Matches are
+        // folded in (left, right) order, so the pair list is identical to
+        // the serial nested loop.
+        let per_sa: Vec<JoinMatches> = par_map_range(0..self.n_sas(), |sa| {
+            let left_rows: Vec<Option<&Tuple>> = left_trace
+                .tuples
+                .iter()
+                .map(|t| if t.flags(sa).valid { t.variant(sa) } else { None })
+                .collect();
+            let right_rows: Vec<Option<&Tuple>> = right_trace
+                .tuples
+                .iter()
+                .map(|t| if t.flags(sa).valid { t.variant(sa) } else { None })
+                .collect();
+            let left_side = JoinSide::new(left_rows).with_columns(left_cols.as_deref());
+            let right_side = JoinSide::new(right_rows).with_columns(right_cols.as_deref());
+            join_matches_with(
+                &left_side,
+                &right_side,
+                &predicates[sa],
+                &left_schema,
+                &right_schema,
+                use_hash,
+            )
         });
 
         // Merge across SAs, keyed by (left id, right id) with None for padding.
@@ -543,12 +510,11 @@ impl<'a> Tracer<'a> {
         let left_names: Vec<nested_data::Sym> = left_schema.attribute_syms().collect();
         let right_names: Vec<nested_data::Sym> = right_schema.attribute_syms().collect();
         for (sa, state) in per_sa.iter().enumerate() {
-            for (li, ri) in &state.pairs {
-                let lt = &left_trace.tuples[*li];
-                let rt = &right_trace.tuples[*ri];
-                let combined = lt.variant(sa).unwrap().concat(rt.variant(sa).unwrap())?;
+            for pair in &state.pairs {
+                let lt = &left_trace.tuples[pair.left];
+                let rt = &right_trace.tuples[pair.right];
                 let slot = slot_for(&mut slots, (Some(lt.id), Some(rt.id)), n);
-                slot.per_sa[sa] = Some((combined, true));
+                slot.per_sa[sa] = Some((pair.combined.clone(), true));
             }
             for (li, lt) in left_trace.tuples.iter().enumerate() {
                 if lt.flags(sa).valid && !state.left_matched[li] {
@@ -704,9 +670,9 @@ impl<'a> Tracer<'a> {
                 group_by.iter().map(|a| nested_data::Sym::intern(a)).collect();
             // Columnar group keys: when the child is a columnar passthrough
             // and every grouping attribute is one of its columns, the group
-            // key of row `i` is assembled from dense column slices instead of
+            // key of row `i` is assembled from dense typed columns instead of
             // per-row field scans — identical to `tuple.project(group_refs)`.
-            let key_cols: Option<Vec<&[Value]>> = child_cols.as_ref().and_then(|cols| {
+            let key_cols: Option<Vec<&Column>> = child_cols.as_ref().and_then(|cols| {
                 debug_assert_eq!(cols.rows(), child_trace.tuples.len());
                 group_refs.iter().map(|s| cols.column(*s)).collect()
             });
@@ -719,7 +685,7 @@ impl<'a> Tracer<'a> {
                 }
                 let key = match &key_cols {
                     Some(cols) => Value::from_tuple(Tuple::new(
-                        group_refs.iter().zip(cols.iter()).map(|(s, col)| (*s, col[i].clone())),
+                        group_refs.iter().zip(cols.iter()).map(|(s, col)| (*s, col.value(i))),
                     )),
                     None => Value::from_tuple(
                         tuple.project(&group_refs).unwrap_or_else(|_| Tuple::empty()),
@@ -1013,59 +979,6 @@ fn flatten_one(
     Ok(out)
 }
 
-/// Extracts equi-join key paths `(left keys, right keys)` from a conjunctive
-/// predicate, attributing each side of an equality to the input whose schema
-/// contains it. Returns `None` if the predicate has no usable equality.
-fn equi_join_keys(
-    predicate: &Expr,
-    left: &TupleType,
-    right: &TupleType,
-) -> Option<(Vec<AttrPath>, Vec<AttrPath>)> {
-    let mut left_keys = Vec::new();
-    let mut right_keys = Vec::new();
-    collect_equi_keys(predicate, left, right, &mut left_keys, &mut right_keys);
-    if left_keys.is_empty() {
-        None
-    } else {
-        Some((left_keys, right_keys))
-    }
-}
-
-fn collect_equi_keys(
-    predicate: &Expr,
-    left: &TupleType,
-    right: &TupleType,
-    left_keys: &mut Vec<AttrPath>,
-    right_keys: &mut Vec<AttrPath>,
-) {
-    match predicate {
-        Expr::And(a, b) => {
-            collect_equi_keys(a, left, right, left_keys, right_keys);
-            collect_equi_keys(b, left, right, left_keys, right_keys);
-        }
-        Expr::Cmp(a, CmpOp::Eq, b) => {
-            if let (Expr::Attr(pa), Expr::Attr(pb)) = (a.as_ref(), b.as_ref()) {
-                let a_left = left.resolve_path(pa).is_ok();
-                let b_left = left.resolve_path(pb).is_ok();
-                let a_right = right.resolve_path(pa).is_ok();
-                let b_right = right.resolve_path(pb).is_ok();
-                if a_left && b_right && !a_right {
-                    left_keys.push(pa.clone());
-                    right_keys.push(pb.clone());
-                } else if b_left && a_right && !b_right {
-                    left_keys.push(pb.clone());
-                    right_keys.push(pa.clone());
-                }
-            }
-        }
-        _ => {}
-    }
-}
-
-fn key_of(tuple: &Tuple, keys: &[AttrPath]) -> Vec<Value> {
-    keys.iter().map(|k| tuple.get_path(k).unwrap_or(Value::Null)).collect()
-}
-
 /// Matches a NIP against a tuple without cloning it into a `Value`.
 fn nip_matches_tuple(nip: &Nip, tuple: &Tuple) -> bool {
     match nip {
@@ -1083,6 +996,7 @@ mod tests {
     use super::*;
     use crate::alternative::OpSubstitution;
     use nested_data::NipCmp;
+    use nrab_algebra::expr::CmpOp;
     use nrab_algebra::PlanBuilder;
 
     /// The person table of Figure 1a.
