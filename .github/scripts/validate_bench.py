@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
 """Validates a BENCH_figures.json report and enforces the CI perf gates.
 
-Usage: validate_bench.py [REPORT [BASELINE]]
+Usage: validate_bench.py [REPORT [BASELINE]] [--profile FILE]
 
 REPORT (default BENCH_figures.json) is the freshly measured report.
 BASELINE, when given, is the *committed* report snapshotted before the bench
 run; the perf-regression gate compares the re-measured `value_layer` and
 `columnar` groups against it and fails on a >2x slowdown of any case.
 
+--profile FILE, when given, is a profile report exported by
+`whynot ... --profile-out FILE`; it is validated against the ProfileReport
+wire schema (wall_ns / meta / recursive span tree).
+
 Gates that compare two runs on the *same* machine are enforced everywhere;
 gates that need real cores (the threads1-vs-threads4 parallel speedup) or
-that compare against a baseline measured elsewhere (the regression gate) are
+that compare against a baseline measured elsewhere (the regression gate) or
+in a separate bench process (the obs instrumentation-overhead gate) are
 only enforced on runners with >= 4 CPUs and print a notice otherwise.
 """
 
@@ -24,15 +29,60 @@ def load(path):
         return json.load(f)
 
 
+def validate_span(span, path):
+    """Checks one node of an exported profile span tree, recursively."""
+    assert isinstance(span, dict), f"{path}: span must be an object"
+    for key in ("name", "count", "total_ns", "counters", "children"):
+        assert key in span, f"{path}: span lacks `{key}`: {sorted(span)}"
+    assert isinstance(span["name"], str) and span["name"], f"{path}: bad span name"
+    for key in ("count", "total_ns"):
+        assert isinstance(span[key], int) and span[key] >= 0, (path, key, span[key])
+    assert isinstance(span["counters"], dict), f"{path}: counters must be an object"
+    for name, value in span["counters"].items():
+        assert isinstance(value, int) and value >= 0, (path, name, value)
+    assert isinstance(span["children"], list), f"{path}: children must be an array"
+    nodes = 1 if span["count"] > 0 else 0
+    for child in span["children"]:
+        nodes += validate_span(child, f"{path}/{child.get('name', '?')}")
+    return nodes
+
+
+def validate_profile(path):
+    """Validates an exported ProfileReport against the wire schema."""
+    profile = load(path)
+    for key in ("wall_ns", "meta", "root"):
+        assert key in profile, f"profile lacks `{key}`: {sorted(profile)}"
+    assert isinstance(profile["wall_ns"], int) and profile["wall_ns"] >= 0
+    assert isinstance(profile["meta"], dict), "profile `meta` must be an object"
+    for name, value in profile["meta"].items():
+        assert isinstance(value, int) and value >= 0, f"meta `{name}` must be a u64"
+    root = profile["root"]
+    assert root["name"] == "profile", f"synthetic root must be named `profile`: {root['name']}"
+    assert root["count"] == 0, "synthetic root must have count 0"
+    nodes = validate_span(root, "root")
+    assert nodes > 0, "exported profile recorded no spans"
+    assert "threads" in profile["meta"], "profile meta lacks the thread count"
+    print(
+        f"profile {path} OK: {nodes} span nodes, "
+        f"{profile['wall_ns'] / 1e6:.3f} ms wall, threads={profile['meta']['threads']}"
+    )
+
+
 def main():
-    report_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_figures.json"
-    baseline_path = sys.argv[2] if len(sys.argv) > 2 else None
+    argv = sys.argv[1:]
+    profile_path = None
+    if "--profile" in argv:
+        at = argv.index("--profile")
+        profile_path = argv[at + 1]
+        argv = argv[:at] + argv[at + 2 :]
+    report_path = argv[0] if len(argv) > 0 else "BENCH_figures.json"
+    baseline_path = argv[1] if len(argv) > 1 else None
 
     report = load(report_path)
     assert report["version"] == 1, "unexpected report version"
     groups = {g["name"]: g for g in report["groups"]}
     assert groups, "report has no groups"
-    for name in ("value_layer", "parallel", "columnar", "join"):
+    for name in ("value_layer", "parallel", "columnar", "join", "obs"):
         assert name in groups, f"{name} group missing: {sorted(groups)}"
     for group in report["groups"]:
         assert group["cases"], f"group {group['name']} has no cases"
@@ -128,6 +178,54 @@ def main():
         f"= {trace_speedup:.2f}x (informational)"
     )
 
+    # Instrumentation-overhead gate: the `obs` group re-measures the committed
+    # columnar/join workloads with the `whynot-obs` sites compiled in but no
+    # profiling session active (one relaxed atomic load per site). Each
+    # `disabled` case must stay within 5% of the same workload's case in the
+    # columnar/join groups re-measured in the same CI run. The comparison
+    # crosses bench processes, so it needs a quiet multi-core runner:
+    # enforced on >= 4 CPUs, notice otherwise.
+    obs = cases("obs")
+    obs_gate = [
+        ("lineitem_select/disabled", "columnar", "lineitem_select/columnar"),
+        ("lineitem_trace/disabled", "columnar", "lineitem_trace/columnar"),
+        ("equi_join/disabled", "join", "equi_join/hash_columnar"),
+        ("equi_trace/disabled", "join", "equi_trace/hash"),
+    ]
+    for obs_case, _, _ in obs_gate:
+        assert obs_case in obs, f"obs group lacks {obs_case}: {sorted(obs)}"
+        profiled = obs_case.replace("/disabled", "/profiled")
+        assert profiled in obs, f"obs group lacks {profiled}: {sorted(obs)}"
+    for pseudo in (
+        "lineitem_trace/trace_tuples",
+        "lineitem_trace/span_nodes",
+        "equi_trace/trace_tuples",
+        "equi_trace/span_nodes",
+        "dblp_d4/trace_tuples",
+        "dblp_d4/span_nodes",
+        "dblp_d4_stage/trace_provider",
+    ):
+        assert pseudo in obs, f"obs group lacks {pseudo}: {sorted(obs)}"
+    for pseudo in ("lineitem_trace", "equi_trace", "dblp_d4"):
+        # The deterministic figures: a trace was actually recorded.
+        assert obs[f"{pseudo}/trace_tuples"]["min_ms"] > 0, pseudo
+        assert obs[f"{pseudo}/span_nodes"]["min_ms"] > 0, pseudo
+    obs_failures = []
+    for obs_case, base_group, base_case in obs_gate:
+        base_ms = cases(base_group)[base_case]["min_ms"]
+        obs_ms = obs[obs_case]["min_ms"]
+        ratio = obs_ms / base_ms if base_ms > 0 else float("inf")
+        print(
+            f"obs/{obs_case}: {obs_ms:.3f} ms vs {base_group}/{base_case} "
+            f"{base_ms:.3f} ms ({ratio:.3f}x)"
+        )
+        if ratio > 1.05:
+            obs_failures.append(f"obs/{obs_case} costs {ratio:.3f}x of {base_case} (> 1.05x)")
+    if cpus >= 4:
+        assert not obs_failures, "instrumentation overhead: " + "; ".join(obs_failures)
+    elif obs_failures:
+        print(f"NOTICE: obs overhead gate skipped on a {cpus}-cpu runner (< 4)")
+
     # Perf-regression gate: the re-measured value_layer, columnar, and join
     # groups must not be more than 2x slower than the committed baseline.
     # Absolute times only transfer between comparable machines, so the gate
@@ -157,6 +255,9 @@ def main():
             assert not failures, "perf regression: " + "; ".join(failures)
         else:
             print(f"NOTICE: perf-regression gate skipped on a {cpus}-cpu runner (< 4)")
+
+    if profile_path:
+        validate_profile(profile_path)
 
     print(
         f"BENCH_figures.json OK: {len(groups)} groups, "

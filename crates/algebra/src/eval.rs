@@ -27,6 +27,7 @@ use crate::schema::output_type;
 /// The result is shared: for a bare table access it is literally the base
 /// relation's `Arc`, with no copy.
 pub fn evaluate(plan: &QueryPlan, db: &Database) -> AlgebraResult<Arc<Bag>> {
+    let _span = whynot_obs::span("eval");
     evaluate_node(&plan.root, db)
 }
 
@@ -42,6 +43,25 @@ pub fn evaluate_node(node: &OpNode, db: &Database) -> AlgebraResult<Arc<Bag>> {
 /// Exposed separately so that the provenance crate can interleave tracing with
 /// evaluation while reusing the exact same operator semantics.
 pub fn apply_operator(
+    node: &OpNode,
+    inputs: &[Arc<Bag>],
+    db: &Database,
+) -> AlgebraResult<Arc<Bag>> {
+    if !whynot_obs::enabled() {
+        return apply_operator_impl(node, inputs, db);
+    }
+    // One span per operator application; children were already evaluated, so
+    // sibling operator spans partition the plan's wall time.
+    let _span = whynot_obs::span_dyn(|| format!("op:{}#{}", node.op.kind_name(), node.id));
+    whynot_obs::add("rows_in", inputs.iter().map(|b| b.distinct() as u64).sum());
+    let result = apply_operator_impl(node, inputs, db);
+    if let Ok(bag) = &result {
+        whynot_obs::add("rows_out", bag.distinct() as u64);
+    }
+    result
+}
+
+fn apply_operator_impl(
     node: &OpNode,
     inputs: &[Arc<Bag>],
     db: &Database,
@@ -138,8 +158,10 @@ pub fn columnar_mask(cols: &ColumnarBag, predicate: &Expr) -> Vec<bool> {
 fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
     let names: Vec<Sym> = columns.iter().map(|c| Sym::intern(&c.name)).collect();
     if let Some(cols) = input.columnar() {
+        whynot_obs::add("path.columnar", 1);
         return eval_projection_columnar(&cols, &names, columns);
     }
+    whynot_obs::add("path.rows", 1);
     let mut out = BagBuilder::with_capacity(input.distinct());
     for (v, m) in input.iter() {
         let tuple = v.as_tuple().cloned().unwrap_or_else(Tuple::empty);
@@ -180,6 +202,7 @@ fn eval_projection_columnar(cols: &ColumnarBag, names: &[Sym], columns: &[ProjCo
 
 fn eval_selection(input: &Bag, predicate: &Expr) -> Bag {
     if let Some(cols) = input.columnar() {
+        whynot_obs::add("path.columnar", 1);
         // Column-at-a-time predicate evaluation; the surviving entries are
         // gathered from the canonical input in order, so the result is the
         // same bag `filter` builds.
@@ -192,6 +215,7 @@ fn eval_selection(input: &Bag, predicate: &Expr) -> Bag {
             .collect();
         return Bag::from_canonical_entries(entries);
     }
+    whynot_obs::add("path.rows", 1);
     input.filter(|v| v.as_tuple().map(|t| predicate.eval_bool(t)).unwrap_or(false))
 }
 

@@ -256,8 +256,14 @@ pub fn join_matches_with(
 ) -> JoinMatches {
     let equi = if use_hash { split_equi_join(predicate, left_schema, right_schema) } else { None };
     let matches_per_left = match &equi {
-        Some(equi) => hash_matches(left, right, equi),
-        None => nested_loop_matches(left, right, predicate),
+        Some(equi) => {
+            whynot_obs::add("join.hash", 1);
+            hash_matches(left, right, equi)
+        }
+        None => {
+            whynot_obs::add("join.fallback", 1);
+            nested_loop_matches(left, right, predicate)
+        }
     };
     let mut result = JoinMatches {
         pairs: Vec::new(),
@@ -356,6 +362,8 @@ fn hash_matches(
     // partitions (per chunk), then one map per partition assembled by
     // merging the scatter lists in chunk order — every bucket's candidate
     // list is ascending, independent of thread count.
+    let build_span = whynot_obs::span("join.build");
+    whynot_obs::add("join.build_rows", right.len() as u64);
     let right_keys = extract_keys(right, &equi.right_keys);
     let chunks = columnar_chunks(right.len());
     let scattered: Vec<Vec<Vec<usize>>> = par_map(&chunks, |range| {
@@ -382,10 +390,14 @@ fn hash_matches(
         map
     });
 
+    drop(build_span);
+
     // Probe: each left row visits exactly its key's bucket and evaluates
     // only the residual conjuncts (none, for a pure equi join) on the
     // candidates. The concatenation check is kept — the nested loop skips
     // pairs whose attribute names collide, and so must we.
+    let _probe_span = whynot_obs::span("join.probe");
+    whynot_obs::add("join.probe_rows", left.len() as u64);
     let left_keys = extract_keys(left, &equi.left_keys);
     par_map_range(0..left.len(), |li| {
         let Some(lt) = left.rows[li] else { return Vec::new() };

@@ -1,0 +1,7 @@
+//! Instrumentation-overhead microbenches: the `whynot-obs` disabled path on
+//! the committed `columnar`/`join` workloads, the profiled twins, and the
+//! deterministic trace-size / span-breakdown figures.
+
+fn main() {
+    whynot_bench::obs_group();
+}

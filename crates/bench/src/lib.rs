@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use nested_data::{Bag, Sym, Tuple, Value};
-use nrab_algebra::{evaluate, OpId};
+use nrab_algebra::{evaluate, OpId, QueryPlan};
 use whynot_core::WhyNotEngine;
 use whynot_scenarios::{Scenario, ScenarioOutcome};
 
@@ -262,26 +262,20 @@ pub fn parallel_group() {
     group.finish();
 }
 
-/// The `columnar` microbench group: row-oriented vs. columnar scans over the
-/// wide flat TPC-H `flatlineitem` relation (14 scalar attributes) — a Q6-style
-/// selection through the evaluator and a selection + grouped-aggregation
-/// whole-plan generalized trace under two schema alternatives.
+/// The wide flat TPC-H `flatlineitem` workload shared by [`columnar_group`]
+/// and [`obs_group`]: the database (14 scalar attributes per row), a Q6-style
+/// selection plan, and the traced selection + grouped-aggregation plan under
+/// two schema alternatives (original and `l_shipdate` → `l_commitdate`).
 ///
-/// Before measuring, the group *asserts* the equivalence contract: the
-/// columnar result bag and the columnar generalized trace must be
-/// byte-identical to their row-oriented twins (the row path is forced with
-/// [`nested_data::with_columnar`]). The columnar speedup is thread-count
-/// independent (it comes from column locality, not from the pool), so CI can
-/// enforce it on any runner; the committed baseline is measured serially.
-pub fn columnar_group() {
-    use nested_data::with_columnar;
+/// Shared so the `obs` overhead cases re-measure *exactly* the workload the
+/// committed `columnar` baseline was measured on.
+fn lineitem_workload(
+) -> (nrab_algebra::Database, QueryPlan, QueryPlan, Vec<nrab_provenance::SchemaAlternative>) {
     use nested_datagen::{tpch_flat_database, TpchConfig};
     use nrab_algebra::expr::{ArithOp, CmpOp, Expr};
     use nrab_algebra::{AggFunc, AggSpec, PlanBuilder};
-    use nrab_provenance::{trace_plan_generalized, OpSubstitution, SchemaAlternative};
+    use nrab_provenance::{OpSubstitution, SchemaAlternative};
     use std::collections::BTreeMap;
-
-    let mut group = BenchGroup::new("columnar");
 
     let db = tpch_flat_database(TpchConfig { customers: 1500, seed: 42 });
     let q6_predicate = || {
@@ -297,21 +291,6 @@ pub fn columnar_group() {
         .select(q6_predicate())
         .build()
         .expect("selection plan builds");
-
-    // Byte-identity: the columnar scan must produce the very same canonical
-    // bag as the row-oriented scan.
-    let row_result = with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"));
-    let col_result = evaluate(&select_plan, &db).expect("columnar evaluates");
-    assert!(
-        row_result == col_result,
-        "columnar selection must be byte-identical to the row-oriented selection"
-    );
-    assert!(!col_result.is_empty(), "the benchmark selection must keep some rows");
-
-    group.bench("lineitem_select/rows", || {
-        with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"))
-    });
-    group.bench("lineitem_select/columnar", || evaluate(&select_plan, &db).expect("cols evaluate"));
 
     // Selection + grouped aggregation, traced under two schema alternatives
     // (original and l_shipdate → l_commitdate): the workload whose selection
@@ -341,6 +320,42 @@ pub fn columnar_group() {
             BTreeMap::new(),
         ),
     ];
+    (db, select_plan, trace_plan, sas)
+}
+
+/// The `columnar` microbench group: row-oriented vs. columnar scans over the
+/// wide flat TPC-H `flatlineitem` relation (14 scalar attributes) — a Q6-style
+/// selection through the evaluator and a selection + grouped-aggregation
+/// whole-plan generalized trace under two schema alternatives.
+///
+/// Before measuring, the group *asserts* the equivalence contract: the
+/// columnar result bag and the columnar generalized trace must be
+/// byte-identical to their row-oriented twins (the row path is forced with
+/// [`nested_data::with_columnar`]). The columnar speedup is thread-count
+/// independent (it comes from column locality, not from the pool), so CI can
+/// enforce it on any runner; the committed baseline is measured serially.
+pub fn columnar_group() {
+    use nested_data::with_columnar;
+    use nrab_provenance::trace_plan_generalized;
+
+    let mut group = BenchGroup::new("columnar");
+
+    let (db, select_plan, trace_plan, sas) = lineitem_workload();
+
+    // Byte-identity: the columnar scan must produce the very same canonical
+    // bag as the row-oriented scan.
+    let row_result = with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"));
+    let col_result = evaluate(&select_plan, &db).expect("columnar evaluates");
+    assert!(
+        row_result == col_result,
+        "columnar selection must be byte-identical to the row-oriented selection"
+    );
+    assert!(!col_result.is_empty(), "the benchmark selection must keep some rows");
+
+    group.bench("lineitem_select/rows", || {
+        with_columnar(false, || evaluate(&select_plan, &db).expect("rows evaluate"))
+    });
+    group.bench("lineitem_select/columnar", || evaluate(&select_plan, &db).expect("cols evaluate"));
 
     let row_trace = with_columnar(false, || {
         trace_plan_generalized(&trace_plan, &db, &sas).expect("rows trace")
@@ -361,6 +376,101 @@ pub fn columnar_group() {
     group.finish();
 }
 
+/// Two wide flat relations (6 scalar attributes each, columnar-eligible)
+/// shared by [`join_group`] and [`obs_group`]: a `fact` relation whose `fk`
+/// hits one of `keys` distinct values and a `dim` relation keyed by `pk`.
+fn join_db(fact_n: i64, dim_n: i64, keys: i64) -> nrab_algebra::Database {
+    use nested_data::{NestedType, TupleType};
+    use nrab_algebra::Database;
+
+    let fact_ty = TupleType::new([
+        ("fk", NestedType::int()),
+        ("fseq", NestedType::int()),
+        ("fname", NestedType::str()),
+        ("fqty", NestedType::int()),
+        ("famount", NestedType::float()),
+        ("ftag", NestedType::str()),
+    ])
+    .expect("fact schema");
+    let dim_ty = TupleType::new([
+        ("pk", NestedType::int()),
+        ("dcap", NestedType::int()),
+        ("dname", NestedType::str()),
+        ("dprio", NestedType::int()),
+        ("dscale", NestedType::float()),
+        ("dtag", NestedType::str()),
+    ])
+    .expect("dim schema");
+    let fact_rows = Bag::from_values((0..fact_n).map(|i| {
+        Value::tuple([
+            ("fk", Value::int(i % keys)),
+            ("fseq", Value::int(i)),
+            ("fname", Value::str(format!("fact-{i}"))),
+            ("fqty", Value::int(i % 50)),
+            ("famount", Value::float(i as f64 / 4.0)),
+            ("ftag", Value::str(if i % 3 == 0 { "hot" } else { "cold" })),
+        ])
+    }));
+    let dim_rows = Bag::from_values((0..dim_n).map(|j| {
+        Value::tuple([
+            ("pk", Value::int(j % keys)),
+            ("dcap", Value::int(j * 2)),
+            ("dname", Value::str(format!("dim-{j}"))),
+            ("dprio", Value::int(j % 7)),
+            ("dscale", Value::float(j as f64 / 8.0)),
+            ("dtag", Value::str(if j % 2 == 0 { "even" } else { "odd" })),
+        ])
+    }));
+    let mut db = Database::new();
+    db.add_relation("fact", fact_ty, fact_rows);
+    db.add_relation("dim", dim_ty, dim_rows);
+    db
+}
+
+/// The `fk = pk` equi-join predicate of the shared join workload.
+fn equi_join_predicate() -> nrab_algebra::Expr {
+    use nrab_algebra::{CmpOp, Expr};
+    Expr::cmp(Expr::attr("fk"), CmpOp::Eq, Expr::attr("pk"))
+}
+
+/// Builds `fact ⋈ dim` over the given predicate.
+fn join_plan_for(predicate: nrab_algebra::Expr) -> QueryPlan {
+    use nrab_algebra::{JoinKind, PlanBuilder};
+    PlanBuilder::table("fact")
+        .join(PlanBuilder::table("dim"), JoinKind::Inner, predicate)
+        .build()
+        .expect("join plan builds")
+}
+
+/// The traced equi-join workload shared by [`join_group`] and [`obs_group`]:
+/// a smaller fact/dim pair and two schema alternatives (the second
+/// substitutes the probe key, so the per-SA joins build different hash
+/// tables).
+fn equi_trace_workload(
+) -> (nrab_algebra::Database, QueryPlan, Vec<nrab_provenance::SchemaAlternative>) {
+    use nrab_algebra::{JoinKind, PlanBuilder};
+    use nrab_provenance::{OpSubstitution, SchemaAlternative};
+    use std::collections::BTreeMap;
+
+    let trace_db = join_db(600, 400, 240);
+    let builder = PlanBuilder::table("fact").join(
+        PlanBuilder::table("dim"),
+        JoinKind::Inner,
+        equi_join_predicate(),
+    );
+    let join_op = builder.current_id();
+    let trace_plan = builder.build().expect("trace plan builds");
+    let sas = vec![
+        SchemaAlternative::original(BTreeMap::new()),
+        SchemaAlternative::new(
+            1,
+            vec![OpSubstitution::new(join_op, "fk", "fqty")],
+            BTreeMap::new(),
+        ),
+    ];
+    (trace_db, trace_plan, sas)
+}
+
 /// The `join` microbench group: the partitioned hash join of
 /// `nrab_algebra::join` against the block nested loop it replaced, over two
 /// wide flat relations (6 scalar attributes each, columnar-eligible) — a
@@ -377,84 +487,25 @@ pub fn columnar_group() {
 /// before the shared join core existed — so CI can hold the speedup against
 /// the seed path.
 pub fn join_group() {
-    use nested_data::{with_columnar, NestedType, TupleType};
+    use nested_data::with_columnar;
     use nrab_algebra::expr::{CmpOp, Expr};
-    use nrab_algebra::{with_hash_join, Database, JoinKind, PlanBuilder};
-    use nrab_provenance::{trace_plan_generalized, OpSubstitution, SchemaAlternative};
-    use std::collections::BTreeMap;
+    use nrab_algebra::with_hash_join;
+    use nrab_provenance::trace_plan_generalized;
 
     let mut group = BenchGroup::new("join");
-
-    let fact_ty = || {
-        TupleType::new([
-            ("fk", NestedType::int()),
-            ("fseq", NestedType::int()),
-            ("fname", NestedType::str()),
-            ("fqty", NestedType::int()),
-            ("famount", NestedType::float()),
-            ("ftag", NestedType::str()),
-        ])
-        .expect("fact schema")
-    };
-    let dim_ty = || {
-        TupleType::new([
-            ("pk", NestedType::int()),
-            ("dcap", NestedType::int()),
-            ("dname", NestedType::str()),
-            ("dprio", NestedType::int()),
-            ("dscale", NestedType::float()),
-            ("dtag", NestedType::str()),
-        ])
-        .expect("dim schema")
-    };
-    let fact_rows = |n: i64, keys: i64| {
-        Bag::from_values((0..n).map(|i| {
-            Value::tuple([
-                ("fk", Value::int(i % keys)),
-                ("fseq", Value::int(i)),
-                ("fname", Value::str(format!("fact-{i}"))),
-                ("fqty", Value::int(i % 50)),
-                ("famount", Value::float(i as f64 / 4.0)),
-                ("ftag", Value::str(if i % 3 == 0 { "hot" } else { "cold" })),
-            ])
-        }))
-    };
-    let dim_rows = |n: i64, keys: i64| {
-        Bag::from_values((0..n).map(|j| {
-            Value::tuple([
-                ("pk", Value::int(j % keys)),
-                ("dcap", Value::int(j * 2)),
-                ("dname", Value::str(format!("dim-{j}"))),
-                ("dprio", Value::int(j % 7)),
-                ("dscale", Value::float(j as f64 / 8.0)),
-                ("dtag", Value::str(if j % 2 == 0 { "even" } else { "odd" })),
-            ])
-        }))
-    };
-    let join_db = |fact_n: i64, dim_n: i64, keys: i64| {
-        let mut db = Database::new();
-        db.add_relation("fact", fact_ty(), fact_rows(fact_n, keys));
-        db.add_relation("dim", dim_ty(), dim_rows(dim_n, keys));
-        db
-    };
-    let plan_for = |predicate: Expr| {
-        PlanBuilder::table("fact")
-            .join(PlanBuilder::table("dim"), JoinKind::Inner, predicate)
-            .build()
-            .expect("join plan builds")
-    };
-    let equi = || Expr::cmp(Expr::attr("fk"), CmpOp::Eq, Expr::attr("pk"));
 
     // The evaluator workloads: 1500 × 1000 rows for the hash-eligible
     // shapes (1.5M candidate pairs for the loop, one bucket probe per row
     // for the hash join), a smaller 300 × 300 pair for the always-quadratic
     // non-equi range join.
     let db = join_db(1500, 1000, 600);
-    let equi_plan = plan_for(equi());
-    let mixed_plan =
-        plan_for(Expr::and(equi(), Expr::cmp(Expr::attr("fqty"), CmpOp::Lt, Expr::attr("dcap"))));
+    let equi_plan = join_plan_for(equi_join_predicate());
+    let mixed_plan = join_plan_for(Expr::and(
+        equi_join_predicate(),
+        Expr::cmp(Expr::attr("fqty"), CmpOp::Lt, Expr::attr("dcap")),
+    ));
     let small_db = join_db(300, 300, 120);
-    let nonequi_plan = plan_for(Expr::and(
+    let nonequi_plan = join_plan_for(Expr::and(
         Expr::cmp(Expr::attr("famount"), CmpOp::Le, Expr::attr("dscale")),
         Expr::cmp(Expr::attr("fqty"), CmpOp::Gt, Expr::attr("dprio")),
     ));
@@ -498,19 +549,7 @@ pub fn join_group() {
     // the probe key, so the per-SA joins build different hash tables) —
     // the per-SA probing workload `trace_join` used to run over a single
     // `BTreeMap` bucketing.
-    let trace_db = join_db(600, 400, 240);
-    let builder =
-        PlanBuilder::table("fact").join(PlanBuilder::table("dim"), JoinKind::Inner, equi());
-    let join_op = builder.current_id();
-    let trace_plan = builder.build().expect("trace plan builds");
-    let sas = vec![
-        SchemaAlternative::original(BTreeMap::new()),
-        SchemaAlternative::new(
-            1,
-            vec![OpSubstitution::new(join_op, "fk", "fqty")],
-            BTreeMap::new(),
-        ),
-    ];
+    let (trace_db, trace_plan, sas) = equi_trace_workload();
     let loop_trace = with_hash_join(false, || {
         with_columnar(false, || {
             trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("loop trace")
@@ -531,6 +570,106 @@ pub fn join_group() {
     group.bench("equi_trace/hash", || {
         trace_plan_generalized(&trace_plan, &trace_db, &sas).expect("hash trace")
     });
+
+    group.finish();
+}
+
+/// The `obs` microbench group: the runtime cost of the `whynot-obs`
+/// instrumentation, re-measured on exactly the workloads behind the committed
+/// `columnar` and `join` baselines (shared through the private
+/// `lineitem_workload` and `equi_trace_workload` constructors).
+///
+/// Every `disabled` case runs with no profiling session active, so each
+/// instrumentation site costs one relaxed atomic load — the price every
+/// production run pays. CI gates these at ≤ 5% over the corresponding
+/// committed baseline case (`lineitem_select/columnar`,
+/// `lineitem_trace/columnar`, `equi_join/hash_columnar`, `equi_trace/hash`).
+/// The `profiled` twins run the same work inside a [`whynot_obs::profile`]
+/// session and are informational: they bound the cost of `--profile`.
+///
+/// The group also records deterministic observability figures as
+/// dimensionless pseudo-cases (mean = min = max): the generalized-trace size
+/// in tuples (`trace.total_tuples`, the peak provenance footprint of the
+/// run) and the number of recorded operator spans for the two traced
+/// workloads and a full DBLP D4 explanation, plus the D4 per-stage span
+/// breakdown in milliseconds.
+pub fn obs_group() {
+    use nrab_provenance::trace_plan_generalized;
+    use whynot_obs::ProfileReport;
+
+    let mut group = BenchGroup::new("obs");
+
+    assert!(
+        !whynot_obs::enabled(),
+        "no profiling session may be active while the disabled-path cases run"
+    );
+
+    let (db, select_plan, trace_plan, sas) = lineitem_workload();
+    let equi_db = join_db(1500, 1000, 600);
+    let equi_plan = join_plan_for(equi_join_predicate());
+    let (join_trace_db, join_trace_plan, join_sas) = equi_trace_workload();
+
+    // Equivalence before measuring: profiling is a pure observer (the full
+    // contract — answers, traces, wire reports, thread counts — is asserted
+    // by `tests/obs_equivalence.rs`; this is the bench-local smoke check).
+    let plain = evaluate(&select_plan, &db).expect("select evaluates");
+    let (profiled, report) =
+        whynot_obs::profile(|| evaluate(&select_plan, &db).expect("select evaluates"));
+    assert!(plain == profiled, "profiling must not change the selection result");
+    assert!(report.root.span_nodes() > 0, "the profiled selection must record spans");
+
+    group.bench("lineitem_select/disabled", || evaluate(&select_plan, &db).expect("select"));
+    group.bench("lineitem_select/profiled", || {
+        whynot_obs::profile(|| evaluate(&select_plan, &db).expect("select"))
+    });
+    group.bench("lineitem_trace/disabled", || {
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("trace")
+    });
+    group.bench("lineitem_trace/profiled", || {
+        whynot_obs::profile(|| trace_plan_generalized(&trace_plan, &db, &sas).expect("trace"))
+    });
+    group.bench("equi_join/disabled", || evaluate(&equi_plan, &equi_db).expect("join"));
+    group.bench("equi_join/profiled", || {
+        whynot_obs::profile(|| evaluate(&equi_plan, &equi_db).expect("join"))
+    });
+    group.bench("equi_trace/disabled", || {
+        trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
+    });
+    group.bench("equi_trace/profiled", || {
+        whynot_obs::profile(|| {
+            trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
+        })
+    });
+
+    // Deterministic observability figures: identical at every thread count
+    // (the signature contract), so mean = min = max is exact, not a
+    // single-sample approximation.
+    fn record_figures(group: &mut BenchGroup, case: &str, report: &ProfileReport) {
+        let tuples = report.counter_total("trace.total_tuples") as f64;
+        let spans = report.root.span_nodes() as f64;
+        group.record(format!("{case}/trace_tuples"), tuples, tuples, tuples);
+        group.record(format!("{case}/span_nodes"), spans, spans, spans);
+    }
+    let (_, lineitem_report) =
+        whynot_obs::profile(|| trace_plan_generalized(&trace_plan, &db, &sas).expect("trace"));
+    record_figures(&mut group, "lineitem_trace", &lineitem_report);
+    let (_, join_report) = whynot_obs::profile(|| {
+        trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
+    });
+    record_figures(&mut group, "equi_trace", &join_report);
+
+    let scenario = whynot_scenarios::dblp::d4(300);
+    let question = scenario.question();
+    let (_, d4_report) = whynot_obs::profile(|| {
+        WhyNotEngine::rp().explain(&question, &scenario.alternatives).expect("RP succeeds")
+    });
+    record_figures(&mut group, "dblp_d4", &d4_report);
+    // The engine-stage breakdown of the D4 explanation (wall ms per stage;
+    // times vary between runs, the stage set does not).
+    for stage in ["validate", "backtrace", "alternatives", "trace_provider", "rank"] {
+        let ms = d4_report.root.child(stage).map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        group.record(format!("dblp_d4_stage/{stage}"), ms, ms, ms);
+    }
 
     group.finish();
 }

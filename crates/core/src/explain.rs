@@ -152,7 +152,10 @@ impl WhyNotEngine {
         question: &WhyNotQuestion,
         attribute_alternatives: &[AttributeAlternative],
     ) -> WhyNotResult<WhyNotAnswer> {
-        let original_result = question.validate()?;
+        let original_result = {
+            let _span = whynot_obs::span("validate");
+            question.validate()?
+        };
         let original_result_size = original_result.total();
         self.explain_unchecked(question, attribute_alternatives, original_result_size)
     }
@@ -188,27 +191,42 @@ impl WhyNotEngine {
         let db = &question.db;
 
         // Step 1: schema backtracing.
-        let backtrace = schema_backtrace(plan, db, &question.why_not)?;
+        let backtrace = {
+            let _span = whynot_obs::span("backtrace");
+            schema_backtrace(plan, db, &question.why_not)?
+        };
 
         // Step 2: schema alternatives.
         let alternatives =
             if self.config.use_schema_alternatives { attribute_alternatives } else { &[] };
-        let sas = enumerate_schema_alternatives(
-            plan,
-            db,
-            &question.why_not,
-            &backtrace,
-            alternatives,
-            self.config.max_schema_alternatives,
-        )?;
+        let sas = {
+            let _span = whynot_obs::span("alternatives");
+            let sas = enumerate_schema_alternatives(
+                plan,
+                db,
+                &question.why_not,
+                &backtrace,
+                alternatives,
+                self.config.max_schema_alternatives,
+            )?;
+            whynot_obs::add("sas", sas.len() as u64);
+            sas
+        };
 
         // Step 3: data tracing — the generalized (question-independent) part
         // comes from the provider, the consistency annotation is per-question.
-        let base = tracer.generalized_trace(plan, db, &sas)?;
+        // (`trace_plan_generalized` and `annotate_consistency` open their own
+        // spans; the provider span also covers cache lookups.)
+        let base = {
+            let _span = whynot_obs::span("trace_provider");
+            tracer.generalized_trace(plan, db, &sas)?
+        };
         let trace = annotate_consistency(&base, plan, &sas);
 
         // Step 4: approximate MSRs, side-effect bounds, ranking.
+        let _rank_span = whynot_obs::span("rank");
         let candidates = approximate_msrs(plan, &trace, &sas);
+        whynot_obs::add("candidates", candidates.len() as u64);
         let ranked: Vec<RankedCandidate> = candidates
             .into_iter()
             .map(|candidate| {
@@ -223,6 +241,7 @@ impl WhyNotEngine {
             })
             .collect();
         let ranked = order_and_prune(ranked);
+        whynot_obs::add("explanations", ranked.len() as u64);
 
         let explanations = ranked.into_iter().map(|r| build_explanation(plan, r)).collect();
         Ok(WhyNotAnswer { explanations, schema_alternatives: sas, original_result_size })

@@ -43,8 +43,10 @@
 
 mod par;
 mod pool;
+pub mod stats;
 
 pub use par::{par_map, par_map_indexed, par_map_range};
+pub use stats::{pool_stats, PoolStats};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,6 +133,57 @@ mod tests {
             with_threads(2, || assert_eq!(effective_threads(), 2));
             assert_eq!(effective_threads(), 4);
         });
+    }
+
+    #[test]
+    fn pool_counters_move_under_parallel_work() {
+        let before = pool_stats();
+        with_threads(4, || {
+            let items: Vec<usize> = (0..256).collect();
+            let doubled = par_map(&items, |i| i * 2);
+            assert_eq!(doubled[255], 510);
+        });
+        let delta = pool_stats().since(&before);
+        assert!(delta.par_regions >= 1, "{delta:?}");
+        assert!(delta.jobs >= 1, "{delta:?}");
+        assert!(delta.chunks_claimed >= 4, "{delta:?}");
+    }
+
+    #[test]
+    fn profiled_par_map_merges_worker_spans_deterministically() {
+        let items: Vec<usize> = (0..64).collect();
+        let run = || {
+            whynot_obs::profile(|| {
+                with_threads(4, || {
+                    let _region = whynot_obs::span("region");
+                    let out = par_map(&items, |i| {
+                        let _s = whynot_obs::span("item");
+                        whynot_obs::add("seen", 1);
+                        i + 1
+                    });
+                    assert_eq!(out.len(), 64);
+                });
+            })
+            .1
+        };
+        let report = run();
+        let region = report.root.child("region").expect("region span recorded");
+        let item = region.child("item").expect("worker spans merged under the call site");
+        assert_eq!(item.count, 64);
+        assert_eq!(item.counter_total("seen"), 64);
+        // Identical structure and counts at a different thread count.
+        let serial = whynot_obs::profile(|| {
+            with_threads(1, || {
+                let _region = whynot_obs::span("region");
+                let _ = par_map(&items, |i| {
+                    let _s = whynot_obs::span("item");
+                    whynot_obs::add("seen", 1);
+                    i + 1
+                });
+            });
+        })
+        .1;
+        assert_eq!(report.signature(), serial.signature());
     }
 
     #[test]

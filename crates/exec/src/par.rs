@@ -61,19 +61,35 @@ fn par_map_len<R: Send>(len: usize, produce: impl Fn(usize) -> R + Sync) -> Vec<
     let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
     let next_participant = AtomicUsize::new(0);
+    crate::stats::PAR_REGIONS.add(1);
+    // When profiling: one collector slot per participant, merged back (in
+    // participant order) into the span open at this call site, so the span
+    // tree is independent of which participant stole which chunk.
+    let collect = whynot_obs::ParCollect::new(threads);
 
     let run = || {
         let home = next_participant.fetch_add(1, Ordering::Relaxed) % spans.len();
+        let _observer = collect.as_ref().map(|c| c.participant(home));
+        // Chunk counters accumulate locally and flush once per participant.
+        let mut claimed_chunks = 0u64;
+        let mut stolen_chunks = 0u64;
+        let flush = |claimed: u64, stolen: u64| {
+            crate::stats::CHUNKS_CLAIMED.add(claimed);
+            crate::stats::CHUNKS_STOLEN.add(stolen);
+        };
         for offset in 0..spans.len() {
             let span = &spans[(home + offset) % spans.len()];
             loop {
                 if abort.load(Ordering::Relaxed) {
+                    flush(claimed_chunks, stolen_chunks);
                     return;
                 }
                 let claimed = span.next.fetch_add(chunk, Ordering::Relaxed);
                 if claimed >= span.len {
                     break;
                 }
+                claimed_chunks += 1;
+                stolen_chunks += u64::from(offset > 0);
                 let start = span.offset + claimed;
                 let end = span.offset + (claimed + chunk).min(span.len);
                 let produced = catch_unwind(AssertUnwindSafe(|| {
@@ -89,13 +105,18 @@ fn par_map_len<R: Send>(len: usize, produce: impl Fn(usize) -> R + Sync) -> Vec<
                             .lock()
                             .expect("par_map panic slot poisoned")
                             .get_or_insert(panic);
+                        flush(claimed_chunks, stolen_chunks);
                         return;
                     }
                 }
             }
         }
+        flush(claimed_chunks, stolen_chunks);
     };
     Pool::global().run_scoped(threads - 1, &run);
+    if let Some(collect) = collect {
+        collect.merge_into_current();
+    }
 
     if let Some(panic) = panic_slot.into_inner().expect("par_map panic slot poisoned") {
         resume_unwind(panic);

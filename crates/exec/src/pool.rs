@@ -68,6 +68,9 @@ struct JobState {
 struct JobEntry {
     run: *const (dyn Fn() + Sync),
     status: Arc<JobStatus>,
+    /// Submission time, taken only while profiling is enabled, so queue-wait
+    /// histograms cost nothing on the disabled path.
+    enqueued: Option<std::time::Instant>,
 }
 
 // SAFETY: the pointee is `Sync` (it is a `&dyn Fn() + Sync`), and the
@@ -135,6 +138,9 @@ impl Pool {
                     queue = self.queue_cv.wait(queue).expect("pool queue poisoned");
                 }
             };
+            if let Some(enqueued) = entry.enqueued {
+                crate::stats::QUEUE_WAIT.record(enqueued.elapsed().as_nanos() as u64);
+            }
             let participate = {
                 let mut state = entry.status.state.lock().expect("job status poisoned");
                 state.queued -= 1;
@@ -147,6 +153,7 @@ impl Pool {
                 }
             };
             if participate {
+                crate::stats::WORKER_RUNS.add(1);
                 // SAFETY: `active` was incremented above, so the submitter in
                 // `run_scoped` cannot return (and drop the closure) until the
                 // decrement below.
@@ -169,6 +176,7 @@ impl Pool {
             return;
         }
         self.ensure_workers(helpers);
+        crate::stats::JOBS.add(1);
         let status = Arc::new(JobStatus {
             state: Mutex::new(JobState { queued: helpers, active: 0, closed: false }),
             cv: Condvar::new(),
@@ -179,11 +187,13 @@ impl Pool {
         // i.e. past the borrow.
         let run_ptr: *const (dyn Fn() + Sync + 'static) =
             unsafe { std::mem::transmute(run as *const (dyn Fn() + Sync)) };
+        let enqueued = whynot_obs::enabled().then(std::time::Instant::now);
         {
             let mut queue = self.queue.lock().expect("pool queue poisoned");
             for _ in 0..helpers {
-                queue.push_back(JobEntry { run: run_ptr, status: Arc::clone(&status) });
+                queue.push_back(JobEntry { run: run_ptr, status: Arc::clone(&status), enqueued });
             }
+            crate::stats::MAX_QUEUE_DEPTH.record_max(queue.len() as u64);
         }
         self.queue_cv.notify_all();
 

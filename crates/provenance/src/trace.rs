@@ -76,9 +76,17 @@ pub fn trace_plan_generalized(
     if sas.is_empty() {
         return Err(AlgebraError::Eval("at least one schema alternative is required".into()));
     }
+    let _span = whynot_obs::span("trace_plan");
     let mut tracer =
         Tracer { db, sas, next_id: 1, traces: BTreeMap::new(), columnar: BTreeMap::new() };
     tracer.trace_node(&plan.root)?;
+    if whynot_obs::enabled() {
+        whynot_obs::add(
+            "trace.total_tuples",
+            tracer.traces.values().map(|t| t.tuples.len() as u64).sum(),
+        );
+        whynot_obs::add("trace.sas", sas.len() as u64);
+    }
     Ok(GeneralizedTrace {
         inner: TraceResult {
             traces: tracer.traces,
@@ -106,9 +114,21 @@ pub fn annotate_consistency(
     // actually fans out (nested calls always serialize), so the per-tuple
     // level parallelizes exactly when the operator level ran serially
     // (e.g. a single-operator plan).
+    let _span = whynot_obs::span("annotate");
     let entries: Vec<(OpId, &OpTrace)> = base.inner.traces.iter().map(|(op, t)| (*op, t)).collect();
-    let annotated: Vec<OpTrace> =
-        par_map(&entries, |(op, op_trace)| annotate_op_consistency(op_trace, *op, plan, sas));
+    let annotated: Vec<OpTrace> = par_map(&entries, |(op, op_trace)| {
+        let _span = whynot_obs::span_dyn(|| format!("annotate:{}#{}", op_trace.kind, op));
+        let trace = annotate_op_consistency(op_trace, *op, plan, sas);
+        if whynot_obs::enabled() {
+            let compatible: u64 = trace
+                .tuples
+                .iter()
+                .map(|t| t.flags.iter().filter(|f| f.valid && f.consistent).count() as u64)
+                .sum();
+            whynot_obs::add("trace.compatible", compatible);
+        }
+        trace
+    });
     TraceResult {
         traces: entries.iter().map(|(op, _)| *op).zip(annotated).collect(),
         root: base.inner.root,
@@ -217,6 +237,7 @@ impl<'a> Tracer<'a> {
         for input in &node.inputs {
             self.trace_node(input)?;
         }
+        let _span = whynot_obs::span_dyn(|| format!("trace:{}#{}", node.op.kind_name(), node.id));
         let trace = match &node.op {
             Operator::TableAccess { table } => self.trace_table_access(node, table)?,
             Operator::Selection { .. } => self.trace_selection(node)?,
@@ -231,6 +252,18 @@ impl<'a> Tracer<'a> {
             // aggregation, and dedup are structural 1:1 operators.
             _ => self.trace_structural(node)?,
         };
+        if whynot_obs::enabled() {
+            whynot_obs::add("trace.tuples", trace.tuples.len() as u64);
+            let (mut valid, mut retained) = (0u64, 0u64);
+            for tuple in &trace.tuples {
+                for flags in &tuple.flags {
+                    valid += flags.valid as u64;
+                    retained += (flags.valid && flags.retained) as u64;
+                }
+            }
+            whynot_obs::add("trace.valid", valid);
+            whynot_obs::add("trace.retained", retained);
+        }
         self.put_trace(trace);
         Ok(())
     }
@@ -471,6 +504,7 @@ impl<'a> Tracer<'a> {
         // folded in (left, right) order, so the pair list is identical to
         // the serial nested loop.
         let per_sa: Vec<JoinMatches> = par_map_range(0..self.n_sas(), |sa| {
+            let _span = whynot_obs::span_dyn(|| format!("sa#{sa}"));
             let left_rows: Vec<Option<&Tuple>> = left_trace
                 .tuples
                 .iter()
@@ -579,6 +613,7 @@ impl<'a> Tracer<'a> {
         type SaGroups = BTreeMap<Value, (Bag, Vec<u64>)>;
         let sas = self.sas;
         let per_sa_groups: Vec<(SaGroups, String)> = par_map_range(0..n, |sa| {
+            let _span = whynot_obs::span_dyn(|| format!("sa#{sa}"));
             let (attrs, into) = match sas[sa].effective_operator(node) {
                 Operator::RelationNest { attrs, into } => (attrs, into),
                 _ => unreachable!("trace_relation_nest called on non-nest"),
@@ -662,6 +697,7 @@ impl<'a> Tracer<'a> {
         let sas = self.sas;
         let child_cols = self.columnar.get(&child.id).cloned();
         let per_sa_groups: Vec<SaAggGroups> = par_map_range(0..n, |sa| {
+            let _span = whynot_obs::span_dyn(|| format!("sa#{sa}"));
             let (group_by, aggs) = match sas[sa].effective_operator(node) {
                 Operator::GroupAggregation { group_by, aggs } => (group_by, aggs),
                 _ => unreachable!("trace_group_aggregation called on non-aggregation"),

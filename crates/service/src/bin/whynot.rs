@@ -1,16 +1,19 @@
 //! `whynot` — the explanation-service CLI.
 //!
 //! ```text
-//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N]
-//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N]
+//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--profile] [--profile-out FILE]
+//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--profile] [--profile-out FILE]
+//! whynot stats [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N]
 //! whynot scenarios list
 //! whynot scenarios export <dir>
-//! whynot scenarios run <dir> [--name NAME] [--text] [--threads N]
+//! whynot scenarios run <dir> [--name NAME] [--text] [--threads N] [--profile] [--profile-out FILE]
 //! ```
 //!
 //! `explain` answers one why-not question loaded from JSON files on disk;
 //! `batch` answers an array of questions against one registered plan and
 //! database concurrently, reporting per-question trace-cache hits;
+//! `stats` prints cumulative service metrics (optionally after answering a
+//! batch, so the counters describe real work);
 //! `scenarios` exports the paper's evaluation scenarios (running example,
 //! DBLP, Twitter, TPC-H, crime) as JSON files and runs them back from disk.
 //! `--threads N` overrides the `WHYNOT_THREADS` environment variable for the
@@ -18,6 +21,13 @@
 //! count; only the per-question `stats` (timing, and which of several
 //! same-key questions happened to compute the shared trace) may differ
 //! under concurrency.
+//!
+//! `--profile` runs the command under a `whynot-obs` profiling session and
+//! prints the per-operator span tree (plus the effective thread count and
+//! pool-counter deltas) to **stderr**, so stdout stays valid JSON;
+//! `--profile-out FILE` writes the report as JSON. Span structure, counts,
+//! and counters are identical at every thread count; only wall times and the
+//! pool deltas vary.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -35,6 +45,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("scenarios") => cmd_scenarios(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -54,16 +65,21 @@ fn main() -> ExitCode {
 const USAGE: &str = "whynot — why-not explanations over nested data
 
 USAGE:
-    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N]
-    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N]
+    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--profile] [--profile-out FILE]
+    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--profile] [--profile-out FILE]
+    whynot stats [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N]
     whynot scenarios list
     whynot scenarios export <dir>
-    whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N]
+    whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N] [--profile] [--profile-out FILE]
 
 The question file holds {\"why_not\": ..., \"alternatives\": [...]} and may
 optionally inline \"db\" and \"plan\" (then the flags may be omitted).
 --threads N overrides WHYNOT_THREADS (1 = serial); reports are identical
 for any thread count (only per-question timing/cache-hit stats may differ).
+--profile prints a span tree + pool stats to stderr (--profile-out FILE
+writes it as JSON); span counts/structure are thread-count independent.
+`stats` prints cumulative service metrics, optionally after answering a
+batch so the counters describe real work.
 ";
 
 /// Minimal flag parser: `--flag value` pairs plus bare switches/positionals.
@@ -119,6 +135,46 @@ impl Flags {
         }
         Ok(())
     }
+}
+
+/// Runs `f` under a `whynot-obs` profiling session when `--profile` or
+/// `--profile-out` was passed, attaching the effective thread count and the
+/// pool-counter deltas of the run as meta facts. Without either flag, `f`
+/// runs unprofiled and no report is produced.
+fn run_profiled<R>(
+    flags: &Flags,
+    f: impl FnOnce() -> ServiceResult<R>,
+) -> ServiceResult<(R, Option<whynot_obs::ProfileReport>)> {
+    if !flags.switch("profile") && flags.value("profile-out").is_none() {
+        return f().map(|r| (r, None));
+    }
+    let before = whynot_exec::pool_stats();
+    let (result, mut report) = whynot_obs::profile(f);
+    let delta = whynot_exec::pool_stats().since(&before);
+    report.push_meta("threads", whynot_exec::effective_threads() as u64);
+    report.push_meta("pool.jobs", delta.jobs);
+    report.push_meta("pool.worker_runs", delta.worker_runs);
+    report.push_meta("pool.par_regions", delta.par_regions);
+    report.push_meta("pool.chunks_claimed", delta.chunks_claimed);
+    report.push_meta("pool.chunks_stolen", delta.chunks_stolen);
+    report.push_meta("pool.max_queue_depth", delta.max_queue_depth);
+    report.push_meta("pool.queue_waits", delta.queue_waits);
+    report.push_meta("pool.queue_wait_ns", delta.queue_wait_ns);
+    result.map(|r| (r, Some(report)))
+}
+
+/// Prints (`--profile`, to stderr) and/or writes (`--profile-out`) a report
+/// produced by [`run_profiled`].
+fn emit_profile(flags: &Flags, report: Option<&whynot_obs::ProfileReport>) -> ServiceResult<()> {
+    let Some(report) = report else { return Ok(()) };
+    if let Some(path) = flags.value("profile-out") {
+        std::fs::write(path, whynot_service::profile_report_to_json(report).to_pretty())
+            .map_err(|e| ServiceError::decode(format!("cannot write `{path}`: {e}")))?;
+    }
+    if flags.switch("profile") {
+        eprint!("{}", report.render_text());
+    }
+    Ok(())
 }
 
 fn read_json(path: &Path) -> ServiceResult<Json> {
@@ -189,7 +245,7 @@ fn print_json(json: &Json, compact: bool) {
 }
 
 fn cmd_explain(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "question", "threads"])?;
+    let flags = Flags::parse(args, &["db", "plan", "question", "threads", "profile-out"])?;
     flags.apply_threads()?;
     let question_path = flags
         .value("question")
@@ -201,17 +257,17 @@ fn cmd_explain(args: &[String]) -> ServiceResult<()> {
         flags.value("db"),
         flags.value("plan"),
     )?;
-    let response = service.explain(&request)?;
+    let (response, profile) = run_profiled(&flags, || service.explain(&request))?;
     if flags.switch("text") {
         print!("{}", response.report.render_text());
     } else {
         print_json(&response.to_json(), flags.switch("compact"));
     }
-    Ok(())
+    emit_profile(&flags, profile.as_ref())
 }
 
 fn cmd_batch(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "questions", "threads"])?;
+    let flags = Flags::parse(args, &["db", "plan", "questions", "threads", "profile-out"])?;
     flags.apply_threads()?;
     let batch_path = flags
         .value("questions")
@@ -232,7 +288,8 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
     // with the decode failures in request order.
     let decoded: Vec<whynot_service::service::ExplainRequest> =
         requests.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
-    let mut responses = service.explain_batch(&decoded).into_iter();
+    let (batch_responses, profile) = run_profiled(&flags, || Ok(service.explain_batch(&decoded)))?;
+    let mut responses = batch_responses.into_iter();
     let items: Vec<Json> = requests
         .iter()
         .map(|request| {
@@ -260,11 +317,35 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
         ),
     ]);
     print_json(&document, flags.switch("compact"));
+    emit_profile(&flags, profile.as_ref())
+}
+
+/// `whynot stats`: prints cumulative service metrics as JSON. With
+/// `--questions` (plus `--db`/`--plan` as for `batch`), answers the batch
+/// first so the counters and the latency histogram describe real work.
+fn cmd_stats(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["db", "plan", "questions", "threads"])?;
+    flags.apply_threads()?;
+    let mut service = ExplainService::new();
+    if let Some(batch_path) = flags.value("questions") {
+        let batch = read_json(Path::new(batch_path))?;
+        let questions = batch.as_array().ok_or_else(|| {
+            ServiceError::decode("the batch file must be a JSON array of questions")
+        })?;
+        let requests: Vec<ExplainRequest> = questions
+            .iter()
+            .map(|q| request_from_question(&mut service, q, flags.value("db"), flags.value("plan")))
+            .collect::<ServiceResult<Vec<_>>>()?;
+        // Responses are discarded — only the metrics they leave behind matter.
+        service.explain_batch(&requests);
+    }
+    let stats_doc = service.handle_wire(&Json::object([("op", Json::str("stats"))]))?;
+    print_json(&stats_doc, flags.switch("compact"));
     Ok(())
 }
 
 fn cmd_scenarios(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["name", "threads"])?;
+    let flags = Flags::parse(args, &["name", "threads", "profile-out"])?;
     flags.apply_threads()?;
     match flags.positionals.first().map(String::as_str) {
         Some("list") => {
@@ -285,7 +366,7 @@ fn cmd_scenarios(args: &[String]) -> ServiceResult<()> {
                 .positionals
                 .get(1)
                 .ok_or_else(|| ServiceError::decode("scenarios run needs a directory"))?;
-            run_scenarios(Path::new(dir), flags.value("name"), flags.switch("text"))
+            run_scenarios(Path::new(dir), flags.value("name"), flags.switch("text"), &flags)
         }
         _ => Err(ServiceError::decode("scenarios expects `list`, `export <dir>`, or `run <dir>`")),
     }
@@ -313,7 +394,7 @@ fn export_scenarios(dir: &Path) -> ServiceResult<()> {
 
 /// Loads `<dir>/<name>/{db,plan,question}.json` scenarios back from disk and
 /// answers each question through the service.
-fn run_scenarios(dir: &Path, only: Option<&str>, text: bool) -> ServiceResult<()> {
+fn run_scenarios(dir: &Path, only: Option<&str>, text: bool, flags: &Flags) -> ServiceResult<()> {
     let mut names: Vec<String> = std::fs::read_dir(dir)?
         .filter_map(|entry| entry.ok())
         .filter(|entry| entry.path().join("question.json").exists())
@@ -330,41 +411,45 @@ fn run_scenarios(dir: &Path, only: Option<&str>, text: bool) -> ServiceResult<()
         }
     }
     let mut service = ExplainService::new();
-    let mut failures = 0usize;
     println!("threads: {}", whynot_exec::effective_threads());
-    for name in &names {
-        let scenario_dir = dir.join(name);
-        let db = database_from_json(&read_json(&scenario_dir.join("db.json"))?)?;
-        let plan = plan_from_json(&read_json(&scenario_dir.join("plan.json"))?)?;
-        let question = read_json(&scenario_dir.join("question.json"))?;
-        service.catalog_mut().register_database(name.clone(), db);
-        service.catalog_mut().register_plan(name.clone(), plan);
-        let mut doc = match question {
-            Json::Object(fields) => fields,
-            _ => return Err(ServiceError::decode("question.json must be an object")),
-        };
-        doc.push(("db".into(), Json::str(name.clone())));
-        doc.push(("plan".into(), Json::str(name.clone())));
-        let request = ExplainRequest::from_json(&Json::Object(doc))?;
-        match service.explain(&request) {
-            Ok(response) => {
-                println!(
-                    "{name:<6} {} explanation(s), {} SA(s), cache_hit={}, {:.1} ms",
-                    response.report.explanations.len(),
-                    response.stats.schema_alternatives,
-                    response.stats.trace_cache_hit,
-                    response.stats.duration.as_secs_f64() * 1e3,
-                );
-                if text {
-                    print!("{}", response.report.render_text());
+    let (failures, profile) = run_profiled(flags, || {
+        let mut failures = 0usize;
+        for name in &names {
+            let scenario_dir = dir.join(name);
+            let db = database_from_json(&read_json(&scenario_dir.join("db.json"))?)?;
+            let plan = plan_from_json(&read_json(&scenario_dir.join("plan.json"))?)?;
+            let question = read_json(&scenario_dir.join("question.json"))?;
+            service.catalog_mut().register_database(name.clone(), db);
+            service.catalog_mut().register_plan(name.clone(), plan);
+            let mut doc = match question {
+                Json::Object(fields) => fields,
+                _ => return Err(ServiceError::decode("question.json must be an object")),
+            };
+            doc.push(("db".into(), Json::str(name.clone())));
+            doc.push(("plan".into(), Json::str(name.clone())));
+            let request = ExplainRequest::from_json(&Json::Object(doc))?;
+            match service.explain(&request) {
+                Ok(response) => {
+                    println!(
+                        "{name:<6} {} explanation(s), {} SA(s), cache_hit={}, {:.1} ms",
+                        response.report.explanations.len(),
+                        response.stats.schema_alternatives,
+                        response.stats.trace_cache_hit,
+                        response.stats.duration.as_secs_f64() * 1e3,
+                    );
+                    if text {
+                        print!("{}", response.report.render_text());
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{name:<6} FAILED: {e}");
                 }
             }
-            Err(e) => {
-                failures += 1;
-                println!("{name:<6} FAILED: {e}");
-            }
         }
-    }
+        Ok(failures)
+    })?;
+    emit_profile(flags, profile.as_ref())?;
     if failures > 0 {
         return Err(ServiceError::decode(format!("{failures} scenario(s) failed")));
     }

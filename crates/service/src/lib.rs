@@ -23,6 +23,8 @@
 //!   catalog-addressed payloads, per-request cache statistics.
 //! * [`report`] — the wire-level explanation report with a human-readable
 //!   rendering.
+//! * [`stats`] — cumulative service metrics (the `stats` wire op) and the
+//!   wire codec for `whynot-obs` profile reports.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +35,7 @@ pub mod error;
 pub mod json;
 pub mod report;
 pub mod service;
+pub mod stats;
 pub mod wire;
 
 pub use cache::{CacheStats, TraceCache, TraceKey};
@@ -41,3 +44,4 @@ pub use error::{ServiceError, ServiceResult};
 pub use json::{Json, JsonError};
 pub use report::ExplanationReport;
 pub use service::{DbRef, ExplainRequest, ExplainResponse, ExplainService, PlanRef, RequestStats};
+pub use stats::{profile_report_from_json, profile_report_to_json, ServiceStats};

@@ -17,6 +17,7 @@ use crate::catalog::{fingerprint64, plan_fingerprint, Catalog};
 use crate::error::{ServiceError, ServiceResult};
 use crate::json::Json;
 use crate::report::ExplanationReport;
+use crate::stats::{self, ServiceStats};
 use crate::wire::{
     alternative_from_json, database_from_json, database_to_json, nip_from_json, plan_from_json,
 };
@@ -241,9 +242,31 @@ impl ExplainService {
         }
     }
 
+    /// Cumulative service metrics: process-wide request counters and latency
+    /// histogram around this instance's trace-cache counters (the `stats`
+    /// wire response).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::gather(self.cache.stats())
+    }
+
     /// Answers one why-not question.
     pub fn explain(&self, request: &ExplainRequest) -> ServiceResult<ExplainResponse> {
         let start = Instant::now();
+        let _span = whynot_obs::span("request");
+        let result = self.explain_inner(request, start);
+        stats::REQUESTS.add(1);
+        stats::REQUEST_LATENCY.record(start.elapsed().as_nanos() as u64);
+        if result.is_err() {
+            stats::REQUEST_ERRORS.add(1);
+        }
+        result
+    }
+
+    fn explain_inner(
+        &self,
+        request: &ExplainRequest,
+        start: Instant,
+    ) -> ServiceResult<ExplainResponse> {
         let resolved = self.resolve_db(&request.db)?;
         let (plan, plan_fp) = self.resolve_plan(&request.plan)?;
 
@@ -278,6 +301,9 @@ impl ExplainService {
             original_result_size,
             &mut tracer,
         )?;
+        if whynot_obs::enabled() {
+            whynot_obs::add(if tracer.hit { "cache.hit" } else { "cache.miss" }, 1);
+        }
 
         Ok(ExplainResponse {
             stats: RequestStats {
@@ -304,7 +330,62 @@ impl ExplainService {
         &self,
         requests: &[ExplainRequest],
     ) -> Vec<ServiceResult<ExplainResponse>> {
+        stats::BATCHES.add(1);
+        stats::BATCH_REQUESTS.add(requests.len() as u64);
+        let _span = whynot_obs::span("batch");
+        whynot_obs::add("batch.requests", requests.len() as u64);
         whynot_exec::par_map(requests, |request| self.explain(request))
+    }
+
+    /// Answers one wire document, dispatching on its `op` field.
+    ///
+    /// * `"explain"` (also the default when `op` is absent — the historical
+    ///   request form): the rest of the document is an [`ExplainRequest`],
+    ///   the response is [`ExplainResponse::to_json`].
+    /// * `"batch"`: `{"op": "batch", "requests": [...]}` answers the requests
+    ///   concurrently and returns `{"responses": [...]}` with per-item
+    ///   `{"error": ...}` entries for requests that fail to decode or answer.
+    /// * `"stats"`: returns the cumulative [`ServiceStats`].
+    pub fn handle_wire(&self, doc: &Json) -> ServiceResult<Json> {
+        match doc.get("op") {
+            None | Some(Json::Null) => {
+                self.explain(&ExplainRequest::from_json(doc)?).map(|r| r.to_json())
+            }
+            Some(Json::Str(op)) if op == "explain" => {
+                self.explain(&ExplainRequest::from_json(doc)?).map(|r| r.to_json())
+            }
+            Some(Json::Str(op)) if op == "stats" => Ok(self.stats().to_json()),
+            Some(Json::Str(op)) if op == "batch" => {
+                let requests = doc
+                    .get_required("requests")
+                    .map_err(|e| ServiceError::decode(e.to_string()))?
+                    .as_array()
+                    .ok_or_else(|| ServiceError::decode("`requests` must be an array"))?;
+                let decoded: Vec<ServiceResult<ExplainRequest>> =
+                    requests.iter().map(ExplainRequest::from_json).collect();
+                let ok: Vec<ExplainRequest> =
+                    decoded.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+                let mut responses = self.explain_batch(&ok).into_iter();
+                let items: Vec<Json> = decoded
+                    .iter()
+                    .map(|request| {
+                        match request.as_ref().map_err(|e| e.to_string()).and_then(|_| {
+                            responses
+                                .next()
+                                .expect("one response per decoded request")
+                                .map_err(|e| e.to_string())
+                        }) {
+                            Ok(response) => response.to_json(),
+                            Err(message) => Json::object([("error", Json::str(message))]),
+                        }
+                    })
+                    .collect();
+                Ok(Json::object([("responses", Json::Array(items))]))
+            }
+            Some(other) => Err(ServiceError::decode(format!(
+                "`op` must be \"explain\", \"batch\", or \"stats\", found {other}"
+            ))),
+        }
     }
 }
 
@@ -494,6 +575,35 @@ mod tests {
         assert!(responses[0].is_ok());
         assert!(matches!(responses[1], Err(ServiceError::WhyNot(_))));
         assert!(matches!(responses[2], Err(ServiceError::UnknownCatalogEntry(_))));
+    }
+
+    #[test]
+    fn wire_stats_op_reports_cache_counters() {
+        let service = service();
+        let request = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        );
+        service.explain(&request).unwrap();
+        service.explain(&request).unwrap();
+        let doc = service.handle_wire(&Json::parse(r#"{"op": "stats"}"#).unwrap()).unwrap();
+        let cache = doc.get("trace_cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(1));
+        // Process-wide counters move monotonically; this instance answered 2.
+        assert!(
+            doc.get("requests").unwrap().get("total").and_then(Json::as_i64).unwrap() >= 2,
+            "{doc}"
+        );
+        assert!(doc.get("pool").is_some());
+    }
+
+    #[test]
+    fn unknown_wire_ops_are_rejected() {
+        let service = service();
+        let err = service.handle_wire(&Json::parse(r#"{"op": "nope"}"#).unwrap());
+        assert!(matches!(err, Err(ServiceError::Decode(_))), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Cumulative service metrics (the `stats` wire op) and the wire codec for
+//! [`ProfileReport`]s.
+//!
+//! The request counters and the latency histogram are process-wide statics
+//! (always-on relaxed atomics, like the pool counters of `whynot-exec`);
+//! the trace-cache counters belong to one [`crate::ExplainService`] instance.
+//! [`ServiceStats`] bundles both with a [`whynot_exec::PoolStats`] snapshot
+//! into the response of the `stats` wire op and the `whynot stats` CLI verb.
+
+use whynot_exec::PoolStats;
+use whynot_obs::{Counter, Histogram, HistogramSnapshot, ProfileReport, SpanReport};
+
+use crate::cache::CacheStats;
+use crate::error::{ServiceError, ServiceResult};
+use crate::json::Json;
+
+/// Why-not requests answered by any service instance in this process.
+pub(crate) static REQUESTS: Counter = Counter::new();
+/// Requests that returned an error.
+pub(crate) static REQUEST_ERRORS: Counter = Counter::new();
+/// Batches answered.
+pub(crate) static BATCHES: Counter = Counter::new();
+/// Requests submitted inside batches.
+pub(crate) static BATCH_REQUESTS: Counter = Counter::new();
+/// Per-request wall-clock latency (nanoseconds).
+pub(crate) static REQUEST_LATENCY: Histogram = Histogram::new();
+
+/// Cumulative service metrics: process-wide request counters and latency
+/// histogram, the trace-cache counters of one service instance, and a
+/// snapshot of the `whynot-exec` pool counters.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Effective thread count for a parallel region started now.
+    pub threads: usize,
+    /// Requests answered (including failures) since process start.
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub request_errors: u64,
+    /// Batches answered.
+    pub batches: u64,
+    /// Requests submitted inside batches.
+    pub batch_requests: u64,
+    /// Per-request latency histogram (nanoseconds).
+    pub latency: HistogramSnapshot,
+    /// Trace-cache counters of the service instance that answered.
+    pub cache: CacheStats,
+    /// Pool counters since process start.
+    pub pool: PoolStats,
+}
+
+impl ServiceStats {
+    /// Gathers the process-wide metrics around the given cache counters.
+    pub fn gather(cache: CacheStats) -> ServiceStats {
+        ServiceStats {
+            threads: whynot_exec::effective_threads(),
+            requests: REQUESTS.get(),
+            request_errors: REQUEST_ERRORS.get(),
+            batches: BATCHES.get(),
+            batch_requests: BATCH_REQUESTS.get(),
+            latency: REQUEST_LATENCY.snapshot(),
+            cache,
+            pool: whynot_exec::pool_stats(),
+        }
+    }
+
+    /// Encodes the `stats` wire response.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("threads", Json::Int(self.threads as i64)),
+            (
+                "requests",
+                Json::object([
+                    ("total", Json::Int(self.requests as i64)),
+                    ("errors", Json::Int(self.request_errors as i64)),
+                    ("batches", Json::Int(self.batches as i64)),
+                    ("batch_requests", Json::Int(self.batch_requests as i64)),
+                    (
+                        "latency_ns",
+                        Json::object([
+                            ("count", Json::Int(self.latency.count as i64)),
+                            ("sum", Json::Int(self.latency.sum as i64)),
+                            ("mean", Json::Float(self.latency.mean())),
+                            ("p50", Json::Int(self.latency.quantile(0.5) as i64)),
+                            ("p95", Json::Int(self.latency.quantile(0.95) as i64)),
+                            ("p99", Json::Int(self.latency.quantile(0.99) as i64)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "trace_cache",
+                Json::object([
+                    ("hits", Json::Int(self.cache.hits as i64)),
+                    ("misses", Json::Int(self.cache.misses as i64)),
+                    ("coalesced", Json::Int(self.cache.coalesced as i64)),
+                    ("entries", Json::Int(self.cache.entries as i64)),
+                    ("evictions", Json::Int(self.cache.evictions as i64)),
+                ]),
+            ),
+            (
+                "pool",
+                Json::object([
+                    ("jobs", Json::Int(self.pool.jobs as i64)),
+                    ("worker_runs", Json::Int(self.pool.worker_runs as i64)),
+                    ("par_regions", Json::Int(self.pool.par_regions as i64)),
+                    ("chunks_claimed", Json::Int(self.pool.chunks_claimed as i64)),
+                    ("chunks_stolen", Json::Int(self.pool.chunks_stolen as i64)),
+                    ("max_queue_depth", Json::Int(self.pool.max_queue_depth as i64)),
+                    ("queue_waits", Json::Int(self.pool.queue_waits as i64)),
+                    ("queue_wait_ns", Json::Int(self.pool.queue_wait_ns as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Encodes a [`ProfileReport`] in the wire style: counters and meta keep
+/// their (deterministic) order as JSON objects, spans nest as on screen.
+pub fn profile_report_to_json(report: &ProfileReport) -> Json {
+    Json::object([
+        ("wall_ns", Json::Int(report.wall_ns as i64)),
+        (
+            "meta",
+            Json::Object(
+                report.meta.iter().map(|(k, v)| (k.clone(), Json::Int(*v as i64))).collect(),
+            ),
+        ),
+        ("root", span_report_to_json(&report.root)),
+    ])
+}
+
+fn span_report_to_json(span: &SpanReport) -> Json {
+    Json::object([
+        ("name", Json::str(span.name.clone())),
+        ("count", Json::Int(span.count as i64)),
+        ("total_ns", Json::Int(span.total_ns as i64)),
+        (
+            "counters",
+            Json::Object(
+                span.counters.iter().map(|(k, v)| (k.clone(), Json::Int(*v as i64))).collect(),
+            ),
+        ),
+        ("children", Json::Array(span.children.iter().map(span_report_to_json).collect())),
+    ])
+}
+
+/// Decodes a [`ProfileReport`] from its wire form (round-trip inverse of
+/// [`profile_report_to_json`]).
+pub fn profile_report_from_json(json: &Json) -> ServiceResult<ProfileReport> {
+    let wall_ns = require_u64(json, "wall_ns")?;
+    let meta = match json.get_required("meta").map_err(|e| ServiceError::decode(e.to_string()))? {
+        Json::Object(fields) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_i64()
+                    .map(|i| (k.clone(), i as u64))
+                    .ok_or_else(|| ServiceError::decode(format!("meta `{k}` must be an integer")))
+            })
+            .collect::<ServiceResult<Vec<_>>>()?,
+        other => {
+            return Err(ServiceError::decode(format!("`meta` must be an object, found {other}")))
+        }
+    };
+    let root = span_report_from_json(
+        json.get_required("root").map_err(|e| ServiceError::decode(e.to_string()))?,
+    )?;
+    Ok(ProfileReport { wall_ns, meta, root })
+}
+
+fn span_report_from_json(json: &Json) -> ServiceResult<SpanReport> {
+    let name = match json.get_required("name").map_err(|e| ServiceError::decode(e.to_string()))? {
+        Json::Str(s) => s.clone(),
+        other => {
+            return Err(ServiceError::decode(format!(
+                "span `name` must be a string, found {other}"
+            )))
+        }
+    };
+    let counters =
+        match json.get_required("counters").map_err(|e| ServiceError::decode(e.to_string()))? {
+            Json::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_i64().map(|i| (k.clone(), i as u64)).ok_or_else(|| {
+                        ServiceError::decode(format!("counter `{k}` must be an integer"))
+                    })
+                })
+                .collect::<ServiceResult<Vec<_>>>()?,
+            other => {
+                return Err(ServiceError::decode(format!(
+                    "`counters` must be an object, found {other}"
+                )))
+            }
+        };
+    let children = match json
+        .get_required("children")
+        .map_err(|e| ServiceError::decode(e.to_string()))?
+    {
+        Json::Array(items) => {
+            items.iter().map(span_report_from_json).collect::<ServiceResult<Vec<_>>>()?
+        }
+        other => {
+            return Err(ServiceError::decode(format!("`children` must be an array, found {other}")))
+        }
+    };
+    Ok(SpanReport {
+        name,
+        count: require_u64(json, "count")?,
+        total_ns: require_u64(json, "total_ns")?,
+        counters,
+        children,
+    })
+}
+
+fn require_u64(json: &Json, field: &str) -> ServiceResult<u64> {
+    json.get_required(field)
+        .map_err(|e| ServiceError::decode(e.to_string()))?
+        .as_i64()
+        .filter(|i| *i >= 0)
+        .map(|i| i as u64)
+        .ok_or_else(|| ServiceError::decode(format!("`{field}` must be a non-negative integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_reports_round_trip_through_the_wire() {
+        let (_, report) = whynot_obs::profile(|| {
+            let _outer = whynot_obs::span("outer");
+            whynot_obs::add("seen", 3);
+            let _inner = whynot_obs::span("inner");
+            whynot_obs::add("rows", 7);
+        });
+        let json = profile_report_to_json(&report);
+        let decoded = profile_report_from_json(&json).unwrap();
+        assert_eq!(decoded.signature(), report.signature());
+        assert_eq!(decoded.wall_ns, report.wall_ns);
+        assert_eq!(profile_report_to_json(&decoded).to_compact(), json.to_compact());
+    }
+
+    #[test]
+    fn service_stats_encode_all_sections() {
+        let stats = ServiceStats::gather(CacheStats::default());
+        let json = stats.to_json();
+        for key in ["threads", "requests", "trace_cache", "pool"] {
+            assert!(json.get(key).is_some(), "missing `{key}`");
+        }
+        let latency = json.get("requests").unwrap().get("latency_ns").unwrap();
+        assert!(latency.get("p99").is_some());
+    }
+}
