@@ -82,7 +82,7 @@ def main():
     assert report["version"] == 1, "unexpected report version"
     groups = {g["name"]: g for g in report["groups"]}
     assert groups, "report has no groups"
-    for name in ("value_layer", "parallel", "columnar", "join", "obs"):
+    for name in ("value_layer", "parallel", "columnar", "join", "obs", "guard"):
         assert name in groups, f"{name} group missing: {sorted(groups)}"
     for group in report["groups"]:
         assert group["cases"], f"group {group['name']} has no cases"
@@ -225,6 +225,46 @@ def main():
         assert not obs_failures, "instrumentation overhead: " + "; ".join(obs_failures)
     elif obs_failures:
         print(f"NOTICE: obs overhead gate skipped on a {cpus}-cpu runner (< 4)")
+
+    # Guard-overhead gate: the `guard` group re-measures the committed
+    # columnar/join workloads with the `whynot-guard` check sites compiled in
+    # but no guard armed (one relaxed atomic load per site — the price every
+    # unlimited request pays). Each `unguarded` case must stay within 5% of
+    # the same workload's case in the columnar/join groups re-measured in the
+    # same CI run; the `guarded` twins (armed, roomy limits) are
+    # informational. Cross-process comparison: enforced on >= 4 CPUs.
+    guard = cases("guard")
+    guard_gate = [
+        ("lineitem_select/unguarded", "columnar", "lineitem_select/columnar"),
+        ("lineitem_trace/unguarded", "columnar", "lineitem_trace/columnar"),
+        ("equi_join/unguarded", "join", "equi_join/hash_columnar"),
+        ("equi_trace/unguarded", "join", "equi_trace/hash"),
+    ]
+    for guard_case, _, _ in guard_gate:
+        assert guard_case in guard, f"guard group lacks {guard_case}: {sorted(guard)}"
+        guarded = guard_case.replace("/unguarded", "/guarded")
+        assert guarded in guard, f"guard group lacks {guarded}: {sorted(guard)}"
+    for pseudo in ("lineitem_trace/guard_checks", "equi_trace/guard_checks"):
+        # The deterministic figures: an armed run actually performed checks.
+        assert pseudo in guard, f"guard group lacks {pseudo}: {sorted(guard)}"
+        assert guard[pseudo]["min_ms"] > 0, pseudo
+    guard_failures = []
+    for guard_case, base_group, base_case in guard_gate:
+        base_ms = cases(base_group)[base_case]["min_ms"]
+        guard_ms = guard[guard_case]["min_ms"]
+        ratio = guard_ms / base_ms if base_ms > 0 else float("inf")
+        print(
+            f"guard/{guard_case}: {guard_ms:.3f} ms vs {base_group}/{base_case} "
+            f"{base_ms:.3f} ms ({ratio:.3f}x)"
+        )
+        if ratio > 1.05:
+            guard_failures.append(
+                f"guard/{guard_case} costs {ratio:.3f}x of {base_case} (> 1.05x)"
+            )
+    if cpus >= 4:
+        assert not guard_failures, "guard overhead: " + "; ".join(guard_failures)
+    elif guard_failures:
+        print(f"NOTICE: guard overhead gate skipped on a {cpus}-cpu runner (< 4)")
 
     # Perf-regression gate: the re-measured value_layer, columnar, and join
     # groups must not be more than 2x slower than the committed baseline.

@@ -33,6 +33,8 @@ pub enum AlgebraError {
     Data(DataError),
     /// Evaluation failed (e.g. a predicate applied to incompatible values).
     Eval(String),
+    /// A resource guard tripped (deadline, budget, or cancellation).
+    Resource(whynot_guard::ResourceError),
 }
 
 impl fmt::Display for AlgebraError {
@@ -51,6 +53,7 @@ impl fmt::Display for AlgebraError {
             }
             AlgebraError::Data(e) => write!(f, "{e}"),
             AlgebraError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            AlgebraError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -60,6 +63,12 @@ impl std::error::Error for AlgebraError {}
 impl From<DataError> for AlgebraError {
     fn from(e: DataError) -> Self {
         AlgebraError::Data(e)
+    }
+}
+
+impl From<whynot_guard::ResourceError> for AlgebraError {
+    fn from(e: whynot_guard::ResourceError) -> Self {
+        AlgebraError::Resource(e)
     }
 }
 

@@ -28,7 +28,10 @@ use crate::schema::output_type;
 /// relation's `Arc`, with no copy.
 pub fn evaluate(plan: &QueryPlan, db: &Database) -> AlgebraResult<Arc<Bag>> {
     let _span = whynot_obs::span("eval");
-    evaluate_node(&plan.root, db)
+    // Chunked hot loops below raise guard trips as panics ([`whynot_guard::
+    // enforce`]); recover them into the ordinary error channel here.
+    whynot_guard::catch_trip(|| evaluate_node(&plan.root, db))
+        .unwrap_or_else(|trip| Err(AlgebraError::Resource(trip)))
 }
 
 /// Evaluates a single plan node over a database.
@@ -47,6 +50,13 @@ pub fn apply_operator(
     inputs: &[Arc<Bag>],
     db: &Database,
 ) -> AlgebraResult<Arc<Bag>> {
+    if whynot_guard::armed() {
+        // Deadline/cancellation check once per operator application, and the
+        // operator's total input rows drawn from the eval-row budget —
+        // deterministic in the plan and data, not the thread count.
+        whynot_guard::checkpoint()?;
+        whynot_guard::consume_eval_rows(inputs.iter().map(|b| b.distinct() as u64).sum())?;
+    }
     if !whynot_obs::enabled() {
         return apply_operator_impl(node, inputs, db);
     }
@@ -149,10 +159,13 @@ pub fn columnar_chunks(rows: usize) -> Vec<Range<usize>> {
 /// to evaluating the predicate on the row's tuple.
 pub fn columnar_mask(cols: &ColumnarBag, predicate: &Expr) -> Vec<bool> {
     let chunks = columnar_chunks(cols.rows());
-    par_map(&chunks, |range| predicate.eval_columnar_mask(cols, range.clone()))
-        .into_iter()
-        .flatten()
-        .collect()
+    par_map(&chunks, |range| {
+        whynot_guard::enforce();
+        predicate.eval_columnar_mask(cols, range.clone())
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn eval_projection(input: &Bag, columns: &[ProjColumn]) -> Bag {
@@ -182,6 +195,7 @@ fn eval_projection_columnar(cols: &ColumnarBag, names: &[Sym], columns: &[ProjCo
     let chunks = columnar_chunks(cols.rows());
     let mults = cols.mults();
     let per_chunk: Vec<Vec<(Value, u64)>> = par_map(&chunks, |range| {
+        whynot_guard::enforce();
         let evaluated: Vec<Vec<Value>> =
             columns.iter().map(|c| c.expr.eval_columnar(cols, range.clone())).collect();
         (0..range.len())

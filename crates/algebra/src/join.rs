@@ -364,9 +364,11 @@ fn hash_matches(
     // list is ascending, independent of thread count.
     let build_span = whynot_obs::span("join.build");
     whynot_obs::add("join.build_rows", right.len() as u64);
+    whynot_guard::faults::fault_point("join_build");
     let right_keys = extract_keys(right, &equi.right_keys);
     let chunks = columnar_chunks(right.len());
     let scattered: Vec<Vec<Vec<usize>>> = par_map(&chunks, |range| {
+        whynot_guard::enforce();
         let mut parts: Vec<Vec<usize>> = vec![Vec::new(); JOIN_PARTITIONS];
         for ri in range.clone() {
             if let Some(key) = &right_keys[ri] {
@@ -400,6 +402,9 @@ fn hash_matches(
     whynot_obs::add("join.probe_rows", left.len() as u64);
     let left_keys = extract_keys(left, &equi.left_keys);
     par_map_range(0..left.len(), |li| {
+        if li & 1023 == 0 {
+            whynot_guard::enforce();
+        }
         let Some(lt) = left.rows[li] else { return Vec::new() };
         let Some(key) = &left_keys[li] else { return Vec::new() };
         let Some(candidates) = buckets[partition_of(key)].get(key) else { return Vec::new() };
@@ -428,6 +433,9 @@ fn nested_loop_matches(
     predicate: &Expr,
 ) -> Vec<Vec<(usize, Tuple)>> {
     par_map_range(0..left.len(), |li| {
+        if li & 1023 == 0 {
+            whynot_guard::enforce();
+        }
         let Some(lt) = left.rows[li] else { return Vec::new() };
         let mut matched = Vec::new();
         for (ri, row) in right.rows.iter().enumerate() {

@@ -1,0 +1,7 @@
+//! Resource-governance overhead microbenches: the `whynot-guard` unguarded
+//! path on the committed `columnar`/`join` workloads, the guarded twins, and
+//! the deterministic per-workload check-count figures.
+
+fn main() {
+    whynot_bench::guard_group();
+}

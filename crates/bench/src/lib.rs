@@ -674,6 +674,114 @@ pub fn obs_group() {
     group.finish();
 }
 
+/// The `guard` microbench group: the runtime cost of the `whynot-guard`
+/// check sites, re-measured on exactly the workloads behind the committed
+/// `columnar` and `join` baselines (the same shared constructors the `obs`
+/// group uses).
+///
+/// Every `unguarded` case runs with no guard armed, so each check site costs
+/// one relaxed atomic load — the price every unlimited production request
+/// pays. CI gates these at ≤ 5% over the corresponding committed baseline
+/// case (`lineitem_select/columnar`, `lineitem_trace/columnar`,
+/// `equi_join/hash_columnar`, `equi_trace/hash`). The `guarded` twins run the
+/// same work under an armed guard with generous limits and are informational:
+/// they bound the cost of `timeout_ms`/`max_trace_tuples` on a request.
+///
+/// Before measuring, the group *asserts* the governance contract in release
+/// mode: a roomy guard is a pure observer (byte-identical results), and a
+/// zero trace budget actually trips the traced workload.
+pub fn guard_group() {
+    use nrab_provenance::trace_plan_generalized;
+
+    let mut group = BenchGroup::new("guard");
+
+    assert!(!whynot_guard::armed(), "no guard may be armed while the unguarded cases run");
+
+    let (db, select_plan, trace_plan, sas) = lineitem_workload();
+    let equi_db = join_db(1500, 1000, 600);
+    let equi_plan = join_plan_for(equi_join_predicate());
+    let (join_trace_db, join_trace_plan, join_sas) = equi_trace_workload();
+
+    // Roomy limits: far above anything these workloads consume, so the
+    // guarded twins measure pure check overhead, never a trip.
+    let roomy = || whynot_guard::Guard::new(Some(300_000), Some(u64::MAX / 2), None);
+
+    // Contract smoke checks (the full matrix lives in the guard/service
+    // tests; this pins the release-build behavior the bench publishes).
+    let plain = trace_plan_generalized(&trace_plan, &db, &sas).expect("trace succeeds");
+    let under_guard = {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("guarded trace succeeds")
+    };
+    assert!(plain == under_guard, "a roomy guard must not change the generalized trace");
+    let tripped = {
+        let guard = whynot_guard::Guard::new(None, Some(0), None);
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&trace_plan, &db, &sas)
+    };
+    assert!(
+        matches!(
+            tripped,
+            Err(nrab_algebra::AlgebraError::Resource(
+                whynot_guard::ResourceError::TraceBudgetExceeded { .. }
+            ))
+        ),
+        "a zero trace budget must trip the traced workload"
+    );
+
+    group.bench("lineitem_select/unguarded", || evaluate(&select_plan, &db).expect("select"));
+    group.bench("lineitem_select/guarded", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        evaluate(&select_plan, &db).expect("select")
+    });
+    group.bench("lineitem_trace/unguarded", || {
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("trace")
+    });
+    group.bench("lineitem_trace/guarded", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("trace")
+    });
+    group.bench("equi_join/unguarded", || evaluate(&equi_plan, &equi_db).expect("join"));
+    group.bench("equi_join/guarded", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        evaluate(&equi_plan, &equi_db).expect("join")
+    });
+    group.bench("equi_trace/unguarded", || {
+        trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
+    });
+    group.bench("equi_trace/guarded", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
+    });
+
+    // Deterministic governance figures: how many cooperative checks one
+    // guarded run of each traced workload performs (identical at every
+    // thread count, like the obs signature figures).
+    fn record_checks(group: &mut BenchGroup, case: &str, run: impl FnOnce()) {
+        let before = whynot_guard::guard_stats().checks;
+        run();
+        let checks = (whynot_guard::guard_stats().checks - before) as f64;
+        group.record(format!("{case}/guard_checks"), checks, checks, checks);
+    }
+    record_checks(&mut group, "lineitem_trace", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("trace");
+    });
+    record_checks(&mut group, "equi_trace", || {
+        let guard = roomy();
+        let _armed = whynot_guard::arm(&guard);
+        trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace");
+    });
+
+    group.finish();
+}
+
 /// One row of the Table 7 summary.
 #[derive(Debug, Clone)]
 pub struct Table7Row {

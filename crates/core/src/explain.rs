@@ -190,13 +190,21 @@ impl WhyNotEngine {
         let plan = &question.plan;
         let db = &question.db;
 
+        // An engine-stage boundary is the coarsest checkpoint granularity:
+        // one deadline/cancellation check between the steps below, so a
+        // tripped request stops before starting the next expensive stage.
+        let stage_checkpoint =
+            || whynot_guard::checkpoint().map_err(nrab_algebra::AlgebraError::from);
+
         // Step 1: schema backtracing.
+        stage_checkpoint()?;
         let backtrace = {
             let _span = whynot_obs::span("backtrace");
             schema_backtrace(plan, db, &question.why_not)?
         };
 
         // Step 2: schema alternatives.
+        stage_checkpoint()?;
         let alternatives =
             if self.config.use_schema_alternatives { attribute_alternatives } else { &[] };
         let sas = {
@@ -217,13 +225,16 @@ impl WhyNotEngine {
         // comes from the provider, the consistency annotation is per-question.
         // (`trace_plan_generalized` and `annotate_consistency` open their own
         // spans; the provider span also covers cache lookups.)
+        stage_checkpoint()?;
         let base = {
             let _span = whynot_obs::span("trace_provider");
             tracer.generalized_trace(plan, db, &sas)?
         };
+        stage_checkpoint()?;
         let trace = annotate_consistency(&base, plan, &sas);
 
         // Step 4: approximate MSRs, side-effect bounds, ranking.
+        stage_checkpoint()?;
         let _rank_span = whynot_obs::span("rank");
         let candidates = approximate_msrs(plan, &trace, &sas);
         whynot_obs::add("candidates", candidates.len() as u64);

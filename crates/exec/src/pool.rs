@@ -159,8 +159,14 @@ impl Pool {
                 // decrement below.
                 let run = unsafe { &*entry.run };
                 // The closure catches chunk panics itself; this is a second
-                // line of defense so a worker thread never dies.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                // line of defense so a worker thread never dies. The fault
+                // point lives *inside* it so an injected worker panic takes
+                // the same recovery path as a real one (`active` still
+                // decrements; the submitter picks up the worker's chunks).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    whynot_guard::faults::fault_point("pool_worker");
+                    run();
+                }));
                 let mut state = entry.status.state.lock().expect("job status poisoned");
                 state.active -= 1;
                 entry.status.cv.notify_all();
@@ -212,6 +218,13 @@ impl Pool {
             }
         });
         self.finish_scope(&status);
+    }
+
+    /// Current number of queued (not yet popped or withdrawn) job entries.
+    /// A healthy idle pool reports zero — the stats suite pins this so a
+    /// propagated worker panic can never leak a stuck queue depth.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.lock().expect("pool queue poisoned").len()
     }
 
     /// Closes a job: withdraws un-popped queue entries and waits for active

@@ -41,6 +41,10 @@ pub struct PoolStats {
     pub chunks_stolen: u64,
     /// High-water mark of the job queue length at submission time.
     pub max_queue_depth: u64,
+    /// Queue entries pending *right now* (a gauge, not cumulative). Zero on
+    /// an idle pool — even after worker panics, since `run_scoped` withdraws
+    /// every entry of its job before returning.
+    pub queue_depth: u64,
     /// Queue-wait observations (profiling-enabled periods only).
     pub queue_waits: u64,
     /// Total queue-wait nanoseconds over those observations.
@@ -58,6 +62,7 @@ impl PoolStats {
             chunks_claimed: self.chunks_claimed.saturating_sub(earlier.chunks_claimed),
             chunks_stolen: self.chunks_stolen.saturating_sub(earlier.chunks_stolen),
             max_queue_depth: self.max_queue_depth,
+            queue_depth: self.queue_depth,
             queue_waits: self.queue_waits.saturating_sub(earlier.queue_waits),
             queue_wait_ns: self.queue_wait_ns.saturating_sub(earlier.queue_wait_ns),
         }
@@ -74,6 +79,7 @@ pub fn pool_stats() -> PoolStats {
         chunks_claimed: CHUNKS_CLAIMED.get(),
         chunks_stolen: CHUNKS_STOLEN.get(),
         max_queue_depth: MAX_QUEUE_DEPTH.get(),
+        queue_depth: crate::pool::Pool::global().queue_len() as u64,
         queue_waits: queue_wait.count,
         queue_wait_ns: queue_wait.sum,
     }

@@ -1,0 +1,81 @@
+//! Pool survival under worker panics, stressed two ways: panics *injected
+//! into the worker loop itself* (before the job closure runs, via the
+//! `pool_worker` fault site) and panics propagated out of job closures. In
+//! both regimes the pool must keep answering follow-up jobs correctly and
+//! must never leak a stuck queue entry (`queue_depth` returns to zero).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use whynot_exec::{par_map, pool_stats, with_threads};
+
+/// Fault injection and the queue-depth gauge are process-global; the tests in
+/// this file serialize on this lock so one test's chaos never shows up in
+/// another's assertions.
+static STRESS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A mapped item heavy enough that pool workers actually wake up and
+/// participate (a trivial closure finishes on the submitting thread before
+/// any worker pops its queue entry, and the fault site would stay cold).
+fn weigh(x: u64) -> u64 {
+    let mut acc = x;
+    for k in 0..5_000u64 {
+        acc = acc.wrapping_add(std::hint::black_box(k ^ acc));
+    }
+    std::hint::black_box(acc);
+    x * 7 + 1
+}
+
+#[test]
+fn pool_survives_injected_worker_panics() {
+    let _serial = STRESS_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let items: Vec<u64> = (0..300).collect();
+    let expected: Vec<u64> = items.iter().map(|&x| x * 7 + 1).collect();
+
+    // Every second worker run dies before it even touches the job closure;
+    // the submitting thread (and surviving workers) pick up the chunks.
+    whynot_guard::faults::configure(Some("pool_worker=panic%2:42")).unwrap();
+    let injected_before = whynot_guard::faults::injected();
+    for round in 0..20 {
+        let got = with_threads(4, || par_map(&items, |&x| weigh(x)));
+        assert_eq!(got, expected, "round {round}");
+    }
+    let injected = whynot_guard::faults::injected() - injected_before;
+    whynot_guard::faults::configure(None).unwrap();
+
+    assert!(injected > 0, "the fault plan never fired — the stress was a no-op");
+    assert_eq!(pool_stats().queue_depth, 0, "idle pool must report an empty queue");
+
+    // And the pool still schedules clean work correctly with faults gone.
+    let got = with_threads(4, || par_map(&items, |&x| weigh(x)));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn propagated_job_panics_leave_no_stuck_queue_entries() {
+    let _serial = STRESS_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let items: Vec<usize> = (0..200).collect();
+    let expected: Vec<usize> = items.iter().map(|i| i + 1).collect();
+
+    for round in 0..30 {
+        // A job whose closure panics at a round-dependent item: the panic
+        // must reach the caller (not a worker), and the scope must withdraw
+        // every queue entry on the way out.
+        let bomb = (round * 13) % items.len();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                par_map(&items, |&i| {
+                    if i == bomb {
+                        panic!("pool-stress-panic at {i}");
+                    }
+                    i + 1
+                })
+            })
+        }));
+        assert!(result.is_err(), "round {round}: the job panic must propagate");
+        // Interleave a healthy job so a leaked entry would surface quickly.
+        let got = with_threads(4, || par_map(&items, |&i| i + 1));
+        assert_eq!(got, expected, "round {round}");
+    }
+    assert_eq!(pool_stats().queue_depth, 0, "idle pool must report an empty queue");
+}

@@ -79,7 +79,10 @@ pub fn trace_plan_generalized(
     let _span = whynot_obs::span("trace_plan");
     let mut tracer =
         Tracer { db, sas, next_id: 1, traces: BTreeMap::new(), columnar: BTreeMap::new() };
-    tracer.trace_node(&plan.root)?;
+    // Chunked loops below (and the join core underneath) raise guard trips
+    // as panics; recover them into the error channel at the layer boundary.
+    whynot_guard::catch_trip(|| tracer.trace_node(&plan.root))
+        .unwrap_or_else(|trip| Err(AlgebraError::Resource(trip)))?;
     if whynot_obs::enabled() {
         whynot_obs::add(
             "trace.total_tuples",
@@ -252,6 +255,11 @@ impl<'a> Tracer<'a> {
             // aggregation, and dedup are structural 1:1 operators.
             _ => self.trace_structural(node)?,
         };
+        // Traced tuples are the paper's worst-case growth term; draw each
+        // operator's count from the request's trace-tuple budget. Serial
+        // post-order recursion, so consumption order is deterministic.
+        whynot_guard::consume_trace_tuples(trace.tuples.len() as u64)
+            .map_err(AlgebraError::from)?;
         if whynot_obs::enabled() {
             whynot_obs::add("trace.tuples", trace.tuples.len() as u64);
             let (mut valid, mut retained) = (0u64, 0u64);
@@ -505,6 +513,8 @@ impl<'a> Tracer<'a> {
         // the serial nested loop.
         let per_sa: Vec<JoinMatches> = par_map_range(0..self.n_sas(), |sa| {
             let _span = whynot_obs::span_dyn(|| format!("sa#{sa}"));
+            whynot_guard::faults::fault_point_dyn("trace_sa", || sa.to_string());
+            whynot_guard::enforce();
             let left_rows: Vec<Option<&Tuple>> = left_trace
                 .tuples
                 .iter()

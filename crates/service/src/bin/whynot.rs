@@ -1,8 +1,8 @@
 //! `whynot` — the explanation-service CLI.
 //!
 //! ```text
-//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--profile] [--profile-out FILE]
-//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--profile] [--profile-out FILE]
+//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
+//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
 //! whynot stats [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N]
 //! whynot scenarios list
 //! whynot scenarios export <dir>
@@ -21,6 +21,12 @@
 //! count; only the per-question `stats` (timing, and which of several
 //! same-key questions happened to compute the shared trace) may differ
 //! under concurrency.
+//!
+//! `--timeout-ms MS` and `--max-trace-tuples N` attach a per-request resource
+//! guard (see `whynot-guard`): a question that exceeds its deadline or trace
+//! budget fails with a structured resource error instead of running away;
+//! in `batch` each question is guarded independently and the rest of the
+//! batch is unaffected.
 //!
 //! `--profile` runs the command under a `whynot-obs` profiling session and
 //! prints the per-operator span tree (plus the effective thread count and
@@ -65,8 +71,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "whynot — why-not explanations over nested data
 
 USAGE:
-    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--profile] [--profile-out FILE]
-    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--profile] [--profile-out FILE]
+    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
+    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
     whynot stats [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N]
     whynot scenarios list
     whynot scenarios export <dir>
@@ -76,6 +82,9 @@ The question file holds {\"why_not\": ..., \"alternatives\": [...]} and may
 optionally inline \"db\" and \"plan\" (then the flags may be omitted).
 --threads N overrides WHYNOT_THREADS (1 = serial); reports are identical
 for any thread count (only per-question timing/cache-hit stats may differ).
+--timeout-ms MS / --max-trace-tuples N guard each request with a deadline /
+trace-tuple budget; a tripped request fails with a structured resource
+error (in `batch`, without affecting the other questions).
 --profile prints a span tree + pool stats to stderr (--profile-out FILE
 writes it as JSON); span counts/structure are thread-count independent.
 `stats` prints cumulative service metrics, optionally after answering a
@@ -134,6 +143,32 @@ impl Flags {
             whynot_exec::set_threads(n);
         }
         Ok(())
+    }
+
+    /// Parses `--timeout-ms` / `--max-trace-tuples` into per-request guard
+    /// limits. Zero is admitted (the request trips at its first check).
+    fn guard_limits(&self) -> ServiceResult<(Option<u64>, Option<u64>)> {
+        let parse = |name: &str| -> ServiceResult<Option<u64>> {
+            self.value(name)
+                .map(|v| {
+                    v.parse::<u64>().map_err(|_| {
+                        ServiceError::decode(format!("--{name} needs a non-negative integer"))
+                    })
+                })
+                .transpose()
+        };
+        Ok((parse("timeout-ms")?, parse("max-trace-tuples")?))
+    }
+}
+
+/// Applies the CLI guard limits to a decoded request, keeping any limits the
+/// question document itself carries unless the flag overrides them.
+fn apply_guard_limits(request: &mut ExplainRequest, limits: (Option<u64>, Option<u64>)) {
+    if let Some(ms) = limits.0 {
+        request.timeout_ms = Some(ms);
+    }
+    if let Some(tuples) = limits.1 {
+        request.max_trace_tuples = Some(tuples);
     }
 }
 
@@ -245,18 +280,23 @@ fn print_json(json: &Json, compact: bool) {
 }
 
 fn cmd_explain(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "question", "threads", "profile-out"])?;
+    let flags = Flags::parse(
+        args,
+        &["db", "plan", "question", "threads", "timeout-ms", "max-trace-tuples", "profile-out"],
+    )?;
     flags.apply_threads()?;
+    let limits = flags.guard_limits()?;
     let question_path = flags
         .value("question")
         .ok_or_else(|| ServiceError::decode("--question <q.json> is required"))?;
     let mut service = ExplainService::new();
-    let request = request_from_question(
+    let mut request = request_from_question(
         &mut service,
         &read_json(Path::new(question_path))?,
         flags.value("db"),
         flags.value("plan"),
     )?;
+    apply_guard_limits(&mut request, limits);
     let (response, profile) = run_profiled(&flags, || service.explain(&request))?;
     if flags.switch("text") {
         print!("{}", response.report.render_text());
@@ -267,8 +307,12 @@ fn cmd_explain(args: &[String]) -> ServiceResult<()> {
 }
 
 fn cmd_batch(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "questions", "threads", "profile-out"])?;
+    let flags = Flags::parse(
+        args,
+        &["db", "plan", "questions", "threads", "timeout-ms", "max-trace-tuples", "profile-out"],
+    )?;
     flags.apply_threads()?;
+    let limits = flags.guard_limits()?;
     let batch_path = flags
         .value("questions")
         .ok_or_else(|| ServiceError::decode("--questions <batch.json> is required"))?;
@@ -281,7 +325,14 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
     // error entry, it does not abort the rest of the batch.
     let requests: Vec<ServiceResult<_>> = questions
         .iter()
-        .map(|q| request_from_question(&mut service, q, flags.value("db"), flags.value("plan")))
+        .map(|q| {
+            request_from_question(&mut service, q, flags.value("db"), flags.value("plan")).map(
+                |mut request| {
+                    apply_guard_limits(&mut request, limits);
+                    request
+                },
+            )
+        })
         .collect();
     // Decoded questions run concurrently through the service (same-key
     // questions still compute one shared trace); responses are merged back

@@ -45,18 +45,32 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Entries currently cached.
     pub entries: usize,
-    /// Entries evicted because the cache was full.
+    /// Entries evicted because the cache was full (by count or by weight).
     pub evictions: u64,
+    /// Total weight (traced tuples) of the cached entries.
+    pub weight: u64,
+    /// The cache's weight capacity.
+    pub weight_capacity: u64,
+}
+
+/// One cached trace with its precomputed weight (traced tuples), so eviction
+/// accounting never re-walks the trace.
+#[derive(Debug)]
+struct CachedTrace {
+    trace: Arc<GeneralizedTrace>,
+    weight: u64,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<TraceKey, Arc<GeneralizedTrace>>,
+    map: HashMap<TraceKey, CachedTrace>,
     /// Keys in least-recently-used order (front = coldest).
     order: VecDeque<TraceKey>,
     /// Keys currently being computed by some thread. Concurrent requests for
     /// an in-flight key wait on `inflight_cv` instead of recomputing.
     inflight: HashSet<TraceKey>,
+    /// Sum of the cached entries' weights.
+    total_weight: u64,
     hits: u64,
     misses: u64,
     coalesced: u64,
@@ -77,15 +91,27 @@ impl CacheInner {
 /// computes the trace and the other waits for it — the expensive generalized
 /// evaluation runs **once per key**, which the concurrent-batch stress tests
 /// pin down.
+///
+/// The cache is bounded two ways: by entry count *and* by total weight
+/// (traced tuples, [`GeneralizedTrace::tuple_count`]). Trace sizes span
+/// orders of magnitude — the paper's worst cases grow with data size and
+/// alternative count — so an entry-count bound alone would let a handful of
+/// giant traces occupy unbounded memory. Whichever bound is exceeded evicts
+/// from the cold end; the most recently inserted entry is never evicted, so
+/// even an over-weight giant stays cached until something newer lands.
 #[derive(Debug)]
 pub struct TraceCache {
     inner: Mutex<CacheInner>,
     inflight_cv: Condvar,
     capacity: usize,
+    weight_capacity: u64,
 }
 
 /// Default number of cached traces.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Default weight capacity: total traced tuples across all cached entries.
+pub const DEFAULT_CACHE_WEIGHT_CAPACITY: u64 = 4_000_000;
 
 impl Default for TraceCache {
     fn default() -> Self {
@@ -94,12 +120,19 @@ impl Default for TraceCache {
 }
 
 impl TraceCache {
-    /// Creates a cache holding at most `capacity` traces (minimum 1).
+    /// Creates a cache holding at most `capacity` traces (minimum 1) with the
+    /// default weight capacity.
     pub fn new(capacity: usize) -> Self {
+        TraceCache::with_weight_capacity(capacity, DEFAULT_CACHE_WEIGHT_CAPACITY)
+    }
+
+    /// Creates a cache bounded by both entry count and total trace weight.
+    pub fn with_weight_capacity(capacity: usize, weight_capacity: u64) -> Self {
         TraceCache {
             inner: Mutex::new(CacheInner::default()),
             inflight_cv: Condvar::new(),
             capacity: capacity.max(1),
+            weight_capacity,
         }
     }
 
@@ -118,7 +151,8 @@ impl TraceCache {
             let mut inner = self.inner.lock().expect("trace cache poisoned");
             let mut waited = false;
             loop {
-                if let Some(trace) = inner.map.get(&key).cloned() {
+                if let Some(cached) = inner.map.get(&key) {
+                    let trace = Arc::clone(&cached.trace);
                     inner.hits += 1;
                     inner.touch(&key);
                     return Ok((trace, true));
@@ -147,16 +181,26 @@ impl TraceCache {
         let guard = InflightGuard { cache: self, key: &key };
         let trace = Arc::new(compute()?);
 
+        let weight = trace.tuple_count() as u64;
+
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.misses += 1;
         // The in-flight marker guarantees the key is absent from both the
         // map and the LRU order here, so a plain append is already the
         // most-recently-used position.
-        inner.map.insert(key.clone(), Arc::clone(&trace));
+        inner.map.insert(key.clone(), CachedTrace { trace: Arc::clone(&trace), weight });
         inner.order.push_back(key.clone());
-        while inner.map.len() > self.capacity {
+        inner.total_weight += weight;
+        // Evict from the cold end while either bound is exceeded, but never
+        // the entry just inserted — an over-weight giant trace still gets
+        // cached (it just stands alone).
+        while (inner.map.len() > self.capacity || inner.total_weight > self.weight_capacity)
+            && inner.map.len() > 1
+        {
             if let Some(coldest) = inner.order.pop_front() {
-                inner.map.remove(&coldest);
+                if let Some(evicted) = inner.map.remove(&coldest) {
+                    inner.total_weight -= evicted.weight;
+                }
                 inner.evictions += 1;
             }
         }
@@ -174,6 +218,8 @@ impl TraceCache {
             coalesced: inner.coalesced,
             entries: inner.map.len(),
             evictions: inner.evictions,
+            weight: inner.total_weight,
+            weight_capacity: self.weight_capacity,
         }
     }
 
@@ -182,6 +228,7 @@ impl TraceCache {
         let mut inner = self.inner.lock().expect("trace cache poisoned");
         inner.map.clear();
         inner.order.clear();
+        inner.total_weight = 0;
     }
 }
 
@@ -344,11 +391,47 @@ mod tests {
     }
 
     #[test]
+    fn weight_capacity_evicts_before_entry_capacity() {
+        let (plan, db, sas) = tiny_setup();
+        // Each tiny trace weighs 1 tuple; entry capacity is generous but the
+        // weight capacity only fits two traces.
+        let cache = TraceCache::with_weight_capacity(16, 2);
+        for n in 1..=3 {
+            cache.get_or_compute(key(n), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.weight, 2);
+        assert_eq!(stats.weight_capacity, 2);
+        // The coldest entry (key 1) was the one evicted.
+        let (_, hit) =
+            cache.get_or_compute(key(1), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn over_weight_entries_still_cache_alone() {
+        let (plan, db, sas) = tiny_setup();
+        // Weight capacity 0: every trace is over-weight on its own, yet the
+        // newest one is always kept (never evict the just-inserted entry).
+        let cache = TraceCache::with_weight_capacity(16, 0);
+        cache.get_or_compute(key(1), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        let (_, hit) = cache.get_or_compute(key(1), || panic!("must be cached")).unwrap();
+        assert!(hit);
+        cache.get_or_compute(key(2), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "the older over-weight entry was evicted");
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
     fn clear_drops_entries() {
         let (plan, db, sas) = tiny_setup();
         let cache = TraceCache::default();
         cache.get_or_compute(key(1), || trace_plan_generalized(&plan, &db, &sas)).unwrap();
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().weight, 0);
     }
 }

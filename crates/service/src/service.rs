@@ -55,6 +55,13 @@ pub struct ExplainRequest {
     pub use_schema_alternatives: bool,
     /// Optional cap on the number of enumerated schema alternatives.
     pub max_schema_alternatives: Option<usize>,
+    /// Optional deadline in milliseconds; the request fails with a
+    /// `deadline` error once exceeded (checked cooperatively, see
+    /// `whynot-guard`). `0` is allowed and trips at the first check.
+    pub timeout_ms: Option<u64>,
+    /// Optional cap on traced tuples across the request's plan operators;
+    /// exceeding it fails the request with a `trace_budget` error.
+    pub max_trace_tuples: Option<u64>,
 }
 
 impl ExplainRequest {
@@ -67,6 +74,8 @@ impl ExplainRequest {
             alternatives: Vec::new(),
             use_schema_alternatives: true,
             max_schema_alternatives: None,
+            timeout_ms: None,
+            max_trace_tuples: None,
         }
     }
 
@@ -76,31 +85,47 @@ impl ExplainRequest {
         self
     }
 
+    /// Sets a deadline in milliseconds.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Sets a trace-tuple budget.
+    pub fn with_max_trace_tuples(mut self, max_trace_tuples: u64) -> Self {
+        self.max_trace_tuples = Some(max_trace_tuples);
+        self
+    }
+
     /// Decodes a request from its wire form.
     ///
     /// `{"db": <name | inline>, "plan": <name | inline>, "why_not": <nip>,
     ///   "alternatives": [...], "engine": "rp" | "rp_no_sa",
-    ///   "max_schema_alternatives": n}`
+    ///   "max_schema_alternatives": n, "timeout_ms": n, "max_trace_tuples": n}`
     pub fn from_json(json: &Json) -> ServiceResult<Self> {
         let db = match json.get_required("db").map_err(|e| ServiceError::decode(e.to_string()))? {
             Json::Str(name) => DbRef::Named(name.clone()),
-            inline => DbRef::Inline(Arc::new(database_from_json(inline)?)),
+            inline => DbRef::Inline(Arc::new(database_from_json(inline).map_err(|e| e.at("db"))?)),
         };
-        let plan =
-            match json.get_required("plan").map_err(|e| ServiceError::decode(e.to_string()))? {
-                Json::Str(name) => PlanRef::Named(name.clone()),
-                inline => PlanRef::Inline(Arc::new(plan_from_json(inline)?)),
-            };
+        let plan = match json
+            .get_required("plan")
+            .map_err(|e| ServiceError::decode(e.to_string()))?
+        {
+            Json::Str(name) => PlanRef::Named(name.clone()),
+            inline => PlanRef::Inline(Arc::new(plan_from_json(inline).map_err(|e| e.at("plan"))?)),
+        };
         let why_not = nip_from_json(
             json.get_required("why_not").map_err(|e| ServiceError::decode(e.to_string()))?,
-        )?;
+        )
+        .map_err(|e| e.at("why_not"))?;
         let alternatives = match json.get("alternatives") {
             None | Some(Json::Null) => Vec::new(),
             Some(list) => list
                 .as_array()
                 .ok_or_else(|| ServiceError::decode("`alternatives` must be an array"))?
                 .iter()
-                .map(alternative_from_json)
+                .enumerate()
+                .map(|(i, alt)| alternative_from_json(alt).map_err(|e| e.at(i).at("alternatives")))
                 .collect::<ServiceResult<Vec<_>>>()?,
         };
         let use_schema_alternatives = match json.get("engine") {
@@ -121,6 +146,20 @@ impl ExplainRequest {
                 )?,
             ),
         };
+        // Limits deliberately admit `0` (trip at the first check) — a valid
+        // way to probe a request's cost without paying it.
+        let limit = |name: &'static str| -> ServiceResult<Option<u64>> {
+            match json.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => Some(v.as_i64().and_then(|i| u64::try_from(i).ok()).ok_or_else(|| {
+                    ServiceError::decode(format!("`{name}` must be a non-negative integer"))
+                        .at(name)
+                }))
+                .transpose(),
+            }
+        };
+        let timeout_ms = limit("timeout_ms")?;
+        let max_trace_tuples = limit("max_trace_tuples")?;
         Ok(ExplainRequest {
             db,
             plan,
@@ -128,6 +167,8 @@ impl ExplainRequest {
             alternatives,
             use_schema_alternatives,
             max_schema_alternatives,
+            timeout_ms,
+            max_trace_tuples,
         })
     }
 }
@@ -249,17 +290,37 @@ impl ExplainService {
         ServiceStats::gather(self.cache.stats())
     }
 
-    /// Answers one why-not question.
+    /// Answers one why-not question, enforcing the request's resource limits
+    /// (`timeout_ms`, `max_trace_tuples`) when it carries any.
     pub fn explain(&self, request: &ExplainRequest) -> ServiceResult<ExplainResponse> {
         let start = Instant::now();
         let _span = whynot_obs::span("request");
-        let result = self.explain_inner(request, start);
+        let result = self.explain_guarded(request, start);
         stats::REQUESTS.add(1);
         stats::REQUEST_LATENCY.record(start.elapsed().as_nanos() as u64);
         if result.is_err() {
             stats::REQUEST_ERRORS.add(1);
         }
         result
+    }
+
+    /// Arms a per-request [`whynot_guard::Guard`] for limited requests;
+    /// unlimited requests skip arming entirely, so they keep the unguarded
+    /// fast path (one relaxed load per check site).
+    fn explain_guarded(
+        &self,
+        request: &ExplainRequest,
+        start: Instant,
+    ) -> ServiceResult<ExplainResponse> {
+        if request.timeout_ms.is_none() && request.max_trace_tuples.is_none() {
+            return self.explain_inner(request, start);
+        }
+        let guard = whynot_guard::Guard::new(request.timeout_ms, request.max_trace_tuples, None);
+        let _armed = whynot_guard::arm(&guard);
+        // The evaluation and trace layers catch their own chunk-loop trips;
+        // this boundary recovers trips raised anywhere else under the guard.
+        whynot_guard::catch_trip(|| self.explain_inner(request, start))
+            .unwrap_or_else(|trip| Err(ServiceError::Resource(trip)))
     }
 
     fn explain_inner(
@@ -324,8 +385,10 @@ impl ExplainService {
     /// sets share one generalized trace even when they run concurrently: the
     /// cache's per-key in-flight deduplication makes the first question pay
     /// for it and the rest wait for (then reuse) that single computation.
-    /// Failures are per-question — one invalid question does not fail the
-    /// batch.
+    /// Failures are per-question — one invalid, over-budget, or even
+    /// *panicking* question does not fail the batch: each request is isolated
+    /// behind `catch_unwind` (inside the fan-out, so a panic never aborts
+    /// sibling chunks) and surfaces as a [`ServiceError::Panic`] entry.
     pub fn explain_batch(
         &self,
         requests: &[ExplainRequest],
@@ -334,7 +397,11 @@ impl ExplainService {
         stats::BATCH_REQUESTS.add(requests.len() as u64);
         let _span = whynot_obs::span("batch");
         whynot_obs::add("batch.requests", requests.len() as u64);
-        whynot_exec::par_map(requests, |request| self.explain(request))
+        whynot_exec::par_map(requests, |request| {
+            let attempt =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.explain(request)));
+            attempt.unwrap_or_else(|payload| Err(ServiceError::Panic(panic_message(payload))))
+        })
     }
 
     /// Answers one wire document, dispatching on its `op` field.
@@ -361,22 +428,24 @@ impl ExplainService {
                     .map_err(|e| ServiceError::decode(e.to_string()))?
                     .as_array()
                     .ok_or_else(|| ServiceError::decode("`requests` must be an array"))?;
-                let decoded: Vec<ServiceResult<ExplainRequest>> =
-                    requests.iter().map(ExplainRequest::from_json).collect();
+                let decoded: Vec<ServiceResult<ExplainRequest>> = requests
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| ExplainRequest::from_json(r).map_err(|e| e.at(i).at("requests")))
+                    .collect();
                 let ok: Vec<ExplainRequest> =
                     decoded.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
                 let mut responses = self.explain_batch(&ok).into_iter();
                 let items: Vec<Json> = decoded
                     .iter()
                     .map(|request| {
-                        match request.as_ref().map_err(|e| e.to_string()).and_then(|_| {
-                            responses
-                                .next()
-                                .expect("one response per decoded request")
-                                .map_err(|e| e.to_string())
-                        }) {
+                        let outcome = match request {
+                            Err(e) => return Json::object([("error", e.to_wire())]),
+                            Ok(_) => responses.next().expect("one response per decoded request"),
+                        };
+                        match outcome {
                             Ok(response) => response.to_json(),
-                            Err(message) => Json::object([("error", Json::str(message))]),
+                            Err(e) => Json::object([("error", e.to_wire())]),
                         }
                     })
                     .collect();
@@ -413,11 +482,28 @@ impl TraceProvider for CachingTracer<'_> {
             plan_fingerprint: self.plan_fingerprint,
             substitutions: substitution_signature(sas),
         };
-        let (trace, hit) = self
-            .cache
-            .get_or_compute(key, || nrab_provenance::trace_plan_generalized(plan, db, sas))?;
+        let (trace, hit) = self.cache.get_or_compute(key, || {
+            // Robustness tests kill the owning computation right here
+            // (`cache_compute~<db substring>=panic`) to prove the cache's
+            // in-flight handover and never-cache-poisoned guarantees.
+            whynot_guard::faults::fault_point_dyn("cache_compute", || self.db_id.clone());
+            nrab_provenance::trace_plan_generalized(plan, db, sas)
+        })?;
         self.hit = hit;
         Ok(trace)
+    }
+}
+
+/// Renders a caught panic payload for a [`ServiceError::Panic`] entry.
+/// `panic!` with a message produces a `String` or `&str` payload; anything
+/// else is reported opaquely.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(message) => *message,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(message) => (*message).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 

@@ -8,6 +8,7 @@
 //! into the response of the `stats` wire op and the `whynot stats` CLI verb.
 
 use whynot_exec::PoolStats;
+use whynot_guard::GuardStats;
 use whynot_obs::{Counter, Histogram, HistogramSnapshot, ProfileReport, SpanReport};
 
 use crate::cache::CacheStats;
@@ -46,6 +47,8 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Pool counters since process start.
     pub pool: PoolStats,
+    /// Resource-guard counters (checks, trips, injected faults).
+    pub guard: GuardStats,
 }
 
 impl ServiceStats {
@@ -60,6 +63,7 @@ impl ServiceStats {
             latency: REQUEST_LATENCY.snapshot(),
             cache,
             pool: whynot_exec::pool_stats(),
+            guard: whynot_guard::guard_stats(),
         }
     }
 
@@ -95,6 +99,8 @@ impl ServiceStats {
                     ("coalesced", Json::Int(self.cache.coalesced as i64)),
                     ("entries", Json::Int(self.cache.entries as i64)),
                     ("evictions", Json::Int(self.cache.evictions as i64)),
+                    ("weight", Json::Int(self.cache.weight as i64)),
+                    ("weight_capacity", Json::Int(self.cache.weight_capacity as i64)),
                 ]),
             ),
             (
@@ -106,8 +112,20 @@ impl ServiceStats {
                     ("chunks_claimed", Json::Int(self.pool.chunks_claimed as i64)),
                     ("chunks_stolen", Json::Int(self.pool.chunks_stolen as i64)),
                     ("max_queue_depth", Json::Int(self.pool.max_queue_depth as i64)),
+                    ("queue_depth", Json::Int(self.pool.queue_depth as i64)),
                     ("queue_waits", Json::Int(self.pool.queue_waits as i64)),
                     ("queue_wait_ns", Json::Int(self.pool.queue_wait_ns as i64)),
+                ]),
+            ),
+            (
+                "guard",
+                Json::object([
+                    ("checks", Json::Int(self.guard.checks as i64)),
+                    ("deadline_trips", Json::Int(self.guard.deadline_trips as i64)),
+                    ("trace_budget_trips", Json::Int(self.guard.trace_budget_trips as i64)),
+                    ("eval_budget_trips", Json::Int(self.guard.eval_budget_trips as i64)),
+                    ("cancelled_trips", Json::Int(self.guard.cancelled_trips as i64)),
+                    ("faults_injected", Json::Int(self.guard.faults_injected as i64)),
                 ]),
             ),
         ])
@@ -244,7 +262,7 @@ mod tests {
     fn service_stats_encode_all_sections() {
         let stats = ServiceStats::gather(CacheStats::default());
         let json = stats.to_json();
-        for key in ["threads", "requests", "trace_cache", "pool"] {
+        for key in ["threads", "requests", "trace_cache", "pool", "guard"] {
             assert!(json.get(key).is_some(), "missing `{key}`");
         }
         let latency = json.get("requests").unwrap().get("latency_ns").unwrap();

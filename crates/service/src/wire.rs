@@ -92,14 +92,14 @@ pub fn value_from_json(json: &Json) -> ServiceResult<Value> {
         Json::Object(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (name, v) in fields {
-                out.push((intern_wire_name(name)?, value_from_json(v)?));
+                out.push((intern_wire_name(name)?, value_from_json(v).map_err(|e| e.at(name))?));
             }
             Value::tuple(out)
         }
         Json::Array(items) => {
             let mut values = Vec::with_capacity(items.len());
-            for item in items {
-                values.push(value_from_json(item)?);
+            for (i, item) in items.iter().enumerate() {
+                values.push(value_from_json(item).map_err(|e| e.at(i))?);
             }
             Value::from_bag(Bag::from_values(values))
         }
@@ -241,13 +241,14 @@ pub fn nip_from_json(json: &Json) -> ServiceResult<Nip> {
                         .as_str()
                         .ok_or_else(|| ServiceError::decode("$str payload must be a string"))?,
                 )),
-                "$value" => Nip::Value(value_from_json(&fields[0].1)?),
+                "$value" => Nip::Value(value_from_json(&fields[0].1).map_err(|e| e.at("$value"))?),
                 "$cmp" => {
                     let op =
                         nip_cmp_from_symbol(fields[0].1.as_str().ok_or_else(|| {
                             ServiceError::decode("$cmp payload must be a string")
                         })?)?;
-                    let bound = value_from_json(json.get_required("bound")?)?;
+                    let bound =
+                        value_from_json(json.get_required("bound")?).map_err(|e| e.at("bound"))?;
                     Nip::Pred(op, bound)
                 }
                 other => {
@@ -258,14 +259,14 @@ pub fn nip_from_json(json: &Json) -> ServiceResult<Nip> {
         Json::Object(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (name, field) in fields {
-                out.push((intern_wire_name(name)?, nip_from_json(field)?));
+                out.push((intern_wire_name(name)?, nip_from_json(field).map_err(|e| e.at(name))?));
             }
             Nip::Tuple(out)
         }
         Json::Array(items) => {
             let mut out = Vec::with_capacity(items.len());
-            for item in items {
-                out.push(nip_from_json(item)?);
+            for (i, item) in items.iter().enumerate() {
+                out.push(nip_from_json(item).map_err(|e| e.at(i))?);
             }
             Nip::Bag(out)
         }
@@ -733,14 +734,16 @@ fn node_from_json(json: &Json) -> ServiceResult<OpNode> {
         .ok_or_else(|| ServiceError::decode("`id` must be a non-negative integer"))?;
     let op = operator_from_json(
         json.get_required("op").map_err(|e| ServiceError::decode(e.to_string()))?,
-    )?;
+    )
+    .map_err(|e| e.at("op"))?;
     let inputs = match json.get("inputs") {
         None | Some(Json::Null) => Vec::new(),
         Some(inputs) => inputs
             .as_array()
             .ok_or_else(|| ServiceError::decode("`inputs` must be an array"))?
             .iter()
-            .map(node_from_json)
+            .enumerate()
+            .map(|(i, input)| node_from_json(input).map_err(|e| e.at(i).at("inputs")))
             .collect::<ServiceResult<Vec<_>>>()?,
     };
     Ok(OpNode::new(id, op, inputs))
@@ -791,22 +794,29 @@ pub fn database_from_json(json: &Json) -> ServiceResult<Database> {
         .ok_or_else(|| ServiceError::decode("`relations` must be an object"))?;
     let mut db = Database::new();
     for (name, relation) in relations {
+        let located = |e: ServiceError| e.at(name).at("relations");
         let schema = tuple_type_from_json(
             relation.get_required("schema").map_err(|e| ServiceError::decode(e.to_string()))?,
-        )?;
+        )
+        .map_err(|e| located(e.at("schema")))?;
         let rows = relation
             .get_required("rows")
-            .map_err(|e| ServiceError::decode(e.to_string()))?
+            .map_err(|e| ServiceError::decode(e.to_string()))
+            .map_err(located)?
             .as_array()
-            .ok_or_else(|| ServiceError::decode("`rows` must be an array"))?;
+            .ok_or_else(|| located(ServiceError::decode("`rows` must be an array")))?;
         let mut values = Vec::with_capacity(rows.len());
         let expected = NestedType::Tuple(schema.clone());
         for (i, row) in rows.iter().enumerate() {
-            let value = value_from_json(row)?;
+            let value = value_from_json(row).map_err(|e| located(e.at(i).at("rows")))?;
             if !value.conforms_to(&expected) {
-                return Err(ServiceError::decode(format!(
-                    "row {i} of relation `{name}` does not conform to its schema {schema}"
-                )));
+                return Err(located(
+                    ServiceError::decode(format!(
+                        "row does not conform to relation schema {schema}"
+                    ))
+                    .at(i)
+                    .at("rows"),
+                ));
             }
             values.push(value);
         }

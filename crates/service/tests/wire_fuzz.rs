@@ -1,0 +1,145 @@
+//! Seeded malformed-input properties of the wire entry point: whatever bytes
+//! arrive, `handle_wire` must never panic, must answer in bounded time, and
+//! must return either a real answer or a structured error. The inputs are
+//! truncations and byte-level mutations of *valid* wire documents — the
+//! mutations that tend to produce almost-parseable payloads, which stress
+//! decoders far harder than random noise.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use whynot_rng::{Rng, SeedableRng, StdRng};
+use whynot_scenarios::running;
+use whynot_service::json::Json;
+use whynot_service::wire::{database_to_json, nip_to_json, plan_to_json};
+use whynot_service::ExplainService;
+
+/// Valid wire documents to mutate: an inline explain request, a batch, and a
+/// stats query, all against the (tiny) running-example scenario.
+fn base_documents() -> Vec<String> {
+    let scenario = running::running_example();
+    let db = database_to_json(&scenario.db);
+    let plan = plan_to_json(&scenario.plan);
+    let why_not = nip_to_json(&scenario.why_not).unwrap();
+    let explain = Json::object([
+        ("op", Json::str("explain")),
+        ("db", db.clone()),
+        ("plan", plan.clone()),
+        ("why_not", why_not.clone()),
+    ]);
+    let request = Json::object([
+        ("db", db),
+        ("plan", plan),
+        ("why_not", why_not),
+        ("timeout_ms", Json::Int(1_000)),
+    ]);
+    let batch = Json::object([
+        ("op", Json::str("batch")),
+        ("requests", Json::Array(vec![request.clone(), request])),
+    ]);
+    let stats = Json::object([("op", Json::str("stats"))]);
+    vec![explain.to_compact(), batch.to_compact(), stats.to_compact()]
+}
+
+/// One seeded mutation of `text`: a truncation, deletion, insertion, or
+/// byte replacement (biased toward JSON-structural characters, which produce
+/// the nastiest almost-valid payloads).
+fn mutate(rng: &mut StdRng, text: &str) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    let structural = b"{}[]\",:0e.-tfn\\";
+    for _ in 0..rng.gen_range(1..4usize) {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = rng.gen_range(0..bytes.len());
+        match rng.gen_range(0..4u32) {
+            0 => bytes.truncate(pos),
+            1 => {
+                bytes.remove(pos);
+            }
+            2 => {
+                let b = *rng.choose(structural);
+                bytes.insert(pos, b);
+            }
+            _ => {
+                bytes[pos] = *rng.choose(structural);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Per-input ceiling. Generous (debug builds, loaded CI) — this catches
+/// hangs and pathological blowups, not regressions of a few milliseconds.
+const TIME_BOUND: Duration = Duration::from_secs(5);
+
+#[test]
+fn handle_wire_never_panics_on_mutated_documents() {
+    let service = ExplainService::new();
+    let bases = base_documents();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for iteration in 0..600 {
+        let base = &bases[iteration % bases.len()];
+        let mutated = mutate(&mut rng, base);
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // A mutation that still parses must flow through the full
+            // decoder/answer path without panicking; one that does not must
+            // fail as a structured JSON error.
+            match Json::parse(&mutated) {
+                Ok(doc) => service.handle_wire(&doc).map(|_| ()).map_err(|e| e.to_wire()),
+                Err(e) => Err(whynot_service::ServiceError::from(e).to_wire()),
+            }
+        }));
+        let report = outcome.unwrap_or_else(|_| {
+            panic!("iteration {iteration}: handle_wire panicked on: {mutated}")
+        });
+        if let Err(entry) = report {
+            // Every failure is structured: a kind and a message, always.
+            assert!(
+                entry.get("kind").and_then(Json::as_str).is_some()
+                    && entry.get("message").is_some(),
+                "iteration {iteration}: unstructured error for: {mutated}"
+            );
+        }
+        assert!(
+            started.elapsed() < TIME_BOUND,
+            "iteration {iteration}: took {:?} on: {mutated}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_overflowed() {
+    // 20k levels would overflow the recursive-descent parser's stack if the
+    // depth bound ever regressed; MAX_PARSE_DEPTH must reject it as an error.
+    for (open, close) in [("[", "]"), (r#"{"a":"#, "}")] {
+        let deep = format!("{}0{}", open.repeat(20_000), close.repeat(20_000));
+        let started = Instant::now();
+        let result = Json::parse(&deep);
+        let error = result.expect_err("deep nesting must be rejected");
+        assert!(
+            error.to_string().contains(&whynot_service::json::MAX_PARSE_DEPTH.to_string()),
+            "error names the depth bound: {error}"
+        );
+        assert!(started.elapsed() < TIME_BOUND);
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_document_always_fail_cleanly() {
+    // Exhaustive prefix sweep of the explain document: every truncation point
+    // (not just sampled ones) must produce a structured error, never a panic.
+    let service = ExplainService::new();
+    let base = &base_documents()[0];
+    for len in 0..base.len() {
+        let prefix: String = String::from_utf8_lossy(&base.as_bytes()[..len]).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| match Json::parse(&prefix) {
+            Ok(doc) => service.handle_wire(&doc).map(|_| ()).is_ok(),
+            Err(_) => false,
+        }));
+        let ok = outcome.unwrap_or_else(|_| panic!("panicked at truncation length {len}"));
+        assert!(!ok, "a strict prefix (length {len}) cannot be a complete valid document");
+    }
+}
