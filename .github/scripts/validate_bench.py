@@ -5,8 +5,10 @@ Usage: validate_bench.py [REPORT [BASELINE]] [--profile FILE]
 
 REPORT (default BENCH_figures.json) is the freshly measured report.
 BASELINE, when given, is the *committed* report snapshotted before the bench
-run; the perf-regression gate compares the re-measured `value_layer` and
-`columnar` groups against it and fails on a >2x slowdown of any case.
+run; the perf-regression gate compares the re-measured `value_layer`,
+`columnar`, and `join` groups against it and fails on a >2x slowdown of any
+case, and holds the `whynot-loadgen` `service` group to its SLO figures
+(p95 latency <= 2x baseline, throughput >= half of baseline).
 
 --profile FILE, when given, is a profile report exported by
 `whynot ... --profile-out FILE`; it is validated against the ProfileReport
@@ -82,7 +84,7 @@ def main():
     assert report["version"] == 1, "unexpected report version"
     groups = {g["name"]: g for g in report["groups"]}
     assert groups, "report has no groups"
-    for name in ("value_layer", "parallel", "columnar", "join", "obs", "guard"):
+    for name in ("value_layer", "parallel", "columnar", "join", "obs", "guard", "service"):
         assert name in groups, f"{name} group missing: {sorted(groups)}"
     for group in report["groups"]:
         assert group["cases"], f"group {group['name']} has no cases"
@@ -196,6 +198,14 @@ def main():
         assert obs_case in obs, f"obs group lacks {obs_case}: {sorted(obs)}"
         profiled = obs_case.replace("/disabled", "/profiled")
         assert profiled in obs, f"obs group lacks {profiled}: {sorted(obs)}"
+    # The timeline session twin (informational, bounds `--trace-out` cost) and
+    # its deterministic event count: every span opening emits a balanced
+    # begin/end pair, so the count is a positive even number.
+    assert "lineitem_trace/timelined" in obs, f"obs group lacks the timelined case: {sorted(obs)}"
+    timeline_events = obs.get("lineitem_trace/timeline_events")
+    assert timeline_events, f"obs group lacks lineitem_trace/timeline_events: {sorted(obs)}"
+    assert timeline_events["min_ms"] > 0, "timeline session recorded no events"
+    assert timeline_events["min_ms"] % 2 == 0, "timeline events must pair up (begin/end)"
     for pseudo in (
         "lineitem_trace/trace_tuples",
         "lineitem_trace/span_nodes",
@@ -266,10 +276,52 @@ def main():
     elif guard_failures:
         print(f"NOTICE: guard overhead gate skipped on a {cpus}-cpu runner (< 4)")
 
+    # Service load-report gate: the `service` group is produced by
+    # `whynot-loadgen` (seeded replay of scenario questions through
+    # `explain_batch`) and must carry a complete DBLP latency/throughput
+    # report. The percentiles come from real measured requests, so they must
+    # all be non-zero; the rates are plain ratios in [0, 1].
+    service = cases("service")
+    for case in (
+        "dblp/p50_ms",
+        "dblp/p95_ms",
+        "dblp/p99_ms",
+        "dblp/max_ms",
+        "dblp/mean_ms",
+        "dblp/throughput_rps",
+        "dblp/error_rate",
+        "dblp/cache_hit_rate",
+    ):
+        assert case in service, f"service group lacks {case}: {sorted(service)}"
+    for case in ("dblp/p50_ms", "dblp/p95_ms", "dblp/p99_ms", "dblp/throughput_rps"):
+        assert service[case]["min_ms"] > 0, f"service {case} must be non-zero"
+    assert (
+        service["dblp/p50_ms"]["min_ms"]
+        <= service["dblp/p95_ms"]["min_ms"]
+        <= service["dblp/p99_ms"]["min_ms"]
+        <= service["dblp/max_ms"]["min_ms"] + 1e-9
+    ), "service latency percentiles must be monotone"
+    for case in ("dblp/error_rate", "dblp/cache_hit_rate"):
+        assert 0.0 <= service[case]["min_ms"] <= 1.0, f"service {case} must be a ratio"
+    print(
+        "service/dblp: p50 {:.2f} ms, p95 {:.2f} ms, p99 {:.2f} ms, {:.1f} req/s, "
+        "{:.1%} errors, {:.1%} cache hits".format(
+            service["dblp/p50_ms"]["min_ms"],
+            service["dblp/p95_ms"]["min_ms"],
+            service["dblp/p99_ms"]["min_ms"],
+            service["dblp/throughput_rps"]["min_ms"],
+            service["dblp/error_rate"]["min_ms"],
+            service["dblp/cache_hit_rate"]["min_ms"],
+        )
+    )
+
     # Perf-regression gate: the re-measured value_layer, columnar, and join
     # groups must not be more than 2x slower than the committed baseline.
-    # Absolute times only transfer between comparable machines, so the gate
-    # needs a real runner: enforced on >= 4 CPUs, notice otherwise.
+    # The service group joins the gate on its SLO figures: p95 latency may
+    # not exceed 2x the committed baseline, throughput may not fall below
+    # half of it. Absolute times only transfer between comparable machines,
+    # so the gate needs a real runner: enforced on >= 4 CPUs, notice
+    # otherwise.
     if baseline_path:
         baseline = load(baseline_path)
         baseline_cases = {
@@ -292,6 +344,30 @@ def main():
                         failures.append(
                             f"{group_name}/{case_name} slowed down {ratio:.2f}x (> 2x)"
                         )
+            service_gate = [
+                # (case, higher-is-worse) — p95 gates latency, throughput
+                # gates capacity (inverted ratio: baseline / measured).
+                ("dblp/p95_ms", True),
+                ("dblp/throughput_rps", False),
+            ]
+            for case_name, higher_is_worse in service_gate:
+                base = baseline_cases.get("service", {}).get(case_name)
+                if base is None or base["min_ms"] <= 0:
+                    print(f"NOTICE: service/{case_name} has no baseline; skipped")
+                    continue
+                measured = service[case_name]["min_ms"]
+                if higher_is_worse:
+                    ratio = measured / base["min_ms"]
+                    kind = "p95 latency grew"
+                else:
+                    ratio = base["min_ms"] / measured if measured > 0 else float("inf")
+                    kind = "throughput fell"
+                print(
+                    f"service/{case_name}: baseline {base['min_ms']:.3f}, "
+                    f"measured {measured:.3f} ({ratio:.2f}x)"
+                )
+                if ratio > 2.0:
+                    failures.append(f"service/{case_name} {kind} {ratio:.2f}x (> 2x)")
             assert not failures, "perf regression: " + "; ".join(failures)
         else:
             print(f"NOTICE: perf-regression gate skipped on a {cpus}-cpu runner (< 4)")

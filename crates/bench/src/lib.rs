@@ -579,20 +579,25 @@ pub fn join_group() {
 /// `columnar` and `join` baselines (shared through the private
 /// `lineitem_workload` and `equi_trace_workload` constructors).
 ///
-/// Every `disabled` case runs with no profiling session active, so each
-/// instrumentation site costs one relaxed atomic load — the price every
-/// production run pays. CI gates these at ≤ 5% over the corresponding
-/// committed baseline case (`lineitem_select/columnar`,
-/// `lineitem_trace/columnar`, `equi_join/hash_columnar`, `equi_trace/hash`).
-/// The `profiled` twins run the same work inside a [`whynot_obs::profile`]
-/// session and are informational: they bound the cost of `--profile`.
+/// Every `disabled` case runs with no profiling *or timeline* session
+/// active, so each instrumentation site costs one relaxed atomic load of the
+/// shared state bitset — the price every production run pays. CI gates these
+/// at ≤ 5% over the corresponding committed baseline case
+/// (`lineitem_select/columnar`, `lineitem_trace/columnar`,
+/// `equi_join/hash_columnar`, `equi_trace/hash`). The `profiled` twins run
+/// the same work inside a [`whynot_obs::profile`] session and are
+/// informational: they bound the cost of `--profile`. The `timelined` twin
+/// runs inside a [`whynot_obs::timeline::record`] session and bounds the
+/// cost of `--trace-out` event recording.
 ///
 /// The group also records deterministic observability figures as
 /// dimensionless pseudo-cases (mean = min = max): the generalized-trace size
 /// in tuples (`trace.total_tuples`, the peak provenance footprint of the
 /// run) and the number of recorded operator spans for the two traced
 /// workloads and a full DBLP D4 explanation, plus the D4 per-stage span
-/// breakdown in milliseconds.
+/// breakdown in milliseconds and the balanced timeline event count of the
+/// lineitem trace (`lineitem_trace/timeline_events`, exactly two events per
+/// span opening at any thread count).
 pub fn obs_group() {
     use nrab_provenance::trace_plan_generalized;
     use whynot_obs::ProfileReport;
@@ -628,6 +633,11 @@ pub fn obs_group() {
     group.bench("lineitem_trace/profiled", || {
         whynot_obs::profile(|| trace_plan_generalized(&trace_plan, &db, &sas).expect("trace"))
     });
+    group.bench("lineitem_trace/timelined", || {
+        whynot_obs::timeline::record(|| {
+            trace_plan_generalized(&trace_plan, &db, &sas).expect("trace")
+        })
+    });
     group.bench("equi_join/disabled", || evaluate(&equi_plan, &equi_db).expect("join"));
     group.bench("equi_join/profiled", || {
         whynot_obs::profile(|| evaluate(&equi_plan, &equi_db).expect("join"))
@@ -653,6 +663,15 @@ pub fn obs_group() {
     let (_, lineitem_report) =
         whynot_obs::profile(|| trace_plan_generalized(&trace_plan, &db, &sas).expect("trace"));
     record_figures(&mut group, "lineitem_trace", &lineitem_report);
+    // Timeline figures for the same workload: every span opening emits a
+    // balanced begin/end pair, so the event count is exactly twice the span
+    // count and just as deterministic.
+    let (_, lineitem_timeline) = whynot_obs::timeline::record(|| {
+        trace_plan_generalized(&trace_plan, &db, &sas).expect("trace")
+    });
+    lineitem_timeline.check_balanced().expect("timeline events pair up");
+    let events = lineitem_timeline.events.len() as f64;
+    group.record("lineitem_trace/timeline_events", events, events, events);
     let (_, join_report) = whynot_obs::profile(|| {
         trace_plan_generalized(&join_trace_plan, &join_trace_db, &join_sas).expect("join trace")
     });

@@ -406,6 +406,28 @@ pub struct GuardStats {
     pub faults_injected: u64,
 }
 
+impl GuardStats {
+    /// Total guard trips across all kinds.
+    pub fn trips(&self) -> u64 {
+        self.deadline_trips
+            + self.trace_budget_trips
+            + self.eval_budget_trips
+            + self.cancelled_trips
+    }
+
+    /// The per-kind trip counters keyed by the wire `kind` of the
+    /// [`ResourceError`] each trip surfaces as — the breakdown the service's
+    /// `stats` op reports.
+    pub fn trips_by_kind(&self) -> [(&'static str, u64); 4] {
+        [
+            ("deadline", self.deadline_trips),
+            ("trace_budget", self.trace_budget_trips),
+            ("eval_budget", self.eval_budget_trips),
+            ("cancelled", self.cancelled_trips),
+        ]
+    }
+}
+
 /// Snapshots the process-wide guard counters.
 pub fn guard_stats() -> GuardStats {
     GuardStats {

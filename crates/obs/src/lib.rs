@@ -44,18 +44,28 @@
 
 pub mod metrics;
 pub mod report;
+pub mod timeline;
 
-pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, SamplePoint, TimeSeries};
 pub use report::{ProfileReport, SpanReport};
+pub use timeline::{Timeline, TimelineEvent, TimelinePhase};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Process-wide flag: true while at least one [`profile`] session is active.
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit set in [`STATE`] while at least one [`profile`] session is active.
+const STATE_PROFILE: u32 = 1;
+/// Bit set in [`STATE`] while a [`timeline::record`] session is active.
+const STATE_TIMELINE: u32 = 2;
+
+/// Process-wide recording state: a bitset of [`STATE_PROFILE`] and
+/// [`STATE_TIMELINE`]. Span sites gate on one relaxed load of this single
+/// atomic, so adding the timeline recorder did not add a second load to the
+/// disabled path.
+static STATE: AtomicU32 = AtomicU32::new(0);
 /// Number of live [`profile`] sessions (profiling may be entered from
 /// several threads, e.g. parallel tests).
 static ACTIVE_SESSIONS: AtomicUsize = AtomicUsize::new(0);
@@ -70,7 +80,29 @@ thread_local! {
 /// the disabled path.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    STATE.load(Ordering::Relaxed) & STATE_PROFILE != 0
+}
+
+/// Whether a [`timeline::record`] session is active anywhere in the process.
+#[inline]
+pub fn timeline_enabled() -> bool {
+    STATE.load(Ordering::Relaxed) & STATE_TIMELINE != 0
+}
+
+pub(crate) fn set_state_bit(bit: u32) {
+    STATE.fetch_or(bit, Ordering::SeqCst);
+}
+
+pub(crate) fn clear_state_bit(bit: u32) {
+    STATE.fetch_and(!bit, Ordering::SeqCst);
+}
+
+/// Nanoseconds elapsed since a process-wide monotonic origin (established on
+/// first use). Timeline events and metric samples share this clock, so a
+/// loadgen run's trace and its time series align on one axis.
+pub fn monotonic_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// One span node: aggregate time and count for a name at a position in the
@@ -133,14 +165,14 @@ impl Collector {
 pub fn profile<R>(f: impl FnOnce() -> R) -> (R, ProfileReport) {
     let previous = COLLECTOR.with(|c| c.borrow_mut().replace(Collector::default()));
     ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
-    ENABLED.store(true, Ordering::SeqCst);
+    set_state_bit(STATE_PROFILE);
 
     let start = Instant::now();
     let result = f();
     let wall_ns = start.elapsed().as_nanos() as u64;
 
     if ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst) == 1 {
-        ENABLED.store(false, Ordering::SeqCst);
+        clear_state_bit(STATE_PROFILE);
     }
     let collector = COLLECTOR
         .with(|c| std::mem::replace(&mut *c.borrow_mut(), previous).map(|c| c.root))
@@ -148,13 +180,17 @@ pub fn profile<R>(f: impl FnOnce() -> R) -> (R, ProfileReport) {
     (result, ProfileReport::from_root(collector, wall_ns))
 }
 
-/// An open span; completes (records elapsed time) on drop.
+/// An open span; completes (records elapsed time, emits the timeline end
+/// event) on drop.
 ///
-/// Obtained from [`span`] / [`span_dyn`]. When profiling is disabled the
-/// guard is inert and costs nothing beyond its construction check.
+/// Obtained from [`span`] / [`span_dyn`]. When neither profiling nor timeline
+/// recording is active the guard is inert and costs nothing beyond its
+/// construction check.
 #[derive(Debug)]
 pub struct Span {
     start: Option<Instant>,
+    /// Name of the matching begin event when a timeline session saw the open.
+    timeline: Option<String>,
 }
 
 impl Drop for Span {
@@ -170,39 +206,49 @@ impl Drop for Span {
                 }
             });
         }
+        if let Some(name) = self.timeline.take() {
+            timeline::record_event(name, TimelinePhase::End);
+        }
     }
 }
 
-fn open_span(name: String) -> Span {
-    let armed = COLLECTOR.with(|c| {
-        if let Some(collector) = c.borrow_mut().as_mut() {
-            collector.path.push(name);
-            true
-        } else {
-            false
-        }
+fn open_span(name: String, state: u32) -> Span {
+    let armed = state & STATE_PROFILE != 0
+        && COLLECTOR.with(|c| {
+            if let Some(collector) = c.borrow_mut().as_mut() {
+                collector.path.push(name.clone());
+                true
+            } else {
+                false
+            }
+        });
+    let timeline = (state & STATE_TIMELINE != 0).then(|| {
+        timeline::record_event(name.clone(), TimelinePhase::Begin);
+        name
     });
-    Span { start: armed.then(Instant::now) }
+    Span { start: armed.then(Instant::now), timeline }
 }
 
 /// Opens a span with a static name under the innermost open span.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !enabled() {
-        return Span { start: None };
+    let state = STATE.load(Ordering::Relaxed);
+    if state == 0 {
+        return Span { start: None, timeline: None };
     }
-    open_span(name.to_string())
+    open_span(name.to_string(), state)
 }
 
 /// Opens a span whose name is built lazily — the closure only runs when a
-/// profiling session is active, so formatting costs nothing on the disabled
-/// path.
+/// profiling or timeline session is active, so formatting costs nothing on
+/// the disabled path.
 #[inline]
 pub fn span_dyn(name: impl FnOnce() -> String) -> Span {
-    if !enabled() {
-        return Span { start: None };
+    let state = STATE.load(Ordering::Relaxed);
+    if state == 0 {
+        return Span { start: None, timeline: None };
     }
-    open_span(name())
+    open_span(name(), state)
 }
 
 /// Adds `value` to the named counter on the innermost open span (or the

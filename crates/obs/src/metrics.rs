@@ -6,7 +6,9 @@
 //! per parallel region, per service request. Never put them on per-tuple or
 //! per-chunk-item paths; that is what gated spans and counters are for.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A monotonic counter (relaxed atomic).
 #[derive(Debug)]
@@ -52,12 +54,16 @@ impl Default for Counter {
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A fixed-bucket log-scale histogram (power-of-two bucket bounds), plus
-/// exact count and sum for means. Lock-free, usable in `static` items.
+/// exact count/sum/min/max so snapshots can report a true mean and true
+/// extremes (bucket bounds alone only give order-of-magnitude quantiles).
+/// Lock-free, usable in `static` items.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 /// Index of the bucket covering `value`.
@@ -85,6 +91,8 @@ impl Histogram {
             buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -94,14 +102,19 @@ impl Histogram {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +134,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Exact sum of all observed values.
     pub sum: u64,
+    /// Exact smallest observed value (0 when empty).
+    pub min: u64,
+    /// Exact largest observed value (0 when empty).
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
@@ -160,6 +177,70 @@ impl HistogramSnapshot {
             .filter(|(_, c)| **c > 0)
             .map(|(i, c)| (bucket_bound(i), *c))
             .collect()
+    }
+}
+
+/// One timestamped snapshot of a set of counters and histograms — a point on
+/// the curves a load run produces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SamplePoint {
+    /// Timestamp on the shared [`monotonic_ns`](crate::monotonic_ns) clock.
+    pub at_ns: u64,
+    /// Named counter values at that instant, in a stable order.
+    pub counters: Vec<(String, u64)>,
+    /// Named histogram snapshots at that instant, in a stable order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// A fixed-capacity ring buffer of [`SamplePoint`]s: sampling never grows
+/// without bound, the newest `capacity` points win. Usable in `static` items
+/// (the mutex only guards the ring, sampling is a cold-path operation by
+/// construction).
+#[derive(Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    points: Mutex<VecDeque<SamplePoint>>,
+}
+
+impl TimeSeries {
+    /// An empty series keeping at most `capacity` points (a capacity of 0 is
+    /// treated as 1 so a push is never silently dropped).
+    pub const fn new(capacity: usize) -> TimeSeries {
+        TimeSeries { capacity, points: Mutex::new(VecDeque::new()) }
+    }
+
+    /// The maximum number of retained points.
+    pub fn capacity(&self) -> usize {
+        self.capacity.max(1)
+    }
+
+    /// Appends a point, evicting the oldest when full.
+    pub fn push(&self, point: SamplePoint) {
+        let mut points = self.points.lock().unwrap_or_else(|e| e.into_inner());
+        while points.len() >= self.capacity() {
+            points.pop_front();
+        }
+        points.push_back(point);
+    }
+
+    /// The retained points, oldest first.
+    pub fn snapshot(&self) -> Vec<SamplePoint> {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all retained points.
+    pub fn clear(&self) {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
@@ -206,5 +287,40 @@ mod tests {
         assert!(snap.quantile(1.0) >= 1000);
         let nz = snap.nonzero_buckets();
         assert_eq!(nz.iter().map(|(_, c)| c).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_min_and_max() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!((empty.min, empty.max), (0, 0));
+        for v in [17u64, 5, 900, 42] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 5);
+        assert_eq!(snap.max, 900);
+    }
+
+    #[test]
+    fn time_series_ring_evicts_oldest() {
+        let series = TimeSeries::new(3);
+        for i in 0..5u64 {
+            series.push(SamplePoint { at_ns: i, ..SamplePoint::default() });
+        }
+        let points = series.snapshot();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points.iter().map(|p| p.at_ns).collect::<Vec<_>>(), vec![2, 3, 4]);
+        series.clear();
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn time_series_zero_capacity_keeps_one_point() {
+        let series = TimeSeries::new(0);
+        series.push(SamplePoint::default());
+        series.push(SamplePoint { at_ns: 9, ..SamplePoint::default() });
+        assert_eq!(series.len(), 1);
+        assert_eq!(series.snapshot()[0].at_ns, 9);
     }
 }

@@ -150,6 +150,37 @@ impl ProfileReport {
         self.root.counter_total(name)
     }
 
+    /// Folded-stack flamegraph lines (`a;b;c <self_ns>`), one per span node
+    /// with non-zero *self* time (total minus direct children; clamped at
+    /// zero so a child that outlived its parent's clock reading never
+    /// produces a negative sample). The synthetic `profile` root is omitted
+    /// from stacks, and `;` in span names is replaced with `,` since it is
+    /// the stack separator. Feed the output to any flamegraph renderer that
+    /// accepts Brendan Gregg's folded format.
+    pub fn to_folded(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.replace(';', ",")
+        }
+        fn walk(node: &SpanReport, stack: &mut Vec<String>, out: &mut String) {
+            stack.push(sanitize(&node.name));
+            let self_ns = node.total_ns.saturating_sub(node.child_time_ns());
+            if self_ns > 0 {
+                out.push_str(&stack.join(";"));
+                out.push_str(&format!(" {self_ns}\n"));
+            }
+            for child in &node.children {
+                walk(child, stack, out);
+            }
+            stack.pop();
+        }
+        let mut out = String::new();
+        let mut stack = Vec::new();
+        for child in &self.root.children {
+            walk(child, &mut stack, &mut out);
+        }
+        out
+    }
+
     /// Human-readable rendering: meta header, then the span tree with times.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -200,5 +231,46 @@ mod tests {
         assert!(report.render_text().contains("threads: 4"));
         assert!(report.signature().contains("op ×1 rows=3"));
         assert!(!report.signature().contains("threads"));
+    }
+
+    #[test]
+    fn folded_stacks_report_self_time() {
+        let root = SpanReport {
+            name: "profile".to_string(),
+            count: 0,
+            total_ns: 0,
+            counters: Vec::new(),
+            children: vec![SpanReport {
+                name: "outer;odd".to_string(),
+                count: 1,
+                total_ns: 100,
+                counters: Vec::new(),
+                children: vec![leaf("inner", 2, 40)],
+            }],
+        };
+        let report = ProfileReport { wall_ns: 100, meta: Vec::new(), root };
+        let folded = report.to_folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        // `profile` root excluded; `;` in names sanitized; self = 100 - 40.
+        assert_eq!(lines, vec!["outer,odd 60", "outer,odd;inner 40"]);
+    }
+
+    #[test]
+    fn folded_stacks_skip_zero_self_time() {
+        let root = SpanReport {
+            name: "profile".to_string(),
+            count: 0,
+            total_ns: 0,
+            counters: Vec::new(),
+            children: vec![SpanReport {
+                name: "wrapper".to_string(),
+                count: 1,
+                total_ns: 40,
+                counters: Vec::new(),
+                children: vec![leaf("inner", 1, 40)],
+            }],
+        };
+        let report = ProfileReport { wall_ns: 40, meta: Vec::new(), root };
+        assert_eq!(report.to_folded(), "wrapper;inner 40\n");
     }
 }

@@ -1,0 +1,213 @@
+//! `whynot-loadgen` — deterministic load generation against the explanation
+//! service.
+//!
+//! ```text
+//! whynot-loadgen [--family dblp] [--scale N] [--seed 42] [--concurrency 8]
+//!                [--requests 200] [--warmup N] [--qps Q] [--duration-secs S]
+//!                [--timeout-ms MS] [--json] [--out FILE]
+//!                [--bench-report FILE] [--trace-out FILE] [--folded-out FILE]
+//! ```
+//!
+//! Replays a seeded schedule of scenario questions through `explain_batch`
+//! in waves of `--concurrency` requests (the pool width is pinned to the
+//! same value, so `WHYNOT_THREADS` does not change the run). The report —
+//! exact p50/p95/p99/max latency, throughput, error/guard-trip rates, cache
+//! hit rate, per-wave metric samples — prints as text (or `--json`) and can
+//! be written to `--out`. `--bench-report FILE` merges the run into a
+//! `BENCH_figures.json`-style report as the CI-gated `service` group.
+//!
+//! `--trace-out FILE` records the run under an `obs::timeline` session and
+//! writes Chrome trace-event JSON (open in `chrome://tracing` or Perfetto);
+//! `--folded-out FILE` additionally profiles the run and writes folded-stack
+//! flamegraph lines derived from the span tree.
+
+use std::process::ExitCode;
+
+use whynot_service::loadgen::{run, LoadgenConfig};
+use whynot_service::{timeline_to_chrome_json, LoadReport, ServiceError, ServiceResult};
+
+const USAGE: &str = "whynot-loadgen — seeded load generation for the why-not service
+
+USAGE:
+    whynot-loadgen [--family dblp|twitter|tpch|crime|running|all] [--scale N]
+                   [--seed 42] [--concurrency 8] [--requests 200] [--warmup N]
+                   [--qps Q] [--duration-secs S] [--timeout-ms MS]
+                   [--json] [--out FILE] [--bench-report FILE]
+                   [--trace-out FILE] [--folded-out FILE]
+
+--requests counts *measured* requests; --warmup extra requests (default:
+one wave of --concurrency) run first and are excluded from the figures.
+--qps paces waves to a target request rate; --duration-secs caps the run's
+wall clock. --bench-report merges the run into BENCH_figures.json as the
+`service` group. --trace-out writes a Chrome trace-event file of the run;
+--folded-out writes folded flamegraph stacks from a profiling session.
+A fixed seed reproduces the exact same question schedule at any thread
+count; only wall-clock figures vary.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("whynot-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--flag value` pairs plus bare switches (shared shape with the `whynot`
+/// CLI, small enough to not warrant a common module).
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], value_flags: &[&str]) -> ServiceResult<Flags> {
+        let mut flags = Flags { values: Vec::new(), switches: Vec::new() };
+        let mut i = 0;
+        while i < args.len() {
+            let Some(name) = args[i].strip_prefix("--") else {
+                return Err(ServiceError::decode(format!("unexpected argument `{}`", args[i])));
+            };
+            if value_flags.contains(&name) {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| ServiceError::decode(format!("--{name} needs a value")))?;
+                flags.values.push((name.to_string(), value.clone()));
+                i += 2;
+            } else if name == "json" {
+                flags.switches.push(name.to_string());
+                i += 1;
+            } else {
+                return Err(ServiceError::decode(format!("unknown flag `--{name}`\n{USAGE}")));
+            }
+        }
+        Ok(flags)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> ServiceResult<Option<T>> {
+        self.value(name)
+            .map(|v| {
+                v.parse::<T>()
+                    .map_err(|_| ServiceError::decode(format!("--{name}: invalid value `{v}`")))
+            })
+            .transpose()
+    }
+}
+
+fn config_from_flags(flags: &Flags) -> ServiceResult<LoadgenConfig> {
+    let mut config = LoadgenConfig::default();
+    if let Some(family) = flags.value("family") {
+        config.family = family.to_string();
+    }
+    config.scale = flags.parsed("scale")?;
+    if let Some(seed) = flags.parsed("seed")? {
+        config.seed = seed;
+    }
+    if let Some(concurrency) = flags.parsed::<usize>("concurrency")? {
+        if concurrency == 0 {
+            return Err(ServiceError::decode("--concurrency must be at least 1"));
+        }
+        config.concurrency = concurrency;
+    }
+    if let Some(requests) = flags.parsed::<usize>("requests")? {
+        if requests == 0 {
+            return Err(ServiceError::decode("--requests must be at least 1"));
+        }
+        config.requests = requests;
+    }
+    config.warmup = match flags.parsed("warmup")? {
+        Some(warmup) => warmup,
+        None => config.concurrency,
+    };
+    config.qps = flags.parsed("qps")?;
+    config.duration = flags.parsed::<f64>("duration-secs")?.map(std::time::Duration::from_secs_f64);
+    config.timeout_ms = flags.parsed("timeout-ms")?;
+    Ok(config)
+}
+
+fn run_cli(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "family",
+            "scale",
+            "seed",
+            "concurrency",
+            "requests",
+            "warmup",
+            "qps",
+            "duration-secs",
+            "timeout-ms",
+            "out",
+            "bench-report",
+            "trace-out",
+            "folded-out",
+        ],
+    )?;
+    let config = config_from_flags(&flags)?;
+
+    // Optional recording sessions wrap the whole run: the timeline feeds the
+    // Chrome trace, the profile session feeds the folded stacks. Both are
+    // no-cost when their flag is absent.
+    let want_trace = flags.value("trace-out").is_some();
+    let want_folded = flags.value("folded-out").is_some();
+    let profiled = |f: &mut dyn FnMut() -> ServiceResult<LoadReport>| {
+        if want_folded {
+            let (result, profile) = whynot_obs::profile(f);
+            result.map(|report| (report, Some(profile)))
+        } else {
+            f().map(|report| (report, None))
+        }
+    };
+    let (outcome, timeline) = if want_trace {
+        let (outcome, timeline) = whynot_obs::timeline::record(|| profiled(&mut || run(&config)));
+        (outcome, Some(timeline))
+    } else {
+        (profiled(&mut || run(&config)), None)
+    };
+    let (report, profile) = outcome?;
+
+    if let Some(path) = flags.value("trace-out") {
+        let timeline = timeline.expect("timeline recorded when --trace-out is set");
+        write_file(path, &(timeline_to_chrome_json(&timeline).to_pretty() + "\n"))?;
+        eprintln!(
+            "whynot-loadgen: wrote {} trace events to {path} (open in chrome://tracing)",
+            timeline.events.len()
+        );
+    }
+    if let Some(path) = flags.value("folded-out") {
+        let profile = profile.as_ref().expect("profile recorded when --folded-out is set");
+        write_file(path, &profile.to_folded())?;
+    }
+    if let Some(path) = flags.value("bench-report") {
+        report.merge_into_bench_report(std::path::Path::new(path))?;
+        eprintln!("whynot-loadgen: merged `service` group into {path}");
+    }
+
+    let rendered = if flags.switches.iter().any(|s| s == "json") {
+        report.to_json().to_pretty()
+    } else {
+        report.render_text()
+    };
+    if let Some(path) = flags.value("out") {
+        write_file(path, &rendered)?;
+    }
+    print!("{rendered}");
+    Ok(())
+}
+
+fn write_file(path: &str, contents: &str) -> ServiceResult<()> {
+    std::fs::write(path, contents)
+        .map_err(|e| ServiceError::decode(format!("cannot write `{path}`: {e}")))
+}

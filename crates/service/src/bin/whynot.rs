@@ -3,7 +3,8 @@
 //! ```text
 //! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
 //! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
-//! whynot stats [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N]
+//! whynot stats [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N] [--watch SECS] [--count N]
+//! whynot metrics [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N]
 //! whynot scenarios list
 //! whynot scenarios export <dir>
 //! whynot scenarios run <dir> [--name NAME] [--text] [--threads N] [--profile] [--profile-out FILE]
@@ -13,7 +14,11 @@
 //! `batch` answers an array of questions against one registered plan and
 //! database concurrently, reporting per-question trace-cache hits;
 //! `stats` prints cumulative service metrics (optionally after answering a
-//! batch, so the counters describe real work);
+//! batch, so the counters describe real work); with `--watch SECS` it polls
+//! and re-renders with per-interval deltas (requests/s, interval hit rate),
+//! `--count N` bounding the number of polls;
+//! `metrics` samples the process metric time series and prints the retained
+//! points (the `metrics` wire op);
 //! `scenarios` exports the paper's evaluation scenarios (running example,
 //! DBLP, Twitter, TPC-H, crime) as JSON files and runs them back from disk.
 //! `--threads N` overrides the `WHYNOT_THREADS` environment variable for the
@@ -52,6 +57,7 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("scenarios") => cmd_scenarios(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
@@ -73,7 +79,8 @@ const USAGE: &str = "whynot — why-not explanations over nested data
 USAGE:
     whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
     whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
-    whynot stats [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N]
+    whynot stats [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N] [--watch SECS] [--count N]
+    whynot metrics [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N]
     whynot scenarios list
     whynot scenarios export <dir>
     whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N] [--profile] [--profile-out FILE]
@@ -88,7 +95,10 @@ error (in `batch`, without affecting the other questions).
 --profile prints a span tree + pool stats to stderr (--profile-out FILE
 writes it as JSON); span counts/structure are thread-count independent.
 `stats` prints cumulative service metrics, optionally after answering a
-batch so the counters describe real work.
+batch so the counters describe real work; --watch SECS polls and re-renders
+with per-interval deltas (requests/s, interval hit rate), --count N bounds
+the polls. `metrics` samples and prints the process metric time series
+(the `metrics` wire op).
 ";
 
 /// Minimal flag parser: `--flag value` pairs plus bare switches/positionals.
@@ -371,13 +381,10 @@ fn cmd_batch(args: &[String]) -> ServiceResult<()> {
     emit_profile(&flags, profile.as_ref())
 }
 
-/// `whynot stats`: prints cumulative service metrics as JSON. With
-/// `--questions` (plus `--db`/`--plan` as for `batch`), answers the batch
-/// first so the counters and the latency histogram describe real work.
-fn cmd_stats(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["db", "plan", "questions", "threads"])?;
-    flags.apply_threads()?;
-    let mut service = ExplainService::new();
+/// Answers the `--questions` batch (if given) so the cumulative counters
+/// describe real work. Responses are discarded — only the metrics they leave
+/// behind matter.
+fn run_optional_batch(service: &mut ExplainService, flags: &Flags) -> ServiceResult<()> {
     if let Some(batch_path) = flags.value("questions") {
         let batch = read_json(Path::new(batch_path))?;
         let questions = batch.as_array().ok_or_else(|| {
@@ -385,13 +392,94 @@ fn cmd_stats(args: &[String]) -> ServiceResult<()> {
         })?;
         let requests: Vec<ExplainRequest> = questions
             .iter()
-            .map(|q| request_from_question(&mut service, q, flags.value("db"), flags.value("plan")))
+            .map(|q| request_from_question(service, q, flags.value("db"), flags.value("plan")))
             .collect::<ServiceResult<Vec<_>>>()?;
-        // Responses are discarded — only the metrics they leave behind matter.
         service.explain_batch(&requests);
+    }
+    Ok(())
+}
+
+/// `whynot stats`: prints cumulative service metrics as JSON. With
+/// `--questions` (plus `--db`/`--plan` as for `batch`), answers the batch
+/// first so the counters and the latency histogram describe real work. With
+/// `--watch SECS` it polls every SECS seconds and prints one delta line per
+/// interval (`--count N` stops after N polls; default: until interrupted).
+fn cmd_stats(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["db", "plan", "questions", "threads", "watch", "count"])?;
+    flags.apply_threads()?;
+    let mut service = ExplainService::new();
+    run_optional_batch(&mut service, &flags)?;
+    if let Some(secs) = flags.value("watch") {
+        let interval =
+            secs.parse::<f64>().ok().filter(|s| *s > 0.0).ok_or_else(|| {
+                ServiceError::decode("--watch needs a positive number of seconds")
+            })?;
+        let count = flags
+            .value("count")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| ServiceError::decode("--count needs a non-negative integer"))
+            })
+            .transpose()?;
+        return watch_stats(&service, interval, count);
     }
     let stats_doc = service.handle_wire(&Json::object([("op", Json::str("stats"))]))?;
     print_json(&stats_doc, flags.switch("compact"));
+    Ok(())
+}
+
+/// The `stats --watch` loop: one metric sample per interval, rendered as a
+/// delta line against the previous sample (requests/s and interval hit rate
+/// are computed from consecutive time-series points, so the watcher reuses
+/// the same snapshots the `metrics` op serves).
+fn watch_stats(service: &ExplainService, interval: f64, count: Option<usize>) -> ServiceResult<()> {
+    let counter = |point: &whynot_obs::SamplePoint, name: &str| -> u64 {
+        point.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>8} {:>12} {:>10}",
+        "t_s", "requests", "errors", "requests/s", "errors/s", "int_hit_rate", "trips"
+    );
+    let mut previous = whynot_service::sample_service_metrics(&service.cache_stats());
+    let mut polls = 0usize;
+    while count.is_none_or(|n| polls < n) {
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+        let current = whynot_service::sample_service_metrics(&service.cache_stats());
+        let dt = (current.at_ns.saturating_sub(previous.at_ns)) as f64 / 1e9;
+        let delta = |name: &str| counter(&current, name).saturating_sub(counter(&previous, name));
+        let d_requests = delta("requests");
+        let d_errors = delta("request_errors");
+        let d_hits = delta("cache_hits");
+        let d_misses = delta("cache_misses");
+        let interval_lookups = d_hits + d_misses;
+        let interval_hit_rate =
+            if interval_lookups == 0 { 0.0 } else { d_hits as f64 / interval_lookups as f64 };
+        println!(
+            "{:<10.1} {:>10} {:>10} {:>12.1} {:>8.1} {:>12.3} {:>10}",
+            current.at_ns as f64 / 1e9,
+            counter(&current, "requests"),
+            counter(&current, "request_errors"),
+            if dt > 0.0 { d_requests as f64 / dt } else { 0.0 },
+            if dt > 0.0 { d_errors as f64 / dt } else { 0.0 },
+            interval_hit_rate,
+            counter(&current, "guard_trips"),
+        );
+        previous = current;
+        polls += 1;
+    }
+    Ok(())
+}
+
+/// `whynot metrics`: samples the process metric time series (optionally
+/// after answering a `--questions` batch) and prints the retained points —
+/// the CLI face of the `metrics` wire op.
+fn cmd_metrics(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(args, &["db", "plan", "questions", "threads"])?;
+    flags.apply_threads()?;
+    let mut service = ExplainService::new();
+    run_optional_batch(&mut service, &flags)?;
+    let metrics_doc = service.handle_wire(&Json::object([("op", Json::str("metrics"))]))?;
+    print_json(&metrics_doc, flags.switch("compact"));
     Ok(())
 }
 

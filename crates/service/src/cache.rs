@@ -53,6 +53,19 @@ pub struct CacheStats {
     pub weight_capacity: u64,
 }
 
+impl CacheStats {
+    /// Fraction of lookups served from the cache: `hits / (hits + misses)`,
+    /// `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// One cached trace with its precomputed weight (traced tuples), so eviction
 /// accounting never re-walks the trace.
 #[derive(Debug)]

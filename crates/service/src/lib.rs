@@ -23,8 +23,14 @@
 //!   catalog-addressed payloads, per-request cache statistics.
 //! * [`report`] — the wire-level explanation report with a human-readable
 //!   rendering.
-//! * [`stats`] — cumulative service metrics (the `stats` wire op) and the
-//!   wire codec for `whynot-obs` profile reports.
+//! * [`stats`] — cumulative service metrics (the `stats` and `metrics` wire
+//!   ops, the process metric time series) and the wire codec for
+//!   `whynot-obs` profile reports.
+//! * [`loadgen`] — deterministic seeded load generation against
+//!   `explain_batch` (the `whynot-loadgen` binary) with exact latency
+//!   percentiles, throughput, and `BENCH_figures.json` integration.
+//! * [`trace_export`] — Chrome trace-event JSON export for `whynot-obs`
+//!   timelines (`chrome://tracing` / Perfetto).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,15 +39,22 @@ pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod json;
+pub mod loadgen;
 pub mod report;
 pub mod service;
 pub mod stats;
+pub mod trace_export;
 pub mod wire;
 
 pub use cache::{CacheStats, TraceCache, TraceKey};
 pub use catalog::{Catalog, DbHandle, PlanHandle};
 pub use error::{ServiceError, ServiceResult};
 pub use json::{Json, JsonError};
+pub use loadgen::{LoadReport, LoadgenConfig};
 pub use report::ExplanationReport;
 pub use service::{DbRef, ExplainRequest, ExplainResponse, ExplainService, PlanRef, RequestStats};
-pub use stats::{profile_report_from_json, profile_report_to_json, ServiceStats};
+pub use stats::{
+    metrics_series, metrics_to_json, profile_report_from_json, profile_report_to_json,
+    sample_point_to_json, sample_service_metrics, ServiceStats, METRICS_CAPACITY,
+};
+pub use trace_export::{timeline_from_chrome_json, timeline_to_chrome_json};

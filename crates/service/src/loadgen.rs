@@ -1,0 +1,546 @@
+//! Deterministic load generation against the explanation service.
+//!
+//! A load run replays a seeded schedule of scenario questions through
+//! [`ExplainService::explain_batch`] in waves of `concurrency` requests: the
+//! schedule (which scenario each request asks about) comes from a
+//! `whynot-rng` stream, so a fixed seed reproduces the exact same question
+//! sequence on every machine, and the pool width is pinned with
+//! `whynot_exec::with_threads` so `WHYNOT_THREADS` does not change what the
+//! run *does* — only how fast it goes. The run produces a [`LoadReport`]:
+//! exact latency percentiles over the measured (post-warmup) requests,
+//! throughput, error/guard-trip/cache-hit rates, and the per-wave metric
+//! samples pushed into the process time series
+//! ([`crate::stats::sample_service_metrics`]).
+//!
+//! The report's *structure* — the schedule, the request counts, the cache
+//! hit/miss totals (in-flight dedup makes misses equal the number of
+//! distinct trace keys regardless of interleaving) — is identical at every
+//! thread count; only wall-clock figures vary. [`LoadReport::structure_signature`]
+//! canonicalizes that deterministic part for the equivalence tests, and
+//! [`LoadReport::merge_into_bench_report`] lands the wall-clock figures in
+//! `BENCH_figures.json` as the CI-gated `service` group.
+
+use std::time::{Duration, Instant};
+
+use whynot_obs::SamplePoint;
+use whynot_rng::rngs::StdRng;
+use whynot_rng::{Rng, SeedableRng};
+use whynot_scenarios::Scenario;
+
+use crate::cache::CacheStats;
+use crate::error::{ServiceError, ServiceResult};
+use crate::json::Json;
+use crate::service::{DbRef, ExplainRequest, ExplainService, PlanRef};
+use crate::stats;
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Scenario family to draw questions from: `dblp`, `twitter`, `tpch`,
+    /// `crime`, `running`, or `all`.
+    pub family: String,
+    /// Scenario scale override (family default when `None`).
+    pub scale: Option<usize>,
+    /// Seed of the question schedule.
+    pub seed: u64,
+    /// Requests in flight per wave (also the pool width for the run).
+    pub concurrency: usize,
+    /// Measured requests (the schedule issues `warmup + requests` in total).
+    pub requests: usize,
+    /// Warmup requests issued before measurement starts (excluded from the
+    /// latency/throughput figures).
+    pub warmup: usize,
+    /// Optional target request rate; waves are paced to it by sleeping.
+    /// `None` runs as fast as the service answers.
+    pub qps: Option<f64>,
+    /// Optional wall-clock cap: the run stops issuing new waves once this
+    /// much time has passed, even if `requests` have not all been issued.
+    pub duration: Option<Duration>,
+    /// Optional per-request deadline (exercises the guard under load).
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            family: "dblp".to_string(),
+            scale: None,
+            seed: 42,
+            concurrency: 8,
+            requests: 200,
+            warmup: 8,
+            qps: None,
+            duration: None,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// The scenarios of a named family, at the given (or default) scale.
+pub fn family_scenarios(family: &str, scale: Option<usize>) -> ServiceResult<Vec<Scenario>> {
+    let scenarios = match family {
+        "dblp" => whynot_scenarios::dblp::all_dblp(scale.unwrap_or_else(whynot_scenarios::dblp_scale)),
+        "twitter" => whynot_scenarios::twitter::all_twitter(
+            scale.unwrap_or_else(whynot_scenarios::twitter_scale),
+        ),
+        "tpch" => {
+            whynot_scenarios::tpch::all_tpch(scale.unwrap_or_else(whynot_scenarios::tpch_scale))
+        }
+        "crime" => whynot_scenarios::crime::all_crime(),
+        "running" => vec![whynot_scenarios::running::running_example()],
+        "all" => whynot_scenarios::all_scenarios(),
+        other => {
+            return Err(ServiceError::decode(format!(
+                "unknown scenario family `{other}` (expected dblp, twitter, tpch, crime, running, or all)"
+            )))
+        }
+    };
+    Ok(scenarios)
+}
+
+/// Exact latency summary over the measured successful requests (nanoseconds;
+/// percentiles are nearest-rank over the sorted observations, not bucket
+/// bounds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min_ns: u64,
+    /// Largest observation.
+    pub max_ns: u64,
+    /// Mean.
+    pub mean_ns: u64,
+    /// Median (nearest rank).
+    pub p50_ns: u64,
+    /// 95th percentile (nearest rank).
+    pub p95_ns: u64,
+    /// 99th percentile (nearest rank).
+    pub p99_ns: u64,
+}
+
+impl LatencySummary {
+    fn from_observations(mut observations: Vec<u64>) -> LatencySummary {
+        if observations.is_empty() {
+            return LatencySummary::default();
+        }
+        observations.sort_unstable();
+        let nearest = |q: f64| -> u64 {
+            let rank = (q * observations.len() as f64).ceil().max(1.0) as usize;
+            observations[rank.min(observations.len()) - 1]
+        };
+        LatencySummary {
+            count: observations.len() as u64,
+            min_ns: observations[0],
+            max_ns: *observations.last().expect("non-empty"),
+            mean_ns: observations.iter().sum::<u64>() / observations.len() as u64,
+            p50_ns: nearest(0.50),
+            p95_ns: nearest(0.95),
+            p99_ns: nearest(0.99),
+        }
+    }
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configuration that produced the run.
+    pub config: LoadgenConfig,
+    /// Scenario name of each issued request, in issue order (the seeded
+    /// schedule; warmup requests first).
+    pub schedule: Vec<String>,
+    /// Requests issued in total (warmup + measured).
+    pub total_requests: usize,
+    /// Requests inside the measurement window.
+    pub measured_requests: usize,
+    /// Measured requests that returned an error.
+    pub errors: u64,
+    /// Guard trips over the whole run (process-wide delta).
+    pub guard_trips: u64,
+    /// Trace-cache counters of the run's service instance (whole run).
+    pub cache: CacheStats,
+    /// Wall-clock time of the measurement window.
+    pub wall: Duration,
+    /// Exact latency percentiles over the measured successful requests.
+    pub latency: LatencySummary,
+    /// Per-wave metric samples recorded during the run.
+    pub samples: Vec<SamplePoint>,
+}
+
+impl LoadReport {
+    /// Measured requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 || self.measured_requests == 0 {
+            0.0
+        } else {
+            self.measured_requests as f64 / secs
+        }
+    }
+
+    /// Fraction of measured requests that failed.
+    pub fn error_rate(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Guard trips per issued request.
+    pub fn guard_trip_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.guard_trips as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Canonical text form of the deterministic part of the report: the
+    /// schedule and all structural counts — wall-clock figures excluded.
+    /// Equal for equal configs at every thread count.
+    pub fn structure_signature(&self) -> String {
+        format!(
+            "family={} seed={} concurrency={} schedule=[{}] total={} measured={} errors={} \
+             cache_hits={} cache_misses={} latency_count={}",
+            self.config.family,
+            self.config.seed,
+            self.config.concurrency,
+            self.schedule.join(","),
+            self.total_requests,
+            self.measured_requests,
+            self.errors,
+            self.cache.hits,
+            self.cache.misses,
+            self.latency.count,
+        )
+    }
+
+    /// Encodes the report as JSON (the `--json` form of `whynot-loadgen`).
+    pub fn to_json(&self) -> Json {
+        let ms = |ns: u64| Json::Float(ns as f64 / 1e6);
+        Json::object([
+            ("family", Json::str(self.config.family.clone())),
+            ("seed", Json::Int(self.config.seed as i64)),
+            ("concurrency", Json::Int(self.config.concurrency as i64)),
+            ("total_requests", Json::Int(self.total_requests as i64)),
+            ("measured_requests", Json::Int(self.measured_requests as i64)),
+            ("warmup_requests", Json::Int((self.total_requests - self.measured_requests) as i64)),
+            ("errors", Json::Int(self.errors as i64)),
+            ("error_rate", Json::Float(self.error_rate())),
+            ("guard_trips", Json::Int(self.guard_trips as i64)),
+            ("guard_trip_rate", Json::Float(self.guard_trip_rate())),
+            ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+            ("throughput_rps", Json::Float(self.throughput_rps())),
+            (
+                "latency_ms",
+                Json::object([
+                    ("count", Json::Int(self.latency.count as i64)),
+                    ("min", ms(self.latency.min_ns)),
+                    ("max", ms(self.latency.max_ns)),
+                    ("mean", ms(self.latency.mean_ns)),
+                    ("p50", ms(self.latency.p50_ns)),
+                    ("p95", ms(self.latency.p95_ns)),
+                    ("p99", ms(self.latency.p99_ns)),
+                ]),
+            ),
+            (
+                "trace_cache",
+                Json::object([
+                    ("hits", Json::Int(self.cache.hits as i64)),
+                    ("misses", Json::Int(self.cache.misses as i64)),
+                    ("hit_rate", Json::Float(self.cache.hit_rate())),
+                ]),
+            ),
+            ("schedule", Json::array(self.schedule.iter().map(Json::str))),
+            ("samples", Json::array(self.samples.iter().map(stats::sample_point_to_json))),
+        ])
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen: family={} seed={} concurrency={}\n",
+            self.config.family, self.config.seed, self.config.concurrency
+        ));
+        out.push_str(&format!(
+            "  requests:   {} measured (+{} warmup), {} errors ({:.2}%), {} guard trips\n",
+            self.measured_requests,
+            self.total_requests - self.measured_requests,
+            self.errors,
+            self.error_rate() * 100.0,
+            self.guard_trips,
+        ));
+        out.push_str(&format!(
+            "  latency:    p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms  mean {:.3} ms\n",
+            ms(self.latency.p50_ns),
+            ms(self.latency.p95_ns),
+            ms(self.latency.p99_ns),
+            ms(self.latency.max_ns),
+            ms(self.latency.mean_ns),
+        ));
+        out.push_str(&format!(
+            "  throughput: {:.1} req/s over {:.3} s\n",
+            self.throughput_rps(),
+            self.wall.as_secs_f64(),
+        ));
+        out.push_str(&format!(
+            "  cache:      {} hits / {} misses ({:.1}% hit rate)\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+        ));
+        out.push_str(&format!("  samples:    {} metric points\n", self.samples.len()));
+        out
+    }
+
+    /// The `(case, value)` rows this report contributes to the
+    /// `BENCH_figures.json` `service` group.
+    pub fn bench_cases(&self) -> Vec<(String, f64)> {
+        let family = &self.config.family;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        vec![
+            (format!("{family}/p50_ms"), ms(self.latency.p50_ns)),
+            (format!("{family}/p95_ms"), ms(self.latency.p95_ns)),
+            (format!("{family}/p99_ms"), ms(self.latency.p99_ns)),
+            (format!("{family}/max_ms"), ms(self.latency.max_ns)),
+            (format!("{family}/mean_ms"), ms(self.latency.mean_ns)),
+            (format!("{family}/throughput_rps"), self.throughput_rps()),
+            (format!("{family}/error_rate"), self.error_rate()),
+            (format!("{family}/cache_hit_rate"), self.cache.hit_rate()),
+        ]
+    }
+
+    /// Merges this run into a `BENCH_figures.json`-style report as the
+    /// `service` group (same merge-by-group protocol as the micro-benchmark
+    /// harness: groups are keyed by name, kept sorted, the incoming group
+    /// replaces a stale one).
+    pub fn merge_into_bench_report(&self, path: &std::path::Path) -> ServiceResult<()> {
+        let mut groups: Vec<(String, Json)> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if let Ok(json) = Json::parse(&existing) {
+                if let Some(list) = json.get("groups").and_then(Json::as_array) {
+                    for group in list {
+                        if let Some(name) = group.get("name").and_then(Json::as_str) {
+                            groups.push((name.to_string(), group.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let group = Json::object([
+            ("name", Json::str("service")),
+            ("samples_per_case", Json::Int(1)),
+            (
+                "cases",
+                Json::array(self.bench_cases().into_iter().map(|(name, value)| {
+                    Json::object([
+                        ("name", Json::str(name)),
+                        ("mean_ms", Json::Float(value)),
+                        ("min_ms", Json::Float(value)),
+                        ("max_ms", Json::Float(value)),
+                    ])
+                })),
+            ),
+        ]);
+        groups.retain(|(name, _)| name != "service");
+        groups.push(("service".to_string(), group));
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        let report = Json::object([
+            ("version", Json::Int(1)),
+            ("groups", Json::array(groups.into_iter().map(|(_, g)| g))),
+        ]);
+        std::fs::write(path, report.to_pretty() + "\n")?;
+        Ok(())
+    }
+}
+
+/// Runs one load generation session: builds a fresh [`ExplainService`] over
+/// the configured scenario family, replays the seeded schedule in waves of
+/// `concurrency`, and reports exact percentiles, throughput, and rates.
+pub fn run(config: &LoadgenConfig) -> ServiceResult<LoadReport> {
+    if config.concurrency == 0 {
+        return Err(ServiceError::decode("concurrency must be at least 1"));
+    }
+    if config.requests == 0 {
+        return Err(ServiceError::decode("requests must be at least 1"));
+    }
+    let scenarios = family_scenarios(&config.family, config.scale)?;
+    let mut service = ExplainService::new();
+    let mut templates: Vec<(String, ExplainRequest)> = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        service.catalog_mut().register_database(scenario.name.clone(), scenario.db);
+        service.catalog_mut().register_plan(scenario.name.clone(), scenario.plan);
+        let mut request = ExplainRequest::new(
+            DbRef::Named(scenario.name.clone()),
+            PlanRef::Named(scenario.name.clone()),
+            scenario.why_not,
+        )
+        .with_alternatives(scenario.alternatives);
+        if let Some(ms) = config.timeout_ms {
+            request = request.with_timeout_ms(ms);
+        }
+        templates.push((scenario.name, request));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total_planned = config.warmup + config.requests;
+    let guard_before = whynot_guard::guard_stats();
+
+    let mut schedule: Vec<String> = Vec::with_capacity(total_planned);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut samples: Vec<SamplePoint> = Vec::new();
+    let mut issued = 0usize;
+    let started = Instant::now();
+    let mut measured_started: Option<Instant> = None;
+    let mut measured_finished = started;
+
+    while issued < total_planned {
+        if let Some(cap) = config.duration {
+            // Never stop inside the warmup: a report without a measurement
+            // window is useless.
+            if issued >= config.warmup && started.elapsed() >= cap {
+                break;
+            }
+        }
+        let wave_len = config.concurrency.min(total_planned - issued);
+        let wave_indices: Vec<usize> =
+            (0..wave_len).map(|_| rng.gen_range(0..templates.len())).collect();
+        let wave_requests: Vec<ExplainRequest> =
+            wave_indices.iter().map(|i| templates[*i].1.clone()).collect();
+        schedule.extend(wave_indices.iter().map(|i| templates[*i].0.clone()));
+
+        if measured_started.is_none() && issued + wave_len > config.warmup {
+            measured_started = Some(Instant::now());
+        }
+        let responses =
+            whynot_exec::with_threads(config.concurrency, || service.explain_batch(&wave_requests));
+        measured_finished = Instant::now();
+        for (offset, response) in responses.iter().enumerate() {
+            if issued + offset < config.warmup {
+                continue;
+            }
+            match response {
+                Ok(ok) => latencies_ns.push(ok.stats.duration.as_nanos() as u64),
+                Err(_) => errors += 1,
+            }
+        }
+        issued += wave_len;
+        samples.push(stats::sample_service_metrics(&service.cache_stats()));
+
+        if let Some(qps) = config.qps.filter(|q| *q > 0.0) {
+            let target = Duration::from_secs_f64(issued as f64 / qps);
+            let elapsed = started.elapsed();
+            if elapsed < target {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+    }
+
+    let measured_requests = issued.saturating_sub(config.warmup);
+    let wall = match measured_started {
+        Some(start) => measured_finished.duration_since(start),
+        None => Duration::ZERO,
+    };
+    let guard_after = whynot_guard::guard_stats();
+    Ok(LoadReport {
+        config: config.clone(),
+        schedule,
+        total_requests: issued,
+        measured_requests,
+        errors,
+        guard_trips: guard_after.trips() - guard_before.trips(),
+        cache: service.cache_stats(),
+        wall,
+        latency: LatencySummary::from_observations(latencies_ns),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_uses_nearest_rank() {
+        let summary = LatencySummary::from_observations((1..=100).collect());
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.min_ns, 1);
+        assert_eq!(summary.max_ns, 100);
+        assert_eq!(summary.p50_ns, 50);
+        assert_eq!(summary.p95_ns, 95);
+        assert_eq!(summary.p99_ns, 99);
+        assert_eq!(summary.mean_ns, 50); // (5050 / 100) truncated
+        assert_eq!(LatencySummary::from_observations(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn unknown_families_are_rejected() {
+        assert!(family_scenarios("nope", None).is_err());
+        let config = LoadgenConfig { family: "nope".into(), ..LoadgenConfig::default() };
+        assert!(run(&config).is_err());
+    }
+
+    #[test]
+    fn small_runs_produce_consistent_reports() {
+        let config = LoadgenConfig {
+            family: "running".into(),
+            seed: 7,
+            concurrency: 2,
+            requests: 6,
+            warmup: 2,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.total_requests, 8);
+        assert_eq!(report.measured_requests, 6);
+        assert_eq!(report.schedule.len(), 8);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count, 6);
+        assert!(report.latency.p50_ns > 0);
+        assert!(report.throughput_rps() > 0.0);
+        // One scenario → one distinct trace key → exactly one miss.
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 7);
+        assert!(!report.samples.is_empty());
+        let json = report.to_json();
+        assert!(json.get("latency_ms").unwrap().get("p99").and_then(Json::as_f64).unwrap() > 0.0);
+        assert_eq!(json.get("schedule").and_then(Json::as_array).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn bench_report_merge_adds_the_service_group() {
+        let dir = std::env::temp_dir().join(format!("whynot-loadgen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "groups": [{"name": "zeta", "samples_per_case": 1, "cases": []}]}"#,
+        )
+        .unwrap();
+        let config = LoadgenConfig {
+            family: "running".into(),
+            requests: 2,
+            warmup: 1,
+            concurrency: 1,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        report.merge_into_bench_report(&path).unwrap();
+        report.merge_into_bench_report(&path).unwrap(); // idempotent by group
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let groups = json.get("groups").and_then(Json::as_array).unwrap();
+        let names: Vec<&str> =
+            groups.iter().filter_map(|g| g.get("name").and_then(Json::as_str)).collect();
+        assert_eq!(names, vec!["service", "zeta"]);
+        let cases = groups[0].get("cases").and_then(Json::as_array).unwrap();
+        let case_names: Vec<&str> =
+            cases.iter().filter_map(|c| c.get("name").and_then(Json::as_str)).collect();
+        assert!(case_names.contains(&"running/p95_ms"));
+        assert!(case_names.contains(&"running/throughput_rps"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -9,7 +9,9 @@
 
 use whynot_exec::PoolStats;
 use whynot_guard::GuardStats;
-use whynot_obs::{Counter, Histogram, HistogramSnapshot, ProfileReport, SpanReport};
+use whynot_obs::{
+    Counter, Histogram, HistogramSnapshot, ProfileReport, SamplePoint, SpanReport, TimeSeries,
+};
 
 use crate::cache::CacheStats;
 use crate::error::{ServiceError, ServiceResult};
@@ -25,6 +27,80 @@ pub(crate) static BATCHES: Counter = Counter::new();
 pub(crate) static BATCH_REQUESTS: Counter = Counter::new();
 /// Per-request wall-clock latency (nanoseconds).
 pub(crate) static REQUEST_LATENCY: Histogram = Histogram::new();
+
+/// Number of metric samples the process retains (newest win).
+pub const METRICS_CAPACITY: usize = 512;
+
+/// Process-wide ring of timestamped metric samples: pushed by loadgen waves
+/// and by the `metrics` wire op, read back as the `points` of its response.
+static METRICS: TimeSeries = TimeSeries::new(METRICS_CAPACITY);
+
+/// Takes one timestamped sample of the process-wide service metrics (request
+/// counters, latency histogram, guard trips) around the given cache counters
+/// and appends it to the retained series. Returns the sample.
+pub fn sample_service_metrics(cache: &CacheStats) -> SamplePoint {
+    let guard = whynot_guard::guard_stats();
+    let point = SamplePoint {
+        at_ns: whynot_obs::monotonic_ns(),
+        counters: vec![
+            ("batch_requests".to_string(), BATCH_REQUESTS.get()),
+            ("batches".to_string(), BATCHES.get()),
+            ("cache_hits".to_string(), cache.hits),
+            ("cache_misses".to_string(), cache.misses),
+            ("guard_trips".to_string(), guard.trips()),
+            ("request_errors".to_string(), REQUEST_ERRORS.get()),
+            ("requests".to_string(), REQUESTS.get()),
+        ],
+        histograms: vec![("request_latency_ns".to_string(), REQUEST_LATENCY.snapshot())],
+    };
+    METRICS.push(point.clone());
+    point
+}
+
+/// The retained metric samples, oldest first.
+pub fn metrics_series() -> Vec<SamplePoint> {
+    METRICS.snapshot()
+}
+
+/// Encodes one metric sample for the `metrics` wire response.
+pub fn sample_point_to_json(point: &SamplePoint) -> Json {
+    Json::object([
+        ("at_ns", Json::Int(point.at_ns as i64)),
+        (
+            "counters",
+            Json::Object(
+                point.counters.iter().map(|(k, v)| (k.clone(), Json::Int(*v as i64))).collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Object(
+                point.histograms.iter().map(|(k, h)| (k.clone(), histogram_to_json(h))).collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes the full `metrics` wire response: capacity plus retained points.
+pub fn metrics_to_json(points: &[SamplePoint]) -> Json {
+    Json::object([
+        ("capacity", Json::Int(METRICS_CAPACITY as i64)),
+        ("points", Json::array(points.iter().map(sample_point_to_json))),
+    ])
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    Json::object([
+        ("count", Json::Int(h.count as i64)),
+        ("sum", Json::Int(h.sum as i64)),
+        ("min", Json::Int(h.min as i64)),
+        ("max", Json::Int(h.max as i64)),
+        ("mean", Json::Float(h.mean())),
+        ("p50", Json::Int(h.quantile(0.5) as i64)),
+        ("p95", Json::Int(h.quantile(0.95) as i64)),
+        ("p99", Json::Int(h.quantile(0.99) as i64)),
+    ])
+}
 
 /// Cumulative service metrics: process-wide request counters and latency
 /// histogram, the trace-cache counters of one service instance, and a
@@ -80,9 +156,13 @@ impl ServiceStats {
                     ("batch_requests", Json::Int(self.batch_requests as i64)),
                     (
                         "latency_ns",
+                        // `min`/`max` are exact observed extremes; the
+                        // percentiles remain log-bucket upper bounds.
                         Json::object([
                             ("count", Json::Int(self.latency.count as i64)),
                             ("sum", Json::Int(self.latency.sum as i64)),
+                            ("min", Json::Int(self.latency.min as i64)),
+                            ("max", Json::Int(self.latency.max as i64)),
                             ("mean", Json::Float(self.latency.mean())),
                             ("p50", Json::Int(self.latency.quantile(0.5) as i64)),
                             ("p95", Json::Int(self.latency.quantile(0.95) as i64)),
@@ -101,6 +181,7 @@ impl ServiceStats {
                     ("evictions", Json::Int(self.cache.evictions as i64)),
                     ("weight", Json::Int(self.cache.weight as i64)),
                     ("weight_capacity", Json::Int(self.cache.weight_capacity as i64)),
+                    ("hit_rate", Json::Float(self.cache.hit_rate())),
                 ]),
             ),
             (
@@ -121,10 +202,17 @@ impl ServiceStats {
                 "guard",
                 Json::object([
                     ("checks", Json::Int(self.guard.checks as i64)),
-                    ("deadline_trips", Json::Int(self.guard.deadline_trips as i64)),
-                    ("trace_budget_trips", Json::Int(self.guard.trace_budget_trips as i64)),
-                    ("eval_budget_trips", Json::Int(self.guard.eval_budget_trips as i64)),
-                    ("cancelled_trips", Json::Int(self.guard.cancelled_trips as i64)),
+                    ("trips", Json::Int(self.guard.trips() as i64)),
+                    (
+                        "trips_by_kind",
+                        Json::Object(
+                            self.guard
+                                .trips_by_kind()
+                                .iter()
+                                .map(|(kind, n)| (kind.to_string(), Json::Int(*n as i64)))
+                                .collect(),
+                        ),
+                    ),
                     ("faults_injected", Json::Int(self.guard.faults_injected as i64)),
                 ]),
             ),

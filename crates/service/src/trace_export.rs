@@ -1,0 +1,128 @@
+//! Chrome trace-event export for `whynot-obs` timelines.
+//!
+//! Encodes a [`Timeline`] as the Trace Event Format's JSON object form
+//! (`{"traceEvents": [...]}`), the format `chrome://tracing` and Perfetto
+//! load directly: each [`TimelineEvent`] becomes a duration event with
+//! `"ph": "B"` or `"E"`, microsecond timestamps on the shared monotonic
+//! clock, and the recorder's dense thread id as `tid`. The decoder inverts
+//! the encoding so tests (and anyone post-processing a trace) can round-trip
+//! through the workspace JSON parser and check begin/end balance with
+//! [`Timeline::check_balanced`].
+
+use whynot_obs::{Timeline, TimelineEvent, TimelinePhase};
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::json::Json;
+
+/// Encodes a timeline as Chrome trace-event JSON (object form). Timestamps
+/// are microseconds with fractional nanoseconds preserved; all events share
+/// `pid` 1 (one process).
+pub fn timeline_to_chrome_json(timeline: &Timeline) -> Json {
+    Json::object([
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "traceEvents",
+            Json::array(timeline.events.iter().map(|event| {
+                Json::object([
+                    ("name", Json::str(event.name.clone())),
+                    (
+                        "ph",
+                        Json::str(match event.phase {
+                            TimelinePhase::Begin => "B",
+                            TimelinePhase::End => "E",
+                        }),
+                    ),
+                    ("ts", Json::Float(event.at_ns as f64 / 1e3)),
+                    ("pid", Json::Int(1)),
+                    ("tid", Json::Int(event.thread as i64)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Decodes a Chrome trace-event document produced by
+/// [`timeline_to_chrome_json`] back into a [`Timeline`] (timestamps round to
+/// whole nanoseconds).
+pub fn timeline_from_chrome_json(json: &Json) -> ServiceResult<Timeline> {
+    let events = json
+        .get_required("traceEvents")
+        .map_err(|e| ServiceError::decode(e.to_string()))?
+        .as_array()
+        .ok_or_else(|| ServiceError::decode("`traceEvents` must be an array"))?;
+    let decoded = events
+        .iter()
+        .enumerate()
+        .map(|(i, event)| {
+            let field = |name: &str| {
+                event
+                    .get_required(name)
+                    .map_err(|e| ServiceError::decode(e.to_string()).at(i).at("traceEvents"))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or_else(|| ServiceError::decode("`name` must be a string"))?
+                .to_string();
+            let phase = match field("ph")?.as_str() {
+                Some("B") => TimelinePhase::Begin,
+                Some("E") => TimelinePhase::End,
+                other => {
+                    return Err(ServiceError::decode(format!(
+                        "`ph` must be \"B\" or \"E\", found {other:?}"
+                    )))
+                }
+            };
+            let at_us = field("ts")?
+                .as_f64()
+                .filter(|ts| *ts >= 0.0)
+                .ok_or_else(|| ServiceError::decode("`ts` must be a non-negative number"))?;
+            let thread = field("tid")?
+                .as_i64()
+                .filter(|t| *t >= 0)
+                .ok_or_else(|| ServiceError::decode("`tid` must be a non-negative integer"))?;
+            Ok(TimelineEvent {
+                thread: thread as u64,
+                name,
+                phase,
+                at_ns: (at_us * 1e3).round() as u64,
+            })
+        })
+        .collect::<ServiceResult<Vec<_>>>()?;
+    Ok(Timeline { events: decoded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(thread: u64, name: &str, phase: TimelinePhase, at_ns: u64) -> TimelineEvent {
+        TimelineEvent { thread, name: name.to_string(), phase, at_ns }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_parser() {
+        let timeline = Timeline {
+            events: vec![
+                event(0, "batch", TimelinePhase::Begin, 1_000),
+                event(1, "request", TimelinePhase::Begin, 1_500),
+                event(1, "request", TimelinePhase::End, 9_500),
+                event(0, "batch", TimelinePhase::End, 10_000),
+            ],
+        };
+        let json = timeline_to_chrome_json(&timeline);
+        // Round-trip through *text*, as a file on disk would.
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        let decoded = timeline_from_chrome_json(&parsed).unwrap();
+        assert_eq!(decoded, timeline);
+        assert!(decoded.check_balanced().is_ok());
+    }
+
+    #[test]
+    fn malformed_phases_are_rejected() {
+        let doc = Json::parse(
+            r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}]}"#,
+        )
+        .unwrap();
+        assert!(timeline_from_chrome_json(&doc).is_err());
+    }
+}

@@ -7,8 +7,8 @@
 
 use whynot_exec::with_threads;
 use whynot_scenarios::{crime, running, Scenario};
-use whynot_service::service::{DbRef, ExplainRequest, ExplainService, PlanRef};
 use whynot_service::json::Json;
+use whynot_service::service::{DbRef, ExplainRequest, ExplainService, PlanRef};
 
 /// Registers the two scenario payloads under the catalog names the batch
 /// addresses. The unhealthy questions get their own names (`faulty`,
@@ -152,8 +152,14 @@ fn wire_batch_reports_structured_errors_with_paths() {
     let tripped = responses[2].get("error").expect("tripped request becomes an error entry");
     assert_eq!(tripped.get("kind").and_then(Json::as_str), Some("deadline"));
 
-    // The trip is visible in the cumulative guard counters.
+    // The trip is visible in the cumulative guard counters, broken down by
+    // the wire kind it surfaced as.
     let stats = service.handle_wire(&Json::object([("op", Json::str("stats"))])).unwrap();
     let guard = stats.get("guard").expect("stats carry a guard section");
-    assert!(guard.get("deadline_trips").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(guard.get("trips").and_then(Json::as_i64).unwrap() >= 1);
+    let by_kind = guard.get("trips_by_kind").expect("stats break trips down by kind");
+    assert!(by_kind.get("deadline").and_then(Json::as_i64).unwrap() >= 1);
+    for kind in ["trace_budget", "eval_budget", "cancelled"] {
+        assert!(by_kind.get(kind).and_then(Json::as_i64).is_some(), "missing kind `{kind}`");
+    }
 }
