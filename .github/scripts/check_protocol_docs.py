@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Docs-drift check: every wire op and stable error kind in the source must
+appear in docs/PROTOCOL.md.
+
+The protocol document is the public contract; this script extracts the
+contract surface directly from the source so a new op or error kind cannot
+land undocumented:
+
+* wire op names from the `handle_wire` dispatch in
+  crates/service/src/service.rs (`op == "..."` match guards),
+* service error kinds from `ServiceError::kind` in
+  crates/service/src/error.rs and resource kinds from `ResourceError::kind`
+  in crates/guard/src/lib.rs (`=> "..."` match arms),
+* the HTTP-layer kind from `http_error_json` in
+  crates/service/src/http.rs.
+
+Each extracted name must appear in docs/PROTOCOL.md as the inline-code
+token `` `name` `` (backticked, the way the document writes every op and
+kind). Run from the repository root: python3 .github/scripts/check_protocol_docs.py
+"""
+
+import re
+import sys
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def extract_fn(source, name):
+    """The body of `fn name` up to the next `fn ` at the same file level —
+    crude but stable for the small match-arm functions we scan."""
+    at = source.index(f"fn {name}")
+    rest = source[at:]
+    nxt = rest.find("\n    pub fn ", 1)
+    if nxt == -1:
+        nxt = rest.find("\nfn ", 1)
+    return rest if nxt == -1 else rest[:nxt]
+
+
+def main():
+    ops = set()
+    service_rs = read("crates/service/src/service.rs")
+    handle_wire = extract_fn(service_rs, "handle_wire")
+    ops.update(re.findall(r'op == "(\w+)"', handle_wire))
+    assert ops, "no wire ops extracted from handle_wire — did the dispatch move?"
+
+    kinds = set()
+    error_rs = read("crates/service/src/error.rs")
+    kinds.update(re.findall(r'=> "(\w+)"', extract_fn(error_rs, "kind")))
+    guard_rs = read("crates/guard/src/lib.rs")
+    kinds.update(re.findall(r'=> "(\w+)"', extract_fn(guard_rs, "kind")))
+    http_rs = read("crates/service/src/http.rs")
+    kinds.update(re.findall(r'"kind", Json::str\("(\w+)"\)', extract_fn(http_rs, "http_error_json")))
+    assert kinds, "no error kinds extracted — did the kind() functions move?"
+
+    docs = read("docs/PROTOCOL.md")
+    missing = []
+    for name in sorted(ops):
+        if f"`{name}`" not in docs:
+            missing.append(f"wire op `{name}`")
+    for name in sorted(kinds):
+        if f"`{name}`" not in docs:
+            missing.append(f"error kind `{name}`")
+    if missing:
+        sys.exit(
+            "docs/PROTOCOL.md is out of date, missing: "
+            + ", ".join(missing)
+            + "\n(every wire op and stable error kind must be documented)"
+        )
+    print(
+        f"docs/PROTOCOL.md OK: covers {len(ops)} wire ops "
+        f"({', '.join(sorted(ops))}) and {len(kinds)} error kinds "
+        f"({', '.join(sorted(kinds))})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -315,6 +315,56 @@ def main():
         )
     )
 
+    # The `http/*` rows come from `whynot-loadgen --http` against a running
+    # `whynot serve`: same seeded schedule over real sockets. The transport
+    # must add no loss and no semantic drift — zero transport errors, zero
+    # byte-level answer mismatches against the in-process engine — and the
+    # latency/throughput rows obey the same shape rules as the in-process
+    # ones.
+    for case in (
+        "http/p50_ms",
+        "http/p95_ms",
+        "http/p99_ms",
+        "http/max_ms",
+        "http/mean_ms",
+        "http/throughput_rps",
+        "http/error_rate",
+        "http/cache_hit_rate",
+        "http/shed_rate",
+        "http/transport_errors",
+        "http/answer_mismatches",
+    ):
+        assert case in service, f"service group lacks {case}: {sorted(service)}"
+    for case in ("http/p50_ms", "http/p95_ms", "http/p99_ms", "http/throughput_rps"):
+        assert service[case]["min_ms"] > 0, f"service {case} must be non-zero"
+    assert (
+        service["http/p50_ms"]["min_ms"]
+        <= service["http/p95_ms"]["min_ms"]
+        <= service["http/p99_ms"]["min_ms"]
+        <= service["http/max_ms"]["min_ms"] + 1e-9
+    ), "service http latency percentiles must be monotone"
+    for case in ("http/error_rate", "http/cache_hit_rate", "http/shed_rate"):
+        assert 0.0 <= service[case]["min_ms"] <= 1.0, f"service {case} must be a ratio"
+    assert service["http/transport_errors"]["min_ms"] == 0, (
+        "the HTTP load run lost requests to the transport: "
+        f"{service['http/transport_errors']['min_ms']}"
+    )
+    assert service["http/answer_mismatches"]["min_ms"] == 0, (
+        "HTTP answers drifted from the in-process engine: "
+        f"{service['http/answer_mismatches']['min_ms']}"
+    )
+    print(
+        "service/http: p50 {:.2f} ms, p95 {:.2f} ms, p99 {:.2f} ms, {:.1f} req/s, "
+        "{:.1%} errors, {:.1%} shed, 0 transport errors, 0 mismatches".format(
+            service["http/p50_ms"]["min_ms"],
+            service["http/p95_ms"]["min_ms"],
+            service["http/p99_ms"]["min_ms"],
+            service["http/throughput_rps"]["min_ms"],
+            service["http/error_rate"]["min_ms"],
+            service["http/shed_rate"]["min_ms"],
+        )
+    )
+
     # Perf-regression gate: the re-measured value_layer, columnar, and join
     # groups must not be more than 2x slower than the committed baseline.
     # The service group joins the gate on its SLO figures: p95 latency may
@@ -349,6 +399,8 @@ def main():
                 # gates capacity (inverted ratio: baseline / measured).
                 ("dblp/p95_ms", True),
                 ("dblp/throughput_rps", False),
+                ("http/p95_ms", True),
+                ("http/throughput_rps", False),
             ]
             for case_name, higher_is_worse in service_gate:
                 base = baseline_cases.get("service", {}).get(case_name)

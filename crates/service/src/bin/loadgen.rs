@@ -4,7 +4,7 @@
 //! ```text
 //! whynot-loadgen [--family dblp] [--scale N] [--seed 42] [--concurrency 8]
 //!                [--requests 200] [--warmup N] [--qps Q] [--duration-secs S]
-//!                [--timeout-ms MS] [--json] [--out FILE]
+//!                [--timeout-ms MS] [--http ADDR] [--json] [--out FILE]
 //!                [--bench-report FILE] [--trace-out FILE] [--folded-out FILE]
 //! ```
 //!
@@ -15,6 +15,13 @@
 //! hit rate, per-wave metric samples — prints as text (or `--json`) and can
 //! be written to `--out`. `--bench-report FILE` merges the run into a
 //! `BENCH_figures.json`-style report as the CI-gated `service` group.
+//!
+//! `--http ADDR` replays the same seeded schedule over real sockets against
+//! a running `whynot serve` (which must have the family preloaded via
+//! `--scenarios`): persistent keep-alive connections, client-side latency,
+//! 429/transport accounting, and a byte-identity check of every answer
+//! against the in-process engine. Its bench rows land under the `http/`
+//! prefix of the `service` group.
 //!
 //! `--trace-out FILE` records the run under an `obs::timeline` session and
 //! writes Chrome trace-event JSON (open in `chrome://tracing` or Perfetto);
@@ -32,17 +39,21 @@ USAGE:
     whynot-loadgen [--family dblp|twitter|tpch|crime|running|all] [--scale N]
                    [--seed 42] [--concurrency 8] [--requests 200] [--warmup N]
                    [--qps Q] [--duration-secs S] [--timeout-ms MS]
-                   [--json] [--out FILE] [--bench-report FILE]
+                   [--http ADDR] [--json] [--out FILE] [--bench-report FILE]
                    [--trace-out FILE] [--folded-out FILE]
 
 --requests counts *measured* requests; --warmup extra requests (default:
 one wave of --concurrency) run first and are excluded from the figures.
 --qps paces waves to a target request rate; --duration-secs caps the run's
-wall clock. --bench-report merges the run into BENCH_figures.json as the
-`service` group. --trace-out writes a Chrome trace-event file of the run;
---folded-out writes folded flamegraph stacks from a profiling session.
-A fixed seed reproduces the exact same question schedule at any thread
-count; only wall-clock figures vary.
+wall clock. --http ADDR replays the schedule over sockets against a running
+`whynot serve --scenarios <family>` (persistent keep-alive connections,
+client-side latency, 429/transport accounting, byte-identity answer check);
+its bench rows use the `http/` prefix. --bench-report merges the run into
+BENCH_figures.json inside the `service` group (case-level: `http/` and
+in-process family rows accumulate side by side). --trace-out writes a
+Chrome trace-event file of the run; --folded-out writes folded flamegraph
+stacks from a profiling session. A fixed seed reproduces the exact same
+question schedule at any thread count; only wall-clock figures vary.
 ";
 
 fn main() -> ExitCode {
@@ -133,6 +144,7 @@ fn config_from_flags(flags: &Flags) -> ServiceResult<LoadgenConfig> {
     config.qps = flags.parsed("qps")?;
     config.duration = flags.parsed::<f64>("duration-secs")?.map(std::time::Duration::from_secs_f64);
     config.timeout_ms = flags.parsed("timeout-ms")?;
+    config.http_addr = flags.value("http").map(str::to_string);
     Ok(config)
 }
 
@@ -149,6 +161,7 @@ fn run_cli(args: &[String]) -> ServiceResult<()> {
             "qps",
             "duration-secs",
             "timeout-ms",
+            "http",
             "out",
             "bench-report",
             "trace-out",

@@ -59,6 +59,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("scenarios") => cmd_scenarios(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -84,6 +85,16 @@ USAGE:
     whynot scenarios list
     whynot scenarios export <dir>
     whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N] [--profile] [--profile-out FILE]
+    whynot serve [--addr 127.0.0.1:7171] [--scenarios FAMILY[,FAMILY...]] [--threads N]
+                 [--workers N] [--queue N] [--max-body-bytes N]
+                 [--default-timeout-ms MS] [--keep-alive-secs S] [--retry-after-secs S]
+
+`serve` starts the HTTP/1.1 front end (POST /v1/explain|batch|stats|metrics,
+GET /healthz; see docs/PROTOCOL.md). --scenarios preloads the named scenario
+families into the catalog so requests can address their databases and plans
+by name (the same names `whynot-loadgen --http` sends). The server runs
+until stdin reaches end-of-file, then shuts down cleanly — drive it from a
+pipe or FIFO to control its lifetime (e.g. `mkfifo ctl; whynot serve < ctl`).
 
 The question file holds {\"why_not\": ..., \"alternatives\": [...]} and may
 optionally inline \"db\" and \"plan\" (then the flags may be omitted).
@@ -480,6 +491,105 @@ fn cmd_metrics(args: &[String]) -> ServiceResult<()> {
     run_optional_batch(&mut service, &flags)?;
     let metrics_doc = service.handle_wire(&Json::object([("op", Json::str("metrics"))]))?;
     print_json(&metrics_doc, flags.switch("compact"));
+    Ok(())
+}
+
+/// `whynot serve`: the HTTP/1.1 front end. Binds, preloads the requested
+/// scenario families into the catalog, prints the listening address, and
+/// serves until stdin reaches EOF (clean shutdown, exit 0).
+fn cmd_serve(args: &[String]) -> ServiceResult<()> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "addr",
+            "scenarios",
+            "threads",
+            "workers",
+            "queue",
+            "max-body-bytes",
+            "default-timeout-ms",
+            "keep-alive-secs",
+            "retry-after-secs",
+        ],
+    )?;
+    flags.apply_threads()?;
+
+    let mut service = ExplainService::new();
+    let mut preloaded: Vec<String> = Vec::new();
+    if let Some(families) = flags.value("scenarios") {
+        for family in families.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            for scenario in whynot_service::loadgen::family_scenarios(family, None)? {
+                service.catalog_mut().register_database(scenario.name.clone(), scenario.db);
+                service.catalog_mut().register_plan(scenario.name.clone(), scenario.plan);
+                preloaded.push(scenario.name);
+            }
+        }
+    }
+
+    let mut config = whynot_service::ServeConfig::default();
+    if let Some(addr) = flags.value("addr") {
+        config.addr = addr.to_string();
+    }
+    let parse_usize = |name: &str| -> ServiceResult<Option<usize>> {
+        flags
+            .value(name)
+            .map(|v| {
+                v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    ServiceError::decode(format!("--{name} needs a positive integer"))
+                })
+            })
+            .transpose()
+    };
+    if let Some(workers) = parse_usize("workers")? {
+        config.workers = workers;
+    }
+    if let Some(queue) = parse_usize("queue")? {
+        config.queue_capacity = queue;
+    }
+    if let Some(max_body) = parse_usize("max-body-bytes")? {
+        config.max_body_bytes = max_body;
+    }
+    let parse_u64 = |name: &str| -> ServiceResult<Option<u64>> {
+        flags
+            .value(name)
+            .map(|v| {
+                v.parse::<u64>().map_err(|_| {
+                    ServiceError::decode(format!("--{name} needs a non-negative integer"))
+                })
+            })
+            .transpose()
+    };
+    config.default_timeout_ms = parse_u64("default-timeout-ms")?;
+    if let Some(secs) = parse_u64("keep-alive-secs")? {
+        config.keep_alive_secs = secs.max(1);
+    }
+    if let Some(secs) = parse_u64("retry-after-secs")? {
+        config.retry_after_secs = secs;
+    }
+
+    let handle = whynot_service::serve(std::sync::Arc::new(service), config.clone())
+        .map_err(ServiceError::Io)?;
+    // Stdout carries exactly one machine-readable line (CI greps it for the
+    // address); the human-facing detail goes to stderr.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "whynot serve: {} workers, queue {}, {} scenario(s) preloaded{}{}",
+        config.workers.max(1),
+        config.queue_capacity.max(1),
+        preloaded.len(),
+        if preloaded.is_empty() { "" } else { ": " },
+        preloaded.join(", "),
+    );
+    eprintln!("whynot serve: serving until stdin reaches EOF");
+
+    // Block until whoever started us closes our stdin (FIFO, pipe, or
+    // Ctrl-D), then shut down cleanly. Content on stdin is ignored.
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+    eprintln!("whynot serve: stdin closed, shutting down");
+    handle.shutdown();
     Ok(())
 }
 

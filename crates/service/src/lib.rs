@@ -29,6 +29,11 @@
 //! * [`loadgen`] — deterministic seeded load generation against
 //!   `explain_batch` (the `whynot-loadgen` binary) with exact latency
 //!   percentiles, throughput, and `BENCH_figures.json` integration.
+//! * [`http`] — `whynot-serve`: a dependency-free HTTP/1.1 front end routing
+//!   `POST /v1/explain|batch|stats|metrics` onto the wire dispatch, with a
+//!   bounded admission queue (429 + `Retry-After` shedding) and per-request
+//!   guard deadlines; plus the minimal client used by `whynot-loadgen
+//!   --http`.
 //! * [`trace_export`] — Chrome trace-event JSON export for `whynot-obs`
 //!   timelines (`chrome://tracing` / Perfetto).
 
@@ -38,6 +43,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod error;
+pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod report;
@@ -46,9 +52,10 @@ pub mod stats;
 pub mod trace_export;
 pub mod wire;
 
-pub use cache::{CacheStats, TraceCache, TraceKey};
+pub use cache::{CacheStats, ShardOccupancy, TraceCache, TraceKey};
 pub use catalog::{Catalog, DbHandle, PlanHandle};
 pub use error::{ServiceError, ServiceResult};
+pub use http::{serve, HttpClient, HttpResponse, HttpStats, ServeConfig, ServerHandle};
 pub use json::{Json, JsonError};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use report::ExplanationReport;

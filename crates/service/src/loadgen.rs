@@ -19,6 +19,16 @@
 //! canonicalizes that deterministic part for the equivalence tests, and
 //! [`LoadReport::merge_into_bench_report`] lands the wall-clock figures in
 //! `BENCH_figures.json` as the CI-gated `service` group.
+//!
+//! With [`LoadgenConfig::http_addr`] set (`whynot-loadgen --http ADDR`), the
+//! same seeded schedule is replayed over real sockets against a running
+//! `whynot serve`: one persistent keep-alive [`crate::HttpClient`] per
+//! concurrency slot, client-side latency, and an **answer-identity check** —
+//! every HTTP response's `report` is compared byte-for-byte against the
+//! report computed in-process for the same scenario, so the bench rows
+//! (`http/*`) certify the transport adds no semantic drift. 429 sheds,
+//! transport errors, and mismatches are counted separately from service
+//! errors.
 
 use std::time::{Duration, Instant};
 
@@ -58,6 +68,10 @@ pub struct LoadgenConfig {
     pub duration: Option<Duration>,
     /// Optional per-request deadline (exercises the guard under load).
     pub timeout_ms: Option<u64>,
+    /// Replay over HTTP against a running `whynot serve` at this address
+    /// (e.g. `127.0.0.1:7171`) instead of in-process. The server must have
+    /// the run's scenario family preloaded (`whynot serve --scenarios ...`).
+    pub http_addr: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -72,6 +86,7 @@ impl Default for LoadgenConfig {
             qps: None,
             duration: None,
             timeout_ms: None,
+            http_addr: None,
         }
     }
 }
@@ -155,7 +170,19 @@ pub struct LoadReport {
     pub measured_requests: usize,
     /// Measured requests that returned an error.
     pub errors: u64,
-    /// Guard trips over the whole run (process-wide delta).
+    /// HTTP runs: measured requests shed with 429 by admission control
+    /// (counted apart from `errors` — shedding is the server *working as
+    /// designed* under overload). Always 0 in-process.
+    pub shed: u64,
+    /// HTTP runs: measured requests lost to the transport (connect/send/read
+    /// failures). Always 0 in-process.
+    pub transport_errors: u64,
+    /// HTTP runs: 200 responses whose `report` differed byte-for-byte from
+    /// the in-process answer for the same scenario. Always 0 in-process —
+    /// and must be 0 over HTTP too (CI-gated).
+    pub answer_mismatches: u64,
+    /// Guard trips over the whole run (process-wide delta; for HTTP runs the
+    /// *server's* delta, read from `/v1/stats`).
     pub guard_trips: u64,
     /// Trace-cache counters of the run's service instance (whole run).
     pub cache: CacheStats,
@@ -184,6 +211,15 @@ impl LoadReport {
             0.0
         } else {
             self.errors as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// Fraction of measured requests shed with 429 (HTTP runs).
+    pub fn shed_rate(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.measured_requests as f64
         }
     }
 
@@ -226,8 +262,19 @@ impl LoadReport {
             ("total_requests", Json::Int(self.total_requests as i64)),
             ("measured_requests", Json::Int(self.measured_requests as i64)),
             ("warmup_requests", Json::Int((self.total_requests - self.measured_requests) as i64)),
+            (
+                "transport",
+                Json::str(match &self.config.http_addr {
+                    Some(addr) => format!("http://{addr}"),
+                    None => "in-process".to_string(),
+                }),
+            ),
             ("errors", Json::Int(self.errors as i64)),
             ("error_rate", Json::Float(self.error_rate())),
+            ("shed", Json::Int(self.shed as i64)),
+            ("shed_rate", Json::Float(self.shed_rate())),
+            ("transport_errors", Json::Int(self.transport_errors as i64)),
+            ("answer_mismatches", Json::Int(self.answer_mismatches as i64)),
             ("guard_trips", Json::Int(self.guard_trips as i64)),
             ("guard_trip_rate", Json::Float(self.guard_trip_rate())),
             ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
@@ -273,6 +320,15 @@ impl LoadReport {
             self.error_rate() * 100.0,
             self.guard_trips,
         ));
+        if let Some(addr) = &self.config.http_addr {
+            out.push_str(&format!(
+                "  http:       {addr} — {} shed ({:.2}%), {} transport errors, {} answer mismatches\n",
+                self.shed,
+                self.shed_rate() * 100.0,
+                self.transport_errors,
+                self.answer_mismatches,
+            ));
+        }
         out.push_str(&format!(
             "  latency:    p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms  mean {:.3} ms\n",
             ms(self.latency.p50_ns),
@@ -296,56 +352,88 @@ impl LoadReport {
         out
     }
 
+    /// The case-name prefix this run's bench rows use inside the `service`
+    /// group: the scenario family in-process, `http` over the wire (the HTTP
+    /// sub-group measures the transport, whatever family drives it).
+    pub fn bench_case_prefix(&self) -> &str {
+        if self.config.http_addr.is_some() {
+            "http"
+        } else {
+            &self.config.family
+        }
+    }
+
     /// The `(case, value)` rows this report contributes to the
     /// `BENCH_figures.json` `service` group.
     pub fn bench_cases(&self) -> Vec<(String, f64)> {
-        let family = &self.config.family;
+        let prefix = self.bench_case_prefix();
         let ms = |ns: u64| ns as f64 / 1e6;
-        vec![
-            (format!("{family}/p50_ms"), ms(self.latency.p50_ns)),
-            (format!("{family}/p95_ms"), ms(self.latency.p95_ns)),
-            (format!("{family}/p99_ms"), ms(self.latency.p99_ns)),
-            (format!("{family}/max_ms"), ms(self.latency.max_ns)),
-            (format!("{family}/mean_ms"), ms(self.latency.mean_ns)),
-            (format!("{family}/throughput_rps"), self.throughput_rps()),
-            (format!("{family}/error_rate"), self.error_rate()),
-            (format!("{family}/cache_hit_rate"), self.cache.hit_rate()),
-        ]
+        let mut cases = vec![
+            (format!("{prefix}/p50_ms"), ms(self.latency.p50_ns)),
+            (format!("{prefix}/p95_ms"), ms(self.latency.p95_ns)),
+            (format!("{prefix}/p99_ms"), ms(self.latency.p99_ns)),
+            (format!("{prefix}/max_ms"), ms(self.latency.max_ns)),
+            (format!("{prefix}/mean_ms"), ms(self.latency.mean_ns)),
+            (format!("{prefix}/throughput_rps"), self.throughput_rps()),
+            (format!("{prefix}/error_rate"), self.error_rate()),
+            (format!("{prefix}/cache_hit_rate"), self.cache.hit_rate()),
+        ];
+        if self.config.http_addr.is_some() {
+            cases.push((format!("{prefix}/shed_rate"), self.shed_rate()));
+            cases.push((format!("{prefix}/transport_errors"), self.transport_errors as f64));
+            cases.push((format!("{prefix}/answer_mismatches"), self.answer_mismatches as f64));
+        }
+        cases
     }
 
-    /// Merges this run into a `BENCH_figures.json`-style report as the
-    /// `service` group (same merge-by-group protocol as the micro-benchmark
-    /// harness: groups are keyed by name, kept sorted, the incoming group
-    /// replaces a stale one).
+    /// Merges this run into a `BENCH_figures.json`-style report inside the
+    /// `service` group. The merge is **case-level**: only cases under this
+    /// run's [`LoadReport::bench_case_prefix`] are replaced, so an in-process
+    /// `dblp/*` run and an `http/*` run accumulate side by side in the one
+    /// group. Groups stay keyed by name and sorted (the micro-benchmark
+    /// harness protocol); cases within `service` are sorted by name.
     pub fn merge_into_bench_report(&self, path: &std::path::Path) -> ServiceResult<()> {
         let mut groups: Vec<(String, Json)> = Vec::new();
+        let mut cases: Vec<(String, Json)> = Vec::new();
         if let Ok(existing) = std::fs::read_to_string(path) {
             if let Ok(json) = Json::parse(&existing) {
                 if let Some(list) = json.get("groups").and_then(Json::as_array) {
                     for group in list {
-                        if let Some(name) = group.get("name").and_then(Json::as_str) {
+                        let Some(name) = group.get("name").and_then(Json::as_str) else { continue };
+                        if name == "service" {
+                            // Keep the service cases other prefixes own.
+                            let retained =
+                                group.get("cases").and_then(Json::as_array).unwrap_or(&[]);
+                            let own = format!("{}/", self.bench_case_prefix());
+                            for case in retained {
+                                if let Some(case_name) = case.get("name").and_then(Json::as_str) {
+                                    if !case_name.starts_with(&own) {
+                                        cases.push((case_name.to_string(), case.clone()));
+                                    }
+                                }
+                            }
+                        } else {
                             groups.push((name.to_string(), group.clone()));
                         }
                     }
                 }
             }
         }
+        for (name, value) in self.bench_cases() {
+            let case = Json::object([
+                ("name", Json::str(name.clone())),
+                ("mean_ms", Json::Float(value)),
+                ("min_ms", Json::Float(value)),
+                ("max_ms", Json::Float(value)),
+            ]);
+            cases.push((name, case));
+        }
+        cases.sort_by(|a, b| a.0.cmp(&b.0));
         let group = Json::object([
             ("name", Json::str("service")),
             ("samples_per_case", Json::Int(1)),
-            (
-                "cases",
-                Json::array(self.bench_cases().into_iter().map(|(name, value)| {
-                    Json::object([
-                        ("name", Json::str(name)),
-                        ("mean_ms", Json::Float(value)),
-                        ("min_ms", Json::Float(value)),
-                        ("max_ms", Json::Float(value)),
-                    ])
-                })),
-            ),
+            ("cases", Json::array(cases.into_iter().map(|(_, c)| c))),
         ]);
-        groups.retain(|(name, _)| name != "service");
         groups.push(("service".to_string(), group));
         groups.sort_by(|a, b| a.0.cmp(&b.0));
         let report = Json::object([
@@ -360,12 +448,18 @@ impl LoadReport {
 /// Runs one load generation session: builds a fresh [`ExplainService`] over
 /// the configured scenario family, replays the seeded schedule in waves of
 /// `concurrency`, and reports exact percentiles, throughput, and rates.
+/// With [`LoadgenConfig::http_addr`] set, the same schedule replays over
+/// real sockets instead, byte-comparing every answer against the in-process
+/// engine.
 pub fn run(config: &LoadgenConfig) -> ServiceResult<LoadReport> {
     if config.concurrency == 0 {
         return Err(ServiceError::decode("concurrency must be at least 1"));
     }
     if config.requests == 0 {
         return Err(ServiceError::decode("requests must be at least 1"));
+    }
+    if let Some(addr) = config.http_addr.clone() {
+        return run_http(config, &addr);
     }
     let scenarios = family_scenarios(&config.family, config.scale)?;
     let mut service = ExplainService::new();
@@ -452,11 +546,246 @@ pub fn run(config: &LoadgenConfig) -> ServiceResult<LoadReport> {
         total_requests: issued,
         measured_requests,
         errors,
+        shed: 0,
+        transport_errors: 0,
+        answer_mismatches: 0,
         guard_trips: guard_after.trips() - guard_before.trips(),
         cache: service.cache_stats(),
         wall,
         latency: LatencySummary::from_observations(latencies_ns),
         samples,
+    })
+}
+
+/// One measured outcome of an HTTP request.
+enum HttpOutcome {
+    /// 200 with a byte-identical report (latency in nanoseconds).
+    Ok(u64),
+    /// 200 whose report differed from the in-process answer (still counts a
+    /// latency observation — the request *completed*).
+    Mismatch(u64),
+    /// 429 from admission control.
+    Shed,
+    /// Any other status: the service rejected or failed the request.
+    Error,
+    /// The transport itself failed (connect/send/read).
+    Transport,
+}
+
+/// Server-side counters read from `GET /v1/stats`, used to delta the cache
+/// and guard figures across the run.
+struct WireServerStats {
+    cache: CacheStats,
+    guard_trips: u64,
+}
+
+fn fetch_server_stats(addr: &str) -> ServiceResult<WireServerStats> {
+    let mut client = crate::http::HttpClient::connect(addr)
+        .map_err(|e| ServiceError::decode(format!("cannot connect to `{addr}`: {e}")))?;
+    let response = client.get("/v1/stats").map_err(|e| {
+        ServiceError::decode(format!("cannot fetch `/v1/stats` from `{addr}`: {e}"))
+    })?;
+    if response.status != 200 {
+        return Err(ServiceError::decode(format!(
+            "`/v1/stats` on `{addr}` answered {}: {}",
+            response.status, response.body
+        )));
+    }
+    let doc = Json::parse(&response.body)?;
+    let int = |node: &Json, field: &str| -> u64 {
+        node.get(field).and_then(Json::as_i64).map(|i| i.max(0) as u64).unwrap_or(0)
+    };
+    let cache_node = doc.get("trace_cache").cloned().unwrap_or(Json::Null);
+    let cache = CacheStats {
+        hits: int(&cache_node, "hits"),
+        misses: int(&cache_node, "misses"),
+        coalesced: int(&cache_node, "coalesced"),
+        entries: int(&cache_node, "entries") as usize,
+        evictions: int(&cache_node, "evictions"),
+        weight: int(&cache_node, "weight"),
+        weight_capacity: int(&cache_node, "weight_capacity"),
+        shards: int(&cache_node, "shards") as usize,
+    };
+    let guard_trips = doc.get("guard").map(|g| int(g, "trips")).unwrap_or(0);
+    Ok(WireServerStats { cache, guard_trips })
+}
+
+/// Replays the seeded schedule against `whynot serve` at `addr`: one
+/// persistent keep-alive connection per concurrency slot, `POST /v1/explain`
+/// bodies from [`ExplainRequest::to_json`], client-side latency, and a
+/// byte-identity check of every answer against the in-process path.
+fn run_http(config: &LoadgenConfig, addr: &str) -> ServiceResult<LoadReport> {
+    let scenarios = family_scenarios(&config.family, config.scale)?;
+    // The in-process reference: expected reports are computed once per
+    // scenario from the same engine code, so any byte difference over HTTP
+    // is transport-induced (and CI-gated to zero). Scenarios the reference
+    // itself fails (e.g. a deliberately impossible timeout) have no expected
+    // report; their HTTP 200s count as mismatches, their errors as errors.
+    let mut reference = ExplainService::new();
+    struct Template {
+        name: String,
+        body: String,
+        expected_report: Option<String>,
+    }
+    let mut templates: Vec<Template> = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        reference.catalog_mut().register_database(scenario.name.clone(), scenario.db);
+        reference.catalog_mut().register_plan(scenario.name.clone(), scenario.plan);
+        let mut request = ExplainRequest::new(
+            DbRef::Named(scenario.name.clone()),
+            PlanRef::Named(scenario.name.clone()),
+            scenario.why_not,
+        )
+        .with_alternatives(scenario.alternatives);
+        if let Some(ms) = config.timeout_ms {
+            request = request.with_timeout_ms(ms);
+        }
+        let expected_report =
+            reference.explain(&request).ok().map(|r| r.report.to_json().to_compact());
+        templates.push(Template {
+            name: scenario.name,
+            body: request.to_json()?.to_compact(),
+            expected_report,
+        });
+    }
+
+    let stats_before = fetch_server_stats(addr)?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total_planned = config.warmup + config.requests;
+    let mut schedule: Vec<String> = Vec::with_capacity(total_planned);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut shed = 0u64;
+    let mut transport_errors = 0u64;
+    let mut answer_mismatches = 0u64;
+    let mut issued = 0usize;
+    // One connection per slot, (re)connected lazily so a shed or transport
+    // failure on a slot does not poison the rest of the run.
+    let mut clients: Vec<Option<crate::http::HttpClient>> = Vec::new();
+    clients.resize_with(config.concurrency, || None);
+    let started = Instant::now();
+    let mut measured_started: Option<Instant> = None;
+    let mut measured_finished = started;
+
+    while issued < total_planned {
+        if let Some(cap) = config.duration {
+            if issued >= config.warmup && started.elapsed() >= cap {
+                break;
+            }
+        }
+        let wave_len = config.concurrency.min(total_planned - issued);
+        let wave_indices: Vec<usize> =
+            (0..wave_len).map(|_| rng.gen_range(0..templates.len())).collect();
+        schedule.extend(wave_indices.iter().map(|i| templates[*i].name.clone()));
+        if measured_started.is_none() && issued + wave_len > config.warmup {
+            measured_started = Some(Instant::now());
+        }
+
+        let outcomes: Vec<HttpOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave_indices
+                .iter()
+                .zip(clients.iter_mut())
+                .map(|(template_idx, slot)| {
+                    let template = &templates[*template_idx];
+                    scope.spawn(move || {
+                        if slot.is_none() {
+                            *slot = crate::http::HttpClient::connect(addr).ok();
+                        }
+                        let Some(client) = slot.as_mut() else { return HttpOutcome::Transport };
+                        let sent = Instant::now();
+                        let response = match client.post_json("/v1/explain", &template.body, &[]) {
+                            Ok(response) => response,
+                            Err(_) => {
+                                *slot = None;
+                                return HttpOutcome::Transport;
+                            }
+                        };
+                        let elapsed_ns = sent.elapsed().as_nanos() as u64;
+                        if response.header("connection") == Some("close") {
+                            *slot = None;
+                        }
+                        match response.status {
+                            200 => {
+                                let identical = Json::parse(&response.body)
+                                    .ok()
+                                    .and_then(|doc| doc.get("report").map(|r| r.to_compact()))
+                                    .as_deref()
+                                    == template.expected_report.as_deref();
+                                if identical {
+                                    HttpOutcome::Ok(elapsed_ns)
+                                } else {
+                                    HttpOutcome::Mismatch(elapsed_ns)
+                                }
+                            }
+                            429 => HttpOutcome::Shed,
+                            _ => HttpOutcome::Error,
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("loadgen http slot panicked")).collect()
+        });
+        measured_finished = Instant::now();
+
+        for (offset, outcome) in outcomes.iter().enumerate() {
+            if issued + offset < config.warmup {
+                continue;
+            }
+            match outcome {
+                HttpOutcome::Ok(ns) => latencies_ns.push(*ns),
+                HttpOutcome::Mismatch(ns) => {
+                    answer_mismatches += 1;
+                    latencies_ns.push(*ns);
+                }
+                HttpOutcome::Shed => shed += 1,
+                HttpOutcome::Error => errors += 1,
+                HttpOutcome::Transport => transport_errors += 1,
+            }
+        }
+        issued += wave_len;
+
+        if let Some(qps) = config.qps.filter(|q| *q > 0.0) {
+            let target = Duration::from_secs_f64(issued as f64 / qps);
+            let elapsed = started.elapsed();
+            if elapsed < target {
+                std::thread::sleep(target - elapsed);
+            }
+        }
+    }
+    drop(clients);
+
+    let stats_after = fetch_server_stats(addr)?;
+    let measured_requests = issued.saturating_sub(config.warmup);
+    let wall = match measured_started {
+        Some(start) => measured_finished.duration_since(start),
+        None => Duration::ZERO,
+    };
+    Ok(LoadReport {
+        config: config.clone(),
+        schedule,
+        total_requests: issued,
+        measured_requests,
+        errors,
+        shed,
+        transport_errors,
+        answer_mismatches,
+        guard_trips: stats_after.guard_trips.saturating_sub(stats_before.guard_trips),
+        cache: CacheStats {
+            hits: stats_after.cache.hits.saturating_sub(stats_before.cache.hits),
+            misses: stats_after.cache.misses.saturating_sub(stats_before.cache.misses),
+            coalesced: stats_after.cache.coalesced.saturating_sub(stats_before.cache.coalesced),
+            evictions: stats_after.cache.evictions.saturating_sub(stats_before.cache.evictions),
+            entries: stats_after.cache.entries,
+            weight: stats_after.cache.weight,
+            weight_capacity: stats_after.cache.weight_capacity,
+            shards: stats_after.cache.shards,
+        },
+        wall,
+        latency: LatencySummary::from_observations(latencies_ns),
+        // Metric samples describe *this* process; an HTTP run's interesting
+        // series lives server-side (its `metrics` op), so none are recorded.
+        samples: Vec::new(),
     })
 }
 
@@ -541,6 +870,41 @@ mod tests {
             cases.iter().filter_map(|c| c.get("name").and_then(Json::as_str)).collect();
         assert!(case_names.contains(&"running/p95_ms"));
         assert!(case_names.contains(&"running/throughput_rps"));
+
+        // Case-level merge: an `http` run joins the same `service` group
+        // without displacing the in-process rows, and re-merging the
+        // in-process run leaves the http rows alone.
+        let mut http_report = report.clone();
+        http_report.config.http_addr = Some("127.0.0.1:0".into());
+        http_report.merge_into_bench_report(&path).unwrap();
+        report.merge_into_bench_report(&path).unwrap();
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let groups = json.get("groups").and_then(Json::as_array).unwrap();
+        let service = groups
+            .iter()
+            .find(|g| g.get("name").and_then(Json::as_str) == Some("service"))
+            .unwrap();
+        let case_names: Vec<&str> = service
+            .get("cases")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Json::as_str))
+            .collect();
+        for expected in [
+            "http/p95_ms",
+            "http/throughput_rps",
+            "http/shed_rate",
+            "http/transport_errors",
+            "http/answer_mismatches",
+            "running/p95_ms",
+            "running/cache_hit_rate",
+        ] {
+            assert!(case_names.contains(&expected), "missing {expected} in {case_names:?}");
+        }
+        let mut sorted = case_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(case_names, sorted, "service cases stay sorted");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,7 +19,8 @@ use crate::json::Json;
 use crate::report::ExplanationReport;
 use crate::stats::{self, ServiceStats};
 use crate::wire::{
-    alternative_from_json, database_from_json, database_to_json, nip_from_json, plan_from_json,
+    alternative_from_json, alternative_to_json, database_from_json, database_to_json,
+    nip_from_json, nip_to_json, plan_from_json, plan_to_json,
 };
 
 /// A database reference: a catalog name or an inline database.
@@ -171,6 +172,46 @@ impl ExplainRequest {
             max_trace_tuples,
         })
     }
+
+    /// Encodes the request in its wire form (the inverse of
+    /// [`ExplainRequest::from_json`]): named references stay strings, inline
+    /// payloads are fully encoded, and fields at their defaults (`engine:
+    /// "rp"`, empty `alternatives`, unset limits) are omitted. Used by
+    /// `whynot-loadgen --http` to ship the same requests over the wire that
+    /// the in-process path answers directly.
+    pub fn to_json(&self) -> ServiceResult<Json> {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let db = match &self.db {
+            DbRef::Named(name) => Json::str(name.clone()),
+            DbRef::Inline(db) => database_to_json(db),
+        };
+        fields.push(("db".to_string(), db));
+        let plan = match &self.plan {
+            PlanRef::Named(name) => Json::str(name.clone()),
+            PlanRef::Inline(plan) => plan_to_json(plan),
+        };
+        fields.push(("plan".to_string(), plan));
+        fields.push(("why_not".to_string(), nip_to_json(&self.why_not)?));
+        if !self.alternatives.is_empty() {
+            fields.push((
+                "alternatives".to_string(),
+                Json::Array(self.alternatives.iter().map(alternative_to_json).collect()),
+            ));
+        }
+        if !self.use_schema_alternatives {
+            fields.push(("engine".to_string(), Json::str("rp_no_sa")));
+        }
+        if let Some(max) = self.max_schema_alternatives {
+            fields.push(("max_schema_alternatives".to_string(), Json::Int(max as i64)));
+        }
+        if let Some(ms) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), Json::Int(ms as i64)));
+        }
+        if let Some(tuples) = self.max_trace_tuples {
+            fields.push(("max_trace_tuples".to_string(), Json::Int(tuples as i64)));
+        }
+        Ok(Json::Object(fields))
+    }
 }
 
 /// Per-request execution statistics.
@@ -287,7 +328,7 @@ impl ExplainService {
     /// histogram around this instance's trace-cache counters (the `stats`
     /// wire response).
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats::gather(self.cache.stats())
+        ServiceStats::gather(self.cache.stats(), self.cache.shard_occupancy())
     }
 
     /// Answers one why-not question, enforcing the request's resource limits
@@ -503,7 +544,7 @@ impl TraceProvider for CachingTracer<'_> {
 /// Renders a caught panic payload for a [`ServiceError::Panic`] entry.
 /// `panic!` with a message produces a `String` or `&str` payload; anything
 /// else is reported opaquely.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(message) => *message,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -700,6 +741,37 @@ mod tests {
         let service = service();
         let err = service.handle_wire(&Json::parse(r#"{"op": "nope"}"#).unwrap());
         assert!(matches!(err, Err(ServiceError::Decode(_))), "{err:?}");
+    }
+
+    #[test]
+    fn requests_round_trip_through_their_wire_form() {
+        let service = service();
+        let request = ExplainRequest::new(
+            DbRef::Named("person_small".into()),
+            PlanRef::Named("running".into()),
+            ny_question(),
+        )
+        .with_alternatives(vec![AttributeAlternative::new("person", "address2", "address1")])
+        .with_timeout_ms(5_000);
+        let wire = request.to_json().unwrap();
+        let decoded = ExplainRequest::from_json(&wire).unwrap();
+        // Same answer through either form — the property `--http` loadgen
+        // byte-identity rests on.
+        let direct = service.explain(&request).unwrap();
+        let via_wire = service.explain(&decoded).unwrap();
+        assert_eq!(direct.report, via_wire.report);
+        // Round-tripping the decoded request reproduces the same document.
+        assert_eq!(decoded.to_json().unwrap().to_compact(), wire.to_compact());
+        // Defaults are omitted from the encoding.
+        assert!(wire.get("engine").is_none());
+        assert!(wire.get("max_trace_tuples").is_none());
+        assert_eq!(wire.get("timeout_ms").and_then(Json::as_i64), Some(5_000));
+        // Non-default engine choice survives.
+        let mut no_sa = request.clone();
+        no_sa.use_schema_alternatives = false;
+        let encoded = no_sa.to_json().unwrap();
+        assert_eq!(encoded.get("engine").and_then(Json::as_str), Some("rp_no_sa"));
+        assert!(!ExplainRequest::from_json(&encoded).unwrap().use_schema_alternatives);
     }
 
     #[test]

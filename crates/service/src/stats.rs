@@ -4,8 +4,11 @@
 //! The request counters and the latency histogram are process-wide statics
 //! (always-on relaxed atomics, like the pool counters of `whynot-exec`);
 //! the trace-cache counters belong to one [`crate::ExplainService`] instance.
-//! [`ServiceStats`] bundles both with a [`whynot_exec::PoolStats`] snapshot
-//! into the response of the `stats` wire op and the `whynot stats` CLI verb.
+//! [`ServiceStats`] bundles both — plus the HTTP front-end counters
+//! ([`crate::http::http_stats`]) and the cache's per-shard occupancy — into
+//! the response of the `stats` wire op, the `whynot stats` CLI verb, and
+//! `GET /v1/stats`. The field-by-field shape of that response is documented
+//! in `docs/PROTOCOL.md`.
 
 use whynot_exec::PoolStats;
 use whynot_guard::GuardStats;
@@ -13,8 +16,9 @@ use whynot_obs::{
     Counter, Histogram, HistogramSnapshot, ProfileReport, SamplePoint, SpanReport, TimeSeries,
 };
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ShardOccupancy};
 use crate::error::{ServiceError, ServiceResult};
+use crate::http::HttpStats;
 use crate::json::Json;
 
 /// Why-not requests answered by any service instance in this process.
@@ -121,15 +125,22 @@ pub struct ServiceStats {
     pub latency: HistogramSnapshot,
     /// Trace-cache counters of the service instance that answered.
     pub cache: CacheStats,
+    /// Per-shard cache occupancy, in shard order (sums to
+    /// [`CacheStats::entries`] / [`CacheStats::weight`]).
+    pub shard_occupancy: Vec<ShardOccupancy>,
     /// Pool counters since process start.
     pub pool: PoolStats,
     /// Resource-guard counters (checks, trips, injected faults).
     pub guard: GuardStats,
+    /// HTTP front-end counters (`whynot serve`); all zero when no server runs
+    /// in this process.
+    pub http: HttpStats,
 }
 
 impl ServiceStats {
-    /// Gathers the process-wide metrics around the given cache counters.
-    pub fn gather(cache: CacheStats) -> ServiceStats {
+    /// Gathers the process-wide metrics around the given cache counters and
+    /// per-shard occupancy.
+    pub fn gather(cache: CacheStats, shard_occupancy: Vec<ShardOccupancy>) -> ServiceStats {
         ServiceStats {
             threads: whynot_exec::effective_threads(),
             requests: REQUESTS.get(),
@@ -138,8 +149,10 @@ impl ServiceStats {
             batch_requests: BATCH_REQUESTS.get(),
             latency: REQUEST_LATENCY.snapshot(),
             cache,
+            shard_occupancy,
             pool: whynot_exec::pool_stats(),
             guard: whynot_guard::guard_stats(),
+            http: crate::http::http_stats(),
         }
     }
 
@@ -181,7 +194,28 @@ impl ServiceStats {
                     ("evictions", Json::Int(self.cache.evictions as i64)),
                     ("weight", Json::Int(self.cache.weight as i64)),
                     ("weight_capacity", Json::Int(self.cache.weight_capacity as i64)),
+                    // 0.0 (not NaN) before the first lookup, see
+                    // `CacheStats::hit_rate`.
                     ("hit_rate", Json::Float(self.cache.hit_rate())),
+                    ("shards", Json::Int(self.cache.shards as i64)),
+                    (
+                        "shard_occupancy",
+                        Json::array(self.shard_occupancy.iter().map(|shard| {
+                            Json::object([
+                                ("entries", Json::Int(shard.entries as i64)),
+                                ("weight", Json::Int(shard.weight as i64)),
+                            ])
+                        })),
+                    ),
+                ]),
+            ),
+            (
+                "http",
+                Json::object([
+                    ("connections", Json::Int(self.http.connections as i64)),
+                    ("requests", Json::Int(self.http.requests as i64)),
+                    ("shed", Json::Int(self.http.shed as i64)),
+                    ("parse_errors", Json::Int(self.http.parse_errors as i64)),
                 ]),
             ),
             (
@@ -348,12 +382,17 @@ mod tests {
 
     #[test]
     fn service_stats_encode_all_sections() {
-        let stats = ServiceStats::gather(CacheStats::default());
+        let stats = ServiceStats::gather(CacheStats::default(), Vec::new());
         let json = stats.to_json();
-        for key in ["threads", "requests", "trace_cache", "pool", "guard"] {
+        for key in ["threads", "requests", "trace_cache", "pool", "guard", "http"] {
             assert!(json.get(key).is_some(), "missing `{key}`");
         }
         let latency = json.get("requests").unwrap().get("latency_ns").unwrap();
         assert!(latency.get("p99").is_some());
+        let cache = json.get("trace_cache").unwrap();
+        assert!(cache.get("shards").is_some());
+        assert!(cache.get("shard_occupancy").is_some());
+        // hit_rate is a number (0.0) even with zero lookups.
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.0));
     }
 }

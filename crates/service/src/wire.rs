@@ -15,6 +15,11 @@
 //!   are `{"$value": ...}` so they stay distinguishable from structural NIPs.
 //! * Expressions and operators are tagged objects (`{"attr": "year"}`,
 //!   `{"op": "select", ...}`).
+//!
+//! The encodings here are **public API**: `docs/PROTOCOL.md` is the
+//! human-facing reference for the request/response documents built from
+//! them, and CI greps that file so every wire op and stable error kind
+//! stays documented.
 
 use nested_data::{AttrPath, Bag, NestedType, Nip, NipCmp, PrimitiveType, TupleType, Value};
 use nrab_algebra::expr::{ArithOp, CmpOp, Expr};
