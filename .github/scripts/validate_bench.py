@@ -6,8 +6,9 @@ Usage: validate_bench.py [REPORT [BASELINE]] [--profile FILE]
 REPORT (default BENCH_figures.json) is the freshly measured report.
 BASELINE, when given, is the *committed* report snapshotted before the bench
 run; the perf-regression gate compares the re-measured `value_layer`,
-`columnar`, and `join` groups against it and fails on a >2x slowdown of any
-case, and holds the `whynot-loadgen` `service` group to its SLO figures
+`columnar`, `join`, and `pipeline` groups against it and fails on a >2x
+slowdown of any case, and holds the `whynot-loadgen` `service` group to its
+SLO figures
 (p95 latency <= 2x baseline, throughput >= half of baseline).
 
 --profile FILE, when given, is a profile report exported by
@@ -84,7 +85,16 @@ def main():
     assert report["version"] == 1, "unexpected report version"
     groups = {g["name"]: g for g in report["groups"]}
     assert groups, "report has no groups"
-    for name in ("value_layer", "parallel", "columnar", "join", "obs", "guard", "service"):
+    for name in (
+        "value_layer",
+        "parallel",
+        "columnar",
+        "join",
+        "pipeline",
+        "obs",
+        "guard",
+        "service",
+    ):
         assert name in groups, f"{name} group missing: {sorted(groups)}"
     for group in report["groups"]:
         assert group["cases"], f"group {group['name']} has no cases"
@@ -178,6 +188,62 @@ def main():
     print(
         f"equi_trace: {trace_loop:.3f} ms nested loop / {trace_hash:.3f} ms hash "
         f"= {trace_speedup:.2f}x (informational)"
+    )
+
+    # Bloom-probe gate: the split-block bloom filter in front of the hash
+    # probe must never make the highly selective equi join slower. The two
+    # sides are the same workload measured in the same process with the
+    # filter toggled, so a no-regression bound (<= 1.10x) holds regardless
+    # of core count; the byte-identity of the matches is asserted inside the
+    # bench itself.
+    for case in ("bloom_join/filtered", "bloom_join/unfiltered"):
+        assert case in join, f"join group lacks {case}: {sorted(join)}"
+    bloom_ms = join["bloom_join/filtered"]["min_ms"]
+    nobloom_ms = join["bloom_join/unfiltered"]["min_ms"]
+    bloom_ratio = bloom_ms / nobloom_ms if nobloom_ms > 0 else float("inf")
+    print(
+        f"bloom_join: {bloom_ms:.3f} ms filtered / {nobloom_ms:.3f} ms unfiltered "
+        f"= {bloom_ratio:.3f}x"
+    )
+    assert bloom_ratio <= 1.10, (
+        f"bloom_join: filtered probe costs {bloom_ratio:.3f}x of the "
+        f"unfiltered probe (> 1.10x) on a highly selective join"
+    )
+
+    # Pipeline fusion gate: the morsel-driven fused select→select→project
+    # chain must beat the operator-at-a-time path on multi-core runners
+    # (fusion pays through parallelism over chunks; on one core it is
+    # roughly a wash). Byte-identity of the fused and materialized answers
+    # and traces is asserted inside the bench itself on every machine; the
+    # DBLP D4 whole-plan pair is reported for information.
+    pipeline = cases("pipeline")
+    for case in (
+        "chain/fused",
+        "chain/materialized",
+        "dblp_d4/fused",
+        "dblp_d4/materialized",
+    ):
+        assert case in pipeline, f"pipeline group lacks {case}: {sorted(pipeline)}"
+    fused_ms = pipeline["chain/fused"]["min_ms"]
+    mat_ms = pipeline["chain/materialized"]["min_ms"]
+    fused_speedup = mat_ms / fused_ms if fused_ms > 0 else float("inf")
+    print(
+        f"pipeline chain: {mat_ms:.3f} ms materialized / {fused_ms:.3f} ms fused "
+        f"= {fused_speedup:.2f}x (cpus={cpus})"
+    )
+    if cpus >= 4:
+        assert fused_speedup >= 1.3, (
+            f"pipeline chain: expected >= 1.3x from fusion on a "
+            f"{cpus}-cpu runner, got {fused_speedup:.2f}x"
+        )
+    else:
+        print(f"NOTICE: pipeline fusion gate skipped on a {cpus}-cpu runner (< 4)")
+    d4_fused = pipeline["dblp_d4/fused"]["min_ms"]
+    d4_mat = pipeline["dblp_d4/materialized"]["min_ms"]
+    d4_speedup = d4_mat / d4_fused if d4_fused > 0 else float("inf")
+    print(
+        f"pipeline dblp_d4: {d4_mat:.3f} ms materialized / {d4_fused:.3f} ms fused "
+        f"= {d4_speedup:.2f}x (informational)"
     )
 
     # Instrumentation-overhead gate: the `obs` group re-measures the committed
@@ -365,8 +431,9 @@ def main():
         )
     )
 
-    # Perf-regression gate: the re-measured value_layer, columnar, and join
-    # groups must not be more than 2x slower than the committed baseline.
+    # Perf-regression gate: the re-measured value_layer, columnar, join, and
+    # pipeline groups must not be more than 2x slower than the committed
+    # baseline.
     # The service group joins the gate on its SLO figures: p95 latency may
     # not exceed 2x the committed baseline, throughput may not fall below
     # half of it. Absolute times only transfer between comparable machines,
@@ -379,7 +446,7 @@ def main():
         }
         if cpus >= 4:
             failures = []
-            for group_name in ("value_layer", "columnar", "join"):
+            for group_name in ("value_layer", "columnar", "join", "pipeline"):
                 for case_name, case in cases(group_name).items():
                     base = baseline_cases.get(group_name, {}).get(case_name)
                     if base is None:

@@ -1,0 +1,350 @@
+//! Morsel-driven pipelined execution of fused operator chains.
+//!
+//! The evaluator is operator-at-a-time by default: every operator
+//! materializes a full result bag before its parent starts, so a
+//! select→select→project chain walks the data once per operator and
+//! allocates two intermediate bags that are immediately thrown away. This
+//! module fuses such chains into a single pass: a small plan compiler
+//! (`collect_chain`) recognizes maximal runs of *selections* capped by at
+//! most one *projection or rename*, and `eval_chain` streams the chain's
+//! source through the whole run in ~1024-row **morsels** — each morsel flows
+//! through every fused operator on one `whynot-exec` worker, and the
+//! per-morsel outputs are reassembled in input order, so the result bag is
+//! byte-identical to the materialized path at any thread count.
+//!
+//! ## Fusion rules
+//!
+//! * **Fusable:** `Selection` anywhere in a chain; `Projection` / `Rename`
+//!   only as the chain's *top* (sink) operator. Projections and renames can
+//!   merge duplicate rows, so an operator fused above one would observe
+//!   merged cardinalities — capping the chain keeps every fused operator's
+//!   input count exactly computable and the guard accounting identical to
+//!   the materialized path.
+//! * **Break operators:** everything else — joins, cross products, flatten,
+//!   nest, aggregation, union, difference, dedup — ends a pipeline; their
+//!   inputs are materialized exactly as before (they become pipeline sinks
+//!   whose build sides are full bags).
+//! * A chain must fuse at least two operators; single operators keep the
+//!   specialized operator-at-a-time paths.
+//!
+//! When the source bag has a columnar form, predicate masks and projection
+//! columns are evaluated per morsel with the typed-column kernels of PR 5,
+//! so the fused chain keeps `Column` chunks unboxed from the scan to the
+//! sink without materializing any intermediate bag.
+//!
+//! ## Contracts
+//!
+//! * **Byte identity.** Selections keep surviving canonical entries in
+//!   source order (exactly what chained `Bag::filter`s produce); a head
+//!   projection/rename feeds survivors to a [`BagBuilder`] in the same
+//!   insertion sequence the materialized operator would. The escape hatch
+//!   [`with_pipelining`]`(false, ..)` forces the materialized path so the
+//!   equivalence suites can pin old-vs-new identity.
+//! * **Guard parity.** Each fused operator still draws its exact input row
+//!   count from the eval-row budget, in operator order, and every morsel
+//!   calls [`whynot_guard::enforce`], so deadlines and budgets trip on the
+//!   same deterministic totals as the materialized path.
+//! * **Observability.** A fused chain reports one deterministic span,
+//!   `pipe:{first_op}..{last_op}` (source-to-sink), with the chain's
+//!   `rows_in` / `rows_out`; per-morsel closures never touch the profiler,
+//!   so profiles stay identical at every thread count.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use nested_data::{Bag, BagBuilder, Sym, Tuple, Value};
+use whynot_exec::par_map;
+
+use crate::error::AlgebraResult;
+use crate::eval::columnar_chunks;
+use crate::expr::Expr;
+use crate::operator::{Operator, ProjColumn};
+use crate::plan::{OpId, OpNode, QueryPlan};
+
+thread_local! {
+    /// Thread-local pipelining enable flag (default: enabled). See
+    /// [`with_pipelining`].
+    static PIPELINING_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether fused pipelined execution is enabled on the current thread.
+pub fn pipelining_enabled() -> bool {
+    PIPELINING_ENABLED.with(Cell::get)
+}
+
+/// Runs `f` with pipelined execution enabled or disabled on the current
+/// thread, restoring the previous setting afterwards (also on panic).
+///
+/// Disabling forces every plan back onto the operator-at-a-time path — the
+/// knob the pipeline equivalence tests and the `pipeline` bench group use to
+/// compare the two execution modes on identical plans. Like
+/// [`crate::join::with_hash_join`], the flag governs where the *decision* is
+/// made: the evaluator and tracer read it on the calling thread before any
+/// fan-out; pool workers only execute morsels of an already-compiled chain.
+pub fn with_pipelining<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        previous: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.previous;
+            PIPELINING_ENABLED.with(|c| c.set(previous));
+        }
+    }
+    let _restore = Restore { previous: PIPELINING_ENABLED.with(|c| c.replace(enabled)) };
+    f()
+}
+
+/// A maximal fusable chain found by [`collect_chain`]: selections in
+/// source-to-sink order, an optional projection/rename sink, and the unfused
+/// source node whose (materialized) output feeds the chain.
+pub(crate) struct FusedChain<'p> {
+    /// Fused selections, bottom (nearest the source) first.
+    pub sels: Vec<&'p OpNode>,
+    /// The chain's sink transform, if any (`Projection` or `Rename`).
+    pub head: Option<&'p OpNode>,
+    /// The node below the chain; evaluated through the ordinary path.
+    pub source: &'p OpNode,
+}
+
+impl FusedChain<'_> {
+    /// Fused operator ids in source-to-sink order.
+    fn op_ids(&self) -> Vec<OpId> {
+        let mut ids: Vec<OpId> = self.sels.iter().map(|n| n.id).collect();
+        ids.extend(self.head.map(|h| h.id));
+        ids
+    }
+
+    /// `(kind, id)` of the first (source-side) and last (sink) fused ops.
+    fn endpoints(&self) -> ((&'static str, OpId), (&'static str, OpId)) {
+        let first = self.sels.first().copied().or(self.head).expect("chains are non-empty");
+        let last = self.head.or_else(|| self.sels.last().copied()).expect("chains are non-empty");
+        ((first.op.kind_name(), first.id), (last.op.kind_name(), last.id))
+    }
+}
+
+/// Recognizes the maximal fusable chain topped by `node`: any number of
+/// consecutive selections, optionally capped by one projection or rename
+/// directly above them. Returns `None` when fewer than two operators fuse
+/// (the specialized single-operator paths stay in charge) — in particular a
+/// projection or rename never fuses without at least one selection below it.
+pub(crate) fn collect_chain(node: &OpNode) -> Option<FusedChain<'_>> {
+    let (head, mut cur) = match &node.op {
+        Operator::Projection { .. } | Operator::Rename { .. } => (Some(node), &node.inputs[0]),
+        Operator::Selection { .. } => (None, node),
+        _ => return None,
+    };
+    let mut sels: Vec<&OpNode> = Vec::new();
+    while matches!(cur.op, Operator::Selection { .. }) {
+        sels.push(cur);
+        cur = &cur.inputs[0];
+    }
+    if sels.len() + usize::from(head.is_some()) < 2 {
+        return None;
+    }
+    sels.reverse(); // collected sink-to-source; execution wants source-to-sink
+    Some(FusedChain { sels, head, source: cur })
+}
+
+/// The fused chains a plan would execute, each as the fused operator ids in
+/// source-to-sink order. Introspection for the fusion-boundary tests: break
+/// operators (joins, flatten, nest, aggregation, union, difference, dedup)
+/// never appear inside a chain, and chains always have length ≥ 2.
+pub fn fused_chains(plan: &QueryPlan) -> Vec<Vec<OpId>> {
+    fn walk(node: &OpNode, out: &mut Vec<Vec<OpId>>) {
+        if let Some(chain) = collect_chain(node) {
+            out.push(chain.op_ids());
+            walk(chain.source, out);
+            return;
+        }
+        for input in &node.inputs {
+            walk(input, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(&plan.root, &mut out);
+    out
+}
+
+/// The chain's sink transform with its parameters resolved once per chain
+/// (not once per morsel or row).
+enum Head<'p> {
+    Project { names: Vec<Sym>, columns: &'p [ProjColumn] },
+    Rename { mapping: Vec<(Sym, Sym)> },
+}
+
+impl<'p> Head<'p> {
+    fn resolve(node: &'p OpNode) -> Self {
+        match &node.op {
+            Operator::Projection { columns } => Head::Project {
+                names: columns.iter().map(|c| Sym::intern(&c.name)).collect(),
+                columns,
+            },
+            Operator::Rename { pairs } => Head::Rename {
+                mapping: pairs.iter().map(|p| (Sym::intern(&p.from), Sym::intern(&p.to))).collect(),
+            },
+            _ => unreachable!("chain heads are projections or renames"),
+        }
+    }
+
+    /// Applies the transform to one surviving row — identical to what the
+    /// materialized operator computes for the same tuple.
+    fn apply(&self, tuple: &Tuple) -> Value {
+        match self {
+            Head::Project { names, columns } => Value::from_tuple(Tuple::new(
+                names.iter().zip(columns.iter()).map(|(name, c)| (*name, c.expr.eval(tuple))),
+            )),
+            Head::Rename { mapping } => Value::from_tuple(tuple.rename(mapping)),
+        }
+    }
+}
+
+/// What one morsel contributes: the number of rows that survived each fused
+/// selection (prefix counts, for exact per-operator guard accounting) and
+/// the chain's output entries for the morsel, in source order.
+struct MorselOut {
+    survivors: Vec<u64>,
+    out: Vec<(Value, u64)>,
+}
+
+/// Executes a fused chain over its materialized source bag.
+pub(crate) fn eval_chain(chain: &FusedChain<'_>, source: Arc<Bag>) -> AlgebraResult<Arc<Bag>> {
+    let predicates: Vec<&Expr> = chain
+        .sels
+        .iter()
+        .map(|n| match &n.op {
+            Operator::Selection { predicate } => predicate,
+            _ => unreachable!("fused chain interiors are selections"),
+        })
+        .collect();
+    let head = chain.head.map(Head::resolve);
+
+    // The first fused operator draws the source's row count from the
+    // eval-row budget before any work starts, exactly like the materialized
+    // path; the remaining operators settle up after the pass (same amounts
+    // in the same order, so budget trips are identical).
+    let armed = whynot_guard::armed();
+    if armed {
+        whynot_guard::checkpoint()?;
+        whynot_guard::consume_eval_rows(source.distinct() as u64)?;
+    }
+    let _span = whynot_obs::enabled().then(|| {
+        whynot_obs::add("rows_in", source.distinct() as u64);
+        whynot_obs::span_dyn(|| {
+            let ((first_kind, first_id), (last_kind, last_id)) = chain.endpoints();
+            format!("pipe:{first_kind}#{first_id}..{last_kind}#{last_id}")
+        })
+    });
+
+    let entries: Vec<&(Value, u64)> = source.iter().collect();
+    let cols = source.columnar();
+    let chunks = columnar_chunks(entries.len());
+    let per_morsel: Vec<MorselOut> = par_map(&chunks, |range| {
+        whynot_guard::enforce();
+        let mut survivors = vec![0u64; predicates.len()];
+        let mut out = Vec::new();
+        if let Some(cols) = &cols {
+            // Columnar morsel: one vectorized mask per fused selection,
+            // AND-combined; the head's columns are evaluated over the whole
+            // morsel with the same typed-column kernels and gathered for
+            // surviving rows only.
+            let mut keep = vec![true; range.len()];
+            for (sel, predicate) in predicates.iter().enumerate() {
+                let mask = predicate.eval_columnar_mask(cols, range.clone());
+                for (k, m) in keep.iter_mut().zip(mask) {
+                    *k = *k && m;
+                    survivors[sel] += u64::from(*k);
+                }
+            }
+            match &head {
+                Some(Head::Project { names, columns }) => {
+                    let evaluated: Vec<Vec<Value>> =
+                        columns.iter().map(|c| c.expr.eval_columnar(cols, range.clone())).collect();
+                    for (i, row) in range.clone().enumerate() {
+                        if keep[i] {
+                            let projected = Tuple::new(
+                                names
+                                    .iter()
+                                    .zip(evaluated.iter())
+                                    .map(|(name, col)| (*name, col[i].clone())),
+                            );
+                            out.push((Value::from_tuple(projected), entries[row].1));
+                        }
+                    }
+                }
+                Some(rename @ Head::Rename { .. }) => {
+                    for (i, row) in range.clone().enumerate() {
+                        if keep[i] {
+                            let tuple =
+                                entries[row].0.as_tuple().cloned().unwrap_or_else(Tuple::empty);
+                            out.push((rename.apply(&tuple), entries[row].1));
+                        }
+                    }
+                }
+                None => {
+                    for (i, row) in range.clone().enumerate() {
+                        if keep[i] {
+                            out.push(entries[row].clone());
+                        }
+                    }
+                }
+            }
+        } else {
+            // Row morsel: per-row short-circuit evaluation. Non-tuple rows
+            // are dropped by the first selection, exactly like
+            // `Bag::filter`'s predicate wrapper in the materialized path.
+            for row in range.clone() {
+                let (value, mult) = entries[row];
+                let Some(tuple) = value.as_tuple() else { continue };
+                let mut alive = true;
+                for (sel, predicate) in predicates.iter().enumerate() {
+                    if !predicate.eval_bool(tuple) {
+                        alive = false;
+                        break;
+                    }
+                    survivors[sel] += 1;
+                }
+                if alive {
+                    match &head {
+                        Some(head) => out.push((head.apply(tuple), *mult)),
+                        None => out.push((value.clone(), *mult)),
+                    }
+                }
+            }
+        }
+        MorselOut { survivors, out }
+    });
+
+    // Settle the remaining operators' guard accounting in operator order:
+    // operator `k+1`'s input rows are exactly the survivors of selections
+    // `0..=k`, summed over all morsels.
+    if armed {
+        let mut stage_totals = vec![0u64; predicates.len()];
+        for morsel in &per_morsel {
+            for (total, n) in stage_totals.iter_mut().zip(&morsel.survivors) {
+                *total += n;
+            }
+        }
+        let downstream_ops = predicates.len().saturating_sub(1) + usize::from(head.is_some());
+        for rows in stage_totals.iter().take(downstream_ops) {
+            whynot_guard::checkpoint()?;
+            whynot_guard::consume_eval_rows(*rows)?;
+        }
+    }
+
+    let result = if head.is_some() {
+        let mut out = BagBuilder::with_capacity(entries.len());
+        for morsel in per_morsel {
+            out.extend(morsel.out);
+        }
+        out.finish()
+    } else {
+        // Pure selection chain: survivors are canonical source entries in
+        // source order — the same bag chained `filter`s build.
+        Bag::from_canonical_entries(per_morsel.into_iter().flat_map(|m| m.out).collect())
+    };
+    if whynot_obs::enabled() {
+        whynot_obs::add("rows_out", result.distinct() as u64);
+    }
+    Ok(Arc::new(result))
+}

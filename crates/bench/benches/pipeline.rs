@@ -1,0 +1,8 @@
+//! `pipeline` microbenchmarks: morsel-driven fused execution vs. the
+//! operator-at-a-time path, through evaluation (select→select→project above
+//! a join) and whole-plan DBLP D4 tracing (with built-in byte-identity
+//! assertions between the two paths).
+
+fn main() {
+    whynot_bench::pipeline_group();
+}

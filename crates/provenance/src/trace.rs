@@ -27,11 +27,18 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use nested_data::{Bag, Column, ColumnarBag, NestedType, Nip, Tuple, TupleType, Value};
-use nrab_algebra::eval::{apply_operator, columnar_mask};
+use nested_data::{
+    AttrPath, Bag, Column, ColumnarBag, NestedType, Nip, Sym, Tuple, TupleType, Value,
+};
+use nrab_algebra::eval::{apply_operator, columnar_chunks, columnar_mask};
 use nrab_algebra::expr::Expr;
-use nrab_algebra::join::{hash_join_enabled, join_matches_with, JoinMatches, JoinSide};
+use nrab_algebra::join::{
+    hash_join_enabled, join_matches_probe, join_matches_with, split_equi_join, EquiJoin, JoinBuild,
+    JoinMatches, JoinSide,
+};
+use nrab_algebra::pipeline::pipelining_enabled;
 use nrab_algebra::schema::output_type;
+use nrab_algebra::{AggFunc, ProjColumn};
 use nrab_algebra::{
     AlgebraError, AlgebraResult, Database, FlattenKind, JoinKind, OpId, OpNode, Operator, QueryPlan,
 };
@@ -237,9 +244,36 @@ impl<'a> Tracer<'a> {
     }
 
     fn trace_node(&mut self, node: &OpNode) -> AlgebraResult<()> {
+        // Pipelined replay: a maximal run of 1:1 operators (selections and
+        // structural transforms) ending at `node` is traced as one fused
+        // morsel-driven pass over its source instead of one full per-op
+        // replay each. The flag is read here, on the calling thread, before
+        // any fan-out — pool workers only execute morsels of an
+        // already-compiled chain.
+        if pipelining_enabled() {
+            let mut chain: Vec<&OpNode> = Vec::new();
+            let mut cur = node;
+            while tracer_fusable(&cur.op) {
+                chain.push(cur);
+                cur = &cur.inputs[0];
+            }
+            if !chain.is_empty() {
+                self.trace_node(cur)?;
+                chain.reverse(); // collected sink-to-source; replay wants source-to-sink
+                return self.trace_chain(&chain, cur.id);
+            }
+        }
         for input in &node.inputs {
             self.trace_node(input)?;
         }
+        self.trace_op(node)
+    }
+
+    /// Traces one operator whose children are already traced, with the
+    /// per-operator bookkeeping (trace-tuple budget, observability counters).
+    /// Shared by the operator-at-a-time recursion and the chain peeling of
+    /// [`Self::trace_chain`].
+    fn trace_op(&mut self, node: &OpNode) -> AlgebraResult<()> {
         let _span = whynot_obs::span_dyn(|| format!("trace:{}#{}", node.op.kind_name(), node.id));
         let trace = match &node.op {
             Operator::TableAccess { table } => self.trace_table_access(node, table)?,
@@ -260,19 +294,167 @@ impl<'a> Tracer<'a> {
         // post-order recursion, so consumption order is deterministic.
         whynot_guard::consume_trace_tuples(trace.tuples.len() as u64)
             .map_err(AlgebraError::from)?;
-        if whynot_obs::enabled() {
-            whynot_obs::add("trace.tuples", trace.tuples.len() as u64);
-            let (mut valid, mut retained) = (0u64, 0u64);
-            for tuple in &trace.tuples {
-                for flags in &tuple.flags {
-                    valid += flags.valid as u64;
-                    retained += (flags.valid && flags.retained) as u64;
-                }
-            }
-            whynot_obs::add("trace.valid", valid);
-            whynot_obs::add("trace.retained", retained);
-        }
+        record_trace_counters(&trace);
         self.put_trace(trace);
+        Ok(())
+    }
+
+    /// Traces a maximal fused run of 1:1 operators (`ops`, in source-to-sink
+    /// order) whose source operator is already traced.
+    ///
+    /// Selections at the bottom of the run that still see a columnar
+    /// passthrough are peeled off to the mask-based [`Self::trace_selection`]
+    /// path first — column-at-a-time predicate masks with cross-SA dedup beat
+    /// per-row predicate evaluation, and a transforming operator above would
+    /// end the passthrough anyway. Everything remaining replays as one
+    /// morsel-driven pass in [`Self::trace_fused`].
+    fn trace_chain(&mut self, ops: &[&OpNode], source: OpId) -> AlgebraResult<()> {
+        let mut ops = ops;
+        let mut child = source;
+        while let Some((first, rest)) = ops.split_first() {
+            if matches!(first.op, Operator::Selection { .. }) && self.columnar.contains_key(&child)
+            {
+                self.trace_op(first)?;
+                child = first.id;
+                ops = rest;
+            } else {
+                break;
+            }
+        }
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.trace_fused(ops)
+    }
+
+    /// Replays a fused run of selections and structural operators as one
+    /// morsel-driven pass over the child's traced tuples: each ~1024-row
+    /// morsel threads every tuple's per-SA variants through the whole chain
+    /// on one worker, keeping them hot instead of materializing each
+    /// operator's full trace before the next starts. Per-operator traces are
+    /// then reassembled serially in chain order, so fresh ids, lineage,
+    /// budget draws, and flags are bit-identical to the operator-at-a-time
+    /// replay at any thread count.
+    fn trace_fused(&mut self, ops: &[&OpNode]) -> AlgebraResult<()> {
+        let _span = whynot_obs::span_dyn(|| {
+            let (first, last) = (ops[0], ops[ops.len() - 1]);
+            format!(
+                "pipe:{}#{}..{}#{}",
+                first.op.kind_name(),
+                first.id,
+                last.op.kind_name(),
+                last.id
+            )
+        });
+        let child_trace = self.take_trace(ops[0].inputs[0].id);
+        let n = self.n_sas();
+        // Compile each operator once per schema alternative: selection
+        // predicates, and direct per-tuple transform contexts for the
+        // structural operators (the schema-dependent parts of tuple flatten
+        // resolve here, not once per tuple as the singleton-bag path does).
+        let steps: Vec<FusedStep> = ops
+            .iter()
+            .map(|node| match &node.op {
+                Operator::Selection { .. } => FusedStep::Select(
+                    (0..n)
+                        .map(|sa| match self.sas[sa].effective_operator(node) {
+                            Operator::Selection { predicate } => predicate,
+                            _ => Expr::lit(true),
+                        })
+                        .collect(),
+                ),
+                _ => FusedStep::Structural(
+                    (0..n)
+                        .map(|sa| StructuralCtx::compile(&self.effective_node(node, sa), self.db))
+                        .collect(),
+                ),
+            })
+            .collect();
+
+        // Morsel pass: tuple-major, operator-inner. Guard draws mirror the
+        // operator-at-a-time replay exactly — one checkpoint and one eval row
+        // per structural application to a valid variant (selections only
+        // annotate and draw nothing), and a failed draw makes the variant
+        // vanish under that alternative, as the singleton-bag path degrades.
+        let armed = whynot_guard::armed();
+        type FusedRow = Vec<(Vec<Option<Tuple>>, Vec<SaFlags>)>;
+        let chunks = columnar_chunks(child_trace.tuples.len());
+        let per_morsel: Vec<Vec<FusedRow>> = par_map(&chunks, |range| {
+            whynot_guard::enforce();
+            child_trace.tuples[range.clone()]
+                .iter()
+                .map(|input| {
+                    let mut state: Vec<(Option<Tuple>, bool)> = (0..n)
+                        .map(|sa| (input.variant(sa).cloned(), input.flags(sa).valid))
+                        .collect();
+                    steps
+                        .iter()
+                        .map(|step| {
+                            let mut variants = Vec::with_capacity(n);
+                            let mut flags = Vec::with_capacity(n);
+                            for (sa, (variant, valid)) in state.iter_mut().enumerate() {
+                                match step {
+                                    FusedStep::Select(predicates) => {
+                                        let retained = variant
+                                            .as_ref()
+                                            .map(|t| *valid && predicates[sa].eval_bool(t))
+                                            .unwrap_or(false);
+                                        flags.push(base_flags(variant.as_ref(), *valid, retained));
+                                        variants.push(variant.clone());
+                                        *valid = *valid && variant.is_some();
+                                    }
+                                    FusedStep::Structural(ctxs) => {
+                                        let transformed = match variant.as_ref() {
+                                            Some(tuple) if *valid => {
+                                                let allowed = !armed
+                                                    || (whynot_guard::checkpoint().is_ok()
+                                                        && whynot_guard::consume_eval_rows(1)
+                                                            .is_ok());
+                                                if allowed {
+                                                    ctxs[sa].apply(tuple)
+                                                } else {
+                                                    None
+                                                }
+                                            }
+                                            _ => None,
+                                        };
+                                        flags.push(base_flags(transformed.as_ref(), *valid, true));
+                                        *valid = transformed.is_some();
+                                        variants.push(transformed.clone());
+                                        *variant = transformed;
+                                    }
+                                }
+                            }
+                            (variants, flags)
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+
+        // Serial reassembly, operator by operator in chain order: fresh ids,
+        // lineage to the previous stage, trace-tuple budget draws, and
+        // per-operator observability counters — all exactly as the unfused
+        // post-order recursion would have produced them.
+        let mut rows: Vec<FusedRow> = per_morsel.into_iter().flatten().collect();
+        let mut prev_ids: Vec<u64> = child_trace.tuples.iter().map(|t| t.id).collect();
+        for (k, node) in ops.iter().enumerate() {
+            let mut tuples = Vec::with_capacity(rows.len());
+            let mut ids = Vec::with_capacity(rows.len());
+            for (row, prev) in rows.iter_mut().zip(&prev_ids) {
+                let (variants, flags) = std::mem::take(&mut row[k]);
+                let id = self.fresh_id();
+                ids.push(id);
+                tuples.push(TracedTuple::new(id, variants, flags, vec![vec![*prev]; n]));
+            }
+            prev_ids = ids;
+            let trace = OpTrace { op: node.id, kind: node.op.kind_name().to_string(), tuples };
+            whynot_guard::consume_trace_tuples(trace.tuples.len() as u64)
+                .map_err(AlgebraError::from)?;
+            record_trace_counters(&trace);
+            self.put_trace(trace);
+        }
+        self.put_trace(child_trace);
         Ok(())
     }
 
@@ -503,6 +685,57 @@ impl<'a> Tracer<'a> {
         // thread-local flag was never touched by `with_hash_join`.
         let use_hash = hash_join_enabled();
 
+        // Schema alternatives whose substitutions leave the right subtree
+        // untouched (and whose effective predicates split into the same
+        // right key paths) join *identical* right rows: their hash tables
+        // are equal, so build once per distinct group and share it across
+        // the group's probes. Signature = the alternative's substitutions
+        // restricted to right-subtree operators, plus the right key paths.
+        let right_rows_of = |sa: usize| -> Vec<Option<&Tuple>> {
+            right_trace
+                .tuples
+                .iter()
+                .map(|t| if t.flags(sa).valid { t.variant(sa) } else { None })
+                .collect()
+        };
+        let equis: Vec<Option<EquiJoin>> = predicates
+            .iter()
+            .map(|p| use_hash.then(|| split_equi_join(p, &left_schema, &right_schema)).flatten())
+            .collect();
+        let mut right_ops = std::collections::BTreeSet::new();
+        collect_subtree_ops(right_node, &mut right_ops);
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (sa, equi) in equis.iter().enumerate() {
+            let Some(equi) = equi else { continue };
+            use std::fmt::Write;
+            let mut signature = String::new();
+            for substitution in &self.sas[sa].substitutions {
+                if right_ops.contains(&substitution.op) {
+                    let _ = write!(signature, "{substitution};");
+                }
+            }
+            for key in &equi.right_keys {
+                let _ = write!(signature, "|{key}");
+            }
+            groups.entry(signature).or_default().push(sa);
+        }
+        let mut build_for_sa: Vec<Option<Arc<JoinBuild>>> = vec![None; self.n_sas()];
+        for members in groups.values() {
+            let representative = members[0];
+            let right_side =
+                JoinSide::new(right_rows_of(representative)).with_columns(right_cols.as_deref());
+            let build = Arc::new(JoinBuild::build(
+                &right_side,
+                &equis[representative]
+                    .as_ref()
+                    .expect("grouped SAs have equi structure")
+                    .right_keys,
+            ));
+            for &sa in members {
+                build_for_sa[sa] = Some(Arc::clone(&build));
+            }
+        }
+
         // The per-SA join passes are independent, and within one SA the join
         // core chunks build and probe over the pool, too. Only the outermost
         // parallel call fans out (nested calls always serialize): with
@@ -520,21 +753,21 @@ impl<'a> Tracer<'a> {
                 .iter()
                 .map(|t| if t.flags(sa).valid { t.variant(sa) } else { None })
                 .collect();
-            let right_rows: Vec<Option<&Tuple>> = right_trace
-                .tuples
-                .iter()
-                .map(|t| if t.flags(sa).valid { t.variant(sa) } else { None })
-                .collect();
             let left_side = JoinSide::new(left_rows).with_columns(left_cols.as_deref());
-            let right_side = JoinSide::new(right_rows).with_columns(right_cols.as_deref());
-            join_matches_with(
-                &left_side,
-                &right_side,
-                &predicates[sa],
-                &left_schema,
-                &right_schema,
-                use_hash,
-            )
+            let right_side = JoinSide::new(right_rows_of(sa)).with_columns(right_cols.as_deref());
+            match (&equis[sa], &build_for_sa[sa]) {
+                (Some(equi), Some(build)) => {
+                    join_matches_probe(&left_side, &right_side, equi, build)
+                }
+                _ => join_matches_with(
+                    &left_side,
+                    &right_side,
+                    &predicates[sa],
+                    &left_schema,
+                    &right_schema,
+                    use_hash,
+                ),
+            }
         });
 
         // Merge across SAs, keyed by (left id, right id) with None for padding.
@@ -953,6 +1186,179 @@ fn base_flags(variant: Option<&Tuple>, input_valid: bool, retained: bool) -> SaF
     match variant {
         Some(_) if input_valid => SaFlags { valid: true, consistent: false, retained },
         _ => SaFlags::absent(),
+    }
+}
+
+/// Records the per-operator trace counters when a profiling session is
+/// active. Shared by the operator-at-a-time recursion and the fused replay so
+/// counter totals are identical either way.
+fn record_trace_counters(trace: &OpTrace) {
+    if !whynot_obs::enabled() {
+        return;
+    }
+    whynot_obs::add("trace.tuples", trace.tuples.len() as u64);
+    let (mut valid, mut retained) = (0u64, 0u64);
+    for tuple in &trace.tuples {
+        for flags in &tuple.flags {
+            valid += flags.valid as u64;
+            retained += (flags.valid && flags.retained) as u64;
+        }
+    }
+    whynot_obs::add("trace.valid", valid);
+    whynot_obs::add("trace.retained", retained);
+}
+
+/// Collects every operator id of a plan subtree (used to decide which
+/// schema-alternative substitutions can affect a join's right side).
+fn collect_subtree_ops(node: &OpNode, out: &mut std::collections::BTreeSet<OpId>) {
+    out.insert(node.id);
+    for input in &node.inputs {
+        collect_subtree_ops(input, out);
+    }
+}
+
+/// Operators the tracer can fuse into one morsel-driven replay: the 1:1
+/// operators whose trace row `i` depends only on row `i` of their child —
+/// selections (which annotate without transforming) and the structural
+/// transforms. Joins, cross products, relation flatten, relation nest,
+/// grouped aggregation, union, and difference mix rows and always break a
+/// tracer pipeline.
+fn tracer_fusable(op: &Operator) -> bool {
+    matches!(
+        op,
+        Operator::Selection { .. }
+            | Operator::Projection { .. }
+            | Operator::Rename { .. }
+            | Operator::TupleFlatten { .. }
+            | Operator::TupleNest { .. }
+            | Operator::NestAggregation { .. }
+            | Operator::Dedup
+    )
+}
+
+/// One operator of a fused tracer chain, compiled once per schema
+/// alternative before the morsel pass.
+enum FusedStep {
+    /// Per-SA selection predicates (annotate-only: variants pass through).
+    Select(Vec<Expr>),
+    /// Per-SA structural transform contexts.
+    Structural(Vec<StructuralCtx>),
+}
+
+/// A structural 1:1 operator compiled to a direct per-tuple transform with
+/// the same semantics — including the same error-to-`None` degradation — as
+/// evaluating the operator over a singleton bag via [`apply_to_single`], but
+/// without the per-tuple bag construction, schema inference, and operator
+/// dispatch.
+enum StructuralCtx {
+    /// π: evaluate each output column against the input tuple.
+    Project { names: Vec<Sym>, columns: Vec<ProjColumn> },
+    /// ρ: rename attributes.
+    Rename { mapping: Vec<(Sym, Sym)> },
+    /// Fᵀ: splice (or alias) the tuple value at `source` into the row.
+    TupleFlatten { source: AttrPath, alias: Option<Sym>, source_ty: Option<NestedType> },
+    /// νᵀ: fold `attrs` into the nested tuple `into`.
+    TupleNest { attrs: Vec<Sym>, into: Sym },
+    /// γᵀ: aggregate the nested collection at `attr` into `output`.
+    NestAgg { func: AggFunc, attr: Sym, field: Option<Sym>, output: Sym },
+    /// δ: identity on a single variant.
+    Dedup,
+    /// The operator fails outright under this alternative (e.g. a tuple
+    /// flatten whose input schema does not infer): every variant maps to
+    /// `None`, exactly as the singleton-bag path degrades.
+    Broken,
+}
+
+impl StructuralCtx {
+    fn compile(node: &OpNode, db: &Database) -> StructuralCtx {
+        match &node.op {
+            Operator::Projection { columns } => StructuralCtx::Project {
+                names: columns.iter().map(|c| Sym::intern(&c.name)).collect(),
+                columns: columns.clone(),
+            },
+            Operator::Rename { pairs } => StructuralCtx::Rename {
+                mapping: pairs.iter().map(|p| (Sym::intern(&p.from), Sym::intern(&p.to))).collect(),
+            },
+            Operator::TupleFlatten { source, alias } => match output_type(&node.inputs[0], db) {
+                Ok(schema) => StructuralCtx::TupleFlatten {
+                    source_ty: schema.resolve_path(source).ok().cloned(),
+                    source: source.clone(),
+                    alias: alias.as_deref().map(Sym::intern),
+                },
+                Err(_) => StructuralCtx::Broken,
+            },
+            Operator::TupleNest { attrs, into } => StructuralCtx::TupleNest {
+                attrs: attrs.iter().map(|a| Sym::intern(a)).collect(),
+                into: Sym::intern(into),
+            },
+            Operator::NestAggregation { func, attr, field, output } => StructuralCtx::NestAgg {
+                func: *func,
+                attr: Sym::intern(attr),
+                field: field.as_deref().map(Sym::intern),
+                output: Sym::intern(output),
+            },
+            Operator::Dedup => StructuralCtx::Dedup,
+            _ => unreachable!("non-structural operator in a fused tracer chain"),
+        }
+    }
+
+    /// Applies the transform to one valid variant; `None` means the tuple
+    /// does not exist under the alternative (a transform error).
+    fn apply(&self, tuple: &Tuple) -> Option<Tuple> {
+        match self {
+            StructuralCtx::Project { names, columns } => Some(Tuple::new(
+                names.iter().zip(columns.iter()).map(|(name, c)| (*name, c.expr.eval(tuple))),
+            )),
+            StructuralCtx::Rename { mapping } => Some(tuple.rename(mapping)),
+            StructuralCtx::TupleFlatten { source, alias, source_ty } => {
+                let extracted = tuple.get_path(source).unwrap_or(Value::Null);
+                match alias {
+                    Some(alias) => Some(tuple.with_field(*alias, extracted)),
+                    None => match extracted {
+                        Value::Tuple(inner) => tuple.concat(&inner).ok(),
+                        Value::Null => match source_ty {
+                            Some(NestedType::Tuple(t)) => {
+                                let names: Vec<Sym> = t.attribute_syms().collect();
+                                tuple.concat(&Tuple::null_padded(&names)).ok()
+                            }
+                            _ => Some(tuple.clone()),
+                        },
+                        // A non-tuple value at `source` is an evaluation
+                        // error without an alias; the variant vanishes.
+                        _ => None,
+                    },
+                }
+            }
+            StructuralCtx::TupleNest { attrs, into } => {
+                let nested = tuple.project(attrs).unwrap_or_else(|_| Tuple::empty());
+                Some(tuple.without(attrs).with_field(*into, Value::from_tuple(nested)))
+            }
+            StructuralCtx::NestAgg { func, attr, field, output } => {
+                let nested = tuple.get(*attr).cloned().unwrap_or(Value::Null);
+                let values: Vec<Value> = match &nested {
+                    Value::Bag(b) => b
+                        .iter_expanded()
+                        .map(|element| match field {
+                            Some(f) => element
+                                .as_tuple()
+                                .and_then(|t| t.get(*f).cloned())
+                                .unwrap_or(Value::Null),
+                            None => element.clone(),
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let aggregated = func.apply(values.iter());
+                let aggregated = match (&aggregated, func) {
+                    // count over an empty / null collection is 0, not ⊥
+                    (Value::Null, AggFunc::Count | AggFunc::CountDistinct) => Value::Int(0),
+                    _ => aggregated,
+                };
+                Some(tuple.with_field(*output, aggregated))
+            }
+            StructuralCtx::Dedup => Some(tuple.clone()),
+            StructuralCtx::Broken => None,
+        }
     }
 }
 

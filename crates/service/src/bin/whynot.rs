@@ -1,13 +1,13 @@
 //! `whynot` — the explanation-service CLI.
 //!
 //! ```text
-//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
-//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
+//! whynot explain --db db.json --plan plan.json --question q.json [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE] [--folded-out FILE]
+//! whynot batch --db db.json --plan plan.json --questions batch.json [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE] [--folded-out FILE]
 //! whynot stats [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N] [--watch SECS] [--count N]
 //! whynot metrics [--db db.json --plan plan.json --questions batch.json] [--compact] [--threads N]
 //! whynot scenarios list
 //! whynot scenarios export <dir>
-//! whynot scenarios run <dir> [--name NAME] [--text] [--threads N] [--profile] [--profile-out FILE]
+//! whynot scenarios run <dir> [--name NAME] [--text] [--threads N] [--profile] [--profile-out FILE] [--folded-out FILE]
 //! ```
 //!
 //! `explain` answers one why-not question loaded from JSON files on disk;
@@ -36,9 +36,10 @@
 //! `--profile` runs the command under a `whynot-obs` profiling session and
 //! prints the per-operator span tree (plus the effective thread count and
 //! pool-counter deltas) to **stderr**, so stdout stays valid JSON;
-//! `--profile-out FILE` writes the report as JSON. Span structure, counts,
-//! and counters are identical at every thread count; only wall times and the
-//! pool deltas vary.
+//! `--profile-out FILE` writes the report as JSON and `--folded-out FILE`
+//! writes it as folded flamegraph stacks (Brendan Gregg's format — feed it to
+//! `flamegraph.pl` or speedscope). Span structure, counts, and counters are
+//! identical at every thread count; only wall times and the pool deltas vary.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -78,13 +79,13 @@ fn main() -> ExitCode {
 const USAGE: &str = "whynot — why-not explanations over nested data
 
 USAGE:
-    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
-    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE]
+    whynot explain --db <db.json> --plan <plan.json> --question <q.json> [--text] [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE] [--folded-out FILE]
+    whynot batch --db <db.json> --plan <plan.json> --questions <batch.json> [--compact] [--threads N] [--timeout-ms MS] [--max-trace-tuples N] [--profile] [--profile-out FILE] [--folded-out FILE]
     whynot stats [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N] [--watch SECS] [--count N]
     whynot metrics [--db <db.json> --plan <plan.json> --questions <batch.json>] [--compact] [--threads N]
     whynot scenarios list
     whynot scenarios export <dir>
-    whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N] [--profile] [--profile-out FILE]
+    whynot scenarios run <dir> [--name <NAME>] [--text] [--threads N] [--profile] [--profile-out FILE] [--folded-out FILE]
     whynot serve [--addr 127.0.0.1:7171] [--scenarios FAMILY[,FAMILY...]] [--threads N]
                  [--workers N] [--queue N] [--max-body-bytes N]
                  [--default-timeout-ms MS] [--keep-alive-secs S] [--retry-after-secs S]
@@ -104,7 +105,8 @@ for any thread count (only per-question timing/cache-hit stats may differ).
 trace-tuple budget; a tripped request fails with a structured resource
 error (in `batch`, without affecting the other questions).
 --profile prints a span tree + pool stats to stderr (--profile-out FILE
-writes it as JSON); span counts/structure are thread-count independent.
+writes it as JSON, --folded-out FILE as folded flamegraph stacks); span
+counts/structure are thread-count independent.
 `stats` prints cumulative service metrics, optionally after answering a
 batch so the counters describe real work; --watch SECS polls and re-renders
 with per-interval deltas (requests/s, interval hit rate), --count N bounds
@@ -193,15 +195,18 @@ fn apply_guard_limits(request: &mut ExplainRequest, limits: (Option<u64>, Option
     }
 }
 
-/// Runs `f` under a `whynot-obs` profiling session when `--profile` or
-/// `--profile-out` was passed, attaching the effective thread count and the
-/// pool-counter deltas of the run as meta facts. Without either flag, `f`
-/// runs unprofiled and no report is produced.
+/// Runs `f` under a `whynot-obs` profiling session when `--profile`,
+/// `--profile-out`, or `--folded-out` was passed, attaching the effective
+/// thread count and the pool-counter deltas of the run as meta facts.
+/// Without any of the flags, `f` runs unprofiled and no report is produced.
 fn run_profiled<R>(
     flags: &Flags,
     f: impl FnOnce() -> ServiceResult<R>,
 ) -> ServiceResult<(R, Option<whynot_obs::ProfileReport>)> {
-    if !flags.switch("profile") && flags.value("profile-out").is_none() {
+    if !flags.switch("profile")
+        && flags.value("profile-out").is_none()
+        && flags.value("folded-out").is_none()
+    {
         return f().map(|r| (r, None));
     }
     let before = whynot_exec::pool_stats();
@@ -219,12 +224,17 @@ fn run_profiled<R>(
     result.map(|r| (r, Some(report)))
 }
 
-/// Prints (`--profile`, to stderr) and/or writes (`--profile-out`) a report
-/// produced by [`run_profiled`].
+/// Prints (`--profile`, to stderr) and/or writes (`--profile-out` as JSON,
+/// `--folded-out` as folded flamegraph stacks) a report produced by
+/// [`run_profiled`].
 fn emit_profile(flags: &Flags, report: Option<&whynot_obs::ProfileReport>) -> ServiceResult<()> {
     let Some(report) = report else { return Ok(()) };
     if let Some(path) = flags.value("profile-out") {
         std::fs::write(path, whynot_service::profile_report_to_json(report).to_pretty())
+            .map_err(|e| ServiceError::decode(format!("cannot write `{path}`: {e}")))?;
+    }
+    if let Some(path) = flags.value("folded-out") {
+        std::fs::write(path, report.to_folded())
             .map_err(|e| ServiceError::decode(format!("cannot write `{path}`: {e}")))?;
     }
     if flags.switch("profile") {
@@ -303,7 +313,16 @@ fn print_json(json: &Json, compact: bool) {
 fn cmd_explain(args: &[String]) -> ServiceResult<()> {
     let flags = Flags::parse(
         args,
-        &["db", "plan", "question", "threads", "timeout-ms", "max-trace-tuples", "profile-out"],
+        &[
+            "db",
+            "plan",
+            "question",
+            "threads",
+            "timeout-ms",
+            "max-trace-tuples",
+            "profile-out",
+            "folded-out",
+        ],
     )?;
     flags.apply_threads()?;
     let limits = flags.guard_limits()?;
@@ -330,7 +349,16 @@ fn cmd_explain(args: &[String]) -> ServiceResult<()> {
 fn cmd_batch(args: &[String]) -> ServiceResult<()> {
     let flags = Flags::parse(
         args,
-        &["db", "plan", "questions", "threads", "timeout-ms", "max-trace-tuples", "profile-out"],
+        &[
+            "db",
+            "plan",
+            "questions",
+            "threads",
+            "timeout-ms",
+            "max-trace-tuples",
+            "profile-out",
+            "folded-out",
+        ],
     )?;
     flags.apply_threads()?;
     let limits = flags.guard_limits()?;
@@ -594,7 +622,7 @@ fn cmd_serve(args: &[String]) -> ServiceResult<()> {
 }
 
 fn cmd_scenarios(args: &[String]) -> ServiceResult<()> {
-    let flags = Flags::parse(args, &["name", "threads", "profile-out"])?;
+    let flags = Flags::parse(args, &["name", "threads", "profile-out", "folded-out"])?;
     flags.apply_threads()?;
     match flags.positionals.first().map(String::as_str) {
         Some("list") => {

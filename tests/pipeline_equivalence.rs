@@ -1,0 +1,212 @@
+//! The pipelined ↔ operator-at-a-time equivalence contract, end to end: for
+//! every evaluation scenario and every thread count, query answers,
+//! generalized traces, and rendered wire reports must be **bit-identical**
+//! whether fused morsel-driven pipelines execute select→project chains or
+//! every operator materializes its full result first. This is the property
+//! that makes pipelining a pure performance knob, exactly like
+//! `WHYNOT_THREADS`, the columnar layout, and the hash join.
+//!
+//! The fusion-boundary tests additionally pin the compiler's break rules:
+//! joins, cross products, flatten, nest, aggregation, union, difference, and
+//! dedup always end a pipeline.
+
+use nrab_algebra::expr::{CmpOp, Expr};
+use nrab_algebra::{evaluate, fused_chains, with_pipelining, JoinKind, PlanBuilder};
+use nrab_provenance::trace_plan_generalized;
+use whynot_core::alternatives::enumerate_schema_alternatives;
+use whynot_core::backtrace::schema_backtrace;
+use whynot_core::WhyNotEngine;
+use whynot_exec::with_threads;
+use whynot_scenarios::{crime, dblp, running, tpch, twitter, Scenario};
+
+/// Reduced-scale scenario set covering every dataset family and operator mix
+/// (mirrors the columnar and parallel-determinism suites). The DBLP plans are
+/// the ones with real select→select→project chains above the join; the rest
+/// pin down that plans with no fusable chain are unaffected.
+fn scenarios() -> Vec<Scenario> {
+    let mut scenarios = vec![running::running_example()];
+    scenarios.extend(dblp::all_dblp(40));
+    scenarios.extend(twitter::all_twitter(40));
+    scenarios.extend(tpch::all_tpch(15));
+    scenarios.extend(crime::all_crime());
+    scenarios
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn query_answers_match_the_materialized_path() {
+    for scenario in scenarios() {
+        let reference = with_pipelining(false, || {
+            evaluate(&scenario.plan, &scenario.db).unwrap_or_else(|e| {
+                panic!("{}: materialized evaluation failed: {e}", scenario.name)
+            })
+        });
+        for threads in THREAD_COUNTS {
+            let answer = with_threads(threads, || {
+                evaluate(&scenario.plan, &scenario.db).unwrap_or_else(|e| {
+                    panic!("{}: pipelined evaluation failed: {e}", scenario.name)
+                })
+            });
+            assert!(
+                answer == reference,
+                "{} @ {} threads: pipelined answer differs from the materialized answer",
+                scenario.name,
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn generalized_traces_match_the_materialized_path() {
+    for scenario in scenarios() {
+        let backtrace = schema_backtrace(&scenario.plan, &scenario.db, &scenario.why_not)
+            .unwrap_or_else(|e| panic!("{}: backtrace failed: {e}", scenario.name));
+        let sas = enumerate_schema_alternatives(
+            &scenario.plan,
+            &scenario.db,
+            &scenario.why_not,
+            &backtrace,
+            &scenario.alternatives,
+            64,
+        )
+        .unwrap_or_else(|e| panic!("{}: alternative enumeration failed: {e}", scenario.name));
+        let reference = with_pipelining(false, || {
+            trace_plan_generalized(&scenario.plan, &scenario.db, &sas)
+                .unwrap_or_else(|e| panic!("{}: materialized trace failed: {e}", scenario.name))
+        });
+        for threads in THREAD_COUNTS {
+            let trace = with_threads(threads, || {
+                trace_plan_generalized(&scenario.plan, &scenario.db, &sas)
+                    .unwrap_or_else(|e| panic!("{}: pipelined trace failed: {e}", scenario.name))
+            });
+            assert!(
+                trace == reference,
+                "{} @ {} threads: pipelined trace differs from the materialized trace",
+                scenario.name,
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_reports_match_the_materialized_path() {
+    for scenario in scenarios() {
+        let question = scenario.question();
+        let reference = with_pipelining(false, || {
+            WhyNotEngine::rp()
+                .explain(&question, &scenario.alternatives)
+                .unwrap_or_else(|e| panic!("{}: materialized explain failed: {e}", scenario.name))
+        });
+        let reference_json = whynot_service::report::ExplanationReport::from_answer(&reference)
+            .to_json()
+            .to_compact();
+        for threads in THREAD_COUNTS {
+            let answer = with_threads(threads, || {
+                WhyNotEngine::rp()
+                    .explain(&question, &scenario.alternatives)
+                    .unwrap_or_else(|e| panic!("{}: pipelined explain failed: {e}", scenario.name))
+            });
+            let json = whynot_service::report::ExplanationReport::from_answer(&answer)
+                .to_json()
+                .to_compact();
+            assert_eq!(
+                json, reference_json,
+                "{} @ {} threads: pipelined wire report differs",
+                scenario.name, threads
+            );
+        }
+    }
+}
+
+/// σ→σ→π above a table access fuses into one chain; the chain ids are in
+/// source-to-sink order.
+#[test]
+fn select_select_project_chains_fuse() {
+    let builder = PlanBuilder::table("person")
+        .select(Expr::attr_cmp("year", CmpOp::Ge, 2015i64))
+        .select(Expr::attr_cmp("year", CmpOp::Le, 2019i64))
+        .project_attrs(&["name"]);
+    let plan = builder.build().expect("plan builds");
+    let chains = fused_chains(&plan);
+    assert_eq!(chains.len(), 1, "one fused chain expected");
+    assert_eq!(chains[0].len(), 3, "σ, σ, and π all fuse");
+    assert!(chains[0].windows(2).all(|w| w[0] < w[1]), "chain ids run source-to-sink");
+}
+
+/// A single selection (or a lone projection) is not a pipeline: the
+/// specialized single-operator paths stay in charge.
+#[test]
+fn single_operators_do_not_fuse() {
+    let select_only =
+        PlanBuilder::table("person").select(Expr::attr_cmp("year", CmpOp::Ge, 2015i64));
+    assert!(fused_chains(&select_only.build().expect("plan builds")).is_empty());
+    let project_only = PlanBuilder::table("person").project_attrs(&["name"]);
+    assert!(fused_chains(&project_only.build().expect("plan builds")).is_empty());
+}
+
+/// Joins, nest, aggregation, and difference always break pipelines: no fused
+/// chain may contain them, and chains on either side of the boundary stay
+/// independent.
+#[test]
+fn break_operators_always_end_pipelines() {
+    let fused_side = || {
+        PlanBuilder::table("fact")
+            .select(Expr::attr_cmp("fqty", CmpOp::Ge, 1i64))
+            .select(Expr::attr_cmp("fqty", CmpOp::Le, 40i64))
+    };
+
+    // Join: both input chains fuse, the join (and anything directly above a
+    // non-selection) does not join them into one.
+    let join_plan = fused_side()
+        .join(
+            PlanBuilder::table("dim").select(Expr::attr_cmp("dprio", CmpOp::Ge, 0i64)),
+            JoinKind::Inner,
+            Expr::cmp(Expr::attr("fk"), CmpOp::Eq, Expr::attr("pk")),
+        )
+        .build()
+        .expect("join plan builds");
+    let join_op = join_plan.root.id;
+    let chains = fused_chains(&join_plan);
+    assert_eq!(chains.len(), 1, "only the two-selection left side fuses");
+    assert!(
+        chains.iter().all(|c| !c.contains(&join_op)),
+        "the join id never appears inside a fused chain"
+    );
+
+    // Nest, aggregation, dedup, difference, union, flatten: each caps the
+    // chain below it and never appears inside one.
+    let breakers: Vec<(&str, nrab_algebra::QueryPlan)> = vec![
+        ("nest", fused_side().relation_nest(vec!["fname"], "names").build().unwrap()),
+        (
+            "agg",
+            fused_side()
+                .group_aggregate(
+                    vec!["ftag"],
+                    vec![nrab_algebra::AggSpec::new(
+                        nrab_algebra::AggFunc::Count,
+                        Expr::attr("fname"),
+                        "n",
+                    )],
+                )
+                .build()
+                .unwrap(),
+        ),
+        ("dedup", fused_side().dedup().build().unwrap()),
+        ("difference", fused_side().difference(PlanBuilder::table("fact")).build().unwrap()),
+        ("union", fused_side().union(PlanBuilder::table("fact")).build().unwrap()),
+        ("flatten", fused_side().inner_flatten("fname", Some("n")).build().unwrap()),
+    ];
+    for (name, plan) in breakers {
+        let breaker_op = plan.root.id;
+        let chains = fused_chains(&plan);
+        assert_eq!(chains.len(), 1, "{name}: the selection chain below still fuses");
+        assert_eq!(chains[0].len(), 2, "{name}: exactly the two selections fuse");
+        assert!(
+            chains.iter().all(|c| !c.contains(&breaker_op)),
+            "{name}: the break operator never appears inside a fused chain"
+        );
+    }
+}
